@@ -1,0 +1,60 @@
+//! Criterion bench: Nagel–Schreckenberg stepping throughput.
+//!
+//! The BA block's cost driver is the per-step lane update; this bench
+//! measures steps/second across densities and the multi-lane extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cavenet_ca::{Boundary, Lane, MultiLaneParams, MultiLaneRoad, NasParams};
+
+fn bench_lane_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ca_lane_step");
+    group.sample_size(30);
+    for &rho in &[0.1, 0.5] {
+        let params = NasParams::builder()
+            .length(400)
+            .density(rho)
+            .slowdown_probability(0.3)
+            .build()
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("L400_p0.3", rho), &params, |b, &p| {
+            let mut lane = Lane::with_random_placement(p, Boundary::Closed, 1).unwrap();
+            b.iter(|| {
+                lane.step();
+                black_box(lane.average_velocity())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_multilane_step(c: &mut Criterion) {
+    c.bench_function("ca_multilane_step_2x400", |b| {
+        let nas = NasParams::builder()
+            .length(400)
+            .density(0.2)
+            .slowdown_probability(0.3)
+            .build()
+            .unwrap();
+        let params = MultiLaneParams::new(nas, 2, 0.5).unwrap();
+        let mut road = MultiLaneRoad::new(params, 1).unwrap();
+        b.iter(|| {
+            road.step();
+            black_box(road.average_velocity())
+        });
+    });
+}
+
+fn bench_fundamental_point(c: &mut Criterion) {
+    c.bench_function("ca_fundamental_point", |b| {
+        let d = cavenet_ca::FundamentalDiagram::new(400, 0.5)
+            .iterations(100)
+            .discard(50)
+            .trials(2);
+        b.iter(|| black_box(d.point(0.2, 1).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_lane_step, bench_multilane_step, bench_fundamental_point);
+criterion_main!(benches);

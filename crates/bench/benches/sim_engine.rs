@@ -1,0 +1,51 @@
+//! Criterion bench: discrete-event engine throughput — saturated two-node
+//! link and an idle 30-node ring with hello traffic only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Duration;
+
+use cavenet_net::{NodeId, ScenarioConfig, Simulator, StaticMobility};
+use cavenet_routing::Aodv;
+use cavenet_traffic::{CbrConfig, CbrSink, CbrSource, TrafficRecorder};
+
+fn saturated_link(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+    group.bench_function("saturated_2node_1s", |b| {
+        b.iter(|| {
+            let recorder = TrafficRecorder::new_shared();
+            let cfg = CbrConfig {
+                rate_pps: 400.0,
+                packet_size: 512,
+                start: Duration::from_millis(10),
+                stop: Duration::from_secs(1),
+                port: 0,
+            };
+            let mut sim = Simulator::builder(ScenarioConfig::default())
+                .nodes(2)
+                .mobility(Box::new(StaticMobility::line(2, 100.0)))
+                .app(0, Box::new(CbrSource::new(NodeId(1), cfg, Rc::clone(&recorder))))
+                .app(1, Box::new(CbrSink::new(Rc::clone(&recorder))))
+                .build();
+            sim.run_until_secs(1.2);
+            black_box(sim.global_stats().events_processed)
+        });
+    });
+    group.bench_function("hello_only_30node_ring_5s", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::builder(ScenarioConfig::default())
+                .nodes(30)
+                .mobility(Box::new(StaticMobility::ring(30, 3000.0)))
+                .routing_with(|_| Box::new(Aodv::new()))
+                .build();
+            sim.run_until_secs(5.0);
+            black_box(sim.global_stats().events_processed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, saturated_link);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: FFT / periodogram / Hurst estimation throughput —
+//! the analysis side of the BA block (Fig. 7 pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cavenet_stats::{autocorrelation_fft, fft, hurst_rescaled_range, periodogram, Complex};
+
+fn series(n: usize) -> Vec<f64> {
+    let mut state = 0x1234_5678u64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(40);
+    for &n in &[1024usize, 16384] {
+        let data = series(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| {
+                let mut buf: Vec<Complex> =
+                    d.iter().map(|&x| Complex::from_real(x)).collect();
+                fft(&mut buf);
+                black_box(buf[1].norm_sqr())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_periodogram(c: &mut Criterion) {
+    let data = series(16384);
+    c.bench_function("periodogram_16k", |b| {
+        b.iter(|| black_box(periodogram(&data).len()))
+    });
+}
+
+fn bench_autocorr(c: &mut Criterion) {
+    let data = series(8192);
+    c.bench_function("autocorrelation_fft_8k_lag256", |b| {
+        b.iter(|| black_box(autocorrelation_fft(&data, 256).unwrap().len()))
+    });
+}
+
+fn bench_hurst(c: &mut Criterion) {
+    let data = series(8192);
+    c.bench_function("hurst_rs_8k", |b| {
+        b.iter(|| black_box(hurst_rescaled_range(&data).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_periodogram, bench_autocorr, bench_hurst);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Reproduces **Fig. 11**: packet delivery ratio per sender for AODV, OLSR
+//! and DYMO under the Table 1 scenario.
+//!
+//! Expected shape (paper): AODV and DYMO PDR well above OLSR for most
+//! senders; AODV slightly ahead on raw delivery, DYMO judged best overall
+//! given its lower route-acquisition delay.
+
+use cavenet_bench::csv_block;
+use cavenet_core::{Experiment, Protocol, Scenario};
+
+fn main() {
+    println!("# Fig. 11 — PDR per sender (Table 1 scenario)\n");
+    let protocols = [Protocol::Aodv, Protocol::Olsr, Protocol::Dymo];
+    let mut results = Vec::new();
+    for p in protocols {
+        let r = Experiment::new(Scenario::paper_table1(p)).run().expect("runs");
+        results.push(r);
+    }
+
+    println!("{:>8} {:>8} {:>8} {:>8}", "sender", "AODV", "OLSR", "DYMO");
+    let mut rows = Vec::new();
+    for sender in 1..=8u32 {
+        let pdrs: Vec<f64> = results
+            .iter()
+            .map(|r| r.pdr_of_sender(sender).unwrap_or(0.0))
+            .collect();
+        println!(
+            "{:>8} {:>8.3} {:>8.3} {:>8.3}",
+            sender, pdrs[0], pdrs[1], pdrs[2]
+        );
+        rows.push(vec![sender as f64, pdrs[0], pdrs[1], pdrs[2]]);
+    }
+    println!("{:>8} {:>8.3} {:>8.3} {:>8.3}", "mean",
+        results[0].mean_pdr(), results[1].mean_pdr(), results[2].mean_pdr());
+
+    println!("\nsupplementary metrics (paper §V future work):");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>12}",
+        "protocol", "mean PDR", "ctrl packets", "ctrl bytes", "delay ms"
+    );
+    for (p, r) in protocols.iter().zip(&results) {
+        println!(
+            "{:>10} {:>12.3} {:>14} {:>14} {:>12}",
+            p.to_string(),
+            r.mean_pdr(),
+            r.control_packets,
+            r.control_bytes,
+            r.mean_delay()
+                .map_or("n/a".into(), |d| format!("{:.1}", d.as_secs_f64() * 1e3)),
+        );
+    }
+
+    let ok = results[0].mean_pdr() > results[1].mean_pdr()
+        && results[2].mean_pdr() > results[1].mean_pdr();
+    println!(
+        "\nshape check (paper): AODV & DYMO PDR > OLSR PDR: {}",
+        if ok { "OK" } else { "MISMATCH" }
+    );
+    println!("\n## CSV\n{}", csv_block("sender,aodv,olsr,dymo", &rows));
+}

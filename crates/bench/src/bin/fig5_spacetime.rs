@@ -1,0 +1,56 @@
+//! Reproduces **Fig. 5**: space-time plots of the NaS automaton in four
+//! settings, showing the laminar regime and backwards-travelling jam waves:
+//!
+//! * (a) `ρ = 0.0625, p = 0.3`, `L = 800` — laminar, jams die out;
+//! * (b) `ρ = 0.5, p = 0.3`, `L = 400` — congested, persistent jam waves;
+//! * (c) `ρ = 0.1, p = 0`, `L = 400` — deterministic free flow;
+//! * (d) `ρ = 0.5, p = 0`, `L = 400` — deterministic jammed flow.
+//!
+//! Space runs left→right, time top→bottom; `#` marks a stopped vehicle,
+//! digits are velocities, `.` is empty road (100 steps after a warm-up).
+
+use cavenet_ca::{Boundary, Lane, NasParams, SpaceTimeDiagram};
+
+fn run(label: &str, length: usize, rho: f64, p: f64, seed: u64) {
+    let params = NasParams::builder()
+        .length(length)
+        .density(rho)
+        .slowdown_probability(p)
+        .build()
+        .expect("valid parameters");
+    let mut lane = Lane::with_random_placement(params, Boundary::Closed, seed)
+        .expect("vehicles fit");
+    // Warm up so the plot shows the (quasi-)stationary regime, as in the
+    // paper's figures.
+    for _ in 0..200 {
+        lane.step();
+    }
+    let diagram = SpaceTimeDiagram::record(&mut lane, 100);
+    println!("## Fig. 5-{label}: rho = {rho}, p = {p}, L = {length}");
+    println!(
+        "mean jam fraction = {:.3}, jam wave velocity = {} cells/step",
+        diagram.mean_jam_fraction(),
+        diagram
+            .jam_wave_velocity()
+            .map_or("n/a".to_string(), |v| format!("{v:.2}")),
+    );
+    // Print a window of at most 120 columns to stay terminal-friendly.
+    let text = diagram.render_ascii();
+    for line in text.lines().take(50) {
+        let window: String = line.chars().take(120).collect();
+        println!("{window}");
+    }
+    println!();
+}
+
+fn main() {
+    println!("# Fig. 5 — space-time plots (laminar vs congested regimes)\n");
+    run("a", 800, 0.0625, 0.3, 1);
+    run("b", 400, 0.5, 0.3, 1);
+    run("c", 400, 0.1, 0.0, 1);
+    run("d", 400, 0.5, 0.0, 1);
+    println!(
+        "shape check: (a) laminar (low jam fraction), (b)/(d) congested with\n\
+         backwards-drifting jams, (c) free flow with zero jams."
+    );
+}

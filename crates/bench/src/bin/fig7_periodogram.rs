@@ -1,0 +1,80 @@
+//! Reproduces **Fig. 7**: periodograms of the average velocity process —
+//! (a) the deterministic model (`ρ = 0.1, p = 0`), whose spectrum does NOT
+//! diverge at the origin (SRD), and (b) the stochastic model
+//! (`ρ = 0.05, p = 0.5`), whose spectrum diverges like `1/f` (LRD).
+//!
+//! We print the log-log periodogram, its low-frequency slope, and the Hurst
+//! estimates that formalize the SRD/LRD verdict.
+
+use cavenet_bench::csv_block;
+use cavenet_ca::{Boundary, Lane, NasParams};
+use cavenet_stats::{
+    hurst_aggregated_variance, low_frequency_slope, periodogram, periodogram_db, LrdVerdict,
+};
+
+fn velocity_series(rho: f64, p: f64, steps: usize, seed: u64) -> Vec<f64> {
+    let params = NasParams::builder()
+        .length(400)
+        .density(rho)
+        .slowdown_probability(p)
+        .build()
+        .expect("valid parameters");
+    let mut lane = Lane::with_random_placement(params, Boundary::Closed, seed)
+        .expect("vehicles fit");
+    // Discard the transient before spectral analysis.
+    for _ in 0..500 {
+        lane.step();
+    }
+    lane.run_collect_velocity(steps)
+}
+
+fn analyse(label: &str, rho: f64, p: f64) -> Vec<Vec<f64>> {
+    let series = velocity_series(rho, p, 16384, 11);
+    let pgram = periodogram(&series);
+    let slope = low_frequency_slope(&pgram, 0.1);
+    println!("## Fig. 7-{label}: rho = {rho}, p = {p}");
+    if series.iter().all(|&v| (v - series[0]).abs() < 1e-12) {
+        println!("  v(t) is exactly constant (deterministic free flow):");
+        println!("  flat zero spectrum — trivially SRD\n");
+        return Vec::new();
+    }
+    let hurst = hurst_aggregated_variance(&series);
+    println!("  low-frequency log-log slope = {slope:.3}");
+    match hurst {
+        Ok(h) => println!(
+            "  Hurst (aggregated variance) = {h:.3} → {:?}",
+            LrdVerdict::from_hurst(h)
+        ),
+        Err(e) => println!("  Hurst estimate unavailable: {e}"),
+    }
+    let verdict = if slope < -0.5 {
+        "diverges at origin → LRD (1/f-type noise)"
+    } else {
+        "flat at origin → SRD"
+    };
+    println!("  spectrum {verdict}\n");
+    periodogram_db(&series)
+        .iter()
+        .step_by(16)
+        .map(|pt| vec![rho, p, pt.frequency.log10(), pt.power])
+        .collect()
+}
+
+fn main() {
+    println!("# Fig. 7 — periodograms: SRD (p = 0) vs LRD (0 < p < 1)\n");
+    let mut rows = analyse("a", 0.1, 0.0);
+    rows.extend(analyse("b", 0.05, 0.5));
+    // Reproduction note: in our implementation ρ = 0.05 at p = 0.5 sits
+    // *below* the critical density — jams die out and the process is SRD.
+    // The 1/f divergence the paper shows appears once the system is at or
+    // above criticality; ρ = 0.1 exhibits it strongly (slope ≈ −1.3,
+    // Hurst ≈ 0.8). See EXPERIMENTS.md.
+    rows.extend(analyse("b' (near-critical)", 0.1, 0.5));
+    // A denser deterministic case: v(t) settles to a periodic orbit and
+    // remains SRD.
+    rows.extend(analyse("a' (dense deterministic)", 0.5, 0.0));
+    println!(
+        "## CSV (log10 frequency, power dB; every 16th ordinate)\n{}",
+        csv_block("rho,p,log10_f,power_db", &rows)
+    );
+}

@@ -1,0 +1,60 @@
+//! Monte-Carlo extension of Figs. 8–11: the paper evaluates one run per
+//! protocol; this binary sweeps seeds and reports mean ± std of PDR, delay
+//! and control overhead, quantifying how stable the paper's single-run
+//! conclusions are.
+//!
+//! Usage: `sweep_seeds [n_seeds]` (default 10).
+
+use cavenet_bench::csv_block;
+use cavenet_core::{Experiment, Protocol, Scenario};
+use cavenet_stats::Summary;
+
+fn main() {
+    let n: u64 = match std::env::args().nth(1) {
+        None => 10,
+        Some(arg) => arg.parse().unwrap_or_else(|_| {
+            eprintln!("error: `{arg}` is not a seed count; usage: sweep_seeds [n_seeds]");
+            std::process::exit(2);
+        }),
+    };
+    println!("# Seed sweep over the Table 1 scenario ({n} seeds per protocol)\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>14} {:>12}",
+        "protocol", "PDR mean", "PDR std", "delay ms mean", "delay ms std", "ctrl pkts"
+    );
+    let mut rows = Vec::new();
+    for (pi, protocol) in Protocol::PAPER_SET.iter().enumerate() {
+        let mut pdrs = Vec::new();
+        let mut delays = Vec::new();
+        let mut ctrl = Vec::new();
+        for seed in 1..=n {
+            let mut s = Scenario::paper_table1(*protocol);
+            s.seed = seed;
+            let r = Experiment::new(s).run().expect("scenario runs");
+            pdrs.push(r.mean_pdr());
+            if let Some(d) = r.mean_delay() {
+                delays.push(d.as_secs_f64() * 1e3);
+            }
+            ctrl.push(r.control_packets as f64);
+        }
+        let p = Summary::from_slice(&pdrs).expect("nonempty");
+        let d = Summary::from_slice(&delays).expect("nonempty");
+        let c = Summary::from_slice(&ctrl).expect("nonempty");
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>14.1} {:>14.1} {:>12.0}",
+            protocol.to_string(),
+            p.mean(),
+            p.std_dev(),
+            d.mean(),
+            d.std_dev(),
+            c.mean(),
+        );
+        rows.push(vec![pi as f64, p.mean(), p.std_dev(), d.mean(), d.std_dev(), c.mean()]);
+    }
+    println!("\nexpected: PDR ordering AODV ≈ DYMO > OLSR stable across seeds;");
+    println!("delay ordering noisier (the paper reports a single run).");
+    println!(
+        "\n## CSV\n{}",
+        csv_block("protocol_index,pdr_mean,pdr_std,delay_ms_mean,delay_ms_std,ctrl_mean", &rows)
+    );
+}

@@ -1,0 +1,96 @@
+//! Lane boundary conditions.
+
+use std::fmt;
+
+/// How a lane treats its two ends.
+///
+/// The CAVENET paper's central "improvement" was moving from the recycling
+/// straight line of the first version to a closed ring, so that vehicles at
+/// the head and tail of the road remain radio neighbours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Boundary {
+    /// Periodic boundary: the lane is a ring; positions wrap modulo `L` and
+    /// the vehicle count is conserved. This is the improved CAVENET model and
+    /// the classical NaS setting.
+    Closed,
+    /// First-version CAVENET behaviour: vehicles travel a straight segment
+    /// and a vehicle that would pass the last site is teleported back to the
+    /// first free site at the start of the lane. The lead vehicle sees open
+    /// road ahead (infinite gap). Vehicle count is conserved but spatial
+    /// continuity is broken — head and tail cannot communicate.
+    Recycling,
+    /// Open road: vehicles leaving past the last site are removed, and a new
+    /// vehicle is injected at site 0 with probability `injection_rate` per
+    /// step whenever site 0 is free. Vehicle count varies over time.
+    Open {
+        /// Per-step probability of injecting a vehicle at the entrance.
+        injection_rate: f64,
+    },
+}
+
+impl Boundary {
+    /// Whether the vehicle population is constant over time.
+    pub fn conserves_vehicles(&self) -> bool {
+        !matches!(self, Boundary::Open { .. })
+    }
+
+    /// Whether lane geometry is periodic (ring road).
+    pub fn is_periodic(&self) -> bool {
+        matches!(self, Boundary::Closed)
+    }
+}
+
+impl Default for Boundary {
+    /// Defaults to the improved (ring) model.
+    fn default() -> Self {
+        Boundary::Closed
+    }
+}
+
+impl fmt::Display for Boundary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Boundary::Closed => write!(f, "closed (ring)"),
+            Boundary::Recycling => write!(f, "recycling (straight line, v1)"),
+            Boundary::Open { injection_rate } => {
+                write!(f, "open (injection rate {injection_rate})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_flags() {
+        assert!(Boundary::Closed.conserves_vehicles());
+        assert!(Boundary::Recycling.conserves_vehicles());
+        assert!(!Boundary::Open { injection_rate: 0.3 }.conserves_vehicles());
+    }
+
+    #[test]
+    fn periodicity() {
+        assert!(Boundary::Closed.is_periodic());
+        assert!(!Boundary::Recycling.is_periodic());
+        assert!(!Boundary::Open { injection_rate: 0.1 }.is_periodic());
+    }
+
+    #[test]
+    fn default_is_closed() {
+        assert_eq!(Boundary::default(), Boundary::Closed);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for b in [
+            Boundary::Closed,
+            Boundary::Recycling,
+            Boundary::Open { injection_rate: 0.5 },
+        ] {
+            assert!(!b.to_string().is_empty());
+        }
+    }
+}

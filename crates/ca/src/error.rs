@@ -1,0 +1,93 @@
+//! Error types for CA model construction and stepping.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing or manipulating a cellular-automaton model
+/// with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CaError {
+    /// The requested lane length is zero.
+    ZeroLength,
+    /// The slow-down probability is outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested density is outside `(0, 1]` or not finite.
+    InvalidDensity {
+        /// The offending value.
+        value: f64,
+    },
+    /// More vehicles were requested than the lane has sites.
+    TooManyVehicles {
+        /// Number of vehicles requested.
+        vehicles: usize,
+        /// Number of sites available.
+        sites: usize,
+    },
+    /// A vehicle was placed on an already-occupied or out-of-range site.
+    InvalidPlacement {
+        /// The offending site index.
+        site: usize,
+    },
+    /// `v_max` of zero would freeze all traffic.
+    ZeroVmax,
+    /// A multi-lane road requires at least one lane.
+    NoLanes,
+}
+
+impl fmt::Display for CaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaError::ZeroLength => write!(f, "lane length must be at least 1 site"),
+            CaError::InvalidProbability { value } => {
+                write!(f, "slow-down probability {value} is not in [0, 1]")
+            }
+            CaError::InvalidDensity { value } => {
+                write!(f, "vehicle density {value} is not in (0, 1]")
+            }
+            CaError::TooManyVehicles { vehicles, sites } => {
+                write!(f, "{vehicles} vehicles do not fit on {sites} sites")
+            }
+            CaError::InvalidPlacement { site } => {
+                write!(f, "site {site} is occupied or out of range")
+            }
+            CaError::ZeroVmax => write!(f, "v_max must be at least 1"),
+            CaError::NoLanes => write!(f, "a road needs at least one lane"),
+        }
+    }
+}
+
+impl Error for CaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            CaError::ZeroLength,
+            CaError::InvalidProbability { value: 1.5 },
+            CaError::InvalidDensity { value: -0.1 },
+            CaError::TooManyVehicles { vehicles: 10, sites: 5 },
+            CaError::InvalidPlacement { site: 99 },
+            CaError::ZeroVmax,
+            CaError::NoLanes,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.chars().next().unwrap().is_uppercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CaError>();
+    }
+}

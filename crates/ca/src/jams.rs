@@ -1,0 +1,229 @@
+//! Jam (cluster) statistics of a lane configuration.
+//!
+//! The space-time plots of Fig. 5 distinguish traffic regimes by their jam
+//! structure: isolated short-lived clusters in the laminar phase,
+//! system-spanning interconnected jams in the congested phase. This module
+//! extracts that structure numerically: maximal runs of stopped (or
+//! slow-moving) vehicles, their size distribution, and per-run summary
+//! statistics that make the phase transition measurable.
+
+use crate::Lane;
+
+/// A maximal cluster of consecutive jammed vehicles on the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JamCluster {
+    /// Site index of the rearmost vehicle in the cluster.
+    pub start_site: usize,
+    /// Number of vehicles in the cluster.
+    pub vehicles: usize,
+}
+
+/// Jam statistics of a single lane configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JamSnapshot {
+    clusters: Vec<JamCluster>,
+    vehicle_count: usize,
+}
+
+impl JamSnapshot {
+    /// Identify jams on the lane: maximal chains of vehicles with velocity
+    /// `≤ v_jam` whose bumper gaps are `≤ gap_max` cells.
+    ///
+    /// The paper's visual convention (stopped cars in the space-time plot)
+    /// corresponds to `v_jam = 0`; `gap_max = 1` groups vehicles that stand
+    /// (nearly) bumper to bumper.
+    pub fn capture(lane: &Lane, v_jam: u32, gap_max: u32) -> Self {
+        let vehicles = lane.vehicles();
+        let n = vehicles.len();
+        if n == 0 {
+            return JamSnapshot {
+                clusters: Vec::new(),
+                vehicle_count: 0,
+            };
+        }
+        let slow: Vec<bool> = vehicles.iter().map(|v| v.velocity() <= v_jam).collect();
+        // chained[i] == true: vehicle i and its successor are close enough
+        // to belong to one cluster (gap measured at the last update).
+        let chained: Vec<bool> = vehicles.iter().map(|v| v.gap() <= gap_max).collect();
+
+        // Find maximal runs of slow vehicles connected by `chained`,
+        // treating the ring circularly.
+        let in_cluster = |i: usize| slow[i];
+        let linked = |i: usize| chained[i] && slow[i] && slow[(i + 1) % n];
+        let all_linked = (0..n).all(linked);
+        let mut clusters = Vec::new();
+        if all_linked {
+            // One giant ring-spanning jam.
+            clusters.push(JamCluster {
+                start_site: vehicles[0].position(),
+                vehicles: n,
+            });
+        } else {
+            // Start scanning right after a break.
+            let start = (0..n)
+                .find(|&i| !linked(i))
+                .expect("a break exists")
+                + 1;
+            let mut i = 0;
+            while i < n {
+                let idx = (start + i) % n;
+                if !in_cluster(idx) {
+                    i += 1;
+                    continue;
+                }
+                // Extend the run while linked.
+                let mut len = 1;
+                while i + len < n && linked((start + i + len - 1) % n) && in_cluster((start + i + len) % n)
+                {
+                    len += 1;
+                }
+                clusters.push(JamCluster {
+                    start_site: vehicles[idx].position(),
+                    vehicles: len,
+                });
+                i += len;
+            }
+        }
+        JamSnapshot {
+            clusters,
+            vehicle_count: n,
+        }
+    }
+
+    /// The identified clusters.
+    pub fn clusters(&self) -> &[JamCluster] {
+        &self.clusters
+    }
+
+    /// Number of distinct jams.
+    pub fn count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Vehicles in the largest jam (0 when free-flowing).
+    pub fn largest(&self) -> usize {
+        self.clusters.iter().map(|c| c.vehicles).max().unwrap_or(0)
+    }
+
+    /// Fraction of all vehicles caught in some jam.
+    pub fn jammed_fraction(&self) -> f64 {
+        if self.vehicle_count == 0 {
+            return 0.0;
+        }
+        let jammed: usize = self.clusters.iter().map(|c| c.vehicles).sum();
+        jammed as f64 / self.vehicle_count as f64
+    }
+
+    /// Mean jam size (0 when there are no jams).
+    pub fn mean_size(&self) -> f64 {
+        if self.clusters.is_empty() {
+            return 0.0;
+        }
+        self.clusters.iter().map(|c| c.vehicles).sum::<usize>() as f64
+            / self.clusters.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Boundary, NasParams};
+
+    fn lane_from(positions: &[usize], velocities: &[u32], l: usize) -> Lane {
+        let params = NasParams::builder()
+            .length(l)
+            .vehicle_count(positions.len())
+            .build()
+            .unwrap();
+        Lane::from_positions(params, Boundary::Closed, positions, velocities, 0).unwrap()
+    }
+
+    #[test]
+    fn empty_lane_no_jams() {
+        let params = NasParams::builder().length(10).vehicle_count(1).build().unwrap();
+        let lane = Lane::from_positions(params, Boundary::Closed, &[3], &[5], 0).unwrap();
+        let snap = JamSnapshot::capture(&lane, 0, 1);
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.largest(), 0);
+        assert_eq!(snap.jammed_fraction(), 0.0);
+        assert_eq!(snap.mean_size(), 0.0);
+    }
+
+    #[test]
+    fn single_compact_jam() {
+        // Three stopped cars bumper to bumper, one free cruiser.
+        let lane = lane_from(&[2, 3, 4, 10], &[0, 0, 0, 5], 20);
+        let snap = JamSnapshot::capture(&lane, 0, 1);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.largest(), 3);
+        assert!((snap.jammed_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(snap.clusters()[0].vehicles, 3);
+    }
+
+    #[test]
+    fn two_separate_jams() {
+        let lane = lane_from(&[0, 1, 8, 9, 15], &[0, 0, 0, 0, 4], 20);
+        let snap = JamSnapshot::capture(&lane, 0, 1);
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.largest(), 2);
+        assert!((snap.mean_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_around_jam_is_one_cluster() {
+        // Jam straddling the seam: vehicles at 18, 19, 0, 1 on a 20-ring.
+        let lane = lane_from(&[0, 1, 18, 19], &[0, 0, 0, 0], 20);
+        let snap = JamSnapshot::capture(&lane, 0, 1);
+        assert_eq!(snap.count(), 1, "seam jam must not split: {:?}", snap.clusters());
+        assert_eq!(snap.largest(), 4);
+    }
+
+    #[test]
+    fn fully_jammed_ring() {
+        let positions: Vec<usize> = (0..6).collect();
+        let lane = lane_from(&positions, &[0; 6], 6);
+        let snap = JamSnapshot::capture(&lane, 0, 1);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.largest(), 6);
+        assert!((snap.jammed_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_threshold_widens_definition() {
+        // Cars crawling at v = 1: not jams at v_jam = 0, jams at v_jam = 1.
+        let lane = lane_from(&[2, 4], &[1, 1], 20);
+        let strict = JamSnapshot::capture(&lane, 0, 1);
+        assert_eq!(strict.count(), 0);
+        let loose = JamSnapshot::capture(&lane, 1, 1);
+        assert!(loose.count() >= 1);
+    }
+
+    #[test]
+    fn congested_lane_has_larger_jams_than_laminar() {
+        let mk = |rho: f64| {
+            let params = NasParams::builder()
+                .length(200)
+                .density(rho)
+                .slowdown_probability(0.3)
+                .build()
+                .unwrap();
+            let mut lane = Lane::with_random_placement(params, Boundary::Closed, 5).unwrap();
+            for _ in 0..300 {
+                lane.step();
+            }
+            // Average over a window for stability.
+            let mut largest = 0.0;
+            for _ in 0..50 {
+                lane.step();
+                largest += JamSnapshot::capture(&lane, 0, 1).largest() as f64;
+            }
+            largest / 50.0
+        };
+        let laminar = mk(0.06);
+        let congested = mk(0.5);
+        assert!(
+            congested > laminar + 1.0,
+            "congested jams ({congested:.1}) should dwarf laminar ones ({laminar:.1})"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # cavenet-ca — Nagel–Schreckenberg cellular-automaton traffic model
+//!
+//! This crate implements the microscopic vehicular mobility model at the core
+//! of CAVENET: the 1-dimensional cellular automaton (CA) of Nagel and
+//! Schreckenberg ("NaS", *J. Phys. I France* 2, 1992), in both its
+//! deterministic (`p = 0`) and stochastic (`0 < p ≤ 1`) form.
+//!
+//! A lane of `L` sites evolves in discrete time steps `Δt`. Each site either
+//! holds a vehicle with an integer velocity `v ∈ {0, …, v_max}` or is empty.
+//! At every step the following rules are applied **in parallel** to all
+//! vehicles:
+//!
+//! 1. *Acceleration*: `v ← min(v + 1, v_max)`
+//! 2. *Slowing down*: `v ← min(v, gap)` where `gap` is the number of empty
+//!    sites in front of the vehicle
+//! 3. *Randomization*: with probability `p`, `v ← max(v − 1, 0)`
+//! 4. *Movement*: `x ← x + v`
+//!
+//! With cell length `s = 7.5 m` and `Δt = 1 s`, `v_max = 5` corresponds to
+//! 135 km/h — the defaults used throughout the CAVENET paper.
+//!
+//! ## Boundaries: the paper's "improvement"
+//!
+//! The first version of CAVENET moved vehicles along a straight line and
+//! teleported a vehicle reaching the end back to the start
+//! ([`Boundary::Recycling`]). This broke head↔tail communication and caused
+//! re-entry delays. The improved version closes the lane into a ring
+//! ([`Boundary::Closed`]), so positions wrap modulo `L` and the lead vehicle's
+//! gap is measured around the ring. [`Boundary::Open`] additionally models an
+//! open road with stochastic injection, beyond the paper.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cavenet_ca::{Lane, NasParams, Boundary};
+//!
+//! # fn main() -> Result<(), cavenet_ca::CaError> {
+//! let params = NasParams::builder()
+//!     .length(400)
+//!     .density(0.1)
+//!     .slowdown_probability(0.3)
+//!     .build()?;
+//! let mut lane = Lane::with_uniform_placement(params, Boundary::Closed, 42)?;
+//! for _ in 0..500 {
+//!     lane.step();
+//! }
+//! println!("mean velocity = {}", lane.average_velocity());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boundary;
+mod error;
+mod jams;
+mod lane;
+mod measure;
+mod multilane;
+mod params;
+mod spacetime;
+mod vehicle;
+
+pub use boundary::Boundary;
+pub use error::CaError;
+pub use jams::{JamCluster, JamSnapshot};
+pub use lane::Lane;
+pub use measure::{FundamentalDiagram, FundamentalPoint, LaneObservation};
+pub use multilane::{LaneChange, MultiLaneParams, MultiLaneRoad};
+pub use params::{NasParams, NasParamsBuilder, CELL_LENGTH_M, DEFAULT_VMAX};
+pub use spacetime::{SpaceTimeCell, SpaceTimeDiagram};
+pub use vehicle::{Vehicle, VehicleId};

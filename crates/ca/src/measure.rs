@@ -1,0 +1,263 @@
+//! Macroscopic measurement of a lane: density, flow, and the fundamental
+//! diagram (paper Fig. 4).
+
+use crate::{Boundary, CaError, Lane, NasParams};
+
+/// One observation of a lane's macroscopic state at a given time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneObservation {
+    /// Simulation time (steps).
+    pub time: u64,
+    /// Density `ρ = N/L`.
+    pub density: f64,
+    /// Average velocity `v̄` (cells/step).
+    pub mean_velocity: f64,
+    /// Flow `J = ρ·v̄` (vehicles/step).
+    pub flow: f64,
+}
+
+impl LaneObservation {
+    /// Capture the current state of a lane.
+    pub fn capture(lane: &Lane) -> Self {
+        LaneObservation {
+            time: lane.time(),
+            density: lane.density(),
+            mean_velocity: lane.average_velocity(),
+            flow: lane.flow(),
+        }
+    }
+}
+
+/// One point of the fundamental diagram: the ensemble-averaged flow at a
+/// given density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FundamentalPoint {
+    /// Density `ρ`.
+    pub density: f64,
+    /// Ensemble- and time-averaged flow `⟨J⟩`.
+    pub mean_flow: f64,
+    /// Ensemble- and time-averaged velocity `⟨v̄⟩`.
+    pub mean_velocity: f64,
+    /// Standard deviation of per-trial flow averages.
+    pub flow_std: f64,
+    /// Number of independent trials averaged.
+    pub trials: usize,
+}
+
+/// Generator for the flow-vs-density fundamental diagram (paper Fig. 4:
+/// `L = 400`, 500 iterations, ensemble of 20 trials per point).
+///
+/// ```
+/// use cavenet_ca::FundamentalDiagram;
+/// # fn main() -> Result<(), cavenet_ca::CaError> {
+/// let diagram = FundamentalDiagram::new(400, 0.0)
+///     .iterations(200)
+///     .trials(3)
+///     .discard(50);
+/// let points = diagram.sweep(&[0.05, 0.1, 0.2], 42)?;
+/// assert_eq!(points.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FundamentalDiagram {
+    length: usize,
+    p: f64,
+    vmax: u32,
+    iterations: usize,
+    discard: usize,
+    trials: usize,
+    boundary: Boundary,
+}
+
+impl FundamentalDiagram {
+    /// New diagram generator for a lane of `length` sites with slow-down
+    /// probability `p`, using the paper defaults: 500 iterations, 20 trials,
+    /// closed boundary, `v_max = 5`.
+    pub fn new(length: usize, p: f64) -> Self {
+        FundamentalDiagram {
+            length,
+            p,
+            vmax: crate::DEFAULT_VMAX,
+            iterations: 500,
+            discard: 100,
+            trials: 20,
+            boundary: Boundary::Closed,
+        }
+    }
+
+    /// Number of steps each trial runs (default 500, as in the paper).
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Number of leading samples discarded as transient (default 100).
+    pub fn discard(mut self, n: usize) -> Self {
+        self.discard = n.min(self.iterations);
+        self
+    }
+
+    /// Number of independent trials per density (default 20, as in the
+    /// paper's ensemble average).
+    pub fn trials(mut self, n: usize) -> Self {
+        self.trials = n.max(1);
+        self
+    }
+
+    /// Maximum velocity (default 5).
+    pub fn vmax(mut self, v: u32) -> Self {
+        self.vmax = v;
+        self
+    }
+
+    /// Boundary condition (default closed ring).
+    pub fn boundary(mut self, b: Boundary) -> Self {
+        self.boundary = b;
+        self
+    }
+
+    /// Measure one fundamental-diagram point at density `rho`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaError`] if `rho` or the configured parameters are invalid.
+    pub fn point(&self, rho: f64, seed: u64) -> Result<FundamentalPoint, CaError> {
+        let params = NasParams::builder()
+            .length(self.length)
+            .density(rho)
+            .vmax(self.vmax)
+            .slowdown_probability(self.p)
+            .build()?;
+        let mut per_trial_flow = Vec::with_capacity(self.trials);
+        let mut per_trial_vel = Vec::with_capacity(self.trials);
+        for trial in 0..self.trials {
+            let trial_seed = seed
+                .wrapping_mul(0x0000_0100_0000_01b3)
+                .wrapping_add(trial as u64);
+            let mut lane = Lane::with_random_placement(params, self.boundary, trial_seed)?;
+            let mut flow_acc = 0.0;
+            let mut vel_acc = 0.0;
+            let mut samples = 0usize;
+            for t in 0..self.iterations {
+                lane.step();
+                if t >= self.discard {
+                    flow_acc += lane.flow();
+                    vel_acc += lane.average_velocity();
+                    samples += 1;
+                }
+            }
+            let n = samples.max(1) as f64;
+            per_trial_flow.push(flow_acc / n);
+            per_trial_vel.push(vel_acc / n);
+        }
+        let t = per_trial_flow.len() as f64;
+        let mean_flow = per_trial_flow.iter().sum::<f64>() / t;
+        let mean_velocity = per_trial_vel.iter().sum::<f64>() / t;
+        let var = per_trial_flow
+            .iter()
+            .map(|f| (f - mean_flow).powi(2))
+            .sum::<f64>()
+            / t;
+        Ok(FundamentalPoint {
+            density: params.density(),
+            mean_flow,
+            mean_velocity,
+            flow_std: var.sqrt(),
+            trials: self.trials,
+        })
+    }
+
+    /// Measure a sweep of densities. Seeds for each density are derived from
+    /// `seed` deterministically, so the full diagram is reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CaError`] produced by an invalid density.
+    pub fn sweep(&self, densities: &[f64], seed: u64) -> Result<Vec<FundamentalPoint>, CaError> {
+        densities
+            .iter()
+            .enumerate()
+            .map(|(i, &rho)| self.point(rho, seed.wrapping_add((i as u64) << 32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_captures_lane_state() {
+        let params = NasParams::builder().length(100).density(0.2).build().unwrap();
+        let mut lane = Lane::with_uniform_placement(params, Boundary::Closed, 0).unwrap();
+        lane.step();
+        let obs = LaneObservation::capture(&lane);
+        assert_eq!(obs.time, 1);
+        assert!((obs.density - 0.2).abs() < 1e-12);
+        assert!((obs.flow - obs.density * obs.mean_velocity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_free_flow_point() {
+        // ρ = 0.1 < 1/6: flow should be ρ·vmax = 0.5 exactly for p = 0.
+        let d = FundamentalDiagram::new(400, 0.0).iterations(300).discard(100).trials(3);
+        let pt = d.point(0.1, 1).unwrap();
+        assert!(
+            (pt.mean_flow - 0.5).abs() < 0.02,
+            "free flow J should be ≈0.5, got {}",
+            pt.mean_flow
+        );
+        assert!(pt.flow_std < 0.05);
+    }
+
+    #[test]
+    fn deterministic_jammed_point() {
+        // ρ = 0.5 > 1/6: deterministic stationary flow is 1 − ρ = 0.5.
+        let d = FundamentalDiagram::new(400, 0.0).iterations(2500).discard(2000).trials(3);
+        let pt = d.point(0.5, 1).unwrap();
+        assert!(
+            (pt.mean_flow - 0.5).abs() < 0.05,
+            "jammed flow should be ≈0.5, got {}",
+            pt.mean_flow
+        );
+    }
+
+    #[test]
+    fn stochastic_flow_below_deterministic() {
+        let det = FundamentalDiagram::new(400, 0.0).iterations(400).discard(200).trials(3);
+        let sto = FundamentalDiagram::new(400, 0.5).iterations(400).discard(200).trials(3);
+        let jd = det.point(0.15, 7).unwrap().mean_flow;
+        let js = sto.point(0.15, 7).unwrap().mean_flow;
+        assert!(
+            js < jd,
+            "randomization must reduce flow: p=0.5 gave {js}, p=0 gave {jd}"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_given_seed() {
+        let d = FundamentalDiagram::new(200, 0.3).iterations(100).discard(20).trials(2);
+        let a = d.sweep(&[0.1, 0.3], 99).unwrap();
+        let b = d.sweep(&[0.1, 0.3], 99).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_rejects_invalid_density() {
+        let d = FundamentalDiagram::new(200, 0.0);
+        assert!(d.sweep(&[0.1, 2.0], 0).is_err());
+    }
+
+    #[test]
+    fn fundamental_diagram_peaks_near_critical_density_for_p0() {
+        // For p = 0 the flow-density curve rises with slope vmax until
+        // ρ_c = 1/(vmax+1) ≈ 0.167 and falls as 1 − ρ afterwards.
+        let d = FundamentalDiagram::new(240, 0.0).iterations(1500).discard(1000).trials(2);
+        let low = d.point(0.05, 3).unwrap().mean_flow;
+        let crit = d.point(1.0 / 6.0, 3).unwrap().mean_flow;
+        let high = d.point(0.45, 3).unwrap().mean_flow;
+        assert!(crit > low, "peak {crit} must exceed free-flow point {low}");
+        assert!(crit > high, "peak {crit} must exceed jammed point {high}");
+    }
+}

@@ -1,0 +1,475 @@
+//! Multi-lane extension of the NaS automaton.
+//!
+//! The CAVENET paper motivates multi-lane roads (Fig. 1) — relay nodes on a
+//! parallel lane can fill connectivity gaps, and opposite-lane traffic adds
+//! interference — and the BA block "can analyze and design single and
+//! multiple lanes traces". This module implements a multi-lane ring with the
+//! symmetric lane-changing rules of Rickert, Nagel, Schreckenberg and Latour
+//! (*Physica A* 231, 1996): a vehicle changes lanes when it is hindered in
+//! its own lane, the target lane offers more room, and the manoeuvre is safe.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CaError, NasParams, VehicleId};
+
+/// A recorded lane-change event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneChange {
+    /// When the change happened (steps).
+    pub time: u64,
+    /// Which vehicle changed.
+    pub vehicle: VehicleId,
+    /// Source lane index.
+    pub from_lane: usize,
+    /// Destination lane index.
+    pub to_lane: usize,
+    /// Site index at which the change happened.
+    pub position: usize,
+}
+
+/// Parameters of a multi-lane ring road.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiLaneParams {
+    /// Per-lane NaS parameters. `vehicles()` is interpreted **per lane**.
+    pub nas: NasParams,
+    /// Number of parallel lanes (≥ 1).
+    pub lanes: usize,
+    /// Probability that an advantageous, safe lane change is actually taken.
+    pub change_probability: f64,
+}
+
+impl MultiLaneParams {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaError::NoLanes`] for `lanes == 0` and
+    /// [`CaError::InvalidProbability`] for a change probability outside
+    /// `[0, 1]`.
+    pub fn new(nas: NasParams, lanes: usize, change_probability: f64) -> Result<Self, CaError> {
+        if lanes == 0 {
+            return Err(CaError::NoLanes);
+        }
+        if !change_probability.is_finite() || !(0.0..=1.0).contains(&change_probability) {
+            return Err(CaError::InvalidProbability {
+                value: change_probability,
+            });
+        }
+        Ok(MultiLaneParams {
+            nas,
+            lanes,
+            change_probability,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MlVehicle {
+    id: VehicleId,
+    lane: usize,
+    pos: usize,
+    vel: u32,
+}
+
+/// A multi-lane ring road with lane changing.
+///
+/// All lanes share the same length and the closed (ring) boundary; this is
+/// the improved-CAVENET geometry generalized to `k` parallel lanes.
+///
+/// ```
+/// use cavenet_ca::{MultiLaneRoad, MultiLaneParams, NasParams};
+/// # fn main() -> Result<(), cavenet_ca::CaError> {
+/// let nas = NasParams::builder().length(100).density(0.15)
+///     .slowdown_probability(0.2).build()?;
+/// let params = MultiLaneParams::new(nas, 2, 0.8)?;
+/// let mut road = MultiLaneRoad::new(params, 11)?;
+/// for _ in 0..50 { road.step(); }
+/// assert!(road.change_count() > 0 || road.average_velocity() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiLaneRoad {
+    params: MultiLaneParams,
+    vehicles: Vec<MlVehicle>,
+    rng: StdRng,
+    time: u64,
+    changes: u64,
+    recent_changes: Vec<LaneChange>,
+}
+
+impl MultiLaneRoad {
+    /// Build a road with `params.nas.vehicles()` vehicles per lane, spread
+    /// uniformly, all initially at velocity 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaError`] when vehicles do not fit on a lane.
+    pub fn new(params: MultiLaneParams, seed: u64) -> Result<Self, CaError> {
+        let n = params.nas.vehicles();
+        let l = params.nas.length();
+        if n > l {
+            return Err(CaError::TooManyVehicles { vehicles: n, sites: l });
+        }
+        let mut vehicles = Vec::with_capacity(n * params.lanes);
+        let mut next = 0u32;
+        for lane in 0..params.lanes {
+            // Stagger lanes by a fraction of the spacing so parallel lanes
+            // do not start with perfectly aligned vehicles (and hence
+            // perfectly aligned gaps).
+            let offset = lane * l / (n * params.lanes).max(1);
+            for i in 0..n {
+                vehicles.push(MlVehicle {
+                    id: VehicleId(next),
+                    lane,
+                    pos: (i * l / n + offset) % l,
+                    vel: 0,
+                });
+                next += 1;
+            }
+        }
+        Ok(MultiLaneRoad {
+            params,
+            vehicles,
+            rng: StdRng::seed_from_u64(seed),
+            time: 0,
+            changes: 0,
+            recent_changes: Vec::new(),
+        })
+    }
+
+    /// Parameters of the road.
+    pub fn params(&self) -> &MultiLaneParams {
+        &self.params
+    }
+
+    /// Steps performed so far.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Total number of committed lane changes.
+    pub fn change_count(&self) -> u64 {
+        self.changes
+    }
+
+    /// Lane changes committed during the most recent step.
+    pub fn recent_changes(&self) -> &[LaneChange] {
+        &self.recent_changes
+    }
+
+    /// Total number of vehicles across all lanes.
+    pub fn vehicle_count(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// Number of vehicles currently on lane `k`.
+    pub fn lane_count(&self, k: usize) -> usize {
+        self.vehicles.iter().filter(|v| v.lane == k).count()
+    }
+
+    /// Average velocity over all vehicles (cells/step).
+    pub fn average_velocity(&self) -> f64 {
+        if self.vehicles.is_empty() {
+            return 0.0;
+        }
+        let s: u64 = self.vehicles.iter().map(|v| u64::from(v.vel)).sum();
+        s as f64 / self.vehicles.len() as f64
+    }
+
+    /// Positions of all vehicles as `(lane, site, velocity, id)` tuples,
+    /// sorted by lane then position.
+    pub fn snapshot(&self) -> Vec<(usize, usize, u32, VehicleId)> {
+        let mut v: Vec<_> = self
+            .vehicles
+            .iter()
+            .map(|m| (m.lane, m.pos, m.vel, m.id))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The paper's occupancy-row encoding for lane `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= params.lanes`.
+    pub fn occupancy_row(&self, k: usize) -> Vec<i32> {
+        assert!(k < self.params.lanes, "lane index out of range");
+        let mut row = vec![-1; self.params.nas.length()];
+        for v in self.vehicles.iter().filter(|v| v.lane == k) {
+            row[v.pos] = v.vel as i32;
+        }
+        row
+    }
+
+    /// One time step: parallel lane-change sub-step, then an independent NaS
+    /// update of each lane.
+    pub fn step(&mut self) {
+        self.lane_change_substep();
+        self.nas_substep();
+        self.time += 1;
+    }
+
+    fn occupancy(&self) -> Vec<Vec<bool>> {
+        let l = self.params.nas.length();
+        let mut occ = vec![vec![false; l]; self.params.lanes];
+        for v in &self.vehicles {
+            occ[v.lane][v.pos] = true;
+        }
+        occ
+    }
+
+    /// Gap (free cells) ahead of position `pos` on `lane`, looking at most
+    /// `horizon` cells around the ring.
+    fn gap_ahead(occ: &[Vec<bool>], lane: usize, pos: usize, horizon: u32, l: usize) -> u32 {
+        for d in 1..=horizon {
+            if occ[lane][(pos + d as usize) % l] {
+                return d - 1;
+            }
+        }
+        horizon
+    }
+
+    /// Gap (free cells) behind position `pos` on `lane` (not counting `pos`).
+    fn gap_behind(occ: &[Vec<bool>], lane: usize, pos: usize, horizon: u32, l: usize) -> u32 {
+        for d in 1..=horizon {
+            if occ[lane][(pos + l - d as usize) % l] {
+                return d - 1;
+            }
+        }
+        horizon
+    }
+
+    fn lane_change_substep(&mut self) {
+        self.recent_changes.clear();
+        if self.params.lanes < 2 {
+            return;
+        }
+        let l = self.params.nas.length();
+        let vmax = self.params.nas.vmax();
+        let look = vmax + 1;
+        let occ = self.occupancy();
+
+        // Phase 1: every vehicle picks a desired lane from the frozen state.
+        let mut desires: Vec<(usize, usize)> = Vec::new(); // (vehicle index, target lane)
+        for (i, v) in self.vehicles.iter().enumerate() {
+            let own_gap = Self::gap_ahead(&occ, v.lane, v.pos, look, l);
+            // Incentive criterion: hindered in own lane.
+            if own_gap >= (v.vel + 1).min(vmax) {
+                continue;
+            }
+            let mut best: Option<(usize, u32)> = None;
+            for target in neighbours(v.lane, self.params.lanes) {
+                if occ[target][v.pos] {
+                    continue; // target site itself occupied
+                }
+                let other_gap = Self::gap_ahead(&occ, target, v.pos, look, l);
+                let back_gap = Self::gap_behind(&occ, target, v.pos, vmax, l);
+                // Improvement + safety criteria.
+                if other_gap > own_gap && back_gap >= vmax
+                    && best.is_none_or(|(_, g)| other_gap > g) {
+                        best = Some((target, other_gap));
+                    }
+            }
+            if let Some((target, _)) = best {
+                if self.rng.gen_bool(self.params.change_probability) {
+                    desires.push((i, target));
+                }
+            }
+        }
+
+        // Phase 2: commit, resolving conflicts (two claims on one cell) in
+        // favour of the lowest vehicle id, deterministically.
+        desires.sort_by_key(|&(i, target)| (target, self.vehicles[i].pos, self.vehicles[i].id));
+        let mut claimed = std::collections::HashSet::new();
+        for (i, target) in desires {
+            let pos = self.vehicles[i].pos;
+            if claimed.insert((target, pos)) {
+                let from = self.vehicles[i].lane;
+                self.vehicles[i].lane = target;
+                self.changes += 1;
+                self.recent_changes.push(LaneChange {
+                    time: self.time,
+                    vehicle: self.vehicles[i].id,
+                    from_lane: from,
+                    to_lane: target,
+                    position: pos,
+                });
+            }
+        }
+    }
+
+    fn nas_substep(&mut self) {
+        let l = self.params.nas.length();
+        let vmax = self.params.nas.vmax();
+        let p = self.params.nas.slowdown_probability();
+        let occ = self.occupancy();
+
+        // Velocity update from frozen configuration (parallel semantics).
+        // The horizon vmax+1 suffices: velocities are capped at vmax.
+        let mut new_vel = Vec::with_capacity(self.vehicles.len());
+        for v in &self.vehicles {
+            let gap = Self::gap_ahead(&occ, v.lane, v.pos, vmax + 1, l);
+            let mut vel = (v.vel + 1).min(vmax).min(gap);
+            if p > 0.0 && self.rng.gen_bool(p) {
+                vel = vel.saturating_sub(1);
+            }
+            new_vel.push(vel);
+        }
+        for (v, vel) in self.vehicles.iter_mut().zip(new_vel) {
+            v.vel = vel;
+            v.pos = (v.pos + vel as usize) % l;
+        }
+        debug_assert!(self.no_collisions(), "multilane update produced a collision");
+    }
+
+    fn no_collisions(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.vehicles.iter().all(|v| seen.insert((v.lane, v.pos)))
+    }
+}
+
+/// Adjacent lane indices of `lane` on a road with `lanes` lanes.
+fn neighbours(lane: usize, lanes: usize) -> impl Iterator<Item = usize> {
+    let left = lane.checked_sub(1);
+    let right = if lane + 1 < lanes { Some(lane + 1) } else { None };
+    left.into_iter().chain(right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(lanes: usize, l: usize, n: usize, p: f64, pc: f64, seed: u64) -> MultiLaneRoad {
+        let nas = NasParams::builder()
+            .length(l)
+            .vehicle_count(n)
+            .slowdown_probability(p)
+            .build()
+            .unwrap();
+        MultiLaneRoad::new(MultiLaneParams::new(nas, lanes, pc).unwrap(), seed).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_lanes() {
+        let nas = NasParams::default();
+        assert_eq!(
+            MultiLaneParams::new(nas, 0, 0.5).unwrap_err(),
+            CaError::NoLanes
+        );
+    }
+
+    #[test]
+    fn rejects_bad_change_probability() {
+        let nas = NasParams::default();
+        assert!(MultiLaneParams::new(nas, 2, 1.5).is_err());
+        assert!(MultiLaneParams::new(nas, 2, -0.5).is_err());
+    }
+
+    #[test]
+    fn single_lane_never_changes() {
+        let mut road = mk(1, 100, 20, 0.3, 1.0, 1);
+        for _ in 0..100 {
+            road.step();
+        }
+        assert_eq!(road.change_count(), 0);
+    }
+
+    #[test]
+    fn vehicle_count_is_conserved() {
+        let mut road = mk(3, 100, 15, 0.3, 0.8, 2);
+        for _ in 0..200 {
+            road.step();
+            assert_eq!(road.vehicle_count(), 45);
+        }
+    }
+
+    #[test]
+    fn lane_changes_happen_under_congestion() {
+        // Stochastic noise desynchronizes the lanes, creating local
+        // congestion differences that trigger changes.
+        let nas = NasParams::builder()
+            .length(60)
+            .vehicle_count(20)
+            .slowdown_probability(0.3)
+            .build()
+            .unwrap();
+        let params = MultiLaneParams::new(nas, 2, 1.0).unwrap();
+        let mut road = MultiLaneRoad::new(params, 3).unwrap();
+        for _ in 0..100 {
+            road.step();
+        }
+        assert!(
+            road.change_count() > 0,
+            "dense two-lane traffic should produce lane changes"
+        );
+    }
+
+    #[test]
+    fn no_changes_when_probability_zero() {
+        let mut road = mk(2, 60, 20, 0.3, 0.0, 4);
+        for _ in 0..100 {
+            road.step();
+        }
+        assert_eq!(road.change_count(), 0);
+    }
+
+    #[test]
+    fn occupancy_rows_consistent_with_counts() {
+        let mut road = mk(2, 80, 10, 0.2, 0.5, 5);
+        for _ in 0..50 {
+            road.step();
+        }
+        let total: usize = (0..2)
+            .map(|k| road.occupancy_row(k).iter().filter(|&&x| x >= 0).count())
+            .sum();
+        assert_eq!(total, road.vehicle_count());
+        assert_eq!(road.lane_count(0) + road.lane_count(1), 20);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = mk(2, 100, 25, 0.4, 0.7, 42);
+        let mut b = mk(2, 100, 25, 0.4, 0.7, 42);
+        for _ in 0..100 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.change_count(), b.change_count());
+    }
+
+    #[test]
+    fn velocities_bounded() {
+        let mut road = mk(3, 90, 20, 0.5, 0.5, 6);
+        for _ in 0..150 {
+            road.step();
+            for (_, _, vel, _) in road.snapshot() {
+                assert!(vel <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_of_middle_lane() {
+        let n: Vec<usize> = neighbours(1, 3).collect();
+        assert_eq!(n, vec![0, 2]);
+        let n: Vec<usize> = neighbours(0, 3).collect();
+        assert_eq!(n, vec![1]);
+        let n: Vec<usize> = neighbours(2, 3).collect();
+        assert_eq!(n, vec![1]);
+    }
+
+    #[test]
+    fn recent_changes_reset_each_step() {
+        let mut road = mk(2, 40, 15, 0.3, 1.0, 7);
+        let mut total = 0;
+        for _ in 0..100 {
+            road.step();
+            total += road.recent_changes().len() as u64;
+        }
+        assert_eq!(total, road.change_count());
+    }
+}

@@ -1,0 +1,341 @@
+//! Model parameters for the Nagel–Schreckenberg automaton.
+
+use crate::CaError;
+
+/// Physical length of one CA cell in metres.
+///
+/// The paper fixes `Δt = 1 s` and `v_max = 135 km/h = 37.5 m/s`; with
+/// `v_max = 5` cells per step this yields `s = 7.5 m` per cell.
+pub const CELL_LENGTH_M: f64 = 7.5;
+
+/// Default maximum velocity in cells per time step (135 km/h at 7.5 m cells
+/// and 1 s steps).
+pub const DEFAULT_VMAX: u32 = 5;
+
+/// Parameters of a Nagel–Schreckenberg lane.
+///
+/// Construct via [`NasParams::builder`] (validating) or use
+/// [`NasParams::default`] for the paper's defaults (`L = 400`, `ρ = 0.1`,
+/// `p = 0`, `v_max = 5`).
+///
+/// ```
+/// use cavenet_ca::NasParams;
+/// let p = NasParams::builder().length(100).vehicle_count(10).build().unwrap();
+/// assert_eq!(p.vehicles(), 10);
+/// assert!((p.density() - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NasParams {
+    length: usize,
+    vehicles: usize,
+    vmax: u32,
+    p: f64,
+    cell_length_m: f64,
+    dt_s: f64,
+}
+
+impl NasParams {
+    /// Start building a parameter set.
+    pub fn builder() -> NasParamsBuilder {
+        NasParamsBuilder::new()
+    }
+
+    /// Number of sites `L` on the lane.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Number of vehicles `N` on the lane.
+    pub fn vehicles(&self) -> usize {
+        self.vehicles
+    }
+
+    /// Maximum velocity `v_max` in cells per step.
+    pub fn vmax(&self) -> u32 {
+        self.vmax
+    }
+
+    /// Random slow-down probability `p` (rule 3).
+    pub fn slowdown_probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Vehicle density `ρ = N / L`.
+    pub fn density(&self) -> f64 {
+        self.vehicles as f64 / self.length as f64
+    }
+
+    /// Whether the model is deterministic (`p = 0` — rule 2′ never fires).
+    ///
+    /// `p = 1` is also deterministic in the sense of the paper (every vehicle
+    /// always slows), but we report determinism only for `p = 0` because the
+    /// implementation short-circuits the RNG in that case alone.
+    pub fn is_deterministic(&self) -> bool {
+        self.p == 0.0
+    }
+
+    /// Physical cell length in metres.
+    pub fn cell_length_m(&self) -> f64 {
+        self.cell_length_m
+    }
+
+    /// Physical time-step duration in seconds.
+    pub fn dt_s(&self) -> f64 {
+        self.dt_s
+    }
+
+    /// Lane length in metres (`L · s`).
+    pub fn length_m(&self) -> f64 {
+        self.length as f64 * self.cell_length_m
+    }
+
+    /// Convert a velocity in cells/step to metres/second.
+    pub fn velocity_to_mps(&self, v_cells: u32) -> f64 {
+        v_cells as f64 * self.cell_length_m / self.dt_s
+    }
+
+    /// Convert a velocity in cells/step to kilometres/hour.
+    pub fn velocity_to_kmh(&self, v_cells: u32) -> f64 {
+        self.velocity_to_mps(v_cells) * 3.6
+    }
+}
+
+impl Default for NasParams {
+    /// The CAVENET paper's default configuration: `L = 400`, `ρ = 0.1`,
+    /// `p = 0`, `v_max = 5`, `s = 7.5 m`, `Δt = 1 s`.
+    fn default() -> Self {
+        NasParams {
+            length: 400,
+            vehicles: 40,
+            vmax: DEFAULT_VMAX,
+            p: 0.0,
+            cell_length_m: CELL_LENGTH_M,
+            dt_s: 1.0,
+        }
+    }
+}
+
+/// Builder for [`NasParams`].
+///
+/// Either [`density`](NasParamsBuilder::density) or
+/// [`vehicle_count`](NasParamsBuilder::vehicle_count) may be given; the last
+/// call wins. With a density, the vehicle count is `round(ρ · L)`, clamped to
+/// at least 1.
+#[derive(Debug, Clone)]
+pub struct NasParamsBuilder {
+    length: usize,
+    count: CountSpec,
+    vmax: u32,
+    p: f64,
+    cell_length_m: f64,
+    dt_s: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CountSpec {
+    Density(f64),
+    Count(usize),
+}
+
+impl NasParamsBuilder {
+    fn new() -> Self {
+        NasParamsBuilder {
+            length: 400,
+            count: CountSpec::Density(0.1),
+            vmax: DEFAULT_VMAX,
+            p: 0.0,
+            cell_length_m: CELL_LENGTH_M,
+            dt_s: 1.0,
+        }
+    }
+
+    /// Set the number of sites `L`.
+    pub fn length(&mut self, sites: usize) -> &mut Self {
+        self.length = sites;
+        self
+    }
+
+    /// Set the vehicle density `ρ`; the vehicle count becomes `round(ρ·L)`.
+    pub fn density(&mut self, rho: f64) -> &mut Self {
+        self.count = CountSpec::Density(rho);
+        self
+    }
+
+    /// Set the exact number of vehicles `N`.
+    pub fn vehicle_count(&mut self, n: usize) -> &mut Self {
+        self.count = CountSpec::Count(n);
+        self
+    }
+
+    /// Set the maximum velocity in cells per step.
+    pub fn vmax(&mut self, vmax: u32) -> &mut Self {
+        self.vmax = vmax;
+        self
+    }
+
+    /// Set the random slow-down probability `p ∈ [0, 1]`.
+    pub fn slowdown_probability(&mut self, p: f64) -> &mut Self {
+        self.p = p;
+        self
+    }
+
+    /// Set the physical cell length in metres (default 7.5).
+    pub fn cell_length_m(&mut self, s: f64) -> &mut Self {
+        self.cell_length_m = s;
+        self
+    }
+
+    /// Set the physical step duration in seconds (default 1.0).
+    pub fn dt_s(&mut self, dt: f64) -> &mut Self {
+        self.dt_s = dt;
+        self
+    }
+
+    /// Validate and produce the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaError`] if the length is zero, `v_max` is zero, `p` is not
+    /// in `[0, 1]`, the density is not in `(0, 1]`, or the vehicle count
+    /// exceeds the number of sites.
+    pub fn build(&self) -> Result<NasParams, CaError> {
+        if self.length == 0 {
+            return Err(CaError::ZeroLength);
+        }
+        if self.vmax == 0 {
+            return Err(CaError::ZeroVmax);
+        }
+        if !self.p.is_finite() || !(0.0..=1.0).contains(&self.p) {
+            return Err(CaError::InvalidProbability { value: self.p });
+        }
+        let vehicles = match self.count {
+            CountSpec::Density(rho) => {
+                if !rho.is_finite() || rho <= 0.0 || rho > 1.0 {
+                    return Err(CaError::InvalidDensity { value: rho });
+                }
+                ((rho * self.length as f64).round() as usize).max(1)
+            }
+            CountSpec::Count(n) => n,
+        };
+        if vehicles > self.length {
+            return Err(CaError::TooManyVehicles {
+                vehicles,
+                sites: self.length,
+            });
+        }
+        Ok(NasParams {
+            length: self.length,
+            vehicles,
+            vmax: self.vmax,
+            p: self.p,
+            cell_length_m: self.cell_length_m,
+            dt_s: self.dt_s,
+        })
+    }
+}
+
+impl Default for NasParamsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = NasParams::default();
+        assert_eq!(p.length(), 400);
+        assert_eq!(p.vehicles(), 40);
+        assert_eq!(p.vmax(), 5);
+        assert_eq!(p.slowdown_probability(), 0.0);
+        assert!(p.is_deterministic());
+        assert!((p.length_m() - 3000.0).abs() < 1e-9, "400 cells = 3 km ring");
+    }
+
+    #[test]
+    fn density_converts_to_count() {
+        let p = NasParams::builder().length(400).density(0.5).build().unwrap();
+        assert_eq!(p.vehicles(), 200);
+        assert!((p.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_density_yields_at_least_one_vehicle() {
+        let p = NasParams::builder().length(10).density(0.001).build().unwrap();
+        assert_eq!(p.vehicles(), 1);
+    }
+
+    #[test]
+    fn rejects_zero_length() {
+        assert_eq!(
+            NasParams::builder().length(0).build().unwrap_err(),
+            CaError::ZeroLength
+        );
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(matches!(
+            NasParams::builder().slowdown_probability(1.5).build(),
+            Err(CaError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            NasParams::builder().slowdown_probability(f64::NAN).build(),
+            Err(CaError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            NasParams::builder().slowdown_probability(-0.1).build(),
+            Err(CaError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_density() {
+        for rho in [0.0, -1.0, 1.1, f64::INFINITY] {
+            assert!(matches!(
+                NasParams::builder().density(rho).build(),
+                Err(CaError::InvalidDensity { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_overfull_lane() {
+        assert!(matches!(
+            NasParams::builder().length(5).vehicle_count(6).build(),
+            Err(CaError::TooManyVehicles { .. })
+        ));
+    }
+
+    #[test]
+    fn full_lane_is_allowed() {
+        let p = NasParams::builder().length(5).vehicle_count(5).build().unwrap();
+        assert_eq!(p.vehicles(), 5);
+        assert!((p.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_zero_vmax() {
+        assert_eq!(
+            NasParams::builder().vmax(0).build().unwrap_err(),
+            CaError::ZeroVmax
+        );
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let p = NasParams::default();
+        assert!((p.velocity_to_mps(5) - 37.5).abs() < 1e-9);
+        assert!((p.velocity_to_kmh(5) - 135.0).abs() < 1e-9);
+        assert!((p.velocity_to_kmh(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_equal_one_is_valid_and_not_reported_deterministic() {
+        let p = NasParams::builder().slowdown_probability(1.0).build().unwrap();
+        assert!(!p.is_deterministic());
+    }
+}

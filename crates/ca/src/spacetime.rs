@@ -1,0 +1,281 @@
+//! Space-time diagrams (paper Fig. 5): the evolution of every site of a lane
+//! over a window of steps, used to visualize laminar flow and backwards-
+//! travelling jam waves.
+
+use crate::Lane;
+
+/// State of one site at one time in a space-time diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceTimeCell {
+    /// No vehicle on the site.
+    Empty,
+    /// A vehicle with the given velocity (cells/step).
+    Occupied(u32),
+}
+
+impl SpaceTimeCell {
+    /// `true` if a vehicle occupies the site.
+    pub fn is_occupied(&self) -> bool {
+        matches!(self, SpaceTimeCell::Occupied(_))
+    }
+
+    /// `true` if a vehicle occupies the site with velocity 0 (part of a jam).
+    pub fn is_jammed(&self) -> bool {
+        matches!(self, SpaceTimeCell::Occupied(0))
+    }
+}
+
+/// A recorded space-time diagram: `rows` snapshots of a lane of `width`
+/// sites, one row per time step.
+///
+/// ```
+/// use cavenet_ca::{Lane, NasParams, Boundary, SpaceTimeDiagram};
+/// # fn main() -> Result<(), cavenet_ca::CaError> {
+/// let params = NasParams::builder().length(60).density(0.3)
+///     .slowdown_probability(0.3).build()?;
+/// let mut lane = Lane::with_random_placement(params, Boundary::Closed, 1)?;
+/// let diagram = SpaceTimeDiagram::record(&mut lane, 40);
+/// println!("{}", diagram.render_ascii());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceTimeDiagram {
+    width: usize,
+    rows: Vec<Vec<SpaceTimeCell>>,
+}
+
+impl SpaceTimeDiagram {
+    /// Step `lane` forward `steps` times, recording the configuration after
+    /// each step (plus the initial configuration as row 0).
+    pub fn record(lane: &mut Lane, steps: usize) -> Self {
+        let width = lane.params().length();
+        let mut rows = Vec::with_capacity(steps + 1);
+        rows.push(Self::snapshot(lane));
+        for _ in 0..steps {
+            lane.step();
+            rows.push(Self::snapshot(lane));
+        }
+        SpaceTimeDiagram { width, rows }
+    }
+
+    fn snapshot(lane: &Lane) -> Vec<SpaceTimeCell> {
+        lane.occupancy_row()
+            .into_iter()
+            .map(|x| {
+                if x < 0 {
+                    SpaceTimeCell::Empty
+                } else {
+                    SpaceTimeCell::Occupied(x as u32)
+                }
+            })
+            .collect()
+    }
+
+    /// Number of sites per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of recorded rows (steps + 1).
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Access one recorded row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.rows()`.
+    pub fn row(&self, t: usize) -> &[SpaceTimeCell] {
+        &self.rows[t]
+    }
+
+    /// Fraction of occupied sites that are jammed (velocity 0) in row `t`.
+    /// Returns 0 for an empty row.
+    pub fn jam_fraction(&self, t: usize) -> f64 {
+        let row = &self.rows[t];
+        let occupied = row.iter().filter(|c| c.is_occupied()).count();
+        if occupied == 0 {
+            return 0.0;
+        }
+        let jammed = row.iter().filter(|c| c.is_jammed()).count();
+        jammed as f64 / occupied as f64
+    }
+
+    /// Mean jam fraction over all recorded rows — a scalar summary that
+    /// distinguishes the laminar regime (≈0) from the congested regime
+    /// (substantially positive), the qualitative content of Fig. 5.
+    pub fn mean_jam_fraction(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        (0..self.rows.len()).map(|t| self.jam_fraction(t)).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Estimate the drift of the centre of mass of jammed (v = 0) vehicles in
+    /// sites per step, by comparing the first and last rows that contain
+    /// jammed vehicles. Negative values mean the jam travels *against* the
+    /// direction of traffic — the signature jam-wave behaviour of Fig. 5-b/d.
+    /// Returns `None` if fewer than two rows contain jams.
+    pub fn jam_wave_velocity(&self) -> Option<f64> {
+        let centroid = |row: &[SpaceTimeCell]| -> Option<f64> {
+            let jams: Vec<usize> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_jammed())
+                .map(|(i, _)| i)
+                .collect();
+            if jams.is_empty() {
+                None
+            } else {
+                Some(jams.iter().sum::<usize>() as f64 / jams.len() as f64)
+            }
+        };
+        let mut first: Option<(usize, f64)> = None;
+        let mut last: Option<(usize, f64)> = None;
+        for (t, row) in self.rows.iter().enumerate() {
+            if let Some(c) = centroid(row) {
+                if first.is_none() {
+                    first = Some((t, c));
+                }
+                last = Some((t, c));
+            }
+        }
+        match (first, last) {
+            (Some((t0, c0)), Some((t1, c1))) if t1 > t0 => {
+                // On a ring the centroid can wrap; use the minimal circular
+                // displacement.
+                let w = self.width as f64;
+                let mut d = c1 - c0;
+                if d > w / 2.0 {
+                    d -= w;
+                } else if d < -w / 2.0 {
+                    d += w;
+                }
+                Some(d / (t1 - t0) as f64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Render the diagram as ASCII art: one text row per time step, `.` for
+    /// empty sites, the velocity digit for moving vehicles, `#` for stopped
+    /// vehicles. Space runs left→right, time top→bottom (as in Fig. 5).
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * (self.width + 1));
+        for row in &self.rows {
+            for cell in row {
+                let ch = match cell {
+                    SpaceTimeCell::Empty => '.',
+                    SpaceTimeCell::Occupied(0) => '#',
+                    SpaceTimeCell::Occupied(v) => {
+                        char::from_digit((*v).min(9), 10).unwrap_or('9')
+                    }
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Boundary, NasParams};
+
+    fn lane(l: usize, rho: f64, p: f64, seed: u64) -> Lane {
+        let params = NasParams::builder()
+            .length(l)
+            .density(rho)
+            .slowdown_probability(p)
+            .build()
+            .unwrap();
+        Lane::with_random_placement(params, Boundary::Closed, seed).unwrap()
+    }
+
+    #[test]
+    fn record_shape() {
+        let mut l = lane(50, 0.2, 0.0, 1);
+        let d = SpaceTimeDiagram::record(&mut l, 30);
+        assert_eq!(d.rows(), 31);
+        assert_eq!(d.width(), 50);
+        assert_eq!(d.row(0).len(), 50);
+    }
+
+    #[test]
+    fn occupancy_count_is_conserved_in_rows() {
+        let mut l = lane(80, 0.25, 0.3, 2);
+        let d = SpaceTimeDiagram::record(&mut l, 40);
+        for t in 0..d.rows() {
+            let occ = d.row(t).iter().filter(|c| c.is_occupied()).count();
+            assert_eq!(occ, 20);
+        }
+    }
+
+    #[test]
+    fn laminar_regime_has_low_jam_fraction() {
+        // ρ = 0.0625, p = 0.3 — the paper's laminar case (Fig. 5-a).
+        let mut l = lane(800, 0.0625, 0.3, 3);
+        for _ in 0..200 {
+            l.step();
+        }
+        let d = SpaceTimeDiagram::record(&mut l, 100);
+        assert!(
+            d.mean_jam_fraction() < 0.15,
+            "laminar traffic should have few stopped cars, got {}",
+            d.mean_jam_fraction()
+        );
+    }
+
+    #[test]
+    fn congested_regime_has_high_jam_fraction() {
+        // ρ = 0.5, p = 0.3 — the paper's jammed case (Fig. 5-b).
+        let mut l = lane(400, 0.5, 0.3, 3);
+        for _ in 0..200 {
+            l.step();
+        }
+        let d = SpaceTimeDiagram::record(&mut l, 100);
+        assert!(
+            d.mean_jam_fraction() > 0.3,
+            "congested traffic should have many stopped cars, got {}",
+            d.mean_jam_fraction()
+        );
+    }
+
+    #[test]
+    fn jam_wave_travels_backwards() {
+        // Dense deterministic traffic: jams drift opposite to movement.
+        let mut l = lane(400, 0.5, 0.3, 5);
+        for _ in 0..300 {
+            l.step();
+        }
+        let d = SpaceTimeDiagram::record(&mut l, 60);
+        if let Some(v) = d.jam_wave_velocity() {
+            assert!(v < 0.5, "jam wave should not travel forward fast, got {v}");
+        }
+    }
+
+    #[test]
+    fn ascii_render_dimensions() {
+        let mut l = lane(40, 0.2, 0.0, 1);
+        let d = SpaceTimeDiagram::record(&mut l, 10);
+        let text = d.render_ascii();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines.iter().all(|line| line.chars().count() == 40));
+    }
+
+    #[test]
+    fn ascii_render_symbols() {
+        let params = NasParams::builder().length(10).vehicle_count(2).build().unwrap();
+        let l =
+            Lane::from_positions(params, Boundary::Closed, &[1, 5], &[0, 3], 0).unwrap();
+        let mut l2 = l;
+        let d = SpaceTimeDiagram::record(&mut l2, 0);
+        let line = d.render_ascii();
+        assert!(line.starts_with(".#...3"));
+    }
+}

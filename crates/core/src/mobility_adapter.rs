@@ -1,0 +1,93 @@
+//! Adapts a BA-block mobility trace to the CPS-block position interface —
+//! the in-process equivalent of the paper's ns-2 trace file hand-off.
+
+use cavenet_mobility::MobilityTrace;
+use cavenet_net::{MobilityModel, SimTime};
+
+/// A [`MobilityModel`] backed by a sampled [`MobilityTrace`].
+///
+/// Positions between samples are linearly interpolated; before the first
+/// and after the last sample they clamp (nodes park at the trace edges).
+#[derive(Debug, Clone)]
+pub struct TraceMobility {
+    trace: MobilityTrace,
+}
+
+impl TraceMobility {
+    /// Wrap a trace.
+    pub fn new(trace: MobilityTrace) -> Self {
+        TraceMobility { trace }
+    }
+
+    /// The wrapped trace.
+    pub fn trace(&self) -> &MobilityTrace {
+        &self.trace
+    }
+}
+
+impl From<MobilityTrace> for TraceMobility {
+    fn from(trace: MobilityTrace) -> Self {
+        TraceMobility::new(trace)
+    }
+}
+
+impl MobilityModel for TraceMobility {
+    fn position(&self, index: usize, t: SimTime) -> (f64, f64) {
+        match self.trace.position_at(index, t.as_secs_f64()) {
+            Ok(p) => (p.x, p.y),
+            Err(_) => (0.0, 0.0),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.trace.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cavenet_ca::{Boundary, Lane, NasParams};
+    use cavenet_mobility::{LaneGeometry, TraceGenerator};
+
+    fn trace() -> MobilityTrace {
+        let params = NasParams::builder().length(400).density(0.075).build().unwrap();
+        let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
+        TraceGenerator::new(LaneGeometry::ring_circle(3000.0))
+            .steps(100)
+            .generate(lane)
+    }
+
+    #[test]
+    fn node_count_matches_trace() {
+        let m = TraceMobility::new(trace());
+        assert_eq!(m.node_count(), 30);
+    }
+
+    #[test]
+    fn positions_move_over_time() {
+        let m = TraceMobility::new(trace());
+        let a = m.position(0, SimTime::from_secs(10));
+        let b = m.position(0, SimTime::from_secs(60));
+        let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        assert!(d > 1.0, "vehicle should have moved, got {d} m");
+    }
+
+    #[test]
+    fn positions_clamp_past_trace_end() {
+        let m = TraceMobility::new(trace());
+        let a = m.position(3, SimTime::from_secs(100));
+        let b = m.position(3, SimTime::from_secs(1000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interpolation_is_smooth() {
+        let m = TraceMobility::new(trace());
+        // Positions a half-second apart differ by at most vmax·0.5 ≈ 19 m.
+        let a = m.position(5, SimTime::from_millis(10_000));
+        let b = m.position(5, SimTime::from_millis(10_500));
+        let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        assert!(d <= 19.0, "interpolated step too large: {d} m");
+    }
+}

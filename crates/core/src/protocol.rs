@@ -1,0 +1,144 @@
+//! Routing protocol selection.
+
+use std::fmt;
+use std::str::FromStr;
+
+use cavenet_net::RoutingProtocol;
+use cavenet_routing::{Aodv, Dsdv, Dymo, Flooding, Olsr};
+
+/// Which routing protocol a scenario runs (paper Table 1: AODV, OLSR,
+/// DYMO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Protocol {
+    /// Ad-hoc On-demand Distance Vector (RFC 3561).
+    Aodv,
+    /// Optimized Link State Routing (RFC 3626), hop-count metric.
+    Olsr,
+    /// OLSR with the ETX/LQ link metric (olsrd extension).
+    OlsrEtx,
+    /// Dynamic MANET On-demand routing (IETF draft).
+    Dymo,
+    /// Destination-Sequenced Distance Vector — AODV's proactive ancestor.
+    Dsdv,
+    /// TTL-scoped flooding baseline.
+    Flooding,
+}
+
+impl Protocol {
+    /// The three protocols the paper evaluates, in its order.
+    pub const PAPER_SET: [Protocol; 3] = [Protocol::Aodv, Protocol::Olsr, Protocol::Dymo];
+
+    /// Instantiate a fresh protocol state machine for one node.
+    pub fn instantiate(&self) -> Box<dyn RoutingProtocol> {
+        match self {
+            Protocol::Aodv => Box::new(Aodv::new()),
+            Protocol::Olsr => Box::new(Olsr::new()),
+            Protocol::OlsrEtx => Box::new(Olsr::new_etx()),
+            Protocol::Dymo => Box::new(Dymo::new()),
+            Protocol::Dsdv => Box::new(Dsdv::new()),
+            Protocol::Flooding => Box::new(Flooding::new()),
+        }
+    }
+
+    /// Whether the protocol is reactive (discovers routes on demand).
+    pub fn is_reactive(&self) -> bool {
+        matches!(self, Protocol::Aodv | Protocol::Dymo)
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Protocol::Aodv => "AODV",
+            Protocol::Olsr => "OLSR",
+            Protocol::OlsrEtx => "OLSR-ETX",
+            Protocol::Dymo => "DYMO",
+            Protocol::Dsdv => "DSDV",
+            Protocol::Flooding => "FLOODING",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing an unknown protocol name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProtocolError {
+    input: String,
+}
+
+impl fmt::Display for ParseProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown protocol `{}` (expected aodv, olsr, olsr-etx, dymo, dsdv or flooding)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseProtocolError {}
+
+impl FromStr for Protocol {
+    type Err = ParseProtocolError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "aodv" => Ok(Protocol::Aodv),
+            "olsr" => Ok(Protocol::Olsr),
+            "olsr-etx" | "olsretx" | "etx" => Ok(Protocol::OlsrEtx),
+            "dymo" => Ok(Protocol::Dymo),
+            "dsdv" => Ok(Protocol::Dsdv),
+            "flood" | "flooding" => Ok(Protocol::Flooding),
+            _ => Err(ParseProtocolError { input: s.to_string() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for p in [
+            Protocol::Aodv,
+            Protocol::Olsr,
+            Protocol::OlsrEtx,
+            Protocol::Dymo,
+            Protocol::Dsdv,
+            Protocol::Flooding,
+        ] {
+            let parsed: Protocol = p.to_string().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("dsr".parse::<Protocol>().is_err());
+    }
+
+    #[test]
+    fn instantiation_names_match() {
+        assert_eq!(Protocol::Aodv.instantiate().name(), "aodv");
+        assert_eq!(Protocol::Olsr.instantiate().name(), "olsr");
+        assert_eq!(Protocol::OlsrEtx.instantiate().name(), "olsr");
+        assert_eq!(Protocol::Dymo.instantiate().name(), "dymo");
+        assert_eq!(Protocol::Dsdv.instantiate().name(), "dsdv");
+        assert_eq!(Protocol::Flooding.instantiate().name(), "flooding");
+    }
+
+    #[test]
+    fn reactivity() {
+        assert!(Protocol::Aodv.is_reactive());
+        assert!(Protocol::Dymo.is_reactive());
+        assert!(!Protocol::Olsr.is_reactive());
+        assert!(!Protocol::Dsdv.is_reactive());
+    }
+
+    #[test]
+    fn paper_set() {
+        assert_eq!(Protocol::PAPER_SET.len(), 3);
+    }
+}

@@ -1,0 +1,318 @@
+//! Connectivity analysis of mobility traces.
+//!
+//! The paper's §III motivates multi-lane modelling with network
+//! *connectivity*: "connectivity gaps on a lane can be filled by the
+//! presence of relay nodes on the other lanes" (Fig. 1-a). This module
+//! measures exactly that, directly on a [`MobilityTrace`]: the unit-disk
+//! communication graph at a given radio range, its connected components,
+//! pairwise reachability, and how these evolve over time.
+
+use crate::{MobilityError, MobilityTrace};
+
+/// A snapshot of the communication graph at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectivitySnapshot {
+    /// Sample time (seconds).
+    pub time: f64,
+    /// Number of nodes with a known position.
+    pub nodes: usize,
+    /// Number of links (pairs within radio range).
+    pub links: usize,
+    /// Sizes of the connected components, descending.
+    pub component_sizes: Vec<usize>,
+}
+
+impl ConnectivitySnapshot {
+    /// Whether all nodes form one component.
+    pub fn is_connected(&self) -> bool {
+        self.component_sizes.len() <= 1
+    }
+
+    /// Fraction of nodes inside the largest component (1.0 when connected,
+    /// 0.0 for an empty graph).
+    pub fn largest_component_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.component_sizes.first().copied().unwrap_or(0) as f64 / self.nodes as f64
+    }
+
+    /// Mean node degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.links as f64 / self.nodes as f64
+        }
+    }
+}
+
+/// Analyzes the communication graph induced by a mobility trace and a fixed
+/// radio range (unit-disk model — the paper's 250 m two-ray range behaves
+/// exactly like this at the connectivity level).
+#[derive(Debug, Clone)]
+pub struct ConnectivityAnalyzer<'a> {
+    trace: &'a MobilityTrace,
+    range_m: f64,
+}
+
+impl<'a> ConnectivityAnalyzer<'a> {
+    /// Analyzer over `trace` with the given radio range in metres.
+    pub fn new(trace: &'a MobilityTrace, range_m: f64) -> Self {
+        ConnectivityAnalyzer { trace, range_m }
+    }
+
+    /// Snapshot of the graph at time `t`.
+    pub fn snapshot(&self, t: f64) -> ConnectivitySnapshot {
+        let positions = self.trace.positions_at(t);
+        let n = positions.len();
+        // Union-find over node indices.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        let mut links = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].1.distance(&positions[j].1) <= self.range_m {
+                    links += 1;
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut sizes = std::collections::HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            *sizes.entry(root).or_insert(0usize) += 1;
+        }
+        let mut component_sizes: Vec<usize> = sizes.into_values().collect();
+        component_sizes.sort_unstable_by(|a, b| b.cmp(a));
+        ConnectivitySnapshot {
+            time: t,
+            nodes: n,
+            links,
+            component_sizes,
+        }
+    }
+
+    /// Whether two specific nodes can reach each other (multi-hop) at `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::UnknownNode`] if either node has no position
+    /// at `t`.
+    pub fn reachable(&self, a: usize, b: usize, t: f64) -> Result<bool, MobilityError> {
+        let positions = self.trace.positions_at(t);
+        let idx = |node: usize| {
+            positions
+                .iter()
+                .position(|&(id, _)| id == node)
+                .ok_or(MobilityError::UnknownNode { node })
+        };
+        let (ia, ib) = (idx(a)?, idx(b)?);
+        // BFS from ia.
+        let n = positions.len();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([ia]);
+        seen[ia] = true;
+        while let Some(i) = queue.pop_front() {
+            if i == ib {
+                return Ok(true);
+            }
+            for j in 0..n {
+                if !seen[j] && positions[i].1.distance(&positions[j].1) <= self.range_m {
+                    seen[j] = true;
+                    queue.push_back(j);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Sample the graph every `dt` seconds over `[0, duration]` and return
+    /// the series of snapshots.
+    pub fn series(&self, duration: f64, dt: f64) -> Vec<ConnectivitySnapshot> {
+        let steps = (duration / dt.max(1e-9)).floor() as usize;
+        (0..=steps)
+            .map(|k| self.snapshot(k as f64 * dt))
+            .collect()
+    }
+
+    /// Fraction of sampled instants at which the graph is fully connected.
+    pub fn connected_fraction(&self, duration: f64, dt: f64) -> f64 {
+        let series = self.series(duration, dt);
+        if series.is_empty() {
+            return 0.0;
+        }
+        series.iter().filter(|s| s.is_connected()).count() as f64 / series.len() as f64
+    }
+
+    /// Topology-change rate: link births plus link deaths per second,
+    /// sampled every `dt` over `[0, duration]` — the paper's §V
+    /// "topology change" future-work metric. Returns 0 for fewer than two
+    /// samples.
+    pub fn link_change_rate(&self, duration: f64, dt: f64) -> f64 {
+        let edge_set = |t: f64| -> std::collections::HashSet<(usize, usize)> {
+            let positions = self.trace.positions_at(t);
+            let mut edges = std::collections::HashSet::new();
+            for i in 0..positions.len() {
+                for j in (i + 1)..positions.len() {
+                    if positions[i].1.distance(&positions[j].1) <= self.range_m {
+                        edges.insert((positions[i].0, positions[j].0));
+                    }
+                }
+            }
+            edges
+        };
+        let steps = (duration / dt.max(1e-9)).floor() as usize;
+        if steps == 0 {
+            return 0.0;
+        }
+        let mut changes = 0usize;
+        let mut prev = edge_set(0.0);
+        for k in 1..=steps {
+            let cur = edge_set(k as f64 * dt);
+            changes += prev.symmetric_difference(&cur).count();
+            prev = cur;
+        }
+        changes as f64 / (steps as f64 * dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LaneGeometry, NodeTrajectory, Point2, TraceGenerator, TraceSample};
+    use cavenet_ca::{Boundary, Lane, NasParams};
+
+    fn static_trace(positions: &[(f64, f64)]) -> MobilityTrace {
+        let nodes = positions
+            .iter()
+            .map(|&(x, y)| {
+                NodeTrajectory::new(vec![TraceSample {
+                    time: 0.0,
+                    position: Point2::new(x, y),
+                    speed: 0.0,
+                    teleport: false,
+                }])
+                .unwrap()
+            })
+            .collect();
+        MobilityTrace::from_trajectories(nodes)
+    }
+
+    #[test]
+    fn chain_is_connected_within_range() {
+        let trace = static_trace(&[(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)]);
+        let a = ConnectivityAnalyzer::new(&trace, 250.0);
+        let snap = a.snapshot(0.0);
+        assert!(snap.is_connected());
+        assert_eq!(snap.links, 2);
+        assert_eq!(snap.component_sizes, vec![3]);
+        assert!((snap.mean_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_partitions_graph() {
+        let trace = static_trace(&[(0.0, 0.0), (200.0, 0.0), (1000.0, 0.0)]);
+        let a = ConnectivityAnalyzer::new(&trace, 250.0);
+        let snap = a.snapshot(0.0);
+        assert!(!snap.is_connected());
+        assert_eq!(snap.component_sizes, vec![2, 1]);
+        assert!((snap.largest_component_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relay_on_second_lane_fills_gap() {
+        // Paper Fig. 1-a: two same-lane nodes 400 m apart cannot talk, but a
+        // relay on the adjacent lane (laterally offset) bridges them.
+        let without = static_trace(&[(0.0, 0.0), (400.0, 0.0)]);
+        let a = ConnectivityAnalyzer::new(&without, 250.0);
+        assert!(!a.reachable(0, 1, 0.0).unwrap());
+
+        let with_relay = static_trace(&[(0.0, 0.0), (400.0, 0.0), (200.0, 7.5)]);
+        let b = ConnectivityAnalyzer::new(&with_relay, 250.0);
+        assert!(b.reachable(0, 1, 0.0).unwrap());
+    }
+
+    #[test]
+    fn reachability_errors_on_unknown_node() {
+        let trace = static_trace(&[(0.0, 0.0)]);
+        let a = ConnectivityAnalyzer::new(&trace, 250.0);
+        assert!(matches!(
+            a.reachable(0, 5, 0.0),
+            Err(MobilityError::UnknownNode { node: 5 })
+        ));
+    }
+
+    #[test]
+    fn ring_trace_connectivity_series() {
+        let params = NasParams::builder()
+            .length(400)
+            .vehicle_count(30)
+            .slowdown_probability(0.3)
+            .build()
+            .unwrap();
+        let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
+        let trace = TraceGenerator::new(LaneGeometry::ring_circle(3000.0))
+            .steps(60)
+            .generate(lane);
+        let a = ConnectivityAnalyzer::new(&trace, 250.0);
+        let series = a.series(60.0, 5.0);
+        assert_eq!(series.len(), 13);
+        // 30 nodes at ≈100 m mean spacing with 250 m range: mostly connected.
+        let frac = a.connected_fraction(60.0, 5.0);
+        assert!(frac > 0.5, "ring should be mostly connected, got {frac}");
+    }
+
+    #[test]
+    fn static_nodes_have_zero_link_churn() {
+        let trace = static_trace(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)]);
+        let a = ConnectivityAnalyzer::new(&trace, 250.0);
+        assert_eq!(a.link_change_rate(60.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn moving_vehicles_produce_link_churn() {
+        let params = NasParams::builder()
+            .length(200)
+            .vehicle_count(20)
+            .slowdown_probability(0.5)
+            .build()
+            .unwrap();
+        let lane = Lane::with_random_placement(params, Boundary::Closed, 9).unwrap();
+        let trace = TraceGenerator::new(LaneGeometry::ring_circle(1500.0))
+            .steps(100)
+            .generate(lane);
+        let a = ConnectivityAnalyzer::new(&trace, 250.0);
+        let rate = a.link_change_rate(100.0, 2.0);
+        assert!(rate > 0.0, "stochastic traffic must churn links, got {rate}");
+    }
+
+    #[test]
+    fn larger_range_more_links() {
+        let trace = static_trace(&[(0.0, 0.0), (100.0, 0.0), (300.0, 0.0), (600.0, 0.0)]);
+        let short = ConnectivityAnalyzer::new(&trace, 150.0).snapshot(0.0);
+        let long = ConnectivityAnalyzer::new(&trace, 400.0).snapshot(0.0);
+        assert!(long.links > short.links);
+        assert!(long.largest_component_fraction() >= short.largest_component_fraction());
+    }
+
+    #[test]
+    fn empty_trace_snapshot() {
+        let trace = MobilityTrace::default();
+        let a = ConnectivityAnalyzer::new(&trace, 250.0);
+        let s = a.snapshot(0.0);
+        assert_eq!(s.nodes, 0);
+        assert!(!s.is_connected() || s.component_sizes.is_empty());
+        assert_eq!(s.largest_component_fraction(), 0.0);
+        assert_eq!(s.mean_degree(), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for mobility-trace handling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by trace construction, export or parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MobilityError {
+    /// A node id referenced by a query or trace line does not exist.
+    UnknownNode {
+        /// The offending node id.
+        node: usize,
+    },
+    /// Samples for one node are not in strictly increasing time order.
+    UnorderedSamples {
+        /// Node whose trajectory is unordered.
+        node: usize,
+    },
+    /// A parameter is out of range (speeds, durations, …).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// An ns-2 trace line could not be parsed.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityError::UnknownNode { node } => write!(f, "unknown node id {node}"),
+            MobilityError::UnorderedSamples { node } => {
+                write!(f, "samples for node {node} are not in increasing time order")
+            }
+            MobilityError::InvalidParameter { name } => {
+                write!(f, "parameter `{name}` is out of range")
+            }
+            MobilityError::ParseError { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MobilityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(MobilityError::UnknownNode { node: 3 }.to_string().contains('3'));
+        assert!(MobilityError::ParseError { line: 7, reason: "bad float".into() }
+            .to_string()
+            .contains("line 7"));
+    }
+}

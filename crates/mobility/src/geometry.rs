@@ -1,0 +1,231 @@
+//! Mapping a lane's 1-D coordinate onto the 2-D plane.
+
+use crate::{Affine2, Point2};
+
+/// How a lane's 1-dimensional coordinate `s ∈ [0, length)` (metres along the
+/// lane) is embedded in the absolute plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum LaneGeometry {
+    /// A straight segment: the lane coordinate runs along the local X axis
+    /// and is placed by an affine lane transformation (paper §III-D).
+    Straight {
+        /// Lane transformation `A(k)`.
+        transform: Affine2,
+    },
+    /// A closed ring of the given circumference, embedded as a circle. This
+    /// is the natural geometry for the improved CAVENET's circular movement
+    /// pattern and the "3000 m Circuit" of Table 1: euclidean distance is
+    /// continuous across the seam, so head and tail vehicles are radio
+    /// neighbours.
+    RingCircle {
+        /// Circumference of the ring in metres.
+        circumference: f64,
+        /// Centre of the circle in the absolute plane.
+        center: Point2,
+    },
+    /// A closed rectangular circuit (two straights joined by two straights)
+    /// of the given circumference, embedded axis-aligned with the south-west
+    /// corner at `origin`. `aspect` is width/height of the rectangle.
+    RectCircuit {
+        /// Total circuit length in metres.
+        circumference: f64,
+        /// South-west corner.
+        origin: Point2,
+        /// Width-to-height ratio of the rectangle (must be > 0).
+        aspect: f64,
+    },
+}
+
+impl LaneGeometry {
+    /// A straight lane along the absolute X axis starting at the origin.
+    pub fn straight_x() -> Self {
+        LaneGeometry::Straight {
+            transform: Affine2::IDENTITY,
+        }
+    }
+
+    /// A ring circle of the given circumference centred so the whole circle
+    /// lies in the positive quadrant (centre at `(r, r)`), which keeps ns-2
+    /// coordinates positive.
+    pub fn ring_circle(circumference: f64) -> Self {
+        let r = circumference / std::f64::consts::TAU;
+        LaneGeometry::RingCircle {
+            circumference,
+            center: Point2::new(r, r),
+        }
+    }
+
+    /// A square circuit of the given circumference with its corner at the
+    /// small `Δ` offset the paper uses to avoid ns-2's position-0 bug.
+    pub fn square_circuit(circumference: f64) -> Self {
+        LaneGeometry::RectCircuit {
+            circumference,
+            origin: Point2::new(1.0, 1.0),
+            aspect: 1.0,
+        }
+    }
+
+    /// Whether the geometry is closed (ring-like): the coordinate wraps at
+    /// the circumference.
+    pub fn is_closed(&self) -> bool {
+        !matches!(self, LaneGeometry::Straight { .. })
+    }
+
+    /// Embed a lane coordinate `s` (metres along the lane) into the plane.
+    ///
+    /// For closed geometries, `s` is taken modulo the circumference.
+    pub fn embed(&self, s: f64) -> Point2 {
+        match *self {
+            LaneGeometry::Straight { transform } => transform.apply(Point2::new(s, 0.0)),
+            LaneGeometry::RingCircle {
+                circumference,
+                center,
+            } => {
+                let theta = (s.rem_euclid(circumference)) / circumference * std::f64::consts::TAU;
+                let r = circumference / std::f64::consts::TAU;
+                Point2::new(center.x + r * theta.cos(), center.y + r * theta.sin())
+            }
+            LaneGeometry::RectCircuit {
+                circumference,
+                origin,
+                aspect,
+            } => {
+                // Perimeter 2(w + h) = circumference, w = aspect·h.
+                let h = circumference / (2.0 * (aspect + 1.0));
+                let w = aspect * h;
+                let s = s.rem_euclid(circumference);
+                if s < w {
+                    Point2::new(origin.x + s, origin.y)
+                } else if s < w + h {
+                    Point2::new(origin.x + w, origin.y + (s - w))
+                } else if s < 2.0 * w + h {
+                    Point2::new(origin.x + w - (s - w - h), origin.y + h)
+                } else {
+                    Point2::new(origin.x, origin.y + h - (s - 2.0 * w - h))
+                }
+            }
+        }
+    }
+
+    /// Euclidean (radio) distance between two lane coordinates under this
+    /// embedding.
+    pub fn euclidean_distance(&self, s1: f64, s2: f64) -> f64 {
+        self.embed(s1).distance(&self.embed(s2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_embeds_linearly() {
+        let g = LaneGeometry::straight_x();
+        assert!(!g.is_closed());
+        let p = g.embed(123.0);
+        assert!((p.x - 123.0).abs() < 1e-12);
+        assert!(p.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn straight_with_transform() {
+        let g = LaneGeometry::Straight {
+            transform: Affine2::axis_swap_with_offset(1500.0, 1.0),
+        };
+        let p = g.embed(100.0);
+        assert!((p.x - 1500.0).abs() < 1e-12);
+        assert!((p.y - 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_circle_closes_seam() {
+        let g = LaneGeometry::ring_circle(3000.0);
+        assert!(g.is_closed());
+        // Points just before and after the seam are close in the plane —
+        // the paper's improvement in one assertion.
+        let d = g.euclidean_distance(2999.0, 1.0);
+        assert!(d < 3.0, "seam distance should be ≈2 m, got {d}");
+        // Anti-podal points are a diameter apart.
+        let diam = g.euclidean_distance(0.0, 1500.0);
+        let expect = 3000.0 / std::f64::consts::PI;
+        assert!((diam - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ring_circle_positive_coordinates() {
+        let g = LaneGeometry::ring_circle(3000.0);
+        for i in 0..100 {
+            let p = g.embed(i as f64 * 30.0);
+            assert!(p.x >= -1e-9 && p.y >= -1e-9, "negative ns-2 coordinate at {i}");
+        }
+    }
+
+    #[test]
+    fn ring_wraps_modulo() {
+        let g = LaneGeometry::ring_circle(100.0);
+        let a = g.embed(25.0);
+        let b = g.embed(125.0);
+        let c = g.embed(-75.0);
+        assert!(a.distance(&b) < 1e-9);
+        assert!(a.distance(&c) < 1e-9);
+    }
+
+    #[test]
+    fn square_circuit_corners() {
+        // Circumference 400 ⇒ side 100, origin (1, 1).
+        let g = LaneGeometry::square_circuit(400.0);
+        assert!(g.is_closed());
+        let p0 = g.embed(0.0);
+        assert!((p0.x - 1.0).abs() < 1e-12 && (p0.y - 1.0).abs() < 1e-12);
+        let p1 = g.embed(100.0);
+        assert!((p1.x - 101.0).abs() < 1e-12 && (p1.y - 1.0).abs() < 1e-12);
+        let p2 = g.embed(200.0);
+        assert!((p2.x - 101.0).abs() < 1e-12 && (p2.y - 101.0).abs() < 1e-12);
+        let p3 = g.embed(300.0);
+        assert!((p3.x - 1.0).abs() < 1e-12 && (p3.y - 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_circuit_seam_is_continuous() {
+        let g = LaneGeometry::square_circuit(400.0);
+        // The seam sits at a corner: points 0.5 m before and after it are
+        // √0.5 m apart (cutting the corner), never a circuit-length apart.
+        let d = g.euclidean_distance(399.5, 0.5);
+        assert!((d - 0.5_f64.sqrt()).abs() < 1e-9, "got {d}");
+        // Mid-edge continuity is exact.
+        let d = g.euclidean_distance(49.5, 50.5);
+        assert!((d - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_circuit_respects_aspect() {
+        let g = LaneGeometry::RectCircuit {
+            circumference: 600.0,
+            origin: Point2::ORIGIN,
+            aspect: 2.0,
+        };
+        // h = 600/(2·3) = 100, w = 200.
+        let p = g.embed(200.0); // exactly at the first corner
+        assert!((p.x - 200.0).abs() < 1e-9 && p.y.abs() < 1e-9);
+        let p = g.embed(300.0); // end of the first vertical
+        assert!((p.x - 200.0).abs() < 1e-9 && (p.y - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arc_distance_bounds_euclidean() {
+        // Euclidean distance never exceeds the arc distance along the ring.
+        let g = LaneGeometry::ring_circle(1000.0);
+        for (s1, s2) in [(0.0, 100.0), (200.0, 750.0), (999.0, 1.0)] {
+            let arc = {
+                let d = (s2 - s1_mod(s1, 1000.0)).rem_euclid(1000.0);
+                d.min(1000.0 - d)
+            };
+            assert!(g.euclidean_distance(s1, s2) <= arc + 1e-9);
+        }
+    }
+
+    fn s1_mod(s: f64, c: f64) -> f64 {
+        s.rem_euclid(c)
+    }
+}

@@ -1,0 +1,527 @@
+//! ns-2 node-movement (`setdest`) trace export and import.
+//!
+//! The paper's BA block exports movement patterns "in a textual format
+//! compatible with the CPS's language" — TCL commands for ns-2 (Fig. 3-b):
+//!
+//! ```text
+//! $node_(0) set X_ 1.0
+//! $node_(0) set Y_ 2.0
+//! $node_(0) set Z_ 0.0
+//! $ns_ at 1.0 "$node_(0) setdest 10.0 2.0 7.5"
+//! ```
+//!
+//! Export walks each node's samples: the first sample becomes the initial
+//! `set X_/Y_/Z_` triple; each subsequent movement becomes a timed `setdest`
+//! whose speed is chosen so the node arrives exactly at the next sample
+//! time. Teleports (which ns-2 `setdest` cannot express) are emitted as
+//! timed `set X_/Y_` commands.
+//!
+//! The paper's footnote 3 notes an apparent ns-2 bug "which fires strange
+//! errors when the absolute position is 0"; [`ExportOptions::delta`]
+//! reproduces the paper's workaround by offsetting every coordinate by `Δ`.
+
+use crate::{MobilityError, MobilityTrace, NodeTrajectory, Point2, TraceSample};
+
+/// Options controlling ns-2 export.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExportOptions {
+    /// Constant offset `Δ` added to every coordinate (paper footnote 3).
+    pub delta: f64,
+    /// Decimal places for coordinates and speeds.
+    pub precision: usize,
+}
+
+impl Default for ExportOptions {
+    fn default() -> Self {
+        ExportOptions {
+            delta: 1.0,
+            precision: 6,
+        }
+    }
+}
+
+/// A parsed ns-2 movement command.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Command {
+    /// `$node_(i) set X_ v` (or `Y_` / `Z_`) — initial, untimed placement.
+    SetInitial {
+        /// Node index.
+        node: usize,
+        /// Axis: `'X'`, `'Y'` or `'Z'`.
+        axis: char,
+        /// Coordinate value.
+        value: f64,
+    },
+    /// `$ns_ at t "$node_(i) setdest x y speed"`.
+    SetDest {
+        /// When the movement starts.
+        time: f64,
+        /// Node index.
+        node: usize,
+        /// Destination X.
+        x: f64,
+        /// Destination Y.
+        y: f64,
+        /// Movement speed (m/s).
+        speed: f64,
+    },
+    /// `$ns_ at t "$node_(i) set X_ v"` — a timed teleport component.
+    SetTimed {
+        /// When the jump happens.
+        time: f64,
+        /// Node index.
+        node: usize,
+        /// Axis: `'X'` or `'Y'`.
+        axis: char,
+        /// Coordinate value.
+        value: f64,
+    },
+}
+
+/// Serialize a trace and write it to a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn export_to_file(
+    trace: &MobilityTrace,
+    opts: &ExportOptions,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, export(trace, opts))
+}
+
+/// Read and parse an ns-2 movement file, reconstructing the trace.
+///
+/// # Errors
+///
+/// Returns an `io::Error` for filesystem problems; parse and consistency
+/// errors are wrapped as `io::ErrorKind::InvalidData`.
+pub fn import_from_file(path: impl AsRef<std::path::Path>) -> std::io::Result<MobilityTrace> {
+    let text = std::fs::read_to_string(path)?;
+    let commands =
+        parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    commands_to_trace(&commands)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Serialize a [`MobilityTrace`] to ns-2 TCL movement commands.
+pub fn export(trace: &MobilityTrace, opts: &ExportOptions) -> String {
+    let mut out = String::new();
+    let prec = opts.precision;
+    let d = opts.delta;
+    for (id, traj) in trace.iter() {
+        let samples = traj.samples();
+        let Some(first) = samples.first() else { continue };
+        out.push_str(&format!(
+            "$node_({id}) set X_ {:.prec$}\n$node_({id}) set Y_ {:.prec$}\n$node_({id}) set Z_ 0.000000\n",
+            first.position.x + d,
+            first.position.y + d,
+        ));
+        for w in samples.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if b.teleport {
+                out.push_str(&format!(
+                    "$ns_ at {:.prec$} \"$node_({id}) set X_ {:.prec$}\"\n$ns_ at {:.prec$} \"$node_({id}) set Y_ {:.prec$}\"\n",
+                    b.time,
+                    b.position.x + d,
+                    b.time,
+                    b.position.y + d,
+                ));
+                continue;
+            }
+            let dist = a.position.distance(&b.position);
+            if dist < 1e-9 {
+                continue; // stationary: no command needed
+            }
+            let speed = dist / (b.time - a.time);
+            out.push_str(&format!(
+                "$ns_ at {:.prec$} \"$node_({id}) setdest {:.prec$} {:.prec$} {:.prec$}\"\n",
+                a.time,
+                b.position.x + d,
+                b.position.y + d,
+                speed,
+            ));
+        }
+    }
+    out
+}
+
+/// Parse ns-2 TCL movement commands. Blank lines and `#` comments are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`MobilityError::ParseError`] with a 1-based line number for any
+/// unrecognized or malformed line.
+pub fn parse(input: &str) -> Result<Vec<Command>, MobilityError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| MobilityError::ParseError {
+            line: lineno + 1,
+            reason: reason.to_string(),
+        };
+        if let Some(rest) = line.strip_prefix("$node_(") {
+            // $node_(i) set X_ v
+            let (node, rest) = split_node(rest).ok_or_else(|| err("bad node index"))?;
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some("set"), Some(axis_tok), Some(v)) => {
+                    let axis = parse_axis(axis_tok).ok_or_else(|| err("bad axis"))?;
+                    let value: f64 = v.parse().map_err(|_| err("bad coordinate"))?;
+                    out.push(Command::SetInitial { node, axis, value });
+                }
+                _ => return Err(err("expected `set <axis> <value>`")),
+            }
+        } else if let Some(rest) = line.strip_prefix("$ns_ at ") {
+            let (time_tok, quoted) = rest
+                .split_once(' ')
+                .ok_or_else(|| err("expected time and command"))?;
+            let time: f64 = time_tok.parse().map_err(|_| err("bad time"))?;
+            let inner = quoted
+                .trim()
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| err("expected quoted command"))?;
+            let rest = inner
+                .strip_prefix("$node_(")
+                .ok_or_else(|| err("expected $node_ command"))?;
+            let (node, rest) = split_node(rest).ok_or_else(|| err("bad node index"))?;
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            match toks.as_slice() {
+                ["setdest", x, y, s] => {
+                    let x: f64 = x.parse().map_err(|_| err("bad x"))?;
+                    let y: f64 = y.parse().map_err(|_| err("bad y"))?;
+                    let speed: f64 = s.parse().map_err(|_| err("bad speed"))?;
+                    out.push(Command::SetDest { time, node, x, y, speed });
+                }
+                ["set", axis_tok, v] => {
+                    let axis = parse_axis(axis_tok).ok_or_else(|| err("bad axis"))?;
+                    let value: f64 = v.parse().map_err(|_| err("bad coordinate"))?;
+                    out.push(Command::SetTimed { time, node, axis, value });
+                }
+                _ => return Err(err("unrecognized timed command")),
+            }
+        } else {
+            return Err(err("unrecognized line"));
+        }
+    }
+    Ok(out)
+}
+
+fn split_node(rest: &str) -> Option<(usize, &str)> {
+    let close = rest.find(')')?;
+    let node: usize = rest[..close].parse().ok()?;
+    Some((node, rest[close + 1..].trim_start()))
+}
+
+fn parse_axis(tok: &str) -> Option<char> {
+    match tok {
+        "X_" => Some('X'),
+        "Y_" => Some('Y'),
+        "Z_" => Some('Z'),
+        _ => None,
+    }
+}
+
+/// Reconstruct a [`MobilityTrace`] from parsed commands.
+///
+/// Each `setdest` produces an arrival sample at `t + distance/speed`;
+/// timed `set` pairs produce teleport samples. Nodes are sized to the
+/// largest index seen.
+///
+/// # Errors
+///
+/// Returns [`MobilityError::ParseError`] (line 0) if a `setdest` has a
+/// non-positive speed, or [`MobilityError::UnorderedSamples`] if commands
+/// for one node go backwards in time.
+pub fn commands_to_trace(commands: &[Command]) -> Result<MobilityTrace, MobilityError> {
+    let max_node = commands
+        .iter()
+        .map(|c| match c {
+            Command::SetInitial { node, .. }
+            | Command::SetDest { node, .. }
+            | Command::SetTimed { node, .. } => *node,
+        })
+        .max();
+    let Some(max_node) = max_node else {
+        return Ok(MobilityTrace::default());
+    };
+    let n = max_node + 1;
+    let mut initial = vec![Point2::ORIGIN; n];
+    // Pending timed-teleport components per node: (time, x?, y?).
+    let mut samples: Vec<Vec<TraceSample>> = vec![Vec::new(); n];
+    let mut current = vec![Point2::ORIGIN; n];
+
+    for c in commands {
+        match *c {
+            Command::SetInitial { node, axis, value } => match axis {
+                'X' => {
+                    initial[node].x = value;
+                    current[node].x = value;
+                }
+                'Y' => {
+                    initial[node].y = value;
+                    current[node].y = value;
+                }
+                _ => {}
+            },
+            Command::SetDest { time, node, x, y, speed } => {
+                if speed <= 0.0 {
+                    return Err(MobilityError::ParseError {
+                        line: 0,
+                        reason: format!("non-positive setdest speed for node {node}"),
+                    });
+                }
+                let from = current[node];
+                let to = Point2::new(x, y);
+                let arrival = time + from.distance(&to) / speed;
+                // Departure sample (flush current position at start time).
+                push_sample(&mut samples[node], TraceSample {
+                    time,
+                    position: from,
+                    speed,
+                    teleport: false,
+                });
+                push_sample(&mut samples[node], TraceSample {
+                    time: arrival,
+                    position: to,
+                    speed,
+                    teleport: false,
+                });
+                current[node] = to;
+            }
+            Command::SetTimed { time, node, axis, value } => {
+                let mut p = current[node];
+                match axis {
+                    'X' => p.x = value,
+                    'Y' => p.y = value,
+                    _ => {}
+                }
+                push_sample(&mut samples[node], TraceSample {
+                    time,
+                    position: p,
+                    speed: 0.0,
+                    teleport: true,
+                });
+                current[node] = p;
+            }
+        }
+    }
+
+    let mut nodes = Vec::with_capacity(n);
+    for (i, mut s) in samples.into_iter().enumerate() {
+        // Prepend the initial placement at t = 0 if nothing is there yet.
+        if s.first().is_none_or(|f| f.time > 0.0) {
+            s.insert(0, TraceSample {
+                time: -f64::EPSILON, // strictly before any t ≥ 0 command
+                position: initial[i],
+                speed: 0.0,
+                teleport: false,
+            });
+        }
+        if s.windows(2).any(|w| w[0].time >= w[1].time) {
+            // Merge exact duplicates (same time) keeping the later command.
+            s.dedup_by(|b, a| {
+                if (a.time - b.time).abs() < 1e-12 {
+                    *a = *b;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        if s.windows(2).any(|w| w[0].time >= w[1].time) {
+            return Err(MobilityError::UnorderedSamples { node: i });
+        }
+        nodes.push(NodeTrajectory::new(s)?);
+    }
+    Ok(MobilityTrace::from_trajectories(nodes))
+}
+
+fn push_sample(v: &mut Vec<TraceSample>, s: TraceSample) {
+    if let Some(last) = v.last() {
+        // Replace a (near-)co-timed sample: a departure at the instant of a
+        // previous arrival, or an arrival that rounding pushed a hair past
+        // the next departure time.
+        if s.time <= last.time + 1e-6 {
+            let i = v.len() - 1;
+            v[i] = s;
+            v[i].time = v[i].time.max(last_time_floor(v, i));
+            return;
+        }
+    }
+    v.push(s);
+}
+
+/// Smallest admissible time for slot `i` (strictly above slot `i − 1`).
+fn last_time_floor(v: &[TraceSample], i: usize) -> f64 {
+    if i == 0 {
+        f64::NEG_INFINITY
+    } else {
+        v[i - 1].time + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LaneGeometry, TraceGenerator};
+    use cavenet_ca::{Boundary, Lane, NasParams};
+
+    fn small_trace() -> MobilityTrace {
+        let params = NasParams::builder().length(100).density(0.05).build().unwrap();
+        let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
+        TraceGenerator::new(LaneGeometry::ring_circle(750.0))
+            .steps(20)
+            .generate(lane)
+    }
+
+    #[test]
+    fn export_contains_initial_placements() {
+        let trace = small_trace();
+        let tcl = export(&trace, &ExportOptions::default());
+        assert!(tcl.contains("$node_(0) set X_ "));
+        assert!(tcl.contains("$node_(0) set Y_ "));
+        assert!(tcl.contains("$node_(4) set Z_ 0.000000"));
+        assert!(tcl.contains("setdest"));
+    }
+
+    #[test]
+    fn delta_offset_applied() {
+        let trace = small_trace();
+        let with = export(&trace, &ExportOptions { delta: 100.0, precision: 3 });
+        let without = export(&trace, &ExportOptions { delta: 0.0, precision: 3 });
+        assert_ne!(with, without);
+        // With a large delta all coordinates are ≥ 100.
+        for cmd in parse(&with).unwrap() {
+            if let Command::SetInitial { axis, value, .. } = cmd {
+                if axis != 'Z' {
+                    assert!(value >= 100.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            parse("not a command"),
+            Err(MobilityError::ParseError { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("$node_(x) set X_ 1.0"),
+            Err(MobilityError::ParseError { .. })
+        ));
+        assert!(matches!(
+            parse("$ns_ at abc \"$node_(0) setdest 1 2 3\""),
+            Err(MobilityError::ParseError { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let cmds = parse("# comment\n\n$node_(0) set X_ 5.0\n").unwrap();
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(
+            cmds[0],
+            Command::SetInitial { node: 0, axis: 'X', value: 5.0 }
+        );
+    }
+
+    #[test]
+    fn parse_setdest() {
+        let cmds = parse("$ns_ at 1.5 \"$node_(3) setdest 10.0 20.0 7.5\"").unwrap();
+        assert_eq!(
+            cmds[0],
+            Command::SetDest { time: 1.5, node: 3, x: 10.0, y: 20.0, speed: 7.5 }
+        );
+    }
+
+    #[test]
+    fn parse_timed_set() {
+        let cmds = parse("$ns_ at 2.0 \"$node_(1) set X_ 33.0\"").unwrap();
+        assert_eq!(
+            cmds[0],
+            Command::SetTimed { time: 2.0, node: 1, axis: 'X', value: 33.0 }
+        );
+    }
+
+    #[test]
+    fn roundtrip_positions_match() {
+        let trace = small_trace();
+        let opts = ExportOptions { delta: 0.0, precision: 9 };
+        let tcl = export(&trace, &opts);
+        let back = commands_to_trace(&parse(&tcl).unwrap()).unwrap();
+        assert_eq!(back.node_count(), trace.node_count());
+        for t in [0.0, 5.0, 10.0, 19.0] {
+            for id in 0..trace.node_count() {
+                let a = trace.position_at(id, t).unwrap();
+                let b = back.position_at(id, t).unwrap();
+                assert!(
+                    a.distance(&b) < 0.5,
+                    "node {id} at t={t}: exported {a:?} vs reimported {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_speed_setdest_rejected() {
+        let cmds = vec![Command::SetDest { time: 0.0, node: 0, x: 1.0, y: 0.0, speed: 0.0 }];
+        assert!(commands_to_trace(&cmds).is_err());
+    }
+
+    #[test]
+    fn empty_commands_empty_trace() {
+        let t = commands_to_trace(&[]).unwrap();
+        assert_eq!(t.node_count(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = small_trace();
+        let dir = std::env::temp_dir().join("cavenet_ns2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.tcl");
+        export_to_file(&trace, &ExportOptions { delta: 0.0, precision: 9 }, &path).unwrap();
+        let back = import_from_file(&path).unwrap();
+        assert_eq!(back.node_count(), trace.node_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn import_rejects_garbage_file() {
+        let dir = std::env::temp_dir().join("cavenet_ns2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.tcl");
+        std::fs::write(&path, "this is not tcl\n").unwrap();
+        let err = import_from_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn import_missing_file_is_io_error() {
+        assert!(import_from_file("/nonexistent/path/trace.tcl").is_err());
+    }
+
+    #[test]
+    fn teleport_exported_as_timed_set() {
+        let params = NasParams::builder().length(60).density(0.1).build().unwrap();
+        let lane = Lane::with_uniform_placement(params, Boundary::Recycling, 1).unwrap();
+        let trace = TraceGenerator::new(LaneGeometry::straight_x())
+            .steps(100)
+            .generate(lane);
+        let tcl = export(&trace, &ExportOptions::default());
+        assert!(
+            tcl.contains("\"$node_(") && tcl.contains(" set X_ "),
+            "teleports must appear as timed set commands"
+        );
+    }
+}

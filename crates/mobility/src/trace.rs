@@ -1,0 +1,451 @@
+//! Mobility traces: sampled node trajectories with interpolation.
+
+use cavenet_ca::{Lane, MultiLaneRoad};
+
+use crate::{LaneGeometry, MobilityError, Point2};
+
+/// One sample of a node's trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Position in the absolute plane (metres).
+    pub position: Point2,
+    /// Scalar speed in metres per second.
+    pub speed: f64,
+    /// `true` if the node *jumped* here discontinuously (e.g. the
+    /// first-version CAVENET recycling teleport). Interpolators must not
+    /// interpolate across a teleport.
+    pub teleport: bool,
+}
+
+/// The sampled trajectory of a single node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeTrajectory {
+    samples: Vec<TraceSample>,
+}
+
+impl NodeTrajectory {
+    /// Build from samples; they must be in strictly increasing time order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::UnorderedSamples`] (with node 0 as a
+    /// placeholder — the caller knows the real id) when out of order.
+    pub fn new(samples: Vec<TraceSample>) -> Result<Self, MobilityError> {
+        if samples.windows(2).any(|w| w[0].time >= w[1].time) {
+            return Err(MobilityError::UnorderedSamples { node: 0 });
+        }
+        Ok(NodeTrajectory { samples })
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trajectory has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn push(&mut self, s: TraceSample) {
+        debug_assert!(self
+            .samples
+            .last()
+            .is_none_or(|last| last.time < s.time));
+        self.samples.push(s);
+    }
+
+    /// Position at time `t` with linear interpolation between samples.
+    ///
+    /// Before the first sample the first position is returned; after the
+    /// last sample, the last. Across a teleport the node holds its previous
+    /// position until the instant of the jump.
+    ///
+    /// Returns `None` for an empty trajectory.
+    pub fn position_at(&self, t: f64) -> Option<Point2> {
+        let samples = &self.samples;
+        if samples.is_empty() {
+            return None;
+        }
+        if t <= samples[0].time {
+            return Some(samples[0].position);
+        }
+        if t >= samples[samples.len() - 1].time {
+            return Some(samples[samples.len() - 1].position);
+        }
+        // Index of the last sample with time <= t.
+        let i = match samples.binary_search_by(|s| s.time.total_cmp(&t)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let a = &samples[i];
+        let b = &samples[i + 1];
+        if b.teleport {
+            return Some(a.position);
+        }
+        let w = (t - a.time) / (b.time - a.time);
+        Some(Point2::new(
+            a.position.x + w * (b.position.x - a.position.x),
+            a.position.y + w * (b.position.y - a.position.y),
+        ))
+    }
+
+    /// Time-averaged speed over the whole trajectory (mean of samples).
+    pub fn mean_speed(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.speed).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// A full mobility trace: one trajectory per node, identified by a dense
+/// node id `0..node_count`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MobilityTrace {
+    nodes: Vec<NodeTrajectory>,
+}
+
+impl MobilityTrace {
+    /// Build from per-node trajectories.
+    pub fn from_trajectories(nodes: Vec<NodeTrajectory>) -> Self {
+        MobilityTrace { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The trajectory of node `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::UnknownNode`] for an out-of-range id.
+    pub fn node(&self, id: usize) -> Result<&NodeTrajectory, MobilityError> {
+        self.nodes.get(id).ok_or(MobilityError::UnknownNode { node: id })
+    }
+
+    /// Iterate over `(node_id, trajectory)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &NodeTrajectory)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Position of node `id` at time `t` (interpolated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::UnknownNode`] for an out-of-range id or a
+    /// node with no samples.
+    pub fn position_at(&self, id: usize, t: f64) -> Result<Point2, MobilityError> {
+        self.node(id)?
+            .position_at(t)
+            .ok_or(MobilityError::UnknownNode { node: id })
+    }
+
+    /// Largest sample time across all nodes (0 if the trace is empty).
+    pub fn duration(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.samples().last())
+            .map(|s| s.time)
+            .fold(0.0, f64::max)
+    }
+
+    /// All node positions at time `t` (nodes with no samples are skipped).
+    pub fn positions_at(&self, t: f64) -> Vec<(usize, Point2)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.position_at(t).map(|p| (i, p)))
+            .collect()
+    }
+}
+
+/// Generates [`MobilityTrace`]s by running a CA lane (or multi-lane road)
+/// and embedding positions through a [`LaneGeometry`].
+///
+/// The number of trace nodes equals the number of vehicles; node ids are the
+/// stable [`cavenet_ca::VehicleId`]s.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    geometry: LaneGeometry,
+    steps: usize,
+    sample_every: usize,
+    rebase_time: bool,
+}
+
+impl TraceGenerator {
+    /// New generator embedding through `geometry`, running 100 steps and
+    /// sampling every step by default.
+    pub fn new(geometry: LaneGeometry) -> Self {
+        TraceGenerator {
+            geometry,
+            steps: 100,
+            sample_every: 1,
+            rebase_time: true,
+        }
+    }
+
+    /// Whether trace timestamps are re-based so the first sample is at
+    /// `t = 0` even if the lane was warmed up beforehand (default `true`).
+    /// Set to `false` to keep the lane's absolute step count as the time
+    /// axis.
+    pub fn rebase_time(mut self, rebase: bool) -> Self {
+        self.rebase_time = rebase;
+        self
+    }
+
+    /// Number of CA steps to run.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Record a sample every `n` steps (n ≥ 1).
+    pub fn sample_every(mut self, n: usize) -> Self {
+        self.sample_every = n.max(1);
+        self
+    }
+
+    /// The geometry used for embedding.
+    pub fn geometry(&self) -> &LaneGeometry {
+        &self.geometry
+    }
+
+    /// Run `lane` for the configured number of steps, recording a trace.
+    ///
+    /// The lane is consumed so that the trace unambiguously corresponds to
+    /// the lane's state sequence from its current time.
+    pub fn generate(&self, mut lane: Lane) -> MobilityTrace {
+        let cell_m = lane.params().cell_length_m();
+        let dt = lane.params().dt_s();
+        let t0 = if self.rebase_time { lane.time() } else { 0 };
+        // Upper bound on node ids: closed/recycling lanes keep their ids;
+        // open lanes mint fresh ones while stepping.
+        let mut nodes: Vec<NodeTrajectory> = Vec::new();
+        let record = |lane: &Lane, nodes: &mut Vec<NodeTrajectory>| {
+            let t = (lane.time() - t0) as f64 * dt;
+            for v in lane.vehicles() {
+                let id = v.id().0 as usize;
+                if id >= nodes.len() {
+                    nodes.resize(id + 1, NodeTrajectory::default());
+                }
+                let s_m = v.position() as f64 * cell_m;
+                let teleport = v.wrapped_last_step() && !self.geometry.is_closed();
+                nodes[id].push(TraceSample {
+                    time: t,
+                    position: self.geometry.embed(s_m),
+                    speed: lane.params().velocity_to_mps(v.velocity()),
+                    teleport,
+                });
+            }
+        };
+        record(&lane, &mut nodes);
+        for step in 1..=self.steps {
+            lane.step();
+            if step % self.sample_every == 0 {
+                record(&lane, &mut nodes);
+            }
+        }
+        MobilityTrace { nodes }
+    }
+
+    /// Run a multi-lane road, embedding lane `k` through `geometries[k]`
+    /// (falling back to the generator's own geometry when the slice is too
+    /// short). Lane changes appear as small lateral jumps, flagged as
+    /// teleports only if the target geometry is open.
+    pub fn generate_multilane(
+        &self,
+        mut road: MultiLaneRoad,
+        geometries: &[LaneGeometry],
+    ) -> MobilityTrace {
+        let cell_m = road.params().nas.cell_length_m();
+        let dt = road.params().nas.dt_s();
+        let t0 = if self.rebase_time { road.time() } else { 0 };
+        let geo = |k: usize| geometries.get(k).copied().unwrap_or(self.geometry);
+        let mut nodes: Vec<NodeTrajectory> = Vec::new();
+        let record = |road: &MultiLaneRoad, nodes: &mut Vec<NodeTrajectory>| {
+            let t = (road.time() - t0) as f64 * dt;
+            for (lane, pos, vel, id) in road.snapshot() {
+                let idx = id.0 as usize;
+                if idx >= nodes.len() {
+                    nodes.resize(idx + 1, NodeTrajectory::default());
+                }
+                nodes[idx].push(TraceSample {
+                    time: t,
+                    position: geo(lane).embed(pos as f64 * cell_m),
+                    speed: vel as f64 * cell_m / dt,
+                    teleport: false,
+                });
+            }
+        };
+        record(&road, &mut nodes);
+        for step in 1..=self.steps {
+            road.step();
+            if step % self.sample_every == 0 {
+                record(&road, &mut nodes);
+            }
+        }
+        MobilityTrace { nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cavenet_ca::{Boundary, NasParams};
+
+    fn sample(t: f64, x: f64, y: f64) -> TraceSample {
+        TraceSample {
+            time: t,
+            position: Point2::new(x, y),
+            speed: 0.0,
+            teleport: false,
+        }
+    }
+
+    #[test]
+    fn trajectory_rejects_unordered() {
+        let r = NodeTrajectory::new(vec![sample(1.0, 0.0, 0.0), sample(1.0, 1.0, 0.0)]);
+        assert!(matches!(r, Err(MobilityError::UnorderedSamples { .. })));
+    }
+
+    #[test]
+    fn interpolation_midpoint() {
+        let tr =
+            NodeTrajectory::new(vec![sample(0.0, 0.0, 0.0), sample(2.0, 10.0, 4.0)]).unwrap();
+        let p = tr.position_at(1.0).unwrap();
+        assert!((p.x - 5.0).abs() < 1e-12);
+        assert!((p.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_before_and_after() {
+        let tr =
+            NodeTrajectory::new(vec![sample(1.0, 1.0, 1.0), sample(2.0, 2.0, 2.0)]).unwrap();
+        assert_eq!(tr.position_at(0.0).unwrap(), Point2::new(1.0, 1.0));
+        assert_eq!(tr.position_at(5.0).unwrap(), Point2::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn teleport_is_not_interpolated() {
+        let mut jump = sample(2.0, 100.0, 0.0);
+        jump.teleport = true;
+        let tr = NodeTrajectory::new(vec![sample(0.0, 0.0, 0.0), jump]).unwrap();
+        // Just before the jump the node is still at the old position.
+        let p = tr.position_at(1.999).unwrap();
+        assert!((p.x - 0.0).abs() < 1e-9);
+        // At/after the jump it is at the new one.
+        assert_eq!(tr.position_at(2.0).unwrap(), Point2::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn empty_trajectory_has_no_position() {
+        let tr = NodeTrajectory::default();
+        assert!(tr.position_at(0.0).is_none());
+        assert!(tr.is_empty());
+        assert_eq!(tr.mean_speed(), 0.0);
+    }
+
+    #[test]
+    fn trace_generation_from_closed_lane() {
+        let params = NasParams::builder().length(400).density(0.075).build().unwrap();
+        let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
+        let geometry = LaneGeometry::ring_circle(params.length_m());
+        let trace = TraceGenerator::new(geometry).steps(50).generate(lane);
+        assert_eq!(trace.node_count(), 30);
+        assert!((trace.duration() - 50.0).abs() < 1e-9);
+        for (_, tr) in trace.iter() {
+            assert_eq!(tr.len(), 51);
+            // No teleports on a closed geometry.
+            assert!(tr.samples().iter().all(|s| !s.teleport));
+        }
+    }
+
+    #[test]
+    fn recycling_lane_on_straight_geometry_has_teleports() {
+        let params = NasParams::builder().length(60).density(0.1).build().unwrap();
+        let lane = Lane::with_uniform_placement(params, Boundary::Recycling, 1).unwrap();
+        let trace = TraceGenerator::new(LaneGeometry::straight_x())
+            .steps(200)
+            .generate(lane);
+        let teleports: usize = trace
+            .iter()
+            .map(|(_, tr)| tr.samples().iter().filter(|s| s.teleport).count())
+            .sum();
+        assert!(teleports > 0, "recycling on a straight line must teleport");
+    }
+
+    #[test]
+    fn sample_every_thins_output() {
+        let params = NasParams::builder().length(100).density(0.1).build().unwrap();
+        let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
+        let trace = TraceGenerator::new(LaneGeometry::ring_circle(750.0))
+            .steps(100)
+            .sample_every(10)
+            .generate(lane);
+        assert_eq!(trace.node(0).unwrap().len(), 11);
+    }
+
+    #[test]
+    fn positions_stay_on_ring() {
+        let params = NasParams::builder().length(400).density(0.075).build().unwrap();
+        let lane = Lane::with_uniform_placement(params, Boundary::Closed, 3).unwrap();
+        let circumference = params.length_m();
+        let trace = TraceGenerator::new(LaneGeometry::ring_circle(circumference))
+            .steps(30)
+            .generate(lane);
+        let r = circumference / std::f64::consts::TAU;
+        let c = Point2::new(r, r);
+        for (_, tr) in trace.iter() {
+            for s in tr.samples() {
+                assert!((s.position.distance(&c) - r).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let trace = MobilityTrace::default();
+        assert!(matches!(
+            trace.position_at(0, 0.0),
+            Err(MobilityError::UnknownNode { node: 0 })
+        ));
+    }
+
+    #[test]
+    fn multilane_trace_covers_all_vehicles() {
+        use cavenet_ca::{MultiLaneParams, MultiLaneRoad};
+        let nas = NasParams::builder().length(100).vehicle_count(10).build().unwrap();
+        let road =
+            MultiLaneRoad::new(MultiLaneParams::new(nas, 2, 0.5).unwrap(), 4).unwrap();
+        let g0 = LaneGeometry::ring_circle(750.0);
+        let g1 = LaneGeometry::ring_circle(760.0);
+        let trace = TraceGenerator::new(g0)
+            .steps(20)
+            .generate_multilane(road, &[g0, g1]);
+        assert_eq!(trace.node_count(), 20);
+        for (_, tr) in trace.iter() {
+            assert_eq!(tr.len(), 21);
+        }
+    }
+
+    #[test]
+    fn positions_at_returns_all_nodes() {
+        let params = NasParams::builder().length(100).density(0.05).build().unwrap();
+        let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
+        let trace = TraceGenerator::new(LaneGeometry::ring_circle(750.0))
+            .steps(10)
+            .generate(lane);
+        let snap = trace.positions_at(5.0);
+        assert_eq!(snap.len(), 5);
+    }
+}

@@ -1,0 +1,253 @@
+//! Affine transformations of the plane (the paper's "lane transformation"
+//! matrices, §III-D).
+//!
+//! The paper places every lane in the absolute reference system through an
+//! affine map applied to homogeneous coordinates `(X, Y, 1)ᵀ`:
+//!
+//! ```text
+//! X̃ᵏᵢ = A(k) · Xᵏᵢ
+//! ```
+//!
+//! [`Affine2`] is exactly that 3×3 matrix (with the constant last row
+//! implied), together with composition and the standard constructors.
+
+use std::ops::Mul;
+
+/// A point (or position vector) in the 2-D absolute reference system, in
+/// metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Abscissa (metres).
+    pub x: f64,
+    /// Ordinate (metres).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Origin of the plane.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2 { x, y }
+    }
+}
+
+/// An affine transformation of the plane, stored as the top two rows of the
+/// homogeneous 3×3 matrix
+///
+/// ```text
+/// | a b tx |
+/// | c d ty |
+/// | 0 0  1 |
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine2 {
+    /// Row-major linear part and translation: `[a, b, tx, c, d, ty]`.
+    m: [f64; 6],
+}
+
+impl Affine2 {
+    /// The identity transformation.
+    pub const IDENTITY: Affine2 = Affine2 {
+        m: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+    };
+
+    /// Construct from the six free coefficients `[a, b, tx, c, d, ty]`.
+    pub fn from_coefficients(m: [f64; 6]) -> Self {
+        Affine2 { m }
+    }
+
+    /// The six coefficients `[a, b, tx, c, d, ty]`.
+    pub fn coefficients(&self) -> [f64; 6] {
+        self.m
+    }
+
+    /// Pure translation by `(tx, ty)`.
+    pub fn translation(tx: f64, ty: f64) -> Self {
+        Affine2 {
+            m: [1.0, 0.0, tx, 0.0, 1.0, ty],
+        }
+    }
+
+    /// Counter-clockwise rotation by `theta` radians about the origin.
+    pub fn rotation(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Affine2 {
+            m: [c, -s, 0.0, s, c, 0.0],
+        }
+    }
+
+    /// Anisotropic scaling about the origin.
+    pub fn scale(sx: f64, sy: f64) -> Self {
+        Affine2 {
+            m: [sx, 0.0, 0.0, 0.0, sy, 0.0],
+        }
+    }
+
+    /// The paper's example transformation for its third lane (Fig. 3-a):
+    /// swap the axes (send the lane's X axis down the plane's Y axis) and
+    /// offset — `x̃ = y + XS/2`, `ỹ = x + Δ`.
+    pub fn axis_swap_with_offset(xs_half: f64, delta: f64) -> Self {
+        Affine2 {
+            m: [0.0, 1.0, xs_half, 1.0, 0.0, delta],
+        }
+    }
+
+    /// Apply the transformation to a point.
+    pub fn apply(&self, p: Point2) -> Point2 {
+        Point2 {
+            x: self.m[0] * p.x + self.m[1] * p.y + self.m[2],
+            y: self.m[3] * p.x + self.m[4] * p.y + self.m[5],
+        }
+    }
+
+    /// Compose: `self ∘ other` (apply `other` first, then `self`).
+    pub fn compose(&self, other: &Affine2) -> Affine2 {
+        let a = &self.m;
+        let b = &other.m;
+        Affine2 {
+            m: [
+                a[0] * b[0] + a[1] * b[3],
+                a[0] * b[1] + a[1] * b[4],
+                a[0] * b[2] + a[1] * b[5] + a[2],
+                a[3] * b[0] + a[4] * b[3],
+                a[3] * b[1] + a[4] * b[4],
+                a[3] * b[2] + a[4] * b[5] + a[5],
+            ],
+        }
+    }
+
+    /// Determinant of the linear part; zero means the map is degenerate.
+    pub fn determinant(&self) -> f64 {
+        self.m[0] * self.m[4] - self.m[1] * self.m[3]
+    }
+
+    /// Inverse transformation, or `None` if degenerate.
+    pub fn inverse(&self) -> Option<Affine2> {
+        let det = self.determinant();
+        if det.abs() < 1e-15 {
+            return None;
+        }
+        let [a, b, tx, c, d, ty] = self.m;
+        let ia = d / det;
+        let ib = -b / det;
+        let ic = -c / det;
+        let id = a / det;
+        Some(Affine2 {
+            m: [ia, ib, -(ia * tx + ib * ty), ic, id, -(ic * tx + id * ty)],
+        })
+    }
+}
+
+impl Default for Affine2 {
+    fn default() -> Self {
+        Affine2::IDENTITY
+    }
+}
+
+impl Mul for Affine2 {
+    type Output = Affine2;
+    /// Matrix composition; `a * b` applies `b` first.
+    fn mul(self, rhs: Affine2) -> Affine2 {
+        self.compose(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn close(a: Point2, b: Point2) -> bool {
+        a.distance(&b) < 1e-9
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Point2::new(3.0, -2.0);
+        assert_eq!(Affine2::IDENTITY.apply(p), p);
+    }
+
+    #[test]
+    fn translation_moves() {
+        let t = Affine2::translation(10.0, -5.0);
+        assert!(close(t.apply(Point2::ORIGIN), Point2::new(10.0, -5.0)));
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let r = Affine2::rotation(FRAC_PI_2);
+        assert!(close(r.apply(Point2::new(1.0, 0.0)), Point2::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn scaling() {
+        let s = Affine2::scale(2.0, 3.0);
+        assert!(close(s.apply(Point2::new(1.0, 1.0)), Point2::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn paper_lane3_example() {
+        // X̃ = (0 1 XS/2; 1 0 Δ; 0 0 1) · (X, 0, 1)ᵀ = (XS/2, X + Δ).
+        let a = Affine2::axis_swap_with_offset(1500.0, 1.0);
+        let out = a.apply(Point2::new(100.0, 0.0));
+        assert!(close(out, Point2::new(1500.0, 101.0)));
+    }
+
+    #[test]
+    fn composition_order() {
+        let t = Affine2::translation(1.0, 0.0);
+        let r = Affine2::rotation(FRAC_PI_2);
+        // r ∘ t: translate then rotate.
+        let rt = r.compose(&t);
+        assert!(close(rt.apply(Point2::ORIGIN), Point2::new(0.0, 1.0)));
+        // t ∘ r: rotate then translate.
+        let tr = t * r;
+        assert!(close(tr.apply(Point2::ORIGIN), Point2::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Affine2::translation(3.0, 4.0) * Affine2::rotation(0.7) * Affine2::scale(2.0, 0.5);
+        let inv = a.inverse().unwrap();
+        let p = Point2::new(-2.0, 5.5);
+        assert!(close(inv.apply(a.apply(p)), p));
+        assert!(close(a.apply(inv.apply(p)), p));
+    }
+
+    #[test]
+    fn degenerate_has_no_inverse() {
+        let a = Affine2::scale(0.0, 1.0);
+        assert!(a.inverse().is_none());
+        assert_eq!(a.determinant(), 0.0);
+    }
+
+    #[test]
+    fn determinant_of_rotation_is_one() {
+        assert!((Affine2::rotation(1.1).determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_conversions_and_distance() {
+        let p: Point2 = (3.0, 4.0).into();
+        assert!((p.distance(&Point2::ORIGIN) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_roundtrip() {
+        let m = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(Affine2::from_coefficients(m).coefficients(), m);
+    }
+}

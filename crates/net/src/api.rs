@@ -1,0 +1,115 @@
+//! The interface routing protocols and applications use to act on the world.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+
+use crate::node::NodeStats;
+use crate::sim::{Kernel, Pending};
+use crate::{NodeId, Packet, SimTime};
+
+/// Which layer an API handle was issued to (affects timer routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ApiKind {
+    Routing,
+    App,
+}
+
+/// Handle through which a [`RoutingProtocol`](crate::RoutingProtocol) or
+/// [`Application`](crate::Application) interacts with its node and the
+/// simulator: reading the clock, scheduling timers, sending packets and
+/// delivering data upward.
+///
+/// All effects are queued and applied by the simulator in deterministic
+/// order after the callback returns.
+pub struct NodeApi<'a> {
+    pub(crate) kernel: &'a mut Kernel,
+    pub(crate) stats: &'a mut NodeStats,
+    pub(crate) index: usize,
+    pub(crate) kind: ApiKind,
+}
+
+impl std::fmt::Debug for NodeApi<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeApi")
+            .field("node", &self.index)
+            .field("now", &self.kernel.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NodeApi<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// This node's address.
+    pub fn id(&self) -> NodeId {
+        NodeId(self.index as u32)
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.kernel.node_count
+    }
+
+    /// The simulation's seeded random stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.kernel.rng
+    }
+
+    /// Schedule a timer `delay` from now; the owning layer's
+    /// `handle_timer(token)` will be invoked.
+    pub fn schedule(&mut self, delay: Duration, token: u64) {
+        let at = self.kernel.now + delay;
+        self.kernel.schedule_layer_timer(at, self.index, token, self.kind);
+    }
+
+    /// Hand a packet to the MAC for transmission to `next_hop`
+    /// ([`NodeId::BROADCAST`] for a link-layer broadcast).
+    ///
+    /// Control packets and forwarded data are counted in [`NodeStats`]
+    /// automatically.
+    pub fn send(&mut self, mut packet: Packet, next_hop: NodeId) {
+        if packet.uid == 0 {
+            packet.uid = self.kernel.alloc_uid();
+        }
+        if packet.is_data() {
+            if packet.src != self.id() {
+                self.stats.data_forwarded += 1;
+            }
+        } else {
+            self.stats.control_sent += 1;
+            self.stats.control_bytes_sent += u64::from(packet.size_bytes);
+        }
+        self.kernel.pending.push_back(Pending::MacEnqueue {
+            node: self.index,
+            packet,
+            next_hop,
+        });
+    }
+
+    /// Originate a packet from the application: it is handed to the node's
+    /// routing protocol for a forwarding decision.
+    pub fn originate(&mut self, packet: Packet) {
+        if packet.is_data() {
+            self.stats.data_originated += 1;
+        }
+        self.kernel.pending.push_back(Pending::RouteOutput {
+            node: self.index,
+            packet,
+        });
+    }
+
+    /// Deliver a packet that reached its destination up to the application.
+    pub fn deliver_to_app(&mut self, packet: Packet) {
+        if packet.is_data() {
+            self.stats.data_delivered += 1;
+        }
+        self.kernel.pending.push_back(Pending::AppDeliver {
+            node: self.index,
+            packet,
+        });
+    }
+}

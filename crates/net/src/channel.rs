@@ -1,0 +1,160 @@
+//! The shared radio channel: transmissions currently in flight.
+
+use std::collections::HashMap;
+
+use crate::packet::Frame;
+use crate::{NodeId, SimTime};
+
+/// A frame in flight on the channel.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// Unique transmission id.
+    pub id: u64,
+    /// Transmitting node.
+    pub sender: NodeId,
+    /// The frame on the air.
+    pub frame: Frame,
+    /// When the transmission started.
+    pub start: SimTime,
+    /// When the last bit leaves the sender's antenna.
+    pub end: SimTime,
+}
+
+/// Book-keeper for in-flight transmissions.
+///
+/// Each transmission is reference-counted by the number of scheduled
+/// end-events (the sender's `TxEnd` plus one `RxEnd` per reachable
+/// receiver); it is dropped when the last one fires.
+#[derive(Debug, Default)]
+pub struct Channel {
+    active: HashMap<u64, (Transmission, u32)>,
+    next_id: u64,
+    total: u64,
+}
+
+impl Channel {
+    /// Create an empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a transmission with an initial reference count.
+    pub fn begin(
+        &mut self,
+        sender: NodeId,
+        frame: Frame,
+        start: SimTime,
+        end: SimTime,
+        refs: u32,
+    ) -> u64 {
+        self.next_id += 1;
+        self.total += 1;
+        let id = self.next_id;
+        self.active.insert(
+            id,
+            (
+                Transmission {
+                    id,
+                    sender,
+                    frame,
+                    start,
+                    end,
+                },
+                refs,
+            ),
+        );
+        id
+    }
+
+    /// Add `n` references to a live transmission.
+    pub fn retain(&mut self, id: u64, n: u32) {
+        if let Some((_, refs)) = self.active.get_mut(&id) {
+            *refs += n;
+        }
+    }
+
+    /// Look up a live transmission.
+    pub fn get(&self, id: u64) -> Option<&Transmission> {
+        self.active.get(&id).map(|(t, _)| t)
+    }
+
+    /// Drop one reference; the transmission is removed at zero.
+    pub fn release(&mut self, id: u64) {
+        if let Some((_, refs)) = self.active.get_mut(&id) {
+            *refs -= 1;
+            if *refs == 0 {
+                self.active.remove(&id);
+            }
+        }
+    }
+
+    /// Number of transmissions currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total transmissions ever started.
+    pub fn total_transmissions(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FrameKind;
+
+    fn frame() -> Frame {
+        Frame {
+            mac_src: NodeId(0),
+            mac_dst: NodeId::BROADCAST,
+            kind: FrameKind::Data,
+            size_bytes: 100,
+            packet: None,
+            ack_uid: 0,
+            nav: std::time::Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut ch = Channel::new();
+        let id = ch.begin(NodeId(0), frame(), SimTime::ZERO, SimTime::from_millis(1), 2);
+        assert_eq!(ch.in_flight(), 1);
+        assert!(ch.get(id).is_some());
+        ch.release(id);
+        assert!(ch.get(id).is_some(), "still one reference");
+        ch.release(id);
+        assert!(ch.get(id).is_none());
+        assert_eq!(ch.in_flight(), 0);
+        assert_eq!(ch.total_transmissions(), 1);
+    }
+
+    #[test]
+    fn retain_extends_life() {
+        let mut ch = Channel::new();
+        let id = ch.begin(NodeId(0), frame(), SimTime::ZERO, SimTime::from_millis(1), 1);
+        ch.retain(id, 2);
+        ch.release(id);
+        ch.release(id);
+        assert!(ch.get(id).is_some());
+        ch.release(id);
+        assert!(ch.get(id).is_none());
+    }
+
+    #[test]
+    fn distinct_ids() {
+        let mut ch = Channel::new();
+        let a = ch.begin(NodeId(0), frame(), SimTime::ZERO, SimTime::from_millis(1), 1);
+        let b = ch.begin(NodeId(1), frame(), SimTime::ZERO, SimTime::from_millis(1), 1);
+        assert_ne!(a, b);
+        assert_eq!(ch.in_flight(), 2);
+    }
+
+    #[test]
+    fn release_unknown_is_noop() {
+        let mut ch = Channel::new();
+        ch.release(42);
+        assert_eq!(ch.in_flight(), 0);
+    }
+}

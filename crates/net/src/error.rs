@@ -1,0 +1,49 @@
+//! Error types for simulator construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when building or driving a simulation with inconsistent
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The mobility model covers fewer nodes than the scenario declares.
+    MobilityTooSmall {
+        /// Nodes requested by the scenario.
+        nodes: usize,
+        /// Nodes covered by the mobility model.
+        covered: usize,
+    },
+    /// A node index is out of range.
+    UnknownNode {
+        /// The offending index.
+        node: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::MobilityTooSmall { nodes, covered } => write!(
+                f,
+                "mobility model covers {covered} nodes but the scenario has {nodes}"
+            ),
+            NetError::UnknownNode { node } => write!(f, "unknown node index {node}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = NetError::MobilityTooSmall { nodes: 30, covered: 10 };
+        assert!(e.to_string().contains("30"));
+        assert!(NetError::UnknownNode { node: 5 }.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,105 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+/// A node (station) identifier, doubling as its MAC- and network-layer
+/// address, like ns-2's flat addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The link-layer broadcast address.
+    pub const BROADCAST: NodeId = NodeId(u32::MAX);
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == NodeId::BROADCAST
+    }
+
+    /// The dense index of a non-broadcast node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on the broadcast address.
+    pub fn index(&self) -> usize {
+        assert!(!self.is_broadcast(), "broadcast address has no index");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_broadcast() {
+            write!(f, "node(*)")
+        } else {
+            write!(f, "node({})", self.0)
+        }
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// An end-to-end traffic flow identifier (source, destination, port-like
+/// discriminator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Discriminator distinguishing parallel flows between the same pair.
+    pub port: u16,
+}
+
+impl FlowId {
+    /// Construct a flow id.
+    pub fn new(src: NodeId, dst: NodeId, port: u16) -> Self {
+        FlowId { src, dst, port }
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}→{}:{}", self.src, self.dst, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast() {
+        assert!(NodeId::BROADCAST.is_broadcast());
+        assert!(!NodeId(0).is_broadcast());
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast")]
+    fn broadcast_has_no_index() {
+        NodeId::BROADCAST.index();
+    }
+
+    #[test]
+    fn index_of_regular_node() {
+        assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "node(3)");
+        assert_eq!(NodeId::BROADCAST.to_string(), "node(*)");
+        let f = FlowId::new(NodeId(1), NodeId(0), 5);
+        assert_eq!(f.to_string(), "node(1)→node(0):5");
+    }
+
+    #[test]
+    fn conversion() {
+        let id: NodeId = 9u32.into();
+        assert_eq!(id, NodeId(9));
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-node assembly: radio state, MAC, routing, application, statistics.
+
+use crate::mac::Mac;
+use crate::packet::Frame;
+use crate::traits::{Application, RoutingProtocol};
+use crate::NodeId;
+
+/// Network-layer counters for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStats {
+    /// Routing control packets sent (originated or forwarded).
+    pub control_sent: u64,
+    /// Bytes of routing control traffic sent.
+    pub control_bytes_sent: u64,
+    /// Data packets originated by this node's application.
+    pub data_originated: u64,
+    /// Data packets forwarded on behalf of others.
+    pub data_forwarded: u64,
+    /// Data packets delivered to this node's application.
+    pub data_delivered: u64,
+}
+
+/// Outcome of a completed reception.
+#[derive(Debug)]
+pub(crate) enum RxOutcome {
+    /// The frame decoded cleanly.
+    Decoded(Frame),
+    /// The frame was corrupted by a collision.
+    Collided,
+    /// The signal was never locked onto (noise, or we were busy).
+    NotReceived,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    tx_id: u64,
+    power: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RxLock {
+    tx_id: u64,
+    power: f64,
+    corrupted: bool,
+}
+
+/// Receiver-side radio state: the set of signals currently arriving (above
+/// the carrier-sense floor), the reception being decoded, and the capture
+/// rule applied on overlap — ns-2's wireless-phy semantics.
+#[derive(Debug, Default)]
+pub(crate) struct Radio {
+    transmitting: bool,
+    lock: Option<RxLock>,
+    arrivals: Vec<Arrival>,
+}
+
+impl Radio {
+    /// Whether the station senses the medium busy (own transmission or any
+    /// arriving signal above the carrier-sense threshold).
+    pub(crate) fn medium_busy(&self) -> bool {
+        self.transmitting || !self.arrivals.is_empty()
+    }
+
+    pub(crate) fn is_transmitting(&self) -> bool {
+        self.transmitting
+    }
+
+    /// Start of an arriving signal (already filtered to ≥ CS threshold).
+    pub(crate) fn on_rx_start(&mut self, tx_id: u64, power: f64, rx_threshold: f64, capture_ratio: f64) {
+        self.arrivals.push(Arrival { tx_id, power });
+        if self.transmitting {
+            // Half-duplex: cannot decode while transmitting.
+            return;
+        }
+        match &mut self.lock {
+            None => {
+                if power >= rx_threshold {
+                    // Interference present at lock time can corrupt from the
+                    // start unless we capture over it.
+                    let corrupted = self
+                        .arrivals
+                        .iter()
+                        .any(|a| a.tx_id != tx_id && power < capture_ratio * a.power);
+                    self.lock = Some(RxLock {
+                        tx_id,
+                        power,
+                        corrupted,
+                    });
+                }
+            }
+            Some(lock) => {
+                // Capture rule: the locked frame survives only if it is
+                // stronger than the newcomer by the capture ratio.
+                if lock.power < capture_ratio * power {
+                    lock.corrupted = true;
+                }
+            }
+        }
+    }
+
+    /// A signal finished arriving. Returns what happened if it was the
+    /// locked frame.
+    pub(crate) fn on_rx_end(&mut self, tx_id: u64, frame: Option<Frame>) -> RxOutcome {
+        self.arrivals.retain(|a| a.tx_id != tx_id);
+        match self.lock {
+            Some(lock) if lock.tx_id == tx_id => {
+                let corrupted = lock.corrupted;
+                self.lock = None;
+                if corrupted || self.transmitting {
+                    RxOutcome::Collided
+                } else {
+                    match frame {
+                        Some(f) => RxOutcome::Decoded(f),
+                        None => RxOutcome::NotReceived,
+                    }
+                }
+            }
+            _ => RxOutcome::NotReceived,
+        }
+    }
+
+    /// We started transmitting: any reception in progress is ruined.
+    pub(crate) fn on_tx_start(&mut self) {
+        self.transmitting = true;
+        if let Some(lock) = &mut self.lock {
+            lock.corrupted = true;
+        }
+    }
+
+    pub(crate) fn on_tx_end(&mut self) {
+        self.transmitting = false;
+    }
+}
+
+/// A simulated station: radio + MAC + routing + application + counters.
+pub(crate) struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) mac: Mac,
+    pub(crate) radio: Radio,
+    pub(crate) routing: Option<Box<dyn RoutingProtocol>>,
+    pub(crate) app: Option<Box<dyn Application>>,
+    pub(crate) stats: NodeStats,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FrameKind;
+
+    fn frame() -> Frame {
+        Frame {
+            mac_src: NodeId(1),
+            mac_dst: NodeId(0),
+            kind: FrameKind::Data,
+            size_bytes: 100,
+            packet: None,
+            ack_uid: 0,
+            nav: std::time::Duration::ZERO,
+        }
+    }
+
+    const RX: f64 = 1e-10;
+    const CAP: f64 = 10.0;
+
+    #[test]
+    fn clean_reception_decodes() {
+        let mut r = Radio::default();
+        assert!(!r.medium_busy());
+        r.on_rx_start(1, 1e-9, RX, CAP);
+        assert!(r.medium_busy());
+        match r.on_rx_end(1, Some(frame())) {
+            RxOutcome::Decoded(_) => {}
+            other => panic!("expected decode, got {other:?}"),
+        }
+        assert!(!r.medium_busy());
+    }
+
+    #[test]
+    fn weak_signal_is_sensed_but_not_decoded() {
+        let mut r = Radio::default();
+        r.on_rx_start(1, 1e-12, RX, CAP); // above CS floor, below RX threshold
+        assert!(r.medium_busy());
+        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::NotReceived));
+    }
+
+    #[test]
+    fn collision_of_comparable_signals() {
+        let mut r = Radio::default();
+        r.on_rx_start(1, 1e-9, RX, CAP);
+        r.on_rx_start(2, 0.5e-9, RX, CAP); // within 10× of the locked frame
+        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::Collided));
+        assert!(matches!(r.on_rx_end(2, Some(frame())), RxOutcome::NotReceived));
+    }
+
+    #[test]
+    fn capture_over_weak_interferer() {
+        let mut r = Radio::default();
+        r.on_rx_start(1, 1e-8, RX, CAP);
+        r.on_rx_start(2, 1e-10, RX, CAP); // 100× weaker: captured over
+        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::Decoded(_)));
+    }
+
+    #[test]
+    fn interference_present_at_lock_time_corrupts() {
+        let mut r = Radio::default();
+        r.on_rx_start(1, 1e-12, RX, CAP); // noise first (below RX threshold)
+        r.on_rx_start(2, 5e-12, RX, CAP); // would-be frame, but < 10× the noise
+        // Signal 2 locks but is corrupted from the start... only if it
+        // reached the rx threshold at all; use stronger numbers:
+        let mut r2 = Radio::default();
+        r2.on_rx_start(1, 1e-10, RX, CAP);
+        // tx 1 locks. End it; now test new lock with lingering interference.
+        let _ = r2.on_rx_end(1, Some(frame()));
+        r2.on_rx_start(2, 2e-10, RX, CAP); // interferer arrives first
+        r2.on_rx_start(3, 4e-10, RX, CAP); // wait: 2 locks (≥ RX), 3 corrupts 2
+        assert!(matches!(r2.on_rx_end(2, Some(frame())), RxOutcome::Collided));
+    }
+
+    #[test]
+    fn transmitting_blocks_reception() {
+        let mut r = Radio::default();
+        r.on_tx_start();
+        assert!(r.is_transmitting());
+        r.on_rx_start(1, 1e-8, RX, CAP);
+        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::NotReceived));
+        r.on_tx_end();
+        assert!(!r.is_transmitting());
+    }
+
+    #[test]
+    fn tx_start_ruins_ongoing_rx() {
+        let mut r = Radio::default();
+        r.on_rx_start(1, 1e-8, RX, CAP);
+        r.on_tx_start();
+        r.on_tx_end();
+        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::Collided));
+    }
+
+    #[test]
+    fn medium_busy_while_any_arrival() {
+        let mut r = Radio::default();
+        r.on_rx_start(1, 1e-12, RX, CAP);
+        r.on_rx_start(2, 1e-12, RX, CAP);
+        let _ = r.on_rx_end(1, None);
+        assert!(r.medium_busy(), "second signal still arriving");
+        let _ = r.on_rx_end(2, None);
+        assert!(!r.medium_busy());
+    }
+}

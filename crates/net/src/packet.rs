@@ -1,0 +1,237 @@
+//! Network-layer packets and link-layer frames.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{FlowId, NodeId, SimTime};
+
+/// Opaque routing-protocol control payload.
+///
+/// Routing protocols attach their message structs as `Arc<dyn Any>` and
+/// downcast on reception; the network layer only needs the wire size. This
+/// mirrors how ns-2 carries protocol headers without the net layer
+/// understanding them.
+pub type ControlBlob = Arc<dyn Any + Send + Sync>;
+
+/// Application data carried by a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPayload {
+    /// Which flow this packet belongs to.
+    pub flow: FlowId,
+    /// Application-level sequence number within the flow.
+    pub seq: u32,
+    /// When the application emitted the packet (for delay measurement).
+    pub sent_at: SimTime,
+}
+
+/// The body of a network-layer packet.
+#[derive(Clone)]
+pub enum PacketBody {
+    /// Application data (CBR payload in the paper's evaluation).
+    Data(DataPayload),
+    /// Routing control message, opaque to the network layer.
+    Control(ControlBlob),
+}
+
+impl fmt::Debug for PacketBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketBody::Data(d) => f.debug_tuple("Data").field(d).finish(),
+            PacketBody::Control(_) => f.write_str("Control(..)"),
+        }
+    }
+}
+
+impl PacketBody {
+    /// Whether this is application data.
+    pub fn is_data(&self) -> bool {
+        matches!(self, PacketBody::Data(_))
+    }
+
+    /// The data payload, if any.
+    pub fn as_data(&self) -> Option<&DataPayload> {
+        match self {
+            PacketBody::Data(d) => Some(d),
+            PacketBody::Control(_) => None,
+        }
+    }
+
+    /// Downcast a control payload to a concrete message type.
+    pub fn as_control<T: 'static>(&self) -> Option<&T> {
+        match self {
+            PacketBody::Control(blob) => blob.downcast_ref::<T>(),
+            PacketBody::Data(_) => None,
+        }
+    }
+}
+
+/// A network-layer (IP-like) packet.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Originating node.
+    pub src: NodeId,
+    /// Final destination (may be [`NodeId::BROADCAST`] for flooded control).
+    pub dst: NodeId,
+    /// Remaining hop budget; decremented at each forward.
+    pub ttl: u8,
+    /// Payload size in bytes (excluding MAC/IP overhead), for airtime
+    /// accounting.
+    pub size_bytes: u32,
+    /// Globally unique packet id (assigned by the simulator on first send).
+    pub uid: u64,
+    /// The payload.
+    pub body: PacketBody,
+}
+
+impl Packet {
+    /// Default IP-ish TTL.
+    pub const DEFAULT_TTL: u8 = 64;
+
+    /// Construct a data packet.
+    pub fn data(flow: FlowId, seq: u32, size_bytes: u32, sent_at: SimTime) -> Self {
+        Packet {
+            src: flow.src,
+            dst: flow.dst,
+            ttl: Self::DEFAULT_TTL,
+            size_bytes,
+            uid: 0,
+            body: PacketBody::Data(DataPayload { flow, seq, sent_at }),
+        }
+    }
+
+    /// Construct a routing control packet.
+    pub fn control<T: Any + Send + Sync>(
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u32,
+        message: T,
+    ) -> Self {
+        Packet {
+            src,
+            dst,
+            ttl: Self::DEFAULT_TTL,
+            size_bytes,
+            uid: 0,
+            body: PacketBody::Control(Arc::new(message)),
+        }
+    }
+
+    /// Whether the packet carries application data.
+    pub fn is_data(&self) -> bool {
+        self.body.is_data()
+    }
+}
+
+/// Link-layer frame types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// An 802.11 data frame carrying a network-layer packet.
+    Data,
+    /// An 802.11 acknowledgement.
+    Ack,
+    /// Request-to-send (only when RTS/CTS is enabled — Table 1 has it off).
+    Rts,
+    /// Clear-to-send.
+    Cts,
+}
+
+impl FrameKind {
+    /// Control frames are sent at the basic rate.
+    pub fn is_control(&self) -> bool {
+        !matches!(self, FrameKind::Data)
+    }
+}
+
+/// A link-layer frame in flight.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Transmitting station.
+    pub mac_src: NodeId,
+    /// Receiving station (next hop) or broadcast.
+    pub mac_dst: NodeId,
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Total size on the air in bytes (payload + MAC/IP overhead, or the
+    /// control-frame size).
+    pub size_bytes: u32,
+    /// The encapsulated packet (`None` for control frames).
+    pub packet: Option<Packet>,
+    /// For ACKs: the uid of the data frame being acknowledged.
+    pub ack_uid: u64,
+    /// 802.11 duration field: how long the medium stays reserved *after*
+    /// this frame ends. Third parties set their NAV from it (virtual
+    /// carrier sense). Zero for plain data/ACK operation.
+    pub nav: std::time::Duration,
+}
+
+impl Frame {
+    /// Whether the frame is destined to `node` (directly or by broadcast).
+    pub fn addressed_to(&self, node: NodeId) -> bool {
+        self.mac_dst.is_broadcast() || self.mac_dst == node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowId {
+        FlowId::new(NodeId(1), NodeId(0), 0)
+    }
+
+    #[test]
+    fn data_packet_fields() {
+        let p = Packet::data(flow(), 7, 512, SimTime::from_secs(1));
+        assert_eq!(p.src, NodeId(1));
+        assert_eq!(p.dst, NodeId(0));
+        assert!(p.is_data());
+        let d = p.body.as_data().unwrap();
+        assert_eq!(d.seq, 7);
+        assert_eq!(d.sent_at, SimTime::from_secs(1));
+        assert_eq!(p.ttl, Packet::DEFAULT_TTL);
+    }
+
+    #[test]
+    fn control_downcast() {
+        #[derive(Debug, PartialEq)]
+        struct Hello {
+            n: u32,
+        }
+        let p = Packet::control(NodeId(2), NodeId::BROADCAST, 24, Hello { n: 5 });
+        assert!(!p.is_data());
+        assert_eq!(p.body.as_control::<Hello>(), Some(&Hello { n: 5 }));
+        assert!(p.body.as_control::<u64>().is_none());
+        assert!(p.body.as_data().is_none());
+    }
+
+    #[test]
+    fn control_blob_is_cheaply_cloneable() {
+        let p = Packet::control(NodeId(0), NodeId(1), 100, vec![1u8; 1000]);
+        let q = p.clone();
+        assert_eq!(q.size_bytes, 100);
+    }
+
+    #[test]
+    fn frame_addressing() {
+        let f = Frame {
+            mac_src: NodeId(1),
+            mac_dst: NodeId(2),
+            kind: FrameKind::Data,
+            size_bytes: 512,
+            packet: None,
+            ack_uid: 0,
+            nav: std::time::Duration::ZERO,
+        };
+        assert!(f.addressed_to(NodeId(2)));
+        assert!(!f.addressed_to(NodeId(3)));
+        let b = Frame { mac_dst: NodeId::BROADCAST, ..f };
+        assert!(b.addressed_to(NodeId(3)));
+    }
+
+    #[test]
+    fn body_debug_is_nonempty() {
+        let p = Packet::control(NodeId(0), NodeId(1), 10, 42u32);
+        assert!(!format!("{:?}", p.body).is_empty());
+    }
+}

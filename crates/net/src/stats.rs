@@ -1,0 +1,29 @@
+//! Simulation-wide statistics.
+
+/// Channel-level counters aggregated across the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GlobalStats {
+    /// Total frames put on the air by all stations.
+    pub transmissions: u64,
+    /// Frames decoded successfully at some receiver (counted per receiver).
+    pub decoded: u64,
+    /// Receptions abandoned because of collisions (counted per receiver).
+    pub collisions: u64,
+    /// Receptions abandoned because the receiver was transmitting.
+    pub rx_while_tx: u64,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = GlobalStats::default();
+        assert_eq!(s.transmissions, 0);
+        assert_eq!(s.decoded, 0);
+        assert_eq!(s.collisions, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Hook traits implemented by routing protocols and applications.
+
+use crate::{NodeApi, NodeId, Packet};
+
+/// A network-layer routing protocol attached to a node.
+///
+/// The protocol is an event-driven state machine: the simulator calls into
+/// it with originated packets, received packets, timers and link-layer
+/// feedback, and the protocol reacts through the [`NodeApi`] (sending
+/// packets, scheduling timers, delivering data to the application).
+///
+/// Implementations live in `cavenet-routing` (AODV, OLSR, DYMO, and
+/// baselines); [`NullRouting`] here provides single-hop delivery for tests.
+pub trait RoutingProtocol {
+    /// Short protocol name for reports ("aodv", "olsr", …).
+    fn name(&self) -> &'static str;
+
+    /// Called once when the simulation starts.
+    fn start(&mut self, api: &mut NodeApi<'_>) {
+        let _ = api;
+    }
+
+    /// A locally originated packet needs a forwarding decision.
+    fn route_output(&mut self, api: &mut NodeApi<'_>, packet: Packet);
+
+    /// A packet arrived from neighbour `from` (control, or data that may
+    /// need forwarding or local delivery).
+    fn handle_received(&mut self, api: &mut NodeApi<'_>, packet: Packet, from: NodeId);
+
+    /// A timer scheduled through [`NodeApi::schedule`] fired.
+    fn handle_timer(&mut self, api: &mut NodeApi<'_>, token: u64) {
+        let _ = (api, token);
+    }
+
+    /// The MAC delivered (and got an ACK for) a unicast packet.
+    fn tx_ok(&mut self, api: &mut NodeApi<'_>, packet: &Packet, next_hop: NodeId) {
+        let _ = (api, packet, next_hop);
+    }
+
+    /// The MAC gave up on a unicast packet — the link to `next_hop` is
+    /// considered broken (paper: DYMO "examining feedback obtained from the
+    /// data link layer").
+    fn tx_failed(&mut self, api: &mut NodeApi<'_>, packet: Packet, next_hop: NodeId) {
+        let _ = (api, packet, next_hop);
+    }
+}
+
+/// An application attached to a node (traffic source or sink).
+pub trait Application {
+    /// Called once when the simulation starts.
+    fn start(&mut self, api: &mut NodeApi<'_>) {
+        let _ = api;
+    }
+
+    /// A timer scheduled through [`NodeApi::schedule`] fired.
+    fn handle_timer(&mut self, api: &mut NodeApi<'_>, token: u64) {
+        let _ = (api, token);
+    }
+
+    /// A data packet destined to this node arrived.
+    fn handle_packet(&mut self, api: &mut NodeApi<'_>, packet: &Packet) {
+        let _ = (api, packet);
+    }
+}
+
+/// Minimal routing: unicast packets go straight to their destination as the
+/// next hop (single-hop reachability only), broadcasts are broadcast.
+/// Useful for MAC/PHY tests and as the zero-cost baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRouting;
+
+impl RoutingProtocol for NullRouting {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn route_output(&mut self, api: &mut NodeApi<'_>, packet: Packet) {
+        let next = packet.dst;
+        api.send(packet, next);
+    }
+
+    fn handle_received(&mut self, api: &mut NodeApi<'_>, packet: Packet, _from: NodeId) {
+        if packet.dst == api.id() || packet.dst.is_broadcast() {
+            api.deliver_to_app(packet);
+        }
+    }
+}
+
+/// An application that does nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullApplication;
+
+impl Application for NullApplication {}

@@ -1,0 +1,751 @@
+//! Ad-hoc On-demand Distance Vector routing (RFC 3561).
+//!
+//! AODV is reactive: routes are discovered only when needed, by flooding a
+//! Route Request (RREQ) and unicasting a Route Reply (RREP) back along the
+//! reverse path. Loop freedom comes from per-destination sequence numbers.
+//! Link breakage — detected by HELLO silence or MAC transmission failure —
+//! triggers Route Errors (RERR) that invalidate affected routes upstream
+//! (paper §III-B-2).
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use cavenet_net::{NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+
+use crate::table::{seq_newer, RouteEntry, RouteTable};
+
+/// AODV tunables (RFC 3561 §10 defaults, with the paper's 1 s HELLO
+/// interval from Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AodvConfig {
+    /// HELLO broadcast interval (Table 1: 1 s).
+    pub hello_interval: Duration,
+    /// Missed HELLOs before a neighbour is declared lost.
+    pub allowed_hello_loss: u32,
+    /// Lifetime granted to routes used or created by data traffic.
+    pub active_route_timeout: Duration,
+    /// How long a route-discovery attempt waits before retrying.
+    pub discovery_timeout: Duration,
+    /// Maximum RREQ retries per discovery (RREQ_RETRIES).
+    pub max_discovery_retries: u32,
+    /// RREQ flood TTL.
+    pub net_diameter: u8,
+    /// How long buffered data waits for a route before being dropped.
+    pub max_queue_time: Duration,
+    /// Use the expanding-ring search (RFC 3561 §6.4): probe with growing
+    /// TTLs before flooding the whole network. Off by default — the
+    /// simplified full-flood discovery is easier to reason about and is
+    /// what the committed reference numbers use.
+    pub expanding_ring: bool,
+    /// Conservative per-hop traversal estimate (NODE_TRAVERSAL_TIME) used
+    /// to size ring-search timeouts.
+    pub node_traversal_time: Duration,
+    /// First ring TTL (TTL_START).
+    pub ttl_start: u8,
+    /// Ring TTL growth per attempt (TTL_INCREMENT).
+    pub ttl_increment: u8,
+    /// Beyond this TTL the search jumps to `net_diameter` (TTL_THRESHOLD).
+    pub ttl_threshold: u8,
+}
+
+impl Default for AodvConfig {
+    fn default() -> Self {
+        AodvConfig {
+            hello_interval: Duration::from_secs(1),
+            allowed_hello_loss: 2,
+            active_route_timeout: Duration::from_secs(3),
+            discovery_timeout: Duration::from_millis(1500),
+            max_discovery_retries: 2,
+            net_diameter: 35,
+            max_queue_time: Duration::from_secs(10),
+            expanding_ring: false,
+            node_traversal_time: Duration::from_millis(40),
+            ttl_start: 1,
+            ttl_increment: 2,
+            ttl_threshold: 7,
+        }
+    }
+}
+
+impl AodvConfig {
+    /// RING_TRAVERSAL_TIME for a search of radius `ttl`
+    /// (RFC 3561: `2 · NODE_TRAVERSAL_TIME · (TTL + TIMEOUT_BUFFER)` with
+    /// TIMEOUT_BUFFER = 2).
+    fn ring_traversal_time(&self, ttl: u8) -> Duration {
+        self.node_traversal_time * 2 * (u32::from(ttl) + 2)
+    }
+}
+
+/// Route Request (wire size ≈ 24 bytes).
+#[derive(Debug, Clone)]
+struct Rreq {
+    rreq_id: u32,
+    dst: NodeId,
+    dst_seq: Option<u32>,
+    origin: NodeId,
+    origin_seq: u32,
+    hop_count: u32,
+}
+
+/// Route Reply (wire size ≈ 20 bytes).
+#[derive(Debug, Clone)]
+struct Rrep {
+    dst: NodeId,
+    dst_seq: u32,
+    origin: NodeId,
+    hop_count: u32,
+    lifetime: Duration,
+}
+
+/// Route Error (wire size ≈ 4 + 8·n bytes).
+#[derive(Debug, Clone)]
+struct Rerr {
+    unreachable: Vec<(NodeId, u32)>,
+}
+
+/// HELLO beacon (RFC: a TTL-1 RREP; wire size ≈ 20 bytes).
+#[derive(Debug, Clone)]
+struct Hello {
+    seq: u32,
+}
+
+const RREQ_SIZE: u32 = 24;
+const RREP_SIZE: u32 = 20;
+const HELLO_SIZE: u32 = 20;
+const TOKEN_HELLO: u64 = 1;
+const TOKEN_TICK: u64 = 2;
+const TICK: Duration = Duration::from_millis(250);
+
+#[derive(Debug)]
+struct PendingDiscovery {
+    retries: u32,
+    deadline: SimTime,
+    /// Current search radius (TTL) — grows under expanding-ring search.
+    ttl: u8,
+    queued: VecDeque<(Packet, SimTime)>,
+}
+
+/// The AODV routing protocol state for one node.
+#[derive(Debug)]
+pub struct Aodv {
+    config: AodvConfig,
+    table: RouteTable,
+    seqno: u32,
+    rreq_id: u32,
+    /// RREQ duplicate cache: (origin, rreq_id) → expiry.
+    seen_rreq: HashMap<(NodeId, u32), SimTime>,
+    /// Last time each neighbour was heard.
+    neighbours: HashMap<NodeId, SimTime>,
+    pending: HashMap<NodeId, PendingDiscovery>,
+}
+
+impl Default for Aodv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aodv {
+    /// AODV with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(AodvConfig::default())
+    }
+
+    /// AODV with explicit configuration.
+    pub fn with_config(config: AodvConfig) -> Self {
+        Aodv {
+            config,
+            table: RouteTable::new(),
+            seqno: 0,
+            rreq_id: 0,
+            seen_rreq: HashMap::new(),
+            neighbours: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Read access to the routing table (for inspection and tests).
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+
+    fn route_lifetime(&self, api: &NodeApi<'_>) -> SimTime {
+        api.now() + self.config.active_route_timeout
+    }
+
+    /// Note that we can hear `neighbour` (creates/refreshes the 1-hop
+    /// route).
+    fn touch_neighbour(&mut self, api: &mut NodeApi<'_>, neighbour: NodeId, seq: Option<u32>) {
+        self.neighbours.insert(neighbour, api.now());
+        let expires = self.route_lifetime(api);
+        let entry = RouteEntry {
+            next_hop: neighbour,
+            hop_count: 1,
+            seqno: seq.unwrap_or_else(|| {
+                self.table.get(neighbour).map_or(0, |r| r.seqno)
+            }),
+            expires,
+            valid: true,
+        };
+        self.table.offer(neighbour, entry, api.now());
+        self.table.refresh(neighbour, expires);
+    }
+
+    fn start_discovery(&mut self, api: &mut NodeApi<'_>, dst: NodeId, first: bool, ttl: u8) {
+        if first {
+            self.seqno = self.seqno.wrapping_add(1);
+        }
+        self.rreq_id = self.rreq_id.wrapping_add(1);
+        let rreq = Rreq {
+            rreq_id: self.rreq_id,
+            dst,
+            dst_seq: self.table.get(dst).map(|r| r.seqno),
+            origin: api.id(),
+            origin_seq: self.seqno,
+            hop_count: 0,
+        };
+        // Remember our own RREQ so we do not re-process it.
+        self.seen_rreq.insert(
+            (api.id(), self.rreq_id),
+            api.now() + Duration::from_secs(5),
+        );
+        let mut packet = Packet::control(api.id(), NodeId::BROADCAST, RREQ_SIZE, rreq);
+        packet.ttl = ttl;
+        api.send(packet, NodeId::BROADCAST);
+    }
+
+    /// Initial search radius for a fresh discovery.
+    fn initial_ttl(&self) -> u8 {
+        if self.config.expanding_ring {
+            self.config.ttl_start
+        } else {
+            self.config.net_diameter
+        }
+    }
+
+    /// Timeout for a search at the given radius.
+    fn discovery_wait(&self, ttl: u8) -> Duration {
+        if self.config.expanding_ring {
+            self.config.ring_traversal_time(ttl)
+        } else {
+            self.config.discovery_timeout
+        }
+    }
+
+    fn flush_pending(&mut self, api: &mut NodeApi<'_>, dst: NodeId) {
+        let Some(p) = self.pending.remove(&dst) else { return };
+        for (packet, _) in p.queued {
+            self.forward_data(api, packet);
+        }
+    }
+
+    fn forward_data(&mut self, api: &mut NodeApi<'_>, packet: Packet) {
+        let now = api.now();
+        let dst = packet.dst;
+        if let Some(route) = self.table.lookup(dst, now) {
+            let nh = route.next_hop;
+            let lifetime = now + self.config.active_route_timeout;
+            self.table.refresh(dst, lifetime);
+            self.table.refresh(nh, lifetime);
+            api.send(packet, nh);
+        } else {
+            // No route mid-path: drop and report upstream.
+            self.originate_rerr(api, vec![(dst, self.table.get(dst).map_or(0, |r| r.seqno))]);
+        }
+    }
+
+    fn originate_rerr(&mut self, api: &mut NodeApi<'_>, unreachable: Vec<(NodeId, u32)>) {
+        if unreachable.is_empty() {
+            return;
+        }
+        let size = 4 + 8 * unreachable.len() as u32;
+        let rerr = Rerr { unreachable };
+        let packet = Packet::control(api.id(), NodeId::BROADCAST, size, rerr);
+        api.send(packet, NodeId::BROADCAST);
+    }
+
+    fn handle_rreq(&mut self, api: &mut NodeApi<'_>, packet: &Packet, rreq: &Rreq, from: NodeId) {
+        let now = api.now();
+        // Duplicate suppression.
+        let key = (rreq.origin, rreq.rreq_id);
+        if self.seen_rreq.contains_key(&key) {
+            return;
+        }
+        self.seen_rreq.insert(key, now + Duration::from_secs(5));
+
+        self.touch_neighbour(api, from, None);
+        // Reverse route to the originator through `from`.
+        let hops = rreq.hop_count + 1;
+        self.table.offer(
+            rreq.origin,
+            RouteEntry {
+                next_hop: from,
+                hop_count: hops,
+                seqno: rreq.origin_seq,
+                expires: now + self.config.active_route_timeout,
+                valid: true,
+            },
+            now,
+        );
+
+        if rreq.dst == api.id() {
+            // RFC 3561 §6.6.1: destination sets its seq to max(own, RREQ's).
+            if let Some(ds) = rreq.dst_seq {
+                if seq_newer(ds, self.seqno) {
+                    self.seqno = ds;
+                }
+            }
+            self.seqno = self.seqno.wrapping_add(1);
+            let rrep = Rrep {
+                dst: api.id(),
+                dst_seq: self.seqno,
+                origin: rreq.origin,
+                hop_count: 0,
+                lifetime: self.config.active_route_timeout,
+            };
+            let reply = Packet::control(api.id(), rreq.origin, RREP_SIZE, rrep);
+            api.send(reply, from);
+            return;
+        }
+
+        // Intermediate node with a fresh-enough valid route replies itself.
+        if let Some(route) = self.table.lookup(rreq.dst, now) {
+            let fresh_enough = rreq
+                .dst_seq
+                .is_none_or(|want| !seq_newer(want, route.seqno));
+            if fresh_enough {
+                let rrep = Rrep {
+                    dst: rreq.dst,
+                    dst_seq: route.seqno,
+                    origin: rreq.origin,
+                    hop_count: route.hop_count,
+                    lifetime: self.config.active_route_timeout,
+                };
+                let reply = Packet::control(api.id(), rreq.origin, RREP_SIZE, rrep);
+                api.send(reply, from);
+                return;
+            }
+        }
+
+        // Otherwise re-flood.
+        if packet.ttl <= 1 {
+            return;
+        }
+        let fwd = Rreq {
+            hop_count: hops,
+            ..rreq.clone()
+        };
+        let mut fwd_packet = Packet::control(rreq.origin, NodeId::BROADCAST, RREQ_SIZE, fwd);
+        fwd_packet.ttl = packet.ttl - 1;
+        api.send(fwd_packet, NodeId::BROADCAST);
+    }
+
+    fn handle_rrep(&mut self, api: &mut NodeApi<'_>, rrep: &Rrep, from: NodeId) {
+        let now = api.now();
+        self.touch_neighbour(api, from, None);
+        // Forward route to the destination through `from`.
+        let hops = rrep.hop_count + 1;
+        self.table.offer(
+            rrep.dst,
+            RouteEntry {
+                next_hop: from,
+                hop_count: hops,
+                seqno: rrep.dst_seq,
+                expires: now + rrep.lifetime,
+                valid: true,
+            },
+            now,
+        );
+
+        if rrep.origin == api.id() {
+            self.flush_pending(api, rrep.dst);
+            return;
+        }
+        // Forward the RREP along the reverse route.
+        if let Some(rev) = self.table.lookup(rrep.origin, now) {
+            let nh = rev.next_hop;
+            let fwd = Rrep {
+                hop_count: hops,
+                ..rrep.clone()
+            };
+            let fwd_packet = Packet::control(api.id(), rrep.origin, RREP_SIZE, fwd);
+            api.send(fwd_packet, nh);
+        }
+    }
+
+    fn handle_rerr(&mut self, api: &mut NodeApi<'_>, rerr: &Rerr, from: NodeId) {
+        let now = api.now();
+        let mut propagate = Vec::new();
+        for &(dst, seq) in &rerr.unreachable {
+            if let Some(route) = self.table.get(dst) {
+                if route.valid && route.next_hop == from {
+                    self.table.invalidate(dst);
+                    propagate.push((dst, seq));
+                }
+            }
+        }
+        let _ = now;
+        self.originate_rerr(api, propagate);
+    }
+
+    fn link_broken(&mut self, api: &mut NodeApi<'_>, neighbour: NodeId) {
+        self.neighbours.remove(&neighbour);
+        let broken = self.table.invalidate_via(neighbour);
+        self.originate_rerr(api, broken);
+    }
+
+    fn tick(&mut self, api: &mut NodeApi<'_>) {
+        let now = api.now();
+        // Neighbour timeout.
+        let deadline = self.config.hello_interval * self.config.allowed_hello_loss;
+        let stale: Vec<NodeId> = self
+            .neighbours
+            .iter()
+            .filter(|(_, &last)| now.saturating_since(last) > deadline)
+            .map(|(&n, _)| n)
+            .collect();
+        for n in stale {
+            self.link_broken(api, n);
+        }
+        // RREQ cache purge.
+        self.seen_rreq.retain(|_, &mut exp| exp > now);
+        // Table purge.
+        self.table.purge(now, Duration::from_secs(10));
+        // Discovery retries / expiry.
+        let due: Vec<NodeId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&d, _)| d)
+            .collect();
+        for dst in due {
+            enum Action {
+                GiveUp,
+                Retry { ttl: u8, wait: Duration },
+            }
+            let config = self.config;
+            let action = {
+                let p = self.pending.get_mut(&dst).expect("pending entry");
+                if self.config.expanding_ring && p.ttl < self.config.net_diameter {
+                    // Widen the ring; failures below full radius do not
+                    // count against RREQ_RETRIES (RFC 3561 §6.4).
+                    // A zero increment must still make progress, or an
+                    // unreachable destination would be probed forever
+                    // without ever consuming RREQ_RETRIES.
+                    let step = self.config.ttl_increment.max(1);
+                    let next = if p.ttl >= self.config.ttl_threshold {
+                        self.config.net_diameter
+                    } else {
+                        p.ttl.saturating_add(step)
+                    };
+                    p.ttl = next;
+                    Action::Retry {
+                        ttl: next,
+                        wait: self.config.ring_traversal_time(next),
+                    }
+                } else {
+                    p.retries += 1;
+                    if p.retries > self.config.max_discovery_retries {
+                        Action::GiveUp
+                    } else {
+                        // Binary exponential backoff on the wait.
+                        let base = if config.expanding_ring {
+                            config.ring_traversal_time(p.ttl)
+                        } else {
+                            config.discovery_timeout
+                        };
+                        let wait = base * 2u32.pow(p.retries.min(4));
+                        Action::Retry { ttl: p.ttl, wait }
+                    }
+                }
+            };
+            match action {
+                Action::GiveUp => {
+                    self.pending.remove(&dst);
+                }
+                Action::Retry { ttl, wait } => {
+                    if let Some(p) = self.pending.get_mut(&dst) {
+                        p.deadline = now + wait;
+                    }
+                    self.start_discovery(api, dst, false, ttl);
+                }
+            }
+        }
+        // Queued-data expiry.
+        let max_q = self.config.max_queue_time;
+        for p in self.pending.values_mut() {
+            p.queued
+                .retain(|(_, queued_at)| now.saturating_since(*queued_at) <= max_q);
+        }
+    }
+}
+
+impl RoutingProtocol for Aodv {
+    fn name(&self) -> &'static str {
+        "aodv"
+    }
+
+    fn start(&mut self, api: &mut NodeApi<'_>) {
+        // Jittered periodic timers.
+        let jitter = Duration::from_millis(api.rng().gen_range(0..200));
+        api.schedule(self.config.hello_interval / 2 + jitter, TOKEN_HELLO);
+        api.schedule(TICK + jitter, TOKEN_TICK);
+    }
+
+    fn route_output(&mut self, api: &mut NodeApi<'_>, packet: Packet) {
+        let now = api.now();
+        let dst = packet.dst;
+        if dst.is_broadcast() {
+            api.send(packet, NodeId::BROADCAST);
+            return;
+        }
+        if self.table.lookup(dst, now).is_some() {
+            self.forward_data(api, packet);
+            return;
+        }
+        // Buffer and discover.
+        let fresh = !self.pending.contains_key(&dst);
+        let ttl = self.initial_ttl();
+        let deadline = now + self.discovery_wait(ttl);
+        let entry = self
+            .pending
+            .entry(dst)
+            .or_insert_with(|| PendingDiscovery {
+                retries: 0,
+                deadline,
+                ttl,
+                queued: VecDeque::new(),
+            });
+        entry.queued.push_back((packet, now));
+        if fresh {
+            self.start_discovery(api, dst, true, ttl);
+        }
+    }
+
+    fn handle_received(&mut self, api: &mut NodeApi<'_>, mut packet: Packet, from: NodeId) {
+        if let Some(rreq) = packet.body.as_control::<Rreq>() {
+            let rreq = rreq.clone();
+            self.handle_rreq(api, &packet, &rreq, from);
+            return;
+        }
+        if let Some(rrep) = packet.body.as_control::<Rrep>() {
+            let rrep = rrep.clone();
+            self.handle_rrep(api, &rrep, from);
+            return;
+        }
+        if let Some(rerr) = packet.body.as_control::<Rerr>() {
+            let rerr = rerr.clone();
+            self.handle_rerr(api, &rerr, from);
+            return;
+        }
+        if let Some(hello) = packet.body.as_control::<Hello>() {
+            let seq = hello.seq;
+            self.touch_neighbour(api, from, Some(seq));
+            return;
+        }
+        // Data.
+        self.touch_neighbour(api, from, None);
+        if packet.dst == api.id() {
+            api.deliver_to_app(packet);
+            return;
+        }
+        if packet.ttl <= 1 {
+            return;
+        }
+        packet.ttl -= 1;
+        // Keep the route to the source fresh too (RFC 3561 §6.2).
+        if packet.src != api.id() {
+            self.table
+                .refresh(packet.src, api.now() + self.config.active_route_timeout);
+        }
+        self.forward_data(api, packet);
+    }
+
+    fn handle_timer(&mut self, api: &mut NodeApi<'_>, token: u64) {
+        match token {
+            TOKEN_HELLO => {
+                self.seqno = self.seqno.wrapping_add(1);
+                let hello = Hello { seq: self.seqno };
+                let packet = Packet::control(api.id(), NodeId::BROADCAST, HELLO_SIZE, hello);
+                api.send(packet, NodeId::BROADCAST);
+                let jitter = Duration::from_millis(api.rng().gen_range(0..100));
+                api.schedule(self.config.hello_interval - Duration::from_millis(50) + jitter, TOKEN_HELLO);
+            }
+            TOKEN_TICK => {
+                self.tick(api);
+                api.schedule(TICK, TOKEN_TICK);
+            }
+            _ => {}
+        }
+    }
+
+    fn tx_failed(&mut self, api: &mut NodeApi<'_>, packet: Packet, next_hop: NodeId) {
+        self.link_broken(api, next_hop);
+        // If we originated the packet, try to rediscover rather than lose it.
+        if packet.is_data() && packet.src == api.id() {
+            self.route_output(api, packet);
+        }
+    }
+}
+
+use rand::Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{run_line, run_ring};
+
+    #[test]
+    fn name() {
+        assert_eq!(Aodv::new().name(), "aodv");
+    }
+
+    #[test]
+    fn single_hop_delivery() {
+        let (log, sim) = run_line(2, 200.0, |_| Box::new(Aodv::new()), 0, 1, 10, 10.0, 1);
+        assert_eq!(log.borrow().received.len(), 10);
+        // Control traffic was exchanged (hellos + discovery).
+        assert!(sim.node_stats(0).control_sent > 0);
+    }
+
+    #[test]
+    fn multi_hop_discovery_and_delivery() {
+        // 5 nodes at 200 m: 0 → 4 needs 4 hops.
+        let (log, _sim) = run_line(5, 200.0, |_| Box::new(Aodv::new()), 0, 4, 10, 15.0, 2);
+        let got = log.borrow().received.len();
+        assert!(got >= 9, "AODV should deliver nearly all packets, got {got}/10");
+    }
+
+    #[test]
+    fn delivery_on_ring_topology() {
+        // Paper-like: 30 nodes on a 3000 m circuit; sender 5 → receiver 0.
+        let (log, _sim) = run_ring(30, 3000.0, |_| Box::new(Aodv::new()), 5, 0, 10, 20.0, 3);
+        let got = log.borrow().received.len();
+        assert!(got >= 8, "ring delivery too low: {got}/10");
+    }
+
+    #[test]
+    fn unreachable_destination_is_dropped_after_retries() {
+        // Two partitions: nodes 0-1 at x=0,200; node 2 at x=5000.
+        let mobility = cavenet_net::StaticMobility::new(vec![
+            (0.0, 0.0),
+            (200.0, 0.0),
+            (5000.0, 0.0),
+        ]);
+        let (log, _sim) = crate::testutil::run_with_mobility(
+            mobility,
+            3,
+            |_| Box::new(Aodv::new()),
+            0,
+            2,
+            5,
+            15.0,
+            4,
+        );
+        assert_eq!(log.borrow().received.len(), 0);
+    }
+
+    #[test]
+    fn first_packet_latency_includes_discovery() {
+        let (log, _sim) = run_line(4, 200.0, |_| Box::new(Aodv::new()), 0, 3, 5, 15.0, 5);
+        let log = log.borrow();
+        assert!(!log.received.is_empty());
+        let (first_seq, first_at) = log.received[0];
+        assert_eq!(first_seq, 0);
+        // Source starts at 0.5 s; discovery adds latency but below a second
+        // on a quiet 3-hop chain.
+        let latency = first_at.as_secs_f64() - 0.5;
+        assert!(latency > 0.0005, "discovery latency expected, got {latency}");
+        assert!(latency < 2.0, "discovery should finish quickly, got {latency}");
+    }
+
+    #[test]
+    fn routes_have_correct_hop_counts() {
+        use cavenet_net::{ScenarioConfig, Simulator, StaticMobility};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // Capture the AODV instance state via a shared handle is not
+        // possible post-build; instead verify behaviourally: node 0 learns a
+        // route to node 2 (2 hops) only after traffic, never before.
+        let log = Rc::new(RefCell::new(crate::testutil::SinkLog::default()));
+        let mut sim = Simulator::builder(ScenarioConfig::default())
+            .nodes(3)
+            .seed(6)
+            .mobility(Box::new(StaticMobility::line(3, 200.0)))
+            .routing_with(|_| Box::new(Aodv::new()))
+            .app(0, Box::new(crate::testutil::TestSource::new(NodeId(2), 3)))
+            .app(2, Box::new(crate::testutil::TestSink { log: Rc::clone(&log) }))
+            .build();
+        sim.run_until_secs(10.0);
+        assert_eq!(log.borrow().received.len(), 3);
+        // The middle node forwarded them.
+        assert_eq!(sim.node_stats(1).data_forwarded, 3);
+    }
+
+    #[test]
+    fn hello_messages_flow_periodically() {
+        let (_, sim) = run_line(2, 100.0, |_| Box::new(Aodv::new()), 0, 1, 0, 10.0, 7);
+        // ≈10 s of hellos at 1/s from each node.
+        let ctrl = sim.node_stats(0).control_sent;
+        assert!((8..=20).contains(&ctrl), "expected ≈10 hellos, got {ctrl}");
+    }
+
+    #[test]
+    fn default_config_matches_table1() {
+        let c = AodvConfig::default();
+        assert_eq!(c.hello_interval, Duration::from_secs(1));
+    }
+}
+
+#[cfg(test)]
+mod ring_search_tests {
+    use super::*;
+    use crate::testutil::run_line;
+
+    fn ring_aodv() -> Aodv {
+        Aodv::with_config(AodvConfig {
+            expanding_ring: true,
+            ..AodvConfig::default()
+        })
+    }
+
+    #[test]
+    fn expanding_ring_still_delivers_multi_hop() {
+        let (log, _) = run_line(5, 200.0, |_| Box::new(ring_aodv()), 0, 4, 10, 20.0, 2);
+        let got = log.borrow().received.len();
+        assert!(got >= 9, "ring search should deliver, got {got}/10");
+    }
+
+    #[test]
+    fn expanding_ring_reduces_rreq_overhead_for_near_destinations() {
+        // Destination one hop away: the TTL-1 probe suffices, so distant
+        // nodes never see (or re-flood) the RREQ. Compare third-node
+        // control forwarding between the two modes on a 5-node chain where
+        // only nodes 0 and 1 talk.
+        let (_, ring_sim) = run_line(5, 200.0, |_| Box::new(ring_aodv()), 0, 1, 5, 10.0, 3);
+        let (_, flood_sim) = run_line(5, 200.0, |_| Box::new(Aodv::new()), 0, 1, 5, 10.0, 3);
+        // Count control packets sent by the FAR nodes (3, 4) — hello traffic
+        // is identical, so any extra is RREQ re-flooding.
+        let far_ring: u64 = (3..5).map(|i| ring_sim.node_stats(i).control_sent).sum();
+        let far_flood: u64 = (3..5).map(|i| flood_sim.node_stats(i).control_sent).sum();
+        assert!(
+            far_ring <= far_flood,
+            "ring search should not increase far-node control traffic: {far_ring} vs {far_flood}"
+        );
+    }
+
+    #[test]
+    fn expanding_ring_widens_until_distant_destination_found() {
+        // 4 hops away: needs several ring expansions but must still succeed.
+        let (log, _) = run_line(5, 200.0, |_| Box::new(ring_aodv()), 0, 4, 3, 20.0, 4);
+        assert!(!log.borrow().received.is_empty());
+    }
+
+    #[test]
+    fn ring_traversal_time_grows_with_ttl() {
+        let c = AodvConfig::default();
+        assert!(c.ring_traversal_time(1) < c.ring_traversal_time(7));
+        assert_eq!(c.ring_traversal_time(1), Duration::from_millis(240));
+    }
+}

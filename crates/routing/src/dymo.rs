@@ -1,0 +1,652 @@
+//! Dynamic MANET On-demand routing (DYMO, draft-ietf-manet-dymo-14).
+//!
+//! DYMO builds on AODV's on-demand discovery but adds **path accumulation**
+//! (paper §III-B-3): route messages carry the addresses and sequence numbers
+//! of every node they traversed, so "besides route information about a
+//! requested target, a node will also receive information about all
+//! intermediate nodes of a newly discovered path". The other difference the
+//! paper highlights: link failures are disseminated by *flooding* RERRs to
+//! all nodes in range, which in turn re-flood if routes they know become
+//! invalid.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use rand::Rng;
+
+use cavenet_net::{NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+
+use crate::table::{seq_newer, RouteEntry, RouteTable};
+
+/// DYMO tunables (draft defaults, HELLO interval per paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DymoConfig {
+    /// HELLO broadcast interval (Table 1: 1 s).
+    pub hello_interval: Duration,
+    /// Missed HELLOs before a neighbour is declared lost.
+    pub allowed_hello_loss: u32,
+    /// Route lifetime granted on installation/use (ROUTE_TIMEOUT).
+    pub route_timeout: Duration,
+    /// Wait per discovery attempt (RREQ_WAIT_TIME).
+    pub discovery_timeout: Duration,
+    /// Discovery attempts before giving up (RREQ_TRIES).
+    pub max_discovery_retries: u32,
+    /// RREQ flood TTL (MSG_HOPLIMIT).
+    pub hop_limit: u8,
+    /// How long buffered data waits for a route.
+    pub max_queue_time: Duration,
+}
+
+impl Default for DymoConfig {
+    fn default() -> Self {
+        DymoConfig {
+            hello_interval: Duration::from_secs(1),
+            allowed_hello_loss: 2,
+            route_timeout: Duration::from_secs(5),
+            discovery_timeout: Duration::from_secs(1),
+            max_discovery_retries: 3,
+            hop_limit: 20,
+            max_queue_time: Duration::from_secs(10),
+        }
+    }
+}
+
+/// An address block entry accumulated along a route message's path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PathNode {
+    addr: NodeId,
+    seqno: u32,
+}
+
+/// DYMO Routing Message — RREQ and RREP share the structure (the draft's
+/// generic RM with a target and an accumulated address block). Wire size ≈
+/// 8 + 8·path bytes.
+#[derive(Debug, Clone)]
+struct RouteMessage {
+    is_reply: bool,
+    /// Node the message tries to reach (RREQ) or inform (RREP target =
+    /// RREQ's originator).
+    target: NodeId,
+    /// Known target sequence number, for freshness comparison at
+    /// intermediates.
+    target_seq: Option<u32>,
+    /// Discovery id (originator-scoped) for duplicate suppression.
+    msg_id: u32,
+    /// Accumulated path: front is the originator, back is the latest hop.
+    path: Vec<PathNode>,
+}
+
+impl RouteMessage {
+    fn origin(&self) -> NodeId {
+        self.path.first().expect("path never empty").addr
+    }
+
+    fn wire_size(&self) -> u32 {
+        8 + 8 * self.path.len() as u32
+    }
+}
+
+/// Route Error, flooded (wire size ≈ 4 + 8·n).
+#[derive(Debug, Clone)]
+struct Rerr {
+    unreachable: Vec<(NodeId, u32)>,
+}
+
+/// HELLO beacon (wire size ≈ 8).
+#[derive(Debug, Clone)]
+struct Hello {
+    #[allow(dead_code)]
+    seq: u32,
+}
+
+const HELLO_SIZE: u32 = 8;
+const TOKEN_HELLO: u64 = 1;
+const TOKEN_TICK: u64 = 2;
+const TICK: Duration = Duration::from_millis(250);
+
+#[derive(Debug)]
+struct PendingDiscovery {
+    retries: u32,
+    deadline: SimTime,
+    queued: VecDeque<(Packet, SimTime)>,
+}
+
+/// The DYMO routing protocol state for one node.
+#[derive(Debug)]
+pub struct Dymo {
+    config: DymoConfig,
+    table: RouteTable,
+    seqno: u32,
+    msg_id: u32,
+    /// Duplicate cache: (origin, msg_id) → expiry.
+    seen: HashMap<(NodeId, u32), SimTime>,
+    neighbours: HashMap<NodeId, SimTime>,
+    pending: HashMap<NodeId, PendingDiscovery>,
+}
+
+impl Default for Dymo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dymo {
+    /// DYMO with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DymoConfig::default())
+    }
+
+    /// DYMO with explicit configuration.
+    pub fn with_config(config: DymoConfig) -> Self {
+        Dymo {
+            config,
+            table: RouteTable::new(),
+            seqno: 0,
+            msg_id: 0,
+            seen: HashMap::new(),
+            neighbours: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Read access to the routing table.
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+
+    fn touch_neighbour(&mut self, api: &mut NodeApi<'_>, neighbour: NodeId) {
+        self.neighbours.insert(neighbour, api.now());
+        let now = api.now();
+        let entry = RouteEntry {
+            next_hop: neighbour,
+            hop_count: 1,
+            seqno: self.table.get(neighbour).map_or(0, |r| r.seqno),
+            expires: now + self.config.route_timeout,
+            valid: true,
+        };
+        self.table.offer(neighbour, entry, now);
+        self.table.refresh(neighbour, now + self.config.route_timeout);
+    }
+
+    /// Install routes to **every** node on the accumulated path — DYMO's
+    /// signature behaviour.
+    fn learn_path(&mut self, api: &mut NodeApi<'_>, msg: &RouteMessage, from: NodeId) {
+        let now = api.now();
+        let len = msg.path.len() as u32;
+        for (i, node) in msg.path.iter().enumerate() {
+            if node.addr == api.id() {
+                continue;
+            }
+            // The message travelled (len − i) hops from path[i] to us
+            // (path[len−1] is our neighbour `from`, one hop away).
+            let hops = len - i as u32;
+            self.table.offer(
+                node.addr,
+                RouteEntry {
+                    next_hop: from,
+                    hop_count: hops,
+                    seqno: node.seqno,
+                    expires: now + self.config.route_timeout,
+                    valid: true,
+                },
+                now,
+            );
+        }
+    }
+
+    fn start_discovery(&mut self, api: &mut NodeApi<'_>, dst: NodeId) {
+        self.seqno = self.seqno.wrapping_add(1);
+        self.msg_id = self.msg_id.wrapping_add(1);
+        let msg = RouteMessage {
+            is_reply: false,
+            target: dst,
+            target_seq: self.table.get(dst).map(|r| r.seqno),
+            msg_id: self.msg_id,
+            path: vec![PathNode {
+                addr: api.id(),
+                seqno: self.seqno,
+            }],
+        };
+        self.seen
+            .insert((api.id(), self.msg_id), api.now() + Duration::from_secs(5));
+        let size = msg.wire_size();
+        let mut packet = Packet::control(api.id(), NodeId::BROADCAST, size, msg);
+        packet.ttl = self.config.hop_limit;
+        api.send(packet, NodeId::BROADCAST);
+    }
+
+    fn send_reply(&mut self, api: &mut NodeApi<'_>, req: &RouteMessage, via: NodeId) {
+        self.seqno = self.seqno.wrapping_add(1);
+        self.msg_id = self.msg_id.wrapping_add(1);
+        let msg = RouteMessage {
+            is_reply: true,
+            target: req.origin(),
+            target_seq: None,
+            msg_id: self.msg_id,
+            path: vec![PathNode {
+                addr: api.id(),
+                seqno: self.seqno,
+            }],
+        };
+        let size = msg.wire_size();
+        let packet = Packet::control(api.id(), req.origin(), size, msg);
+        api.send(packet, via);
+    }
+
+    fn forward_data(&mut self, api: &mut NodeApi<'_>, packet: Packet) {
+        let now = api.now();
+        let dst = packet.dst;
+        if let Some(route) = self.table.lookup(dst, now) {
+            let nh = route.next_hop;
+            self.table.refresh(dst, now + self.config.route_timeout);
+            self.table.refresh(nh, now + self.config.route_timeout);
+            api.send(packet, nh);
+        } else {
+            let seq = self.table.get(dst).map_or(0, |r| r.seqno);
+            self.flood_rerr(api, vec![(dst, seq)]);
+        }
+    }
+
+    fn flood_rerr(&mut self, api: &mut NodeApi<'_>, unreachable: Vec<(NodeId, u32)>) {
+        if unreachable.is_empty() {
+            return;
+        }
+        let size = 4 + 8 * unreachable.len() as u32;
+        let rerr = Rerr { unreachable };
+        let packet = Packet::control(api.id(), NodeId::BROADCAST, size, rerr);
+        api.send(packet, NodeId::BROADCAST);
+    }
+
+    fn flush_pending(&mut self, api: &mut NodeApi<'_>, dst: NodeId) {
+        let Some(p) = self.pending.remove(&dst) else { return };
+        for (packet, _) in p.queued {
+            self.forward_data(api, packet);
+        }
+    }
+
+    fn handle_route_message(
+        &mut self,
+        api: &mut NodeApi<'_>,
+        packet: &Packet,
+        msg: &RouteMessage,
+        from: NodeId,
+    ) {
+        let now = api.now();
+        if !msg.is_reply {
+            let key = (msg.origin(), msg.msg_id);
+            if self.seen.contains_key(&key) {
+                return;
+            }
+            self.seen.insert(key, now + Duration::from_secs(5));
+        }
+        self.touch_neighbour(api, from);
+        self.learn_path(api, msg, from);
+
+        if !msg.is_reply {
+            if msg.target == api.id() {
+                self.send_reply(api, msg, from);
+                return;
+            }
+            // Intermediate reply when a fresh-enough route is known.
+            if let Some(route) = self.table.lookup(msg.target, now) {
+                let fresh = msg
+                    .target_seq
+                    .is_none_or(|want| !seq_newer(want, route.seqno));
+                if fresh {
+                    self.msg_id = self.msg_id.wrapping_add(1);
+                    let reply = RouteMessage {
+                        is_reply: true,
+                        target: msg.origin(),
+                        target_seq: None,
+                        msg_id: self.msg_id,
+                        path: vec![PathNode {
+                            addr: msg.target,
+                            seqno: route.seqno,
+                        }],
+                    };
+                    let size = reply.wire_size();
+                    let reply_packet = Packet::control(api.id(), msg.origin(), size, reply);
+                    api.send(reply_packet, from);
+                    return;
+                }
+            }
+            // Re-flood with ourselves appended (path accumulation).
+            if packet.ttl <= 1 {
+                return;
+            }
+            let mut fwd = msg.clone();
+            fwd.path.push(PathNode {
+                addr: api.id(),
+                seqno: self.seqno,
+            });
+            let size = fwd.wire_size();
+            let mut fwd_packet = Packet::control(msg.origin(), NodeId::BROADCAST, size, fwd);
+            fwd_packet.ttl = packet.ttl - 1;
+            api.send(fwd_packet, NodeId::BROADCAST);
+        } else {
+            // RREP travelling back to its target (the original requester).
+            if msg.target == api.id() {
+                let dst = msg.path.first().expect("non-empty").addr;
+                self.flush_pending(api, dst);
+                // Path accumulation may have satisfied other discoveries.
+                let satisfied: Vec<NodeId> = self
+                    .pending
+                    .keys()
+                    .copied()
+                    .filter(|&d| self.table.lookup(d, now).is_some())
+                    .collect();
+                for d in satisfied {
+                    self.flush_pending(api, d);
+                }
+                return;
+            }
+            if let Some(route) = self.table.lookup(msg.target, now) {
+                let nh = route.next_hop;
+                let mut fwd = msg.clone();
+                fwd.path.push(PathNode {
+                    addr: api.id(),
+                    seqno: self.seqno,
+                });
+                let size = fwd.wire_size();
+                let fwd_packet = Packet::control(api.id(), msg.target, size, fwd);
+                api.send(fwd_packet, nh);
+            }
+        }
+    }
+
+    fn handle_rerr(&mut self, api: &mut NodeApi<'_>, rerr: &Rerr, from: NodeId) {
+        let mut invalidated = Vec::new();
+        for &(dst, seq) in &rerr.unreachable {
+            if let Some(route) = self.table.get(dst) {
+                if route.valid && route.next_hop == from {
+                    self.table.invalidate(dst);
+                    invalidated.push((dst, seq));
+                }
+            }
+        }
+        // Paper: "they will again inform all their neighbours by
+        // multicasting a RERR containing the routes concerned".
+        self.flood_rerr(api, invalidated);
+    }
+
+    fn link_broken(&mut self, api: &mut NodeApi<'_>, neighbour: NodeId) {
+        self.neighbours.remove(&neighbour);
+        let broken = self.table.invalidate_via(neighbour);
+        self.flood_rerr(api, broken);
+    }
+
+    fn tick(&mut self, api: &mut NodeApi<'_>) {
+        let now = api.now();
+        let deadline = self.config.hello_interval * self.config.allowed_hello_loss;
+        let stale: Vec<NodeId> = self
+            .neighbours
+            .iter()
+            .filter(|(_, &last)| now.saturating_since(last) > deadline)
+            .map(|(&n, _)| n)
+            .collect();
+        for n in stale {
+            self.link_broken(api, n);
+        }
+        self.seen.retain(|_, &mut exp| exp > now);
+        self.table.purge(now, Duration::from_secs(10));
+
+        let due: Vec<NodeId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&d, _)| d)
+            .collect();
+        for dst in due {
+            let (retries, give_up) = {
+                let p = self.pending.get_mut(&dst).expect("pending entry");
+                p.retries += 1;
+                (p.retries, p.retries > self.config.max_discovery_retries)
+            };
+            if give_up {
+                self.pending.remove(&dst);
+            } else {
+                let wait = self.config.discovery_timeout * (retries + 1);
+                if let Some(p) = self.pending.get_mut(&dst) {
+                    p.deadline = now + wait;
+                }
+                self.start_discovery(api, dst);
+            }
+        }
+        let max_q = self.config.max_queue_time;
+        for p in self.pending.values_mut() {
+            p.queued.retain(|(_, at)| now.saturating_since(*at) <= max_q);
+        }
+    }
+}
+
+impl RoutingProtocol for Dymo {
+    fn name(&self) -> &'static str {
+        "dymo"
+    }
+
+    fn start(&mut self, api: &mut NodeApi<'_>) {
+        let jitter = Duration::from_millis(api.rng().gen_range(0..200));
+        api.schedule(self.config.hello_interval / 2 + jitter, TOKEN_HELLO);
+        api.schedule(TICK + jitter, TOKEN_TICK);
+    }
+
+    fn route_output(&mut self, api: &mut NodeApi<'_>, packet: Packet) {
+        let now = api.now();
+        let dst = packet.dst;
+        if dst.is_broadcast() {
+            api.send(packet, NodeId::BROADCAST);
+            return;
+        }
+        if self.table.lookup(dst, now).is_some() {
+            self.forward_data(api, packet);
+            return;
+        }
+        let fresh = !self.pending.contains_key(&dst);
+        let deadline = now + self.config.discovery_timeout;
+        let entry = self.pending.entry(dst).or_insert_with(|| PendingDiscovery {
+            retries: 0,
+            deadline,
+            queued: VecDeque::new(),
+        });
+        entry.queued.push_back((packet, now));
+        if fresh {
+            self.start_discovery(api, dst);
+        }
+    }
+
+    fn handle_received(&mut self, api: &mut NodeApi<'_>, mut packet: Packet, from: NodeId) {
+        if let Some(msg) = packet.body.as_control::<RouteMessage>() {
+            let msg = msg.clone();
+            self.handle_route_message(api, &packet, &msg, from);
+            return;
+        }
+        if let Some(rerr) = packet.body.as_control::<Rerr>() {
+            let rerr = rerr.clone();
+            self.handle_rerr(api, &rerr, from);
+            return;
+        }
+        if packet.body.as_control::<Hello>().is_some() {
+            self.touch_neighbour(api, from);
+            return;
+        }
+        // Data.
+        self.touch_neighbour(api, from);
+        if packet.dst == api.id() {
+            api.deliver_to_app(packet);
+            return;
+        }
+        if packet.ttl <= 1 {
+            return;
+        }
+        packet.ttl -= 1;
+        self.forward_data(api, packet);
+    }
+
+    fn handle_timer(&mut self, api: &mut NodeApi<'_>, token: u64) {
+        match token {
+            TOKEN_HELLO => {
+                self.seqno = self.seqno.wrapping_add(1);
+                let packet = Packet::control(
+                    api.id(),
+                    NodeId::BROADCAST,
+                    HELLO_SIZE,
+                    Hello { seq: self.seqno },
+                );
+                api.send(packet, NodeId::BROADCAST);
+                let jitter = Duration::from_millis(api.rng().gen_range(0..100));
+                api.schedule(
+                    self.config.hello_interval - Duration::from_millis(50) + jitter,
+                    TOKEN_HELLO,
+                );
+            }
+            TOKEN_TICK => {
+                self.tick(api);
+                api.schedule(TICK, TOKEN_TICK);
+            }
+            _ => {}
+        }
+    }
+
+    fn tx_failed(&mut self, api: &mut NodeApi<'_>, packet: Packet, next_hop: NodeId) {
+        self.link_broken(api, next_hop);
+        if packet.is_data() && packet.src == api.id() {
+            self.route_output(api, packet);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{run_line, run_ring};
+
+    #[test]
+    fn name() {
+        assert_eq!(Dymo::new().name(), "dymo");
+    }
+
+    #[test]
+    fn single_hop_delivery() {
+        let (log, _) = run_line(2, 200.0, |_| Box::new(Dymo::new()), 0, 1, 10, 10.0, 1);
+        assert_eq!(log.borrow().received.len(), 10);
+    }
+
+    #[test]
+    fn multi_hop_delivery() {
+        let (log, _) = run_line(5, 200.0, |_| Box::new(Dymo::new()), 0, 4, 10, 15.0, 2);
+        let got = log.borrow().received.len();
+        assert!(got >= 9, "DYMO should deliver nearly all, got {got}/10");
+    }
+
+    #[test]
+    fn ring_delivery() {
+        let (log, _) = run_ring(30, 3000.0, |_| Box::new(Dymo::new()), 5, 0, 10, 20.0, 3);
+        let got = log.borrow().received.len();
+        assert!(got >= 8, "ring delivery too low: {got}/10");
+    }
+
+    #[test]
+    fn partitioned_destination_not_delivered() {
+        let mobility =
+            cavenet_net::StaticMobility::new(vec![(0.0, 0.0), (200.0, 0.0), (5000.0, 0.0)]);
+        let (log, _) = crate::testutil::run_with_mobility(
+            mobility,
+            3,
+            |_| Box::new(Dymo::new()),
+            0,
+            2,
+            5,
+            15.0,
+            5,
+        );
+        assert_eq!(log.borrow().received.len(), 0);
+    }
+
+    #[test]
+    fn delivery_matches_aodv_on_same_scenario() {
+        let (dymo_log, _) = run_line(5, 200.0, |_| Box::new(Dymo::new()), 0, 4, 10, 15.0, 6);
+        let (aodv_log, _) =
+            run_line(5, 200.0, |_| Box::new(crate::Aodv::new()), 0, 4, 10, 15.0, 6);
+        let d = dymo_log.borrow().received.len() as i64;
+        let a = aodv_log.borrow().received.len() as i64;
+        assert!((d - a).abs() <= 2, "DYMO {d} vs AODV {a}");
+    }
+
+    #[test]
+    fn second_flow_reuses_accumulated_routes() {
+        // Flow 1: 0→4 discovers through 1,2,3. Flow 2: 2→0 afterwards.
+        // Node 2 learned a route to 0 from flow 1's RREQ path accumulation,
+        // so flow 2's first packet should go out with NO new discovery —
+        // observable as low first-packet latency.
+        use cavenet_net::{NodeId, ScenarioConfig, Simulator, StaticMobility};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct RelaySink {
+            log: Rc<RefCell<crate::testutil::SinkLog>>,
+        }
+        impl cavenet_net::Application for RelaySink {
+            fn handle_packet(&mut self, api: &mut NodeApi<'_>, packet: &Packet) {
+                if let Some(d) = packet.body.as_data() {
+                    self.log.borrow_mut().received.push((d.seq, api.now()));
+                }
+            }
+        }
+
+        let log4 = Rc::new(RefCell::new(crate::testutil::SinkLog::default()));
+        let log0 = Rc::new(RefCell::new(crate::testutil::SinkLog::default()));
+        // Node 0 sources flow 1 AND sinks flow 2 — combine in one app.
+        struct SourceAndSink {
+            src: crate::testutil::TestSource,
+            log: Rc<RefCell<crate::testutil::SinkLog>>,
+        }
+        impl cavenet_net::Application for SourceAndSink {
+            fn start(&mut self, api: &mut NodeApi<'_>) {
+                self.src.start(api);
+            }
+            fn handle_timer(&mut self, api: &mut NodeApi<'_>, token: u64) {
+                self.src.handle_timer(api, token);
+            }
+            fn handle_packet(&mut self, api: &mut NodeApi<'_>, packet: &Packet) {
+                if let Some(d) = packet.body.as_data() {
+                    self.log.borrow_mut().received.push((d.seq, api.now()));
+                }
+            }
+        }
+
+        let mut flow2 = crate::testutil::TestSource::new(NodeId(0), 3);
+        flow2.start_delay = Duration::from_secs(6);
+        let mut sim = Simulator::builder(ScenarioConfig::default())
+            .nodes(5)
+            .seed(7)
+            .mobility(Box::new(StaticMobility::line(5, 200.0)))
+            .routing_with(|_| Box::new(Dymo::new()))
+            .app(
+                0,
+                Box::new(SourceAndSink {
+                    src: crate::testutil::TestSource::new(NodeId(4), 5),
+                    log: Rc::clone(&log0),
+                }),
+            )
+            .app(2, Box::new(flow2))
+            .app(4, Box::new(RelaySink { log: Rc::clone(&log4) }))
+            .build();
+        sim.run_until_secs(15.0);
+        assert!(log4.borrow().received.len() >= 4, "flow 1 delivered");
+        let log0 = log0.borrow();
+        assert!(log0.received.len() >= 2, "flow 2 delivered");
+        // Flow 2 starts at 6 s; with a pre-learned route the first packet
+        // should arrive within ~50 ms (no 1 s discovery round-trip wait).
+        let (_, first_at) = log0.received[0];
+        let latency = first_at.as_secs_f64() - 6.0;
+        assert!(
+            latency < 0.5,
+            "path accumulation should avoid rediscovery, latency {latency}"
+        );
+    }
+
+    #[test]
+    fn default_config_matches_table1() {
+        assert_eq!(DymoConfig::default().hello_interval, Duration::from_secs(1));
+    }
+}

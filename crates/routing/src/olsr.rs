@@ -1,0 +1,731 @@
+//! Optimized Link State Routing (RFC 3626), with the olsrd ETX/LQ
+//! extension the paper describes.
+//!
+//! OLSR is proactive: every node periodically broadcasts HELLO messages to
+//! sense its one-hop links and learn its two-hop neighbourhood; from those
+//! it elects **multipoint relays (MPRs)** — the minimal neighbour subset
+//! covering all two-hop nodes. Only MPRs forward Topology Control (TC)
+//! floods, "by this way, the amount of control traffic can be reduced"
+//! (paper §III-B-1). TC messages advertise each node's MPR-selector set;
+//! the union of HELLO-sensed links and TC-learned links feeds a
+//! shortest-path computation.
+//!
+//! With [`LinkMetric::Etx`] the route computation minimizes the expected
+//! transmission count `ETX(i) = 1/(NI(i)·LQI(i))` instead of the hop count,
+//! where `NI` is the packet arrival rate we measure on a link and `LQI` is
+//! the rate the neighbour reports back — exactly the olsrd LQ extension the
+//! paper cites.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Duration;
+
+use rand::Rng;
+
+use cavenet_net::{NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+
+/// Which link cost the route computation minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkMetric {
+    /// Minimum hop count (RFC 3626 baseline).
+    #[default]
+    Hops,
+    /// Minimum sum of ETX = 1/(NI·LQI) (olsrd LQ extension).
+    Etx,
+}
+
+/// OLSR tunables (Table 1: HELLO 1 s, TC 2 s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsrConfig {
+    /// HELLO emission interval.
+    pub hello_interval: Duration,
+    /// TC emission interval.
+    pub tc_interval: Duration,
+    /// Link/neighbour hold time (3 × HELLO by default).
+    pub neighb_hold: Duration,
+    /// Topology hold time (3 × TC by default).
+    pub top_hold: Duration,
+    /// Link metric for route computation.
+    pub metric: LinkMetric,
+    /// Sliding window (in HELLO periods) for ETX link-quality estimation.
+    pub lq_window: u32,
+}
+
+impl Default for OlsrConfig {
+    fn default() -> Self {
+        OlsrConfig {
+            hello_interval: Duration::from_secs(1),
+            tc_interval: Duration::from_secs(2),
+            neighb_hold: Duration::from_secs(3),
+            top_hold: Duration::from_secs(6),
+            metric: LinkMetric::Hops,
+            lq_window: 10,
+        }
+    }
+}
+
+/// One neighbour entry inside a HELLO.
+#[derive(Debug, Clone, Copy)]
+struct HelloEntry {
+    addr: NodeId,
+    /// The sender considers the link to `addr` symmetric.
+    sym: bool,
+    /// The sender has selected `addr` as an MPR.
+    is_mpr: bool,
+    /// The sender's measured arrival rate on the link to `addr` (for ETX).
+    lq: f64,
+}
+
+/// HELLO message (wire ≈ 16 + 8·entries bytes).
+#[derive(Debug, Clone)]
+struct Hello {
+    entries: Vec<HelloEntry>,
+}
+
+/// Topology Control message (wire ≈ 16 + 8·selectors bytes).
+#[derive(Debug, Clone)]
+struct Tc {
+    origin: NodeId,
+    seq: u32,
+    ansn: u16,
+    /// The origin's MPR-selector set with the origin's link quality toward
+    /// each.
+    selectors: Vec<(NodeId, f64)>,
+}
+
+const TOKEN_HELLO: u64 = 1;
+const TOKEN_TC: u64 = 2;
+const TOKEN_TICK: u64 = 3;
+const TICK: Duration = Duration::from_millis(250);
+
+#[derive(Debug, Clone)]
+struct LinkInfo {
+    heard_until: SimTime,
+    sym_until: SimTime,
+    /// Times we received a HELLO from this neighbour (ETX window).
+    hello_times: VecDeque<SimTime>,
+    /// Arrival rate the neighbour reports for packets *from us* (LQI).
+    lqi: f64,
+}
+
+impl LinkInfo {
+    fn new() -> Self {
+        LinkInfo {
+            heard_until: SimTime::ZERO,
+            sym_until: SimTime::ZERO,
+            hello_times: VecDeque::new(),
+            lqi: 1.0,
+        }
+    }
+
+    fn is_sym(&self, now: SimTime) -> bool {
+        self.sym_until > now
+    }
+
+    fn is_heard(&self, now: SimTime) -> bool {
+        self.heard_until > now
+    }
+}
+
+/// The OLSR routing protocol state for one node.
+#[derive(Debug)]
+pub struct Olsr {
+    config: OlsrConfig,
+    links: HashMap<NodeId, LinkInfo>,
+    /// (neighbour, two-hop node) → expiry.
+    two_hop: HashMap<(NodeId, NodeId), SimTime>,
+    mprs: HashSet<NodeId>,
+    /// Neighbours that selected us as MPR → expiry.
+    mpr_selectors: HashMap<NodeId, SimTime>,
+    /// (destination, last hop) → (link quality, expiry).
+    topology: HashMap<(NodeId, NodeId), (f64, SimTime)>,
+    /// Highest ANSN seen per origin.
+    origin_ansn: HashMap<NodeId, u16>,
+    /// TC duplicate cache: (origin, seq) → expiry.
+    seen_tc: HashMap<(NodeId, u32), SimTime>,
+    /// Destination → (next hop, cost).
+    routes: HashMap<NodeId, (NodeId, f64)>,
+    tc_seq: u32,
+    ansn: u16,
+    last_selector_snapshot: Vec<NodeId>,
+}
+
+impl Default for Olsr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Olsr {
+    /// OLSR with default configuration (hop-count metric).
+    pub fn new() -> Self {
+        Self::with_config(OlsrConfig::default())
+    }
+
+    /// OLSR minimizing ETX (the LQ extension).
+    pub fn new_etx() -> Self {
+        Self::with_config(OlsrConfig {
+            metric: LinkMetric::Etx,
+            ..OlsrConfig::default()
+        })
+    }
+
+    /// OLSR with explicit configuration.
+    pub fn with_config(config: OlsrConfig) -> Self {
+        Olsr {
+            config,
+            links: HashMap::new(),
+            two_hop: HashMap::new(),
+            mprs: HashSet::new(),
+            mpr_selectors: HashMap::new(),
+            topology: HashMap::new(),
+            origin_ansn: HashMap::new(),
+            seen_tc: HashMap::new(),
+            routes: HashMap::new(),
+            tc_seq: 0,
+            ansn: 0,
+            last_selector_snapshot: Vec::new(),
+        }
+    }
+
+    /// Current symmetric neighbours.
+    pub fn symmetric_neighbours(&self, now: SimTime) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .links
+            .iter()
+            .filter(|(_, l)| l.is_sym(now))
+            .map(|(&n, _)| n)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Currently selected MPRs.
+    pub fn mpr_set(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.mprs.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The computed route to `dst`, as `(next_hop, cost)`.
+    pub fn route(&self, dst: NodeId) -> Option<(NodeId, f64)> {
+        self.routes.get(&dst).copied()
+    }
+
+    /// Measured arrival rate (NI) for a neighbour over the LQ window.
+    fn ni(&self, neighbour: NodeId, now: SimTime) -> f64 {
+        let Some(link) = self.links.get(&neighbour) else {
+            return 0.0;
+        };
+        let window = self.config.hello_interval * self.config.lq_window;
+        let start = if now.as_nanos() > window.as_nanos() as u64 {
+            SimTime::from_nanos(now.as_nanos() - window.as_nanos() as u64)
+        } else {
+            SimTime::ZERO
+        };
+        let received = link.hello_times.iter().filter(|&&t| t >= start).count();
+        let expected = (now.saturating_since(start).as_secs_f64()
+            / self.config.hello_interval.as_secs_f64())
+        .max(1.0);
+        (received as f64 / expected).min(1.0)
+    }
+
+    /// ETX cost of the direct link to `neighbour`.
+    fn etx(&self, neighbour: NodeId, now: SimTime) -> f64 {
+        let ni = self.ni(neighbour, now);
+        let lqi = self.links.get(&neighbour).map_or(0.0, |l| l.lqi);
+        if ni <= 0.0 || lqi <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (ni * lqi)
+        }
+    }
+
+    fn link_cost(&self, neighbour: NodeId, now: SimTime) -> f64 {
+        match self.config.metric {
+            LinkMetric::Hops => 1.0,
+            LinkMetric::Etx => self.etx(neighbour, now),
+        }
+    }
+
+    /// Remote link cost from a TC-advertised quality value.
+    fn remote_cost(&self, lq: f64) -> f64 {
+        match self.config.metric {
+            LinkMetric::Hops => 1.0,
+            LinkMetric::Etx => {
+                if lq <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    (1.0 / lq).max(1.0)
+                }
+            }
+        }
+    }
+
+    fn emit_hello(&mut self, api: &mut NodeApi<'_>) {
+        let now = api.now();
+        let me = api.id();
+        let entries: Vec<HelloEntry> = self
+            .links
+            .iter()
+            .filter(|(_, l)| l.is_heard(now))
+            .map(|(&addr, l)| HelloEntry {
+                addr,
+                sym: l.is_sym(now),
+                is_mpr: self.mprs.contains(&addr),
+                lq: self.ni(addr, now),
+            })
+            .collect();
+        let size = 16 + 8 * entries.len() as u32;
+        let packet = Packet::control(me, NodeId::BROADCAST, size, Hello { entries });
+        api.send(packet, NodeId::BROADCAST);
+    }
+
+    fn emit_tc(&mut self, api: &mut NodeApi<'_>) {
+        let now = api.now();
+        // Only nodes selected as MPR by someone generate TCs.
+        self.mpr_selectors.retain(|_, &mut exp| exp > now);
+        if self.mpr_selectors.is_empty() {
+            return;
+        }
+        let mut selectors: Vec<NodeId> = self.mpr_selectors.keys().copied().collect();
+        selectors.sort();
+        if selectors != self.last_selector_snapshot {
+            self.ansn = self.ansn.wrapping_add(1);
+            self.last_selector_snapshot = selectors.clone();
+        }
+        self.tc_seq = self.tc_seq.wrapping_add(1);
+        let tc = Tc {
+            origin: api.id(),
+            seq: self.tc_seq,
+            ansn: self.ansn,
+            selectors: selectors
+                .into_iter()
+                .map(|s| (s, self.ni(s, now)))
+                .collect(),
+        };
+        let size = 16 + 8 * tc.selectors.len() as u32;
+        let mut packet = Packet::control(api.id(), NodeId::BROADCAST, size, tc);
+        packet.ttl = 32;
+        api.send(packet, NodeId::BROADCAST);
+    }
+
+    fn handle_hello(&mut self, api: &mut NodeApi<'_>, hello: &Hello, from: NodeId) {
+        let now = api.now();
+        let me = api.id();
+        let hold = self.config.neighb_hold;
+        let window = self.config.hello_interval * self.config.lq_window;
+        let link = self.links.entry(from).or_insert_with(LinkInfo::new);
+        link.heard_until = now + hold;
+        link.hello_times.push_back(now);
+        while let Some(&t) = link.hello_times.front() {
+            if now.saturating_since(t) > window {
+                link.hello_times.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut lists_me = None;
+        for e in &hello.entries {
+            if e.addr == me {
+                lists_me = Some(*e);
+            }
+        }
+        if let Some(e) = lists_me {
+            // The neighbour hears us: the link is symmetric.
+            link.sym_until = now + hold;
+            link.lqi = e.lq.max(0.01);
+            if e.is_mpr {
+                self.mpr_selectors.insert(from, now + hold);
+            } else {
+                self.mpr_selectors.remove(&from);
+            }
+        }
+        // Two-hop set: the sender's symmetric neighbours (except us).
+        if self.links.get(&from).is_some_and(|l| l.is_sym(now)) {
+            for e in &hello.entries {
+                if e.sym && e.addr != me {
+                    self.two_hop.insert((from, e.addr), now + hold);
+                }
+            }
+        }
+        self.recompute_mprs(now);
+        self.recompute_routes(api);
+    }
+
+    fn handle_tc(&mut self, api: &mut NodeApi<'_>, packet: &Packet, tc: &Tc, from: NodeId) {
+        let now = api.now();
+        if tc.origin == api.id() {
+            return;
+        }
+        // RFC 3626 §9.5: discard if the sender is not a symmetric neighbour.
+        if !self.links.get(&from).is_some_and(|l| l.is_sym(now)) {
+            return;
+        }
+        let dup_key = (tc.origin, tc.seq);
+        if self.seen_tc.contains_key(&dup_key) {
+            return;
+        }
+        self.seen_tc.insert(dup_key, now + Duration::from_secs(30));
+
+        // ANSN handling: ignore stale, flush on newer.
+        let process = match self.origin_ansn.get(&tc.origin) {
+            Some(&have) => {
+                let diff = tc.ansn.wrapping_sub(have) as i16;
+                if diff < 0 {
+                    false
+                } else {
+                    if diff > 0 {
+                        self.topology.retain(|&(_, lh), _| lh != tc.origin);
+                    }
+                    true
+                }
+            }
+            None => true,
+        };
+        if process {
+            self.origin_ansn.insert(tc.origin, tc.ansn);
+            for &(sel, lq) in &tc.selectors {
+                if sel == api.id() {
+                    continue;
+                }
+                self.topology
+                    .insert((sel, tc.origin), (lq, now + self.config.top_hold));
+            }
+            self.recompute_routes(api);
+        }
+
+        // MPR flooding: forward only if the sender selected us as MPR.
+        if self.mpr_selectors.contains_key(&from) && packet.ttl > 1 {
+            let mut fwd = packet.clone();
+            fwd.ttl -= 1;
+            api.send(fwd, NodeId::BROADCAST);
+        }
+    }
+
+    /// Greedy MPR selection (RFC 3626 §8.3.1 heuristic).
+    fn recompute_mprs(&mut self, now: SimTime) {
+        let neighbours: HashSet<NodeId> = self
+            .links
+            .iter()
+            .filter(|(_, l)| l.is_sym(now))
+            .map(|(&n, _)| n)
+            .collect();
+        // Strict two-hop set: reachable via a sym neighbour, not a neighbour
+        // itself.
+        self.two_hop.retain(|_, &mut exp| exp > now);
+        let mut uncovered: HashSet<NodeId> = self
+            .two_hop
+            .keys()
+            .filter(|(n, t)| neighbours.contains(n) && !neighbours.contains(t))
+            .map(|&(_, t)| t)
+            .collect();
+        let coverage: HashMap<NodeId, HashSet<NodeId>> = neighbours
+            .iter()
+            .map(|&n| {
+                let covers: HashSet<NodeId> = self
+                    .two_hop
+                    .keys()
+                    .filter(|&&(nb, t)| nb == n && uncovered.contains(&t))
+                    .map(|&(_, t)| t)
+                    .collect();
+                (n, covers)
+            })
+            .collect();
+        let mut mprs = HashSet::new();
+        // 1. Neighbours that are the sole cover of some two-hop node.
+        for &t in uncovered.clone().iter() {
+            let covers: Vec<NodeId> = coverage
+                .iter()
+                .filter(|(_, c)| c.contains(&t))
+                .map(|(&n, _)| n)
+                .collect();
+            if covers.len() == 1 {
+                mprs.insert(covers[0]);
+            }
+        }
+        for m in &mprs {
+            if let Some(c) = coverage.get(m) {
+                for t in c {
+                    uncovered.remove(t);
+                }
+            }
+        }
+        // 2. Greedy: repeatedly take the neighbour covering most uncovered.
+        while !uncovered.is_empty() {
+            let best = coverage
+                .iter()
+                .filter(|(n, _)| !mprs.contains(*n))
+                .max_by_key(|(n, c)| {
+                    (
+                        c.iter().filter(|t| uncovered.contains(t)).count(),
+                        // Deterministic tie-break by id.
+                        std::cmp::Reverse(n.0),
+                    )
+                })
+                .map(|(&n, _)| n);
+            let Some(best) = best else { break };
+            let gain: Vec<NodeId> = coverage[&best]
+                .iter()
+                .filter(|t| uncovered.contains(t))
+                .copied()
+                .collect();
+            if gain.is_empty() {
+                break;
+            }
+            mprs.insert(best);
+            for t in gain {
+                uncovered.remove(&t);
+            }
+        }
+        self.mprs = mprs;
+    }
+
+    /// Dijkstra over HELLO links + TC topology.
+    fn recompute_routes(&mut self, api: &mut NodeApi<'_>) {
+        let now = api.now();
+        let me = api.id();
+        self.topology.retain(|_, &mut (_, exp)| exp > now);
+
+        // Edge list: (from, to, cost).
+        let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        for (&n, l) in &self.links {
+            if l.is_sym(now) {
+                edges.push((me, n, self.link_cost(n, now)));
+            }
+        }
+        for (&(n, t), &exp) in &self.two_hop {
+            if exp > now {
+                edges.push((n, t, 1.0));
+            }
+        }
+        for (&(dest, lasthop), &(lq, _)) in &self.topology {
+            edges.push((lasthop, dest, self.remote_cost(lq)));
+        }
+
+        // Dijkstra with a simple scan (graphs are tiny).
+        let mut dist: HashMap<NodeId, f64> = HashMap::new();
+        let mut first_hop: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut done: HashSet<NodeId> = HashSet::new();
+        dist.insert(me, 0.0);
+        loop {
+            let next = dist
+                .iter()
+                .filter(|(n, _)| !done.contains(*n))
+                .min_by(|a, b| a.1.total_cmp(b.1).then_with(|| a.0.cmp(b.0)))
+                .map(|(&n, &d)| (n, d));
+            let Some((u, du)) = next else { break };
+            done.insert(u);
+            for &(from, to, cost) in &edges {
+                if from != u || cost.is_infinite() {
+                    continue;
+                }
+                let nd = du + cost;
+                if dist.get(&to).is_none_or(|&old| nd < old - 1e-12) {
+                    dist.insert(to, nd);
+                    let fh = if u == me {
+                        to
+                    } else {
+                        first_hop.get(&u).copied().unwrap_or(u)
+                    };
+                    first_hop.insert(to, fh);
+                }
+            }
+        }
+        self.routes = dist
+            .into_iter()
+            .filter(|&(n, _)| n != me)
+            .filter_map(|(n, d)| first_hop.get(&n).map(|&fh| (n, (fh, d))))
+            .collect();
+    }
+
+    fn tick(&mut self, api: &mut NodeApi<'_>) {
+        let now = api.now();
+        self.seen_tc.retain(|_, &mut exp| exp > now);
+        self.links
+            .retain(|_, l| l.is_heard(now) || !l.hello_times.is_empty());
+        self.recompute_mprs(now);
+        self.recompute_routes(api);
+    }
+}
+
+impl RoutingProtocol for Olsr {
+    fn name(&self) -> &'static str {
+        "olsr"
+    }
+
+    fn start(&mut self, api: &mut NodeApi<'_>) {
+        let jitter = Duration::from_millis(api.rng().gen_range(0..250));
+        api.schedule(Duration::from_millis(100) + jitter, TOKEN_HELLO);
+        api.schedule(self.config.tc_interval / 2 + jitter, TOKEN_TC);
+        api.schedule(TICK + jitter, TOKEN_TICK);
+    }
+
+    fn route_output(&mut self, api: &mut NodeApi<'_>, packet: Packet) {
+        if packet.dst.is_broadcast() {
+            api.send(packet, NodeId::BROADCAST);
+            return;
+        }
+        if let Some(&(nh, _)) = self.routes.get(&packet.dst) {
+            api.send(packet, nh);
+        }
+        // Proactive protocol: no route means drop (no buffering).
+    }
+
+    fn handle_received(&mut self, api: &mut NodeApi<'_>, mut packet: Packet, from: NodeId) {
+        if let Some(hello) = packet.body.as_control::<Hello>() {
+            let hello = hello.clone();
+            self.handle_hello(api, &hello, from);
+            return;
+        }
+        if let Some(tc) = packet.body.as_control::<Tc>() {
+            let tc = tc.clone();
+            self.handle_tc(api, &packet, &tc, from);
+            return;
+        }
+        // Data.
+        if packet.dst == api.id() {
+            api.deliver_to_app(packet);
+            return;
+        }
+        if packet.ttl <= 1 {
+            return;
+        }
+        packet.ttl -= 1;
+        if let Some(&(nh, _)) = self.routes.get(&packet.dst) {
+            api.send(packet, nh);
+        }
+    }
+
+    fn handle_timer(&mut self, api: &mut NodeApi<'_>, token: u64) {
+        match token {
+            TOKEN_HELLO => {
+                self.emit_hello(api);
+                let jitter = Duration::from_millis(api.rng().gen_range(0..100));
+                api.schedule(
+                    self.config.hello_interval - Duration::from_millis(50) + jitter,
+                    TOKEN_HELLO,
+                );
+            }
+            TOKEN_TC => {
+                self.emit_tc(api);
+                let jitter = Duration::from_millis(api.rng().gen_range(0..100));
+                api.schedule(
+                    self.config.tc_interval - Duration::from_millis(50) + jitter,
+                    TOKEN_TC,
+                );
+            }
+            TOKEN_TICK => {
+                self.tick(api);
+                api.schedule(TICK, TOKEN_TICK);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{run_line, run_ring};
+
+    #[test]
+    fn name() {
+        assert_eq!(Olsr::new().name(), "olsr");
+    }
+
+    #[test]
+    fn single_hop_delivery_after_convergence() {
+        // Link sensing takes 2–3 HELLO rounds; packets sent before that are
+        // dropped (no buffering in a proactive protocol). Send 30 packets
+        // over 6 s so most fall after convergence.
+        let (log, _) = run_line(2, 200.0, |_| Box::new(Olsr::new()), 0, 1, 30, 10.0, 1);
+        let got = log.borrow().received.len();
+        assert!(got >= 20, "OLSR single hop should deliver, got {got}/30");
+    }
+
+    #[test]
+    fn multi_hop_delivery_via_tc() {
+        // 4 hops needs TC dissemination, not just hellos: allow several TC
+        // rounds of convergence time.
+        let (log, _) = run_line(5, 200.0, |_| Box::new(Olsr::new()), 0, 4, 40, 30.0, 2);
+        let got = log.borrow().received.len();
+        assert!(got >= 20, "OLSR multi-hop delivery too low: {got}/40");
+    }
+
+    #[test]
+    fn ring_delivery() {
+        let (log, _) = run_ring(30, 3000.0, |_| Box::new(Olsr::new()), 5, 0, 40, 40.0, 3);
+        let got = log.borrow().received.len();
+        assert!(got >= 10, "OLSR ring delivery too low: {got}/40");
+    }
+
+    #[test]
+    fn early_packets_lost_before_convergence() {
+        // Source starts at 0.5 s — before topology has converged over TC.
+        // On a 4-hop chain the very first packets are typically dropped
+        // (no route yet): the behaviour the paper's Fig. 9 shows as OLSR's
+        // late goodput onset.
+        let (log, _) = run_line(5, 200.0, |_| Box::new(Olsr::new()), 0, 4, 10, 20.0, 4);
+        let log = log.borrow();
+        if let Some(&(first_seq, _)) = log.received.first() {
+            assert!(
+                first_seq > 0,
+                "expected the first packet(s) to be lost pre-convergence"
+            );
+        }
+    }
+
+    #[test]
+    fn mpr_set_is_minimal_on_chain() {
+        // Behavioural proxy: in a 3-node chain the middle node must relay
+        // TCs (it is the only possible MPR), so end nodes learn each other.
+        let (log, sim) = run_line(3, 200.0, |_| Box::new(Olsr::new()), 0, 2, 20, 20.0, 5);
+        let got = log.borrow().received.len();
+        assert!(got >= 10, "chain delivery too low: {got}/20");
+        assert!(sim.node_stats(1).data_forwarded >= got as u64);
+    }
+
+    #[test]
+    fn etx_variant_works() {
+        let (log, _) = run_line(3, 200.0, |_| Box::new(Olsr::new_etx()), 0, 2, 30, 25.0, 6);
+        let got = log.borrow().received.len();
+        assert!(got >= 15, "ETX OLSR should deliver, got {got}/30");
+    }
+
+    #[test]
+    fn no_route_drops_instead_of_buffering() {
+        // Partitioned destination: packets are silently dropped (proactive
+        // protocols do not buffer), and never delivered.
+        let mobility =
+            cavenet_net::StaticMobility::new(vec![(0.0, 0.0), (200.0, 0.0), (5000.0, 0.0)]);
+        let (log, _) = crate::testutil::run_with_mobility(
+            mobility,
+            3,
+            |_| Box::new(Olsr::new()),
+            0,
+            2,
+            5,
+            15.0,
+            7,
+        );
+        assert_eq!(log.borrow().received.len(), 0);
+    }
+
+    #[test]
+    fn control_overhead_is_periodic() {
+        let (_, sim) = run_line(3, 200.0, |_| Box::new(Olsr::new()), 0, 2, 0, 10.0, 8);
+        // ≈10 hellos per node plus TCs from the MPR (middle node).
+        let hello_ish = sim.node_stats(0).control_sent;
+        assert!((8..=30).contains(&hello_ish), "got {hello_ish}");
+        let middle = sim.node_stats(1).control_sent;
+        assert!(middle >= hello_ish, "the MPR node also sends TCs");
+    }
+
+    #[test]
+    fn default_config_matches_table1() {
+        let c = OlsrConfig::default();
+        assert_eq!(c.hello_interval, Duration::from_secs(1));
+        assert_eq!(c.tc_interval, Duration::from_secs(2));
+    }
+}
+

@@ -1,0 +1,244 @@
+//! A sequence-numbered distance-vector routing table, shared by the
+//! reactive protocols (AODV and DYMO).
+
+use std::collections::HashMap;
+
+use cavenet_net::{NodeId, SimTime};
+
+/// One route: where to send packets for a destination, how far it is, how
+/// fresh the information is, and until when it is valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// Neighbour to forward through.
+    pub next_hop: NodeId,
+    /// Distance in hops.
+    pub hop_count: u32,
+    /// Destination sequence number (freshness).
+    pub seqno: u32,
+    /// Route expiry time; stale routes are invalid.
+    pub expires: SimTime,
+    /// Explicitly invalidated (e.g. by a RERR) but retained for its
+    /// sequence number.
+    pub valid: bool,
+}
+
+impl RouteEntry {
+    /// Whether the route can be used at time `now`.
+    pub fn is_usable(&self, now: SimTime) -> bool {
+        self.valid && self.expires > now
+    }
+}
+
+/// The routing table: destination → [`RouteEntry`].
+///
+/// Update semantics follow AODV's rules: a route is replaced when the new
+/// information has a strictly newer sequence number, or the same sequence
+/// number with a shorter hop count, or when the existing entry is unusable.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    routes: HashMap<NodeId, RouteEntry>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries (valid or not).
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The entry for `dst`, if any (possibly invalid/expired).
+    pub fn get(&self, dst: NodeId) -> Option<&RouteEntry> {
+        self.routes.get(&dst)
+    }
+
+    /// The usable route for `dst` at time `now`.
+    pub fn lookup(&self, dst: NodeId, now: SimTime) -> Option<&RouteEntry> {
+        self.routes.get(&dst).filter(|r| r.is_usable(now))
+    }
+
+    /// Offer a new route; installs it if it is fresher, shorter at equal
+    /// freshness, or replaces an unusable entry. Returns `true` if
+    /// installed.
+    pub fn offer(&mut self, dst: NodeId, entry: RouteEntry, now: SimTime) -> bool {
+        match self.routes.get(&dst) {
+            Some(old) if old.is_usable(now) => {
+                let newer = seq_newer(entry.seqno, old.seqno);
+                let same_but_shorter = entry.seqno == old.seqno && entry.hop_count < old.hop_count;
+                if newer || same_but_shorter {
+                    self.routes.insert(dst, entry);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => {
+                self.routes.insert(dst, entry);
+                true
+            }
+        }
+    }
+
+    /// Extend the lifetime of a usable route (route kept alive by traffic).
+    pub fn refresh(&mut self, dst: NodeId, until: SimTime) {
+        if let Some(r) = self.routes.get_mut(&dst) {
+            if r.valid && r.expires < until {
+                r.expires = until;
+            }
+        }
+    }
+
+    /// Invalidate the route to `dst`, bumping its sequence number so stale
+    /// information cannot resurrect it. Returns the invalidated sequence
+    /// number if a valid entry existed.
+    pub fn invalidate(&mut self, dst: NodeId) -> Option<u32> {
+        let r = self.routes.get_mut(&dst)?;
+        if !r.valid {
+            return None;
+        }
+        r.valid = false;
+        r.seqno = r.seqno.wrapping_add(1);
+        Some(r.seqno)
+    }
+
+    /// Invalidate every route whose next hop is `neighbour`; returns the
+    /// affected `(destination, bumped seqno)` pairs — the payload of a RERR.
+    pub fn invalidate_via(&mut self, neighbour: NodeId) -> Vec<(NodeId, u32)> {
+        let mut out = Vec::new();
+        for (&dst, r) in self.routes.iter_mut() {
+            if r.valid && r.next_hop == neighbour {
+                r.valid = false;
+                r.seqno = r.seqno.wrapping_add(1);
+                out.push((dst, r.seqno));
+            }
+        }
+        out.sort_by_key(|&(d, _)| d);
+        out
+    }
+
+    /// Drop entries that expired more than `grace` ago (bookkeeping sweep).
+    pub fn purge(&mut self, now: SimTime, grace: std::time::Duration) {
+        self.routes
+            .retain(|_, r| r.expires.checked_add(grace).is_none_or(|t| t > now));
+    }
+
+    /// Iterate over all `(destination, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &RouteEntry)> {
+        self.routes.iter()
+    }
+}
+
+/// AODV-style circular sequence-number comparison (RFC 3561 §6.1).
+pub(crate) fn seq_newer(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn entry(nh: u32, hops: u32, seq: u32, expires_s: u64) -> RouteEntry {
+        RouteEntry {
+            next_hop: NodeId(nh),
+            hop_count: hops,
+            seqno: seq,
+            expires: SimTime::from_secs(expires_s),
+            valid: true,
+        }
+    }
+
+    #[test]
+    fn lookup_usable_only() {
+        let mut t = RouteTable::new();
+        let now = SimTime::from_secs(1);
+        t.offer(NodeId(5), entry(2, 3, 10, 5), now);
+        assert!(t.lookup(NodeId(5), now).is_some());
+        assert!(t.lookup(NodeId(5), SimTime::from_secs(6)).is_none(), "expired");
+        assert!(t.lookup(NodeId(9), now).is_none(), "unknown");
+    }
+
+    #[test]
+    fn fresher_seq_wins() {
+        let mut t = RouteTable::new();
+        let now = SimTime::ZERO;
+        assert!(t.offer(NodeId(1), entry(2, 5, 10, 9), now));
+        assert!(!t.offer(NodeId(1), entry(3, 1, 9, 9), now), "older seq rejected");
+        assert!(t.offer(NodeId(1), entry(3, 9, 11, 9), now), "newer seq accepted");
+        assert_eq!(t.get(NodeId(1)).unwrap().next_hop, NodeId(3));
+    }
+
+    #[test]
+    fn equal_seq_shorter_wins() {
+        let mut t = RouteTable::new();
+        let now = SimTime::ZERO;
+        t.offer(NodeId(1), entry(2, 5, 10, 9), now);
+        assert!(!t.offer(NodeId(1), entry(3, 5, 10, 9), now), "same length rejected");
+        assert!(t.offer(NodeId(1), entry(3, 2, 10, 9), now), "shorter accepted");
+    }
+
+    #[test]
+    fn unusable_entry_always_replaced() {
+        let mut t = RouteTable::new();
+        let now = SimTime::from_secs(10);
+        t.offer(NodeId(1), entry(2, 5, 100, 5), SimTime::ZERO); // expired by `now`
+        assert!(t.offer(NodeId(1), entry(3, 9, 1, 20), now), "expired replaced");
+    }
+
+    #[test]
+    fn invalidate_bumps_seq() {
+        let mut t = RouteTable::new();
+        t.offer(NodeId(1), entry(2, 5, 10, 9), SimTime::ZERO);
+        assert_eq!(t.invalidate(NodeId(1)), Some(11));
+        assert!(t.lookup(NodeId(1), SimTime::ZERO).is_none());
+        assert_eq!(t.invalidate(NodeId(1)), None, "already invalid");
+    }
+
+    #[test]
+    fn invalidate_via_collects_rerr_payload() {
+        let mut t = RouteTable::new();
+        t.offer(NodeId(1), entry(9, 2, 5, 99), SimTime::ZERO);
+        t.offer(NodeId(2), entry(9, 3, 6, 99), SimTime::ZERO);
+        t.offer(NodeId(3), entry(4, 1, 7, 99), SimTime::ZERO);
+        let broken = t.invalidate_via(NodeId(9));
+        assert_eq!(broken, vec![(NodeId(1), 6), (NodeId(2), 7)]);
+        assert!(t.lookup(NodeId(3), SimTime::ZERO).is_some(), "unrelated survives");
+    }
+
+    #[test]
+    fn refresh_extends_lifetime() {
+        let mut t = RouteTable::new();
+        t.offer(NodeId(1), entry(2, 1, 1, 5), SimTime::ZERO);
+        t.refresh(NodeId(1), SimTime::from_secs(20));
+        assert!(t.lookup(NodeId(1), SimTime::from_secs(10)).is_some());
+        // Refresh never shortens.
+        t.refresh(NodeId(1), SimTime::from_secs(1));
+        assert!(t.lookup(NodeId(1), SimTime::from_secs(10)).is_some());
+    }
+
+    #[test]
+    fn purge_drops_long_dead() {
+        let mut t = RouteTable::new();
+        t.offer(NodeId(1), entry(2, 1, 1, 5), SimTime::ZERO);
+        t.purge(SimTime::from_secs(100), Duration::from_secs(10));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn circular_seq_comparison() {
+        assert!(seq_newer(2, 1));
+        assert!(!seq_newer(1, 2));
+        assert!(!seq_newer(5, 5));
+        // Wrap-around: 1 is newer than u32::MAX.
+        assert!(seq_newer(1, u32::MAX));
+        assert!(!seq_newer(u32::MAX, 1));
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared helpers for protocol tests: a deterministic packet source/sink
+//! pair and scenario runners over line and ring topologies.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use cavenet_net::{
+    Application, FlowId, NodeApi, NodeId, Packet, RoutingProtocol, ScenarioConfig, SimTime,
+    Simulator, StaticMobility,
+};
+
+/// Sequence numbers and receive times observed by a sink.
+#[derive(Debug, Default)]
+pub(crate) struct SinkLog {
+    pub received: Vec<(u32, SimTime)>,
+}
+
+/// Sends `count` packets of 512 B to `dst`, one every `interval`, starting
+/// after `start_delay`.
+pub(crate) struct TestSource {
+    pub dst: NodeId,
+    pub interval: Duration,
+    pub count: u32,
+    pub start_delay: Duration,
+    sent: u32,
+}
+
+impl TestSource {
+    pub fn new(dst: NodeId, count: u32) -> Self {
+        TestSource {
+            dst,
+            interval: Duration::from_millis(200),
+            count,
+            start_delay: Duration::from_millis(500),
+            sent: 0,
+        }
+    }
+}
+
+impl Application for TestSource {
+    fn start(&mut self, api: &mut NodeApi<'_>) {
+        if self.count > 0 {
+            api.schedule(self.start_delay, 0);
+        }
+    }
+
+    fn handle_timer(&mut self, api: &mut NodeApi<'_>, _token: u64) {
+        let flow = FlowId::new(api.id(), self.dst, 0);
+        api.originate(Packet::data(flow, self.sent, 512, api.now()));
+        self.sent += 1;
+        if self.sent < self.count {
+            api.schedule(self.interval, 0);
+        }
+    }
+}
+
+/// Records every data packet that arrives.
+pub(crate) struct TestSink {
+    pub log: Rc<RefCell<SinkLog>>,
+}
+
+impl Application for TestSink {
+    fn handle_packet(&mut self, api: &mut NodeApi<'_>, packet: &Packet) {
+        if let Some(d) = packet.body.as_data() {
+            self.log.borrow_mut().received.push((d.seq, api.now()));
+        }
+    }
+}
+
+/// Run `packets` packets from node `src` to node `dst` on an `n`-node line
+/// with the given spacing, under the protocol produced by `factory`.
+/// Returns the sink log and the finished simulator.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_line<F>(
+    n: usize,
+    spacing: f64,
+    factory: F,
+    src: usize,
+    dst: usize,
+    packets: u32,
+    secs: f64,
+    seed: u64,
+) -> (Rc<RefCell<SinkLog>>, Simulator)
+where
+    F: Fn(usize) -> Box<dyn RoutingProtocol> + 'static,
+{
+    run_with_mobility(
+        StaticMobility::line(n, spacing),
+        n,
+        factory,
+        src,
+        dst,
+        packets,
+        secs,
+        seed,
+    )
+}
+
+/// Same as [`run_line`] on a ring topology of the given circumference.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_ring<F>(
+    n: usize,
+    circumference: f64,
+    factory: F,
+    src: usize,
+    dst: usize,
+    packets: u32,
+    secs: f64,
+    seed: u64,
+) -> (Rc<RefCell<SinkLog>>, Simulator)
+where
+    F: Fn(usize) -> Box<dyn RoutingProtocol> + 'static,
+{
+    run_with_mobility(
+        StaticMobility::ring(n, circumference),
+        n,
+        factory,
+        src,
+        dst,
+        packets,
+        secs,
+        seed,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_with_mobility<F>(
+    mobility: StaticMobility,
+    n: usize,
+    factory: F,
+    src: usize,
+    dst: usize,
+    packets: u32,
+    secs: f64,
+    seed: u64,
+) -> (Rc<RefCell<SinkLog>>, Simulator)
+where
+    F: Fn(usize) -> Box<dyn RoutingProtocol> + 'static,
+{
+    let log = Rc::new(RefCell::new(SinkLog::default()));
+    let mut sim = Simulator::builder(ScenarioConfig::default())
+        .nodes(n)
+        .seed(seed)
+        .mobility(Box::new(mobility))
+        .routing_with(factory)
+        .app(src, Box::new(TestSource::new(NodeId(dst as u32), packets)))
+        .app(dst, Box::new(TestSink { log: Rc::clone(&log) }))
+        .build();
+    sim.run_until_secs(secs);
+    (log, sim)
+}

@@ -1,0 +1,204 @@
+//! Autocorrelation and short-range-dependence diagnostics.
+//!
+//! The paper (footnote 2) defines a process as SRD when its autocorrelation
+//! `r(k)` is summable, and LRD otherwise. We estimate `r(k)` with the biased
+//! sample estimator (which guarantees a non-negative-definite sequence) and
+//! expose the partial-sum "SRD index" used to diagnose summability on finite
+//! samples.
+
+use crate::fft::{fft, ifft, Complex};
+use crate::StatsError;
+
+/// Biased sample autocorrelation `r(k)` for lags `0..=max_lag`, computed
+/// directly in `O(n·max_lag)`.
+///
+/// `r(0) = 1` by construction.
+///
+/// # Errors
+///
+/// Returns [`StatsError::SeriesTooShort`] if `max_lag >= data.len()` and
+/// [`StatsError::ZeroVariance`] for constant input.
+pub fn autocorrelation(data: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    if data.len() <= max_lag {
+        return Err(StatsError::SeriesTooShort {
+            got: data.len(),
+            need: max_lag + 1,
+        });
+    }
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let var: f64 = data.iter().map(|x| (x - mean).powi(2)).sum();
+    if var <= f64::EPSILON * n as f64 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for k in 0..=max_lag {
+        let mut acc = 0.0;
+        for t in 0..n - k {
+            acc += (data[t] - mean) * (data[t + k] - mean);
+        }
+        out.push(acc / var);
+    }
+    Ok(out)
+}
+
+/// Biased sample autocorrelation computed via FFT in `O(n log n)` — identical
+/// values to [`autocorrelation`] up to floating-point noise, much faster for
+/// long series and large lag ranges.
+///
+/// # Errors
+///
+/// Same conditions as [`autocorrelation`].
+pub fn autocorrelation_fft(data: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    if data.len() <= max_lag {
+        return Err(StatsError::SeriesTooShort {
+            got: data.len(),
+            need: max_lag + 1,
+        });
+    }
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let var: f64 = data.iter().map(|x| (x - mean).powi(2)).sum();
+    if var <= f64::EPSILON * n as f64 {
+        return Err(StatsError::ZeroVariance);
+    }
+    // Zero-pad to ≥ 2n to avoid circular wrap-around.
+    let m = (2 * n).next_power_of_two();
+    let mut buf = vec![Complex::ZERO; m];
+    for (slot, &x) in buf.iter_mut().zip(data) {
+        *slot = Complex::from_real(x - mean);
+    }
+    fft(&mut buf);
+    for z in buf.iter_mut() {
+        *z = Complex::from_real(z.norm_sqr());
+    }
+    ifft(&mut buf);
+    Ok((0..=max_lag).map(|k| buf[k].re / var).collect())
+}
+
+/// Partial sums of the autocorrelation: `S(m) = Σ_{k=1}^{m} r(k)` for
+/// `m = 1..=r.len()-1`, given `r` from [`autocorrelation`].
+///
+/// For an SRD process the partial sums converge; for an LRD process they grow
+/// without bound. On finite data, compare `S` at increasing `m`: a flattening
+/// curve indicates SRD. The returned vector is the curve itself so callers
+/// can apply their own convergence criterion.
+pub fn srd_index(autocorr: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    autocorr
+        .iter()
+        .skip(1)
+        .map(|&r| {
+            acc += r;
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize) -> Vec<f64> {
+        // Deterministic pseudo-noise with near-zero autocorrelation.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let data = noise(500);
+        let r = autocorrelation(&data, 10).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_has_small_lags() {
+        let data = noise(5000);
+        let r = autocorrelation(&data, 20).unwrap();
+        for &rk in &r[1..] {
+            assert!(rk.abs() < 0.1, "white-noise autocorrelation too large: {rk}");
+        }
+    }
+
+    #[test]
+    fn constant_series_is_error() {
+        let data = vec![2.0; 100];
+        assert_eq!(autocorrelation(&data, 5), Err(StatsError::ZeroVariance));
+        assert_eq!(autocorrelation_fft(&data, 5), Err(StatsError::ZeroVariance));
+    }
+
+    #[test]
+    fn short_series_is_error() {
+        let data = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            autocorrelation(&data, 3),
+            Err(StatsError::SeriesTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let data: Vec<f64> = (0..300).map(|i| (i as f64 * 0.1).sin() + noise(300)[i]).collect();
+        let direct = autocorrelation(&data, 50).unwrap();
+        let viafft = autocorrelation_fft(&data, 50).unwrap();
+        for (a, b) in direct.iter().zip(&viafft) {
+            assert!((a - b).abs() < 1e-9, "direct {a} vs fft {b}");
+        }
+    }
+
+    #[test]
+    fn periodic_signal_has_periodic_autocorrelation() {
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 25.0).sin())
+            .collect();
+        let r = autocorrelation(&data, 50).unwrap();
+        assert!(r[25] > 0.8, "autocorrelation at the period should be high");
+        assert!(r[12] < 0.0, "half-period should anti-correlate");
+    }
+
+    #[test]
+    fn ar1_autocorrelation_decays_geometrically() {
+        // x_t = φ x_{t−1} + ε: r(k) ≈ φ^k.
+        let phi = 0.8;
+        let eps = noise(20000);
+        let mut x = vec![0.0; eps.len()];
+        for i in 1..x.len() {
+            x[i] = phi * x[i - 1] + eps[i];
+        }
+        let r = autocorrelation(&x[100..], 5).unwrap();
+        for (k, &rk) in r.iter().enumerate().skip(1) {
+            let expected = phi_pow(phi, k);
+            assert!(
+                (rk - expected).abs() < 0.08,
+                "lag {k}: got {rk} expected {expected}"
+            );
+        }
+    }
+
+    fn phi_pow(phi: f64, k: usize) -> f64 {
+        (0..k).fold(1.0, |a, _| a * phi)
+    }
+
+    #[test]
+    fn srd_index_partial_sums() {
+        let r = vec![1.0, 0.5, 0.25, 0.125];
+        let s = srd_index(&r);
+        assert_eq!(s.len(), 3);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        assert!((s[1] - 0.75).abs() < 1e-12);
+        assert!((s[2] - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn srd_index_of_lag0_only_is_empty() {
+        assert!(srd_index(&[1.0]).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Monte-Carlo ensemble helpers.
+//!
+//! The paper's fundamental diagram (Fig. 4) averages each point over an
+//! ensemble of 20 independent trials; this module provides a small harness
+//! for running seeded trials of any scalar- or series-valued experiment and
+//! aggregating the results.
+
+use crate::{StatsError, Summary};
+
+/// Runs `trials` independent repetitions of a seeded experiment and
+/// aggregates scalar results.
+///
+/// ```
+/// use cavenet_stats::Ensemble;
+/// let summary = Ensemble::new(10, 42).run_scalar(|seed| (seed % 7) as f64).unwrap();
+/// assert_eq!(summary.len(), 10);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Ensemble {
+    trials: usize,
+    seed: u64,
+}
+
+impl Ensemble {
+    /// An ensemble of `trials` repetitions; per-trial seeds are derived
+    /// deterministically from `seed`.
+    pub fn new(trials: usize, seed: u64) -> Self {
+        Ensemble {
+            trials: trials.max(1),
+            seed,
+        }
+    }
+
+    /// Number of repetitions.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The seed for trial `i` (splitmix-style derivation so consecutive
+    /// trials get well-separated streams).
+    pub fn trial_seed(&self, i: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Run a scalar-valued experiment once per trial and summarize the
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] from the summary computation (cannot occur
+    /// for `trials ≥ 1`).
+    pub fn run_scalar<F>(&self, mut f: F) -> Result<Summary, StatsError>
+    where
+        F: FnMut(u64) -> f64,
+    {
+        let values: Vec<f64> = (0..self.trials).map(|i| f(self.trial_seed(i))).collect();
+        Summary::from_slice(&values)
+    }
+
+    /// Run a series-valued experiment once per trial and average the series
+    /// point-wise. Trials shorter than the longest series contribute only to
+    /// the prefix they cover.
+    pub fn run_series<F>(&self, mut f: F) -> EnsembleSeries
+    where
+        F: FnMut(u64) -> Vec<f64>,
+    {
+        let mut sum: Vec<f64> = Vec::new();
+        let mut count: Vec<u32> = Vec::new();
+        for i in 0..self.trials {
+            let series = f(self.trial_seed(i));
+            if series.len() > sum.len() {
+                sum.resize(series.len(), 0.0);
+                count.resize(series.len(), 0);
+            }
+            for (j, &x) in series.iter().enumerate() {
+                sum[j] += x;
+                count[j] += 1;
+            }
+        }
+        let mean = sum
+            .iter()
+            .zip(&count)
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect();
+        EnsembleSeries {
+            mean,
+            trials: self.trials,
+        }
+    }
+}
+
+/// Point-wise ensemble average of a series-valued experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSeries {
+    /// Point-wise mean across trials.
+    pub mean: Vec<f64>,
+    /// Number of trials that were run.
+    pub trials: usize,
+}
+
+impl EnsembleSeries {
+    /// Length of the averaged series.
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Whether the averaged series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct_and_deterministic() {
+        let e = Ensemble::new(100, 7);
+        let seeds: Vec<u64> = (0..100).map(|i| e.trial_seed(i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100, "trial seeds must be distinct");
+        let e2 = Ensemble::new(100, 7);
+        assert_eq!(seeds[42], e2.trial_seed(42));
+    }
+
+    #[test]
+    fn different_master_seed_different_streams() {
+        let a = Ensemble::new(1, 1).trial_seed(0);
+        let b = Ensemble::new(1, 2).trial_seed(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scalar_aggregation() {
+        let e = Ensemble::new(4, 0);
+        let mut calls = 0;
+        let s = e
+            .run_scalar(|_| {
+                calls += 1;
+                calls as f64
+            })
+            .unwrap();
+        assert_eq!(s.len(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_trials_clamps_to_one() {
+        let e = Ensemble::new(0, 0);
+        assert_eq!(e.trials(), 1);
+    }
+
+    #[test]
+    fn series_average() {
+        let e = Ensemble::new(3, 0);
+        let mut k = 0.0;
+        let out = e.run_series(|_| {
+            k += 1.0;
+            vec![k, k * 2.0]
+        });
+        assert_eq!(out.len(), 2);
+        assert!(!out.is_empty());
+        assert!((out.mean[0] - 2.0).abs() < 1e-12);
+        assert!((out.mean[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_series_average_prefix_rule() {
+        let e = Ensemble::new(2, 0);
+        let mut first = true;
+        let out = e.run_series(|_| {
+            if std::mem::take(&mut first) {
+                vec![1.0, 1.0, 1.0]
+            } else {
+                vec![3.0]
+            }
+        });
+        assert_eq!(out.len(), 3);
+        assert!((out.mean[0] - 2.0).abs() < 1e-12);
+        assert!((out.mean[1] - 1.0).abs() < 1e-12);
+    }
+}

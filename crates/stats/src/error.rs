@@ -1,0 +1,65 @@
+//! Error types for statistical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by statistical routines on degenerate input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input series is empty or shorter than the routine requires.
+    SeriesTooShort {
+        /// Number of samples supplied.
+        got: usize,
+        /// Minimum number of samples required.
+        need: usize,
+    },
+    /// The input series has (numerically) zero variance, so the requested
+    /// normalized statistic is undefined.
+    ZeroVariance,
+    /// A parameter (lag, window, bin count, …) is out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::SeriesTooShort { got, need } => {
+                write!(f, "series has {got} samples but at least {need} are required")
+            }
+            StatsError::ZeroVariance => {
+                write!(f, "series has zero variance; normalized statistic undefined")
+            }
+            StatsError::InvalidParameter { name } => {
+                write!(f, "parameter `{name}` is out of range")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        for e in [
+            StatsError::SeriesTooShort { got: 1, need: 2 },
+            StatsError::ZeroVariance,
+            StatsError::InvalidParameter { name: "lag" },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<StatsError>();
+    }
+}

@@ -1,0 +1,283 @@
+//! A self-contained complex type and radix-2 fast Fourier transform.
+//!
+//! The periodogram analysis of the paper (Fig. 7) needs nothing beyond a
+//! power-of-two FFT; a naive `O(n²)` DFT is provided as a cross-check oracle
+//! for tests and for short non-power-of-two inputs.
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// Minimal on purpose: only the operations the FFT and periodogram need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(&self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiply by a real scalar.
+    pub fn scale(&self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (including zero).
+pub fn fft(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (including the `1/n` normalization).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (including zero).
+pub fn ifft(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::from_real(1.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive `O(n²)` discrete Fourier transform, for arbitrary lengths.
+///
+/// Used as a reference oracle in tests and for short non-power-of-two series.
+pub fn dft_naive(input: &[f64]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (t, &x) in input.iter().enumerate() {
+            let ang = -2.0 * PI * (k as f64) * (t as f64) / n as f64;
+            acc = acc + Complex::cis(ang).scale(x);
+        }
+        *slot = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let s = a + b;
+        assert_eq!(s, Complex::new(4.0, 1.0));
+        let d = a - b;
+        assert_eq!(d, Complex::new(-2.0, 3.0));
+        let m = a * b;
+        assert_eq!(m, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!(approx(a.norm_sqr(), 5.0, 1e-12));
+        assert!(approx(a.abs(), 5.0_f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let z = Complex::cis(k as f64 * 0.41);
+            assert!(approx(z.abs(), 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::from_real(1.0);
+        fft(&mut data);
+        for z in &data {
+            assert!(approx(z.re, 1.0, 1e-12));
+            assert!(approx(z.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let mut data = vec![Complex::from_real(1.0); 16];
+        fft(&mut data);
+        assert!(approx(data[0].re, 16.0, 1e-9));
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let input: Vec<f64> = (0..64).map(|i| ((i * 37 + 11) % 23) as f64 - 11.0).collect();
+        let mut data: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+        fft(&mut data);
+        let oracle = dft_naive(&input);
+        for (a, b) in data.iter().zip(&oracle) {
+            assert!(approx(a.re, b.re, 1e-6), "{a:?} vs {b:?}");
+            assert!(approx(a.im, b.im, 1e-6), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let input: Vec<f64> = (0..128).map(|i| (i as f64 * 0.7).sin() * 3.0 + 1.0).collect();
+        let mut data: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+        fft(&mut data);
+        ifft(&mut data);
+        for (z, &x) in data.iter().zip(&input) {
+            assert!(approx(z.re, x, 1e-9));
+            assert!(approx(z.im, 0.0, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_bin() {
+        let n = 256;
+        let k0 = 19;
+        let input: Vec<f64> = (0..n)
+            .map(|t| (2.0 * PI * k0 as f64 * t as f64 / n as f64).cos())
+            .collect();
+        let mut data: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+        fft(&mut data);
+        // The energy of a real cosine splits between bins k0 and n − k0.
+        assert!(approx(data[k0].abs(), n as f64 / 2.0, 1e-6));
+        assert!(approx(data[n - k0].abs(), n as f64 / 2.0, 1e-6));
+        for (k, z) in data.iter().enumerate() {
+            if k != k0 && k != n - k0 {
+                assert!(z.abs() < 1e-6, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let input: Vec<f64> = (0..64).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let time_energy: f64 = input.iter().map(|x| x * x).sum();
+        let mut data: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!(approx(time_energy, freq_energy, 1e-6));
+    }
+}

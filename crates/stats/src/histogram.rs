@@ -1,0 +1,176 @@
+//! Fixed-bin histogram for empirical distributions (stationary-distribution
+//! analysis, §IV-B).
+
+use crate::StatsError;
+
+/// A histogram over `[lo, hi)` with uniformly sized bins. Samples outside the
+/// range are counted separately as underflow/overflow.
+///
+/// ```
+/// use cavenet_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 5.0, 5).unwrap();
+/// for v in [0.5, 1.5, 1.7, 4.9, 7.0] { h.add(v); }
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bins == 0`, the bounds
+    /// are not finite, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter { name: "bins" });
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(StatsError::InvalidParameter { name: "range" });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Record a sample. Non-finite samples count as overflow.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() || x >= self.hi {
+            self.overflow += 1;
+        } else if x < self.lo {
+            self.underflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Record every sample of a slice.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound (plus non-finite samples).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Inclusive lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * i as f64
+    }
+
+    /// Empirical probability mass of bin `i` (relative to in-range samples).
+    /// Returns 0 when no in-range samples exist.
+    pub fn mass(&self, i: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / in_range as f64
+        }
+    }
+
+    /// Iterator over `(bin_lo, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(move |i| (self.bin_lo(i), self.bins[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn binning_boundaries() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(0.0); // first bin, inclusive lower edge
+        h.add(9.999); // last bin
+        h.add(10.0); // overflow (exclusive upper edge)
+        h.add(-0.001); // underflow
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn nan_counts_as_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn mass_sums_to_one() {
+        let mut h = Histogram::new(0.0, 5.0, 5).unwrap();
+        h.add_all(&[0.5, 1.5, 2.5, 3.5, 4.5, 1.1, 1.2]);
+        let total_mass: f64 = (0..h.bins()).map(|i| h.mass(i)).sum();
+        assert!((total_mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mass_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(h.mass(0), 0.0);
+    }
+
+    #[test]
+    fn bin_edges() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!((h.bin_lo(0) - 0.0).abs() < 1e-12);
+        assert!((h.bin_lo(4) - 8.0).abs() < 1e-12);
+        let edges: Vec<f64> = h.iter().map(|(lo, _)| lo).collect();
+        assert_eq!(edges.len(), 5);
+    }
+}

@@ -1,0 +1,237 @@
+//! Hurst-exponent estimators for classifying SRD vs LRD processes.
+//!
+//! The Hurst exponent `H` of a stationary process determines its dependence
+//! structure: `H ≈ 0.5` for short-range dependence, `0.5 < H < 1` for
+//! long-range dependence. The paper argues the stochastic NaS model
+//! (`0 < p < 1`) yields an LRD average-velocity process while the
+//! deterministic model is SRD; these estimators quantify that claim on
+//! simulated series.
+
+use crate::summary::linear_fit;
+use crate::StatsError;
+
+/// Combined SRD/LRD verdict from a Hurst estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LrdVerdict {
+    /// `H` significantly above 0.5: long-range dependent.
+    LongRange,
+    /// `H` around 0.5 (or below): short-range dependent.
+    ShortRange,
+}
+
+impl LrdVerdict {
+    /// Classify a Hurst estimate with the conventional threshold `H > 0.6`
+    /// (margin above 0.5 to absorb estimator bias on finite samples).
+    pub fn from_hurst(h: f64) -> Self {
+        if h > 0.6 {
+            LrdVerdict::LongRange
+        } else {
+            LrdVerdict::ShortRange
+        }
+    }
+}
+
+/// Rescaled-range (R/S) estimate of the Hurst exponent.
+///
+/// The series is divided into non-overlapping windows of geometrically
+/// increasing sizes; for each window size the mean rescaled range `R/S` is
+/// computed, and `H` is the slope of `log(R/S)` against `log(window)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::SeriesTooShort`] for fewer than 32 samples and
+/// [`StatsError::ZeroVariance`] for constant input.
+pub fn hurst_rescaled_range(data: &[f64]) -> Result<f64, StatsError> {
+    const MIN_LEN: usize = 32;
+    if data.len() < MIN_LEN {
+        return Err(StatsError::SeriesTooShort {
+            got: data.len(),
+            need: MIN_LEN,
+        });
+    }
+    let mut sizes = Vec::new();
+    let mut w = 8usize;
+    while w <= data.len() / 2 {
+        sizes.push(w);
+        w *= 2;
+    }
+    let mut log_n = Vec::new();
+    let mut log_rs = Vec::new();
+    for &win in &sizes {
+        let mut rs_values = Vec::new();
+        for chunk in data.chunks_exact(win) {
+            if let Some(rs) = rescaled_range(chunk) {
+                rs_values.push(rs);
+            }
+        }
+        if rs_values.is_empty() {
+            continue;
+        }
+        let mean_rs = rs_values.iter().sum::<f64>() / rs_values.len() as f64;
+        if mean_rs > 0.0 {
+            log_n.push((win as f64).ln());
+            log_rs.push(mean_rs.ln());
+        }
+    }
+    if log_n.len() < 2 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let (_, h) = linear_fit(&log_n, &log_rs);
+    Ok(h)
+}
+
+/// R/S statistic of one window; `None` if the window is constant.
+fn rescaled_range(chunk: &[f64]) -> Option<f64> {
+    let n = chunk.len() as f64;
+    let mean = chunk.iter().sum::<f64>() / n;
+    let std = (chunk.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
+    if std <= f64::EPSILON {
+        return None;
+    }
+    let mut cum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in chunk {
+        cum += x - mean;
+        min = min.min(cum);
+        max = max.max(cum);
+    }
+    Some((max - min) / std)
+}
+
+/// Aggregated-variance estimate of the Hurst exponent.
+///
+/// The series is aggregated at block sizes `m`; for an LRD process the
+/// variance of the aggregated series scales as `m^{2H−2}`, so `H` is
+/// recovered from the slope `β` of `log Var(m)` vs `log m` as
+/// `H = 1 + β/2`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::SeriesTooShort`] for fewer than 64 samples and
+/// [`StatsError::ZeroVariance`] for constant input.
+pub fn hurst_aggregated_variance(data: &[f64]) -> Result<f64, StatsError> {
+    const MIN_LEN: usize = 64;
+    if data.len() < MIN_LEN {
+        return Err(StatsError::SeriesTooShort {
+            got: data.len(),
+            need: MIN_LEN,
+        });
+    }
+    let mut log_m = Vec::new();
+    let mut log_var = Vec::new();
+    let mut m = 1usize;
+    while data.len() / m >= 8 {
+        let agg: Vec<f64> = data
+            .chunks_exact(m)
+            .map(|c| c.iter().sum::<f64>() / m as f64)
+            .collect();
+        let n = agg.len() as f64;
+        let mean = agg.iter().sum::<f64>() / n;
+        let var = agg.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        if var > 0.0 {
+            log_m.push((m as f64).ln());
+            log_var.push(var.ln());
+        }
+        m *= 2;
+    }
+    if log_m.len() < 3 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let (_, beta) = linear_fit(&log_m, &log_var);
+    Ok(1.0 + beta / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    /// Approximate fractional Gaussian noise with H ≈ 0.85 via aggregation of
+    /// many AR(1) processes with a heavy-tailed mixture of time constants
+    /// (superposition construction).
+    fn lrd_like(n: usize, seed: u64) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        let phis: [f64; 6] = [0.5, 0.9, 0.97, 0.99, 0.997, 0.999];
+        for (j, &phi) in phis.iter().enumerate() {
+            let noise = xorshift_noise(n, seed.wrapping_add(j as u64 * 7919));
+            let mut x = 0.0;
+            let scale = (1.0 - phi * phi).sqrt();
+            for i in 0..n {
+                x = phi * x + scale * noise[i];
+                out[i] += x;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn white_noise_hurst_near_half() {
+        let data = xorshift_noise(8192, 11);
+        let h_rs = hurst_rescaled_range(&data).unwrap();
+        let h_av = hurst_aggregated_variance(&data).unwrap();
+        assert!((0.3..=0.68).contains(&h_rs), "R/S H = {h_rs}");
+        assert!((0.3..=0.68).contains(&h_av), "agg-var H = {h_av}");
+        assert_eq!(LrdVerdict::from_hurst(0.5), LrdVerdict::ShortRange);
+    }
+
+    #[test]
+    fn long_memory_series_has_high_hurst() {
+        let data = lrd_like(16384, 5);
+        let h_av = hurst_aggregated_variance(&data).unwrap();
+        assert!(
+            h_av > 0.6,
+            "superposed slow AR(1)s should look LRD, got H = {h_av}"
+        );
+        assert_eq!(LrdVerdict::from_hurst(h_av), LrdVerdict::LongRange);
+    }
+
+    #[test]
+    fn rs_detects_long_memory_direction() {
+        let srd = xorshift_noise(8192, 3);
+        let lrd = lrd_like(8192, 3);
+        let h_srd = hurst_rescaled_range(&srd).unwrap();
+        let h_lrd = hurst_rescaled_range(&lrd).unwrap();
+        assert!(
+            h_lrd > h_srd,
+            "LRD estimate {h_lrd} should exceed SRD estimate {h_srd}"
+        );
+    }
+
+    #[test]
+    fn short_series_errors() {
+        let data = vec![1.0; 10];
+        assert!(matches!(
+            hurst_rescaled_range(&data),
+            Err(StatsError::SeriesTooShort { .. })
+        ));
+        assert!(matches!(
+            hurst_aggregated_variance(&data),
+            Err(StatsError::SeriesTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_series_errors() {
+        let data = vec![3.0; 1024];
+        assert!(hurst_rescaled_range(&data).is_err());
+        assert!(hurst_aggregated_variance(&data).is_err());
+    }
+
+    #[test]
+    fn verdict_threshold() {
+        assert_eq!(LrdVerdict::from_hurst(0.59), LrdVerdict::ShortRange);
+        assert_eq!(LrdVerdict::from_hurst(0.61), LrdVerdict::LongRange);
+    }
+}

@@ -1,0 +1,56 @@
+//! # cavenet-stats — time-series analysis for mobility processes
+//!
+//! The CAVENET paper treats the average vehicle velocity `v̄(t)` as the
+//! simulation variable of interest and studies its statistical structure:
+//!
+//! * whether the process is **short-range dependent (SRD)** — summable
+//!   autocorrelation — or **long-range dependent (LRD)**, which happens in
+//!   the stochastic NaS model for `0 < p < 1` (paper §I, §IV-B);
+//! * the **periodogram**, which is flat at the origin for SRD processes and
+//!   diverges like `1/f` for LRD processes (paper Fig. 7);
+//! * the **transient time** `τ` before the stationary regime, which dictates
+//!   how many initial samples must be discarded before protocol evaluation
+//!   (paper §IV-B).
+//!
+//! This crate implements all of the above from scratch: a radix-2 FFT,
+//! periodograms with log-log low-frequency slope fitting, autocorrelation,
+//! two Hurst-exponent estimators (rescaled range and aggregated variance),
+//! MSER-based transient truncation, Monte-Carlo ensemble helpers, and basic
+//! summary statistics.
+//!
+//! ```
+//! use cavenet_stats::{periodogram, low_frequency_slope};
+//!
+//! // A noisy but uncorrelated series: periodogram slope near the origin ≈ 0.
+//! let series: Vec<f64> = (0..1024u64)
+//!     .map(|i| ((i.wrapping_mul(2654435761) >> 7) % 97) as f64)
+//!     .collect();
+//! let p = periodogram(&series);
+//! let slope = low_frequency_slope(&p, 0.2);
+//! assert!(slope.abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autocorr;
+mod ensemble;
+mod error;
+mod fft;
+mod histogram;
+mod hurst;
+mod periodogram;
+mod summary;
+mod transient;
+
+pub use autocorr::{autocorrelation, autocorrelation_fft, srd_index};
+pub use ensemble::{Ensemble, EnsembleSeries};
+pub use error::StatsError;
+pub use fft::{dft_naive, fft, ifft, Complex};
+pub use histogram::Histogram;
+pub use hurst::{hurst_aggregated_variance, hurst_rescaled_range, LrdVerdict};
+pub use periodogram::{
+    low_frequency_slope, periodogram, periodogram_db, welch_periodogram, PeriodogramPoint,
+};
+pub use summary::Summary;
+pub use transient::{mser_truncation, settle_time};

@@ -1,0 +1,299 @@
+//! Periodogram estimation and low-frequency slope fitting (paper Fig. 7).
+//!
+//! For an SRD process the spectral density is finite at the origin, so the
+//! periodogram in log-log coordinates is flat as `f → 0`. For an LRD process
+//! the spectrum diverges like `f^{-α}` with `0 < α < 1` (1/f-type noise), so
+//! the log-log periodogram has a negative slope near the origin — exactly the
+//! visual criterion the paper applies to the stochastic NaS model.
+
+use crate::fft::{fft, Complex};
+use crate::summary::linear_fit;
+
+/// One periodogram ordinate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodogramPoint {
+    /// Frequency in cycles per sample, in `(0, 0.5]`.
+    pub frequency: f64,
+    /// Power estimate `|X(f)|² / n`.
+    pub power: f64,
+}
+
+/// Compute the periodogram of `data` at the Fourier frequencies
+/// `f_k = k/n`, `k = 1..=n/2`.
+///
+/// The series is mean-centred first (the DC component is the sample mean and
+/// would otherwise dominate the low-frequency region the LRD analysis cares
+/// about). If the length is not a power of two the series is truncated to the
+/// largest power of two — simpler and statistically cleaner than zero-padding,
+/// which would bias the ordinates.
+///
+/// Returns an empty vector for series shorter than 2 samples.
+pub fn periodogram(data: &[f64]) -> Vec<PeriodogramPoint> {
+    if data.len() < 2 {
+        return Vec::new();
+    }
+    let n = if data.len().is_power_of_two() {
+        data.len()
+    } else {
+        data.len().next_power_of_two() >> 1
+    };
+    let slice = &data[..n];
+    let mean = slice.iter().sum::<f64>() / n as f64;
+    let mut buf: Vec<Complex> = slice
+        .iter()
+        .map(|&x| Complex::from_real(x - mean))
+        .collect();
+    fft(&mut buf);
+    (1..=n / 2)
+        .map(|k| PeriodogramPoint {
+            frequency: k as f64 / n as f64,
+            power: buf[k].norm_sqr() / n as f64,
+        })
+        .collect()
+}
+
+/// Periodogram with power expressed in decibels (`10·log₁₀ P`), matching the
+/// paper's log/Hz axes. Zero-power ordinates are floored at −300 dB.
+pub fn periodogram_db(data: &[f64]) -> Vec<PeriodogramPoint> {
+    periodogram(data)
+        .into_iter()
+        .map(|p| PeriodogramPoint {
+            frequency: p.frequency,
+            power: if p.power > 0.0 {
+                10.0 * p.power.log10()
+            } else {
+                -300.0
+            },
+        })
+        .collect()
+}
+
+/// Welch's method: average the periodograms of `segments` half-overlapping
+/// Hann-windowed segments. Much lower variance than the raw periodogram at
+/// the price of frequency resolution — useful to make the Fig. 7 shapes
+/// visually unambiguous.
+///
+/// The segment length is the largest power of two allowing the requested
+/// number of half-overlapping segments. Returns an empty vector when the
+/// series is too short (fewer than 8 samples per segment).
+pub fn welch_periodogram(data: &[f64], segments: usize) -> Vec<PeriodogramPoint> {
+    let segments = segments.max(1);
+    if data.is_empty() {
+        return Vec::new();
+    }
+    // With 50% overlap, k segments of length L need (k + 1) · L / 2 samples.
+    let max_len = 2 * data.len() / (segments + 1);
+    if max_len < 8 {
+        return Vec::new();
+    }
+    let seg_len = if max_len.is_power_of_two() {
+        max_len
+    } else {
+        max_len.next_power_of_two() >> 1
+    };
+    let hop = seg_len / 2;
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    // Hann window and its power normalization.
+    let window: Vec<f64> = (0..seg_len)
+        .map(|i| {
+            let x = std::f64::consts::PI * i as f64 / seg_len as f64;
+            x.sin() * x.sin()
+        })
+        .collect();
+    let win_power: f64 = window.iter().map(|w| w * w).sum::<f64>() / seg_len as f64;
+
+    let mut acc = vec![0.0; seg_len / 2];
+    let mut count = 0usize;
+    let mut start = 0;
+    while start + seg_len <= data.len() {
+        let mut buf: Vec<Complex> = (0..seg_len)
+            .map(|i| Complex::from_real((data[start + i] - mean) * window[i]))
+            .collect();
+        fft(&mut buf);
+        for (k, slot) in acc.iter_mut().enumerate() {
+            *slot += buf[k + 1].norm_sqr() / (seg_len as f64 * win_power);
+        }
+        count += 1;
+        start += hop;
+    }
+    if count == 0 {
+        return Vec::new();
+    }
+    acc.iter()
+        .enumerate()
+        .map(|(i, &p)| PeriodogramPoint {
+            frequency: (i + 1) as f64 / seg_len as f64,
+            power: p / count as f64,
+        })
+        .collect()
+}
+
+/// Least-squares slope of `log₁₀ P` against `log₁₀ f` over the lowest
+/// `fraction` of the periodogram ordinates (`0 < fraction ≤ 1`).
+///
+/// A slope near 0 indicates SRD (flat spectrum at the origin, Fig. 7-a); a
+/// markedly negative slope (≲ −0.5) indicates 1/f-type divergence and hence
+/// LRD (Fig. 7-b). This is the classical Geweke–Porter-Hudak-style regression
+/// without the trigonometric refinement.
+///
+/// Returns 0 when fewer than two usable ordinates exist.
+pub fn low_frequency_slope(pgram: &[PeriodogramPoint], fraction: f64) -> f64 {
+    let take = ((pgram.len() as f64 * fraction.clamp(0.0, 1.0)).ceil() as usize).min(pgram.len());
+    let pts: Vec<(f64, f64)> = pgram[..take]
+        .iter()
+        .filter(|p| p.power > 0.0 && p.frequency > 0.0)
+        .map(|p| (p.frequency.log10(), p.power.log10()))
+        .collect();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = pts.iter().map(|&(x, _)| x).collect();
+    let ys: Vec<f64> = pts.iter().map(|&(_, y)| y).collect();
+    let (_, slope) = linear_fit(&xs, &ys);
+    slope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn xorshift_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_tiny_input() {
+        assert!(periodogram(&[]).is_empty());
+        assert!(periodogram(&[1.0]).is_empty());
+    }
+
+    #[test]
+    fn length_truncation_to_power_of_two() {
+        let data = vec![0.0; 1000];
+        // All-zero input: power 0 everywhere but shape must be right (512/2).
+        let p = periodogram(&data);
+        assert_eq!(p.len(), 256);
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_frequency() {
+        let n = 512;
+        let k0 = 37;
+        let data: Vec<f64> = (0..n)
+            .map(|t| (2.0 * PI * k0 as f64 * t as f64 / n as f64).sin())
+            .collect();
+        let p = periodogram(&data);
+        let (imax, _) = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.power.total_cmp(&b.1.power))
+            .unwrap();
+        assert_eq!(imax, k0 - 1, "peak should be at bin k0");
+        assert!((p[imax].frequency - k0 as f64 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_slope_is_near_zero() {
+        let data = xorshift_noise(8192, 99);
+        let p = periodogram(&data);
+        let slope = low_frequency_slope(&p, 0.3);
+        assert!(slope.abs() < 0.5, "white-noise slope should be ≈0, got {slope}");
+    }
+
+    #[test]
+    fn integrated_noise_has_negative_slope() {
+        // A random walk has a 1/f² spectrum: strongly negative slope.
+        let noise = xorshift_noise(8192, 7);
+        let mut walk = vec![0.0; noise.len()];
+        for i in 1..noise.len() {
+            walk[i] = walk[i - 1] + noise[i];
+        }
+        let p = periodogram(&walk);
+        let slope = low_frequency_slope(&p, 0.3);
+        assert!(
+            slope < -1.0,
+            "random-walk slope should be strongly negative, got {slope}"
+        );
+    }
+
+    #[test]
+    fn db_conversion() {
+        let data: Vec<f64> = (0..64).map(|t| (t as f64 * 0.3).sin()).collect();
+        let lin = periodogram(&data);
+        let db = periodogram_db(&data);
+        for (l, d) in lin.iter().zip(&db) {
+            if l.power > 0.0 {
+                assert!((d.power - 10.0 * l.power.log10()).abs() < 1e-12);
+            } else {
+                assert_eq!(d.power, -300.0);
+            }
+        }
+    }
+
+    #[test]
+    fn slope_of_degenerate_input_is_zero() {
+        assert_eq!(low_frequency_slope(&[], 0.5), 0.0);
+        let one = vec![PeriodogramPoint { frequency: 0.1, power: 1.0 }];
+        assert_eq!(low_frequency_slope(&one, 1.0), 0.0);
+    }
+
+    #[test]
+    fn welch_reduces_variance_of_flat_spectrum() {
+        let data = xorshift_noise(8192, 3);
+        let raw = periodogram(&data);
+        let welch = welch_periodogram(&data, 8);
+        assert!(!welch.is_empty());
+        let spread = |p: &[PeriodogramPoint]| {
+            let logs: Vec<f64> = p.iter().filter(|q| q.power > 0.0).map(|q| q.power.ln()).collect();
+            let m = logs.iter().sum::<f64>() / logs.len() as f64;
+            logs.iter().map(|l| (l - m).powi(2)).sum::<f64>() / logs.len() as f64
+        };
+        assert!(
+            spread(&welch) < spread(&raw) / 2.0,
+            "Welch averaging should shrink log-power variance"
+        );
+    }
+
+    #[test]
+    fn welch_peak_location_matches_tone() {
+        let n = 4096;
+        let data: Vec<f64> = (0..n)
+            .map(|t| (2.0 * PI * 0.125 * t as f64).sin())
+            .collect();
+        let welch = welch_periodogram(&data, 4);
+        let peak = welch
+            .iter()
+            .max_by(|a, b| a.power.total_cmp(&b.power))
+            .unwrap();
+        assert!(
+            (peak.frequency - 0.125).abs() < 0.01,
+            "peak at {} not 0.125",
+            peak.frequency
+        );
+    }
+
+    #[test]
+    fn welch_degenerate_inputs() {
+        assert!(welch_periodogram(&[], 4).is_empty());
+        assert!(welch_periodogram(&[1.0; 10], 16).is_empty());
+    }
+
+    #[test]
+    fn mean_is_removed() {
+        // A constant offset must not leak into low-frequency power.
+        let data: Vec<f64> = (0..256).map(|t| 100.0 + (t as f64 * 1.3).sin()).collect();
+        let p = periodogram(&data);
+        // Low-frequency power should be tiny compared to the tone.
+        let max_power = p.iter().map(|q| q.power).fold(0.0, f64::max);
+        assert!(p[0].power < max_power / 10.0);
+    }
+}

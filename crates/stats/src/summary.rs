@@ -1,0 +1,175 @@
+//! Basic descriptive statistics.
+
+use crate::StatsError;
+
+/// Summary statistics of a sample.
+///
+/// ```
+/// use cavenet_stats::Summary;
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    variance: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::SeriesTooShort`] for an empty slice.
+    pub fn from_slice(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::SeriesTooShort { got: 0, need: 1 });
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let variance = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in data {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Ok(Summary {
+            n,
+            mean,
+            variance,
+            min,
+            max,
+        })
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `false` — a `Summary` always describes at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coefficient of variation `σ/μ`; `None` when the mean is zero.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std_dev() / self.mean.abs())
+        }
+    }
+}
+
+/// Least-squares fit of `y = a + b·x`; returns `(a, b)`.
+///
+/// Used by the Hurst estimators and the periodogram slope fit. Undefined
+/// (returns `(mean(y), 0)`) when all `x` are identical.
+pub(crate) fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    if x.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+    }
+    if sxx == 0.0 {
+        return (my, 0.0);
+    }
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_error() {
+        assert!(matches!(
+            Summary::from_slice(&[]),
+            Err(StatsError::SeriesTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_slice(&[3.5]).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_none_for_zero_mean() {
+        let s = Summary::from_slice(&[-1.0, 1.0]).unwrap();
+        assert_eq!(s.coefficient_of_variation(), None);
+        let s2 = Summary::from_slice(&[2.0, 4.0]).unwrap();
+        assert!(s2.coefficient_of_variation().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 + 3.0 * v).collect();
+        let (a, b) = linear_fit(&x, &y);
+        assert!((a - 2.0).abs() < 1e-12);
+        assert!((b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_x() {
+        let (a, b) = linear_fit(&[1.0, 1.0, 1.0], &[2.0, 4.0, 6.0]);
+        assert_eq!(b, 0.0);
+        assert!((a - 4.0).abs() < 1e-12);
+    }
+}

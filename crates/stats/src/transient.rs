@@ -1,0 +1,178 @@
+//! Transient (warm-up) detection for simulation output analysis.
+//!
+//! Paper §IV-B: "it is important to investigate how many samples should be
+//! removed from the starting point in order to sample a process in its
+//! stationary regime". We provide two standard estimators of the truncation
+//! point: the Marginal Standard Error Rule (MSER) of White (1997) and a
+//! simple settle-time detector that reports when the series first stays
+//! inside a tolerance band around its tail mean.
+
+use crate::StatsError;
+
+/// MSER truncation point: the index `d*` minimizing the marginal standard
+/// error `MSE(d) = s²_{d..n} / (n − d)` of the truncated sample mean, over
+/// `d ∈ [0, n/2]` (searching past `n/2` is conventionally disallowed because
+/// the estimate becomes too noisy).
+///
+/// Samples before `d*` should be discarded as warm-up.
+///
+/// # Errors
+///
+/// Returns [`StatsError::SeriesTooShort`] for fewer than 8 samples.
+pub fn mser_truncation(data: &[f64]) -> Result<usize, StatsError> {
+    const MIN_LEN: usize = 8;
+    if data.len() < MIN_LEN {
+        return Err(StatsError::SeriesTooShort {
+            got: data.len(),
+            need: MIN_LEN,
+        });
+    }
+    let n = data.len();
+    // Suffix sums allow O(1) mean/variance of every tail.
+    let mut suffix_sum = vec![0.0; n + 1];
+    let mut suffix_sq = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        suffix_sum[i] = suffix_sum[i + 1] + data[i];
+        suffix_sq[i] = suffix_sq[i + 1] + data[i] * data[i];
+    }
+    let mut best_d = 0usize;
+    let mut best_mse = f64::INFINITY;
+    for d in 0..=n / 2 {
+        let m = (n - d) as f64;
+        let mean = suffix_sum[d] / m;
+        let var = (suffix_sq[d] / m - mean * mean).max(0.0);
+        let mse = var / m;
+        if mse < best_mse {
+            best_mse = mse;
+            best_d = d;
+        }
+    }
+    Ok(best_d)
+}
+
+/// First index after which the series stays within `tolerance` standard
+/// deviations of the mean of its final quarter — a direct reading of "the
+/// transient has ended".
+///
+/// Returns `None` if the series never settles (it keeps leaving the band).
+///
+/// # Errors
+///
+/// Returns [`StatsError::SeriesTooShort`] for fewer than 8 samples and
+/// [`StatsError::InvalidParameter`] for a non-positive tolerance.
+pub fn settle_time(data: &[f64], tolerance: f64) -> Result<Option<usize>, StatsError> {
+    const MIN_LEN: usize = 8;
+    if data.len() < MIN_LEN {
+        return Err(StatsError::SeriesTooShort {
+            got: data.len(),
+            need: MIN_LEN,
+        });
+    }
+    if tolerance.is_nan() || tolerance <= 0.0 {
+        return Err(StatsError::InvalidParameter { name: "tolerance" });
+    }
+    let tail = &data[data.len() * 3 / 4..];
+    let m = tail.len() as f64;
+    let mean = tail.iter().sum::<f64>() / m;
+    let std = (tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / m).sqrt();
+    // Guard against a perfectly flat tail: use a small absolute band.
+    let band = (std * tolerance).max(1e-12 + mean.abs() * 1e-9);
+    // Walk backwards: find the last sample outside the band.
+    let mut last_violation = None;
+    for (i, &x) in data.iter().enumerate() {
+        if (x - mean).abs() > band {
+            last_violation = Some(i);
+        }
+    }
+    Ok(match last_violation {
+        None => Some(0),
+        Some(i) if i + 1 < data.len() => Some(i + 1),
+        Some(_) => None, // still violating at the very end
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decay_then_noise(n: usize, tau: f64) -> Vec<f64> {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                5.0 * (-(i as f64) / tau).exp() + 1.0 + 0.05 * noise
+            })
+            .collect()
+    }
+
+    #[test]
+    fn short_series_errors() {
+        assert!(mser_truncation(&[1.0; 4]).is_err());
+        assert!(settle_time(&[1.0; 4], 3.0).is_err());
+    }
+
+    #[test]
+    fn bad_tolerance_errors() {
+        assert!(matches!(
+            settle_time(&[1.0; 100], 0.0),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        assert!(settle_time(&[1.0; 100], -1.0).is_err());
+    }
+
+    #[test]
+    fn stationary_series_truncates_near_zero() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 13) as f64).collect();
+        let d = mser_truncation(&data).unwrap();
+        assert!(d < 100, "stationary data should not be truncated much, got {d}");
+    }
+
+    #[test]
+    fn transient_is_detected_and_scales_with_tau() {
+        let short = decay_then_noise(4000, 30.0);
+        let long = decay_then_noise(4000, 300.0);
+        let d_short = mser_truncation(&short).unwrap();
+        let d_long = mser_truncation(&long).unwrap();
+        assert!(d_short >= 20, "τ=30 transient should be cut, got {d_short}");
+        assert!(
+            d_long > d_short,
+            "longer transient must truncate more: {d_long} vs {d_short}"
+        );
+    }
+
+    #[test]
+    fn settle_time_on_exponential_decay() {
+        let data = decay_then_noise(2000, 50.0);
+        let t = settle_time(&data, 4.0).unwrap().expect("series settles");
+        assert!(
+            (50..800).contains(&t),
+            "settle time should be a few time constants, got {t}"
+        );
+    }
+
+    #[test]
+    fn settle_time_of_constant_is_zero() {
+        let data = vec![2.0; 100];
+        assert_eq!(settle_time(&data, 3.0).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn never_settling_series() {
+        // Linearly drifting series never stays near its tail mean.
+        let data: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let t = settle_time(&data, 0.001).unwrap();
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn mser_respects_half_length_cap() {
+        // Even an absurdly long transient is capped at n/2.
+        let mut data = vec![100.0; 90];
+        data.extend(std::iter::repeat_n(1.0, 10));
+        let d = mser_truncation(&data).unwrap();
+        assert!(d <= 50);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cavenet-traffic — application traffic agents and flow metrics
+//!
+//! The paper's protocol evaluation (§IV-C) uses Constant Bit Rate traffic:
+//! "5 packets per second as a Constant Bit Rate (CBR) traffic were
+//! transmitted between 10 seconds and 90 seconds", 512-byte packets, from
+//! senders 1–8 toward receiver 0. This crate provides:
+//!
+//! * [`CbrSource`] / [`CbrSink`] — the CBR agents, implementing
+//!   [`cavenet_net::Application`];
+//! * [`TrafficRecorder`] — a shared, single-threaded flow ledger every agent
+//!   writes into;
+//! * [`FlowMetrics`] — goodput (total and time-binned series, as in the
+//!   paper's Figs. 8–10), packet delivery ratio (Fig. 11), mean end-to-end
+//!   delay, and duplicate accounting — the delay and overhead metrics cover
+//!   the paper's "future work" list too.
+//!
+//! ```
+//! use cavenet_traffic::{CbrConfig, TrafficRecorder};
+//! use cavenet_net::{FlowId, NodeId};
+//!
+//! let recorder = TrafficRecorder::new_shared();
+//! let cfg = CbrConfig::paper_default(); // 5 pkt/s × 512 B, 10–90 s
+//! assert_eq!(cfg.packet_size, 512);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cbr;
+mod recorder;
+
+pub use cbr::{CbrConfig, CbrSink, CbrSource};
+pub use recorder::{FlowMetrics, SharedRecorder, TrafficRecorder};

@@ -1,0 +1,56 @@
+//! Quickstart: the whole CAVENET pipeline in ~40 lines.
+//!
+//! 1. Build a Nagel–Schreckenberg lane (the BA block's mobility model).
+//! 2. Inspect its macroscopic traffic state.
+//! 3. Run the paper's Table 1 protocol evaluation for DYMO and print the
+//!    delivery metrics (the CPS block).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cavenet_core::ca::{Boundary, Lane, NasParams};
+use cavenet_core::{Experiment, Protocol, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Behavioural Analyzer: a 3 km ring with 30 vehicles -------------
+    let params = NasParams::builder()
+        .length(400) // 400 cells × 7.5 m = 3000 m
+        .vehicle_count(30)
+        .slowdown_probability(0.3)
+        .build()?;
+    let mut lane = Lane::with_random_placement(params, Boundary::Closed, 42)?;
+    for _ in 0..500 {
+        lane.step();
+    }
+    let kmh = lane.average_velocity() * params.cell_length_m() / params.dt_s() * 3.6;
+    println!(
+        "CA after 500 steps: mean velocity {:.2} cells/step ({kmh:.0} km/h), flow {:.3} veh/step",
+        lane.average_velocity(),
+        lane.flow(),
+    );
+
+    // --- Communication Protocol Simulator: Table 1 with DYMO ------------
+    let scenario = Scenario::paper_table1(Protocol::Dymo);
+    println!(
+        "running Table 1: {} nodes, {} m circuit, {} s, protocol {} ...",
+        scenario.nodes,
+        scenario.circuit_m,
+        scenario.sim_time.as_secs(),
+        scenario.protocol
+    );
+    let result = Experiment::new(scenario).run()?;
+    for report in &result.senders {
+        println!(
+            "  sender {}: PDR {:.3}, mean goodput {:.0} b/s",
+            report.sender,
+            report.metrics.pdr().unwrap_or(0.0),
+            report.metrics.goodput_bps(),
+        );
+    }
+    println!(
+        "mean PDR {:.3}, control packets {}, mean delay {:?}",
+        result.mean_pdr(),
+        result.control_packets,
+        result.mean_delay()
+    );
+    Ok(())
+}

@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) on the core invariants of every layer.
+
+use proptest::prelude::*;
+
+use cavenet_core::ca::{Boundary, Lane, NasParams};
+use cavenet_core::mobility::{Affine2, LaneGeometry, Point2};
+use cavenet_core::net::SimTime;
+use cavenet_core::stats::{autocorrelation, mser_truncation, periodogram, Summary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NaS safety: no collisions, velocities bounded, vehicle count
+    /// conserved — for any density, slow-down probability and seed.
+    #[test]
+    fn nas_invariants(
+        length in 10usize..300,
+        density in 0.01f64..1.0,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+        steps in 1usize..120,
+    ) {
+        let params = NasParams::builder()
+            .length(length)
+            .density(density)
+            .slowdown_probability(p)
+            .build()
+            .unwrap();
+        let mut lane = Lane::with_random_placement(params, Boundary::Closed, seed).unwrap();
+        let n0 = lane.vehicle_count();
+        for _ in 0..steps {
+            lane.step();
+            prop_assert_eq!(lane.vehicle_count(), n0);
+            let mut last = None;
+            for v in lane.vehicles() {
+                prop_assert!(v.velocity() <= params.vmax());
+                prop_assert!(v.position() < length);
+                if let Some(prev) = last {
+                    prop_assert!(v.position() > prev, "collision or disorder");
+                }
+                last = Some(v.position());
+            }
+        }
+    }
+
+    /// Flow is always within [0, 1] vehicles/step and v̄ within [0, vmax].
+    #[test]
+    fn nas_macroscopic_bounds(
+        density in 0.05f64..0.95,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let params = NasParams::builder()
+            .length(120)
+            .density(density)
+            .slowdown_probability(p)
+            .build()
+            .unwrap();
+        let mut lane = Lane::with_random_placement(params, Boundary::Closed, seed).unwrap();
+        for _ in 0..60 {
+            lane.step();
+            prop_assert!((0.0..=5.0).contains(&lane.average_velocity()));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&lane.flow()));
+        }
+    }
+
+    /// Affine transforms: inverse ∘ forward is the identity (where the
+    /// inverse exists).
+    #[test]
+    fn affine_inverse_roundtrip(
+        a in -3.0f64..3.0, b in -3.0f64..3.0,
+        c in -3.0f64..3.0, d in -3.0f64..3.0,
+        tx in -1e3f64..1e3, ty in -1e3f64..1e3,
+        px in -1e3f64..1e3, py in -1e3f64..1e3,
+    ) {
+        let m = Affine2::from_coefficients([a, b, tx, c, d, ty]);
+        prop_assume!(m.determinant().abs() > 1e-6);
+        let inv = m.inverse().unwrap();
+        let p = Point2::new(px, py);
+        let q = inv.apply(m.apply(p));
+        prop_assert!(p.distance(&q) < 1e-6 * (1.0 + px.abs() + py.abs()));
+    }
+
+    /// Ring embedding: every point lies on the circle, and the euclidean
+    /// distance between any two lane coordinates never exceeds the
+    /// diameter.
+    #[test]
+    fn ring_embedding_bounds(
+        circumference in 100.0f64..10_000.0,
+        s1 in 0.0f64..10_000.0,
+        s2 in 0.0f64..10_000.0,
+    ) {
+        let g = LaneGeometry::ring_circle(circumference);
+        let d = g.euclidean_distance(s1, s2);
+        let diameter = circumference / std::f64::consts::PI;
+        prop_assert!(d <= diameter + 1e-6);
+        prop_assert!(d >= 0.0);
+    }
+
+    /// Autocorrelation estimates are in [−1, 1] with r(0) = 1.
+    #[test]
+    fn autocorrelation_bounds(data in prop::collection::vec(-100.0f64..100.0, 30..200)) {
+        prop_assume!(Summary::from_slice(&data).unwrap().variance() > 1e-9);
+        let r = autocorrelation(&data, 10).unwrap();
+        prop_assert!((r[0] - 1.0).abs() < 1e-9);
+        for &rk in &r {
+            prop_assert!(rk.abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Periodogram ordinates are non-negative and frequencies strictly
+    /// increasing up to 1/2.
+    #[test]
+    fn periodogram_wellformed(data in prop::collection::vec(-10.0f64..10.0, 4..600)) {
+        let p = periodogram(&data);
+        let mut last = 0.0;
+        for pt in &p {
+            prop_assert!(pt.power >= 0.0);
+            prop_assert!(pt.frequency > last);
+            prop_assert!(pt.frequency <= 0.5 + 1e-12);
+            last = pt.frequency;
+        }
+    }
+
+    /// MSER truncation always lies in the first half of the series.
+    #[test]
+    fn mser_range(data in prop::collection::vec(-50.0f64..50.0, 8..500)) {
+        let d = mser_truncation(&data).unwrap();
+        prop_assert!(d <= data.len() / 2);
+    }
+
+    /// SimTime arithmetic: conversion round-trips and ordering.
+    #[test]
+    fn simtime_roundtrip(ns in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(ns);
+        prop_assert_eq!(t.as_nanos(), ns);
+        let secs = t.as_secs_f64();
+        let t2 = SimTime::from_secs_f64(secs);
+        // f64 has 53 bits of mantissa; allow proportional rounding error.
+        let err = (t2.as_nanos() as i128 - ns as i128).unsigned_abs();
+        prop_assert!(err <= 1 + (ns >> 50) as u128);
+    }
+
+    /// Summary invariants: min ≤ mean ≤ max and non-negative variance.
+    #[test]
+    fn summary_invariants(data in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let s = Summary::from_slice(&data).unwrap();
+        prop_assert!(s.min() <= s.mean() + 1e-6);
+        prop_assert!(s.mean() <= s.max() + 1e-6);
+        prop_assert!(s.variance() >= 0.0);
+        prop_assert!(s.std_dev() <= (s.max() - s.min()) + 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ns-2 export → parse → rebuild keeps node positions within tolerance
+    /// at arbitrary query times, for arbitrary CA scenarios.
+    #[test]
+    fn ns2_roundtrip_property(
+        density in 0.03f64..0.3,
+        p in 0.0f64..0.6,
+        seed in any::<u64>(),
+        query_t in 0.0f64..20.0,
+    ) {
+        use cavenet_core::mobility::{ns2, TraceGenerator};
+        let params = NasParams::builder()
+            .length(100)
+            .density(density)
+            .slowdown_probability(p)
+            .build()
+            .unwrap();
+        let lane = Lane::with_random_placement(params, Boundary::Closed, seed).unwrap();
+        let trace = TraceGenerator::new(LaneGeometry::ring_circle(750.0))
+            .steps(20)
+            .generate(lane);
+        let tcl = ns2::export(&trace, &ns2::ExportOptions { delta: 0.0, precision: 9 });
+        let back = ns2::commands_to_trace(&ns2::parse(&tcl).unwrap()).unwrap();
+        for id in 0..trace.node_count() {
+            let a = trace.position_at(id, query_t).unwrap();
+            let b = back.position_at(id, query_t).unwrap();
+            prop_assert!(a.distance(&b) < 1.0, "node {} at t={}: {:?} vs {:?}", id, query_t, a, b);
+        }
+    }
+}

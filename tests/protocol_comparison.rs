@@ -1,0 +1,152 @@
+//! Integration tests asserting the paper's comparative findings (§IV-C)
+//! hold in this reproduction, across seeds.
+
+use std::time::Duration;
+
+use cavenet_core::{Experiment, ExperimentResult, Protocol, Scenario};
+
+fn run(protocol: Protocol, seed: u64) -> ExperimentResult {
+    let mut s = Scenario::paper_table1(protocol);
+    // Trimmed run: traffic 10–50 s of a 60 s simulation, 6 senders.
+    s.sim_time = Duration::from_secs(60);
+    s.traffic.cbr.stop = Duration::from_secs(50);
+    s.traffic.senders = (1..=6).collect();
+    s.seed = seed;
+    Experiment::new(s).run().unwrap()
+}
+
+/// Paper: "reactive protocols (AODV and DYMO) have better goodput than
+/// OLSR" — checked on mean PDR over two seeds.
+#[test]
+fn reactive_protocols_beat_olsr() {
+    for seed in [1, 5] {
+        let aodv = run(Protocol::Aodv, seed);
+        let olsr = run(Protocol::Olsr, seed);
+        let dymo = run(Protocol::Dymo, seed);
+        assert!(
+            aodv.mean_pdr() > olsr.mean_pdr(),
+            "seed {seed}: AODV {:.3} ≤ OLSR {:.3}",
+            aodv.mean_pdr(),
+            olsr.mean_pdr()
+        );
+        assert!(
+            dymo.mean_pdr() > olsr.mean_pdr(),
+            "seed {seed}: DYMO {:.3} ≤ OLSR {:.3}",
+            dymo.mean_pdr(),
+            olsr.mean_pdr()
+        );
+    }
+}
+
+/// Paper: "the delay of AODV is higher than DYMO". The paper reports a
+/// single run; across seeds the ordering fluctuates (see EXPERIMENTS.md),
+/// so we assert (a) the paper's single-run result reproduces on the
+/// default Table 1 scenario, and (b) the two protocols' delays stay within
+/// the same order of magnitude in aggregate.
+#[test]
+fn dymo_delay_matches_paper_on_reference_run() {
+    // (a) Reference run = full Table 1, default seed.
+    let aodv_ref = Experiment::new(Scenario::paper_table1(Protocol::Aodv))
+        .run()
+        .unwrap();
+    let dymo_ref = Experiment::new(Scenario::paper_table1(Protocol::Dymo))
+        .run()
+        .unwrap();
+    let (a, d) = (
+        aodv_ref.mean_delay().unwrap(),
+        dymo_ref.mean_delay().unwrap(),
+    );
+    assert!(
+        d < a,
+        "reference run should reproduce the paper's ordering: DYMO {d:?} vs AODV {a:?}"
+    );
+    // Route acquisition (max buffered delay) also favours DYMO here.
+    assert!(dymo_ref.max_delay().unwrap() < aodv_ref.max_delay().unwrap());
+
+    // (b) Aggregate comparability across seeds.
+    let mut aodv_total = 0.0;
+    let mut dymo_total = 0.0;
+    for seed in [1, 2, 3] {
+        aodv_total += run(Protocol::Aodv, seed).mean_delay().unwrap().as_secs_f64();
+        dymo_total += run(Protocol::Dymo, seed).mean_delay().unwrap().as_secs_f64();
+    }
+    let ratio = dymo_total / aodv_total;
+    assert!(
+        (0.2..=5.0).contains(&ratio),
+        "delays should be the same order of magnitude, ratio {ratio}"
+    );
+}
+
+/// Paper (§III-B-1): OLSR's proactive TC/HELLO machinery costs far more
+/// control traffic than on-demand discovery.
+#[test]
+fn olsr_control_overhead_exceeds_reactive() {
+    let aodv = run(Protocol::Aodv, 1);
+    let olsr = run(Protocol::Olsr, 1);
+    let dymo = run(Protocol::Dymo, 1);
+    assert!(olsr.control_bytes > aodv.control_bytes);
+    assert!(olsr.control_bytes > dymo.control_bytes);
+}
+
+/// DYMO's path accumulation should not cost delivery relative to AODV —
+/// the paper judges DYMO best overall.
+#[test]
+fn dymo_delivery_at_least_aodv_level() {
+    let mut total_aodv = 0.0;
+    let mut total_dymo = 0.0;
+    for seed in [1, 2, 3] {
+        total_aodv += run(Protocol::Aodv, seed).mean_pdr();
+        total_dymo += run(Protocol::Dymo, seed).mean_pdr();
+    }
+    assert!(
+        total_dymo >= total_aodv - 0.15,
+        "DYMO delivery collapsed: {total_dymo:.3} vs AODV {total_aodv:.3}"
+    );
+}
+
+/// Flooding delivers (any path suffices) but at far higher forwarding cost
+/// than AODV.
+#[test]
+fn flooding_delivers_with_maximal_overhead() {
+    let flood = run(Protocol::Flooding, 1);
+    let aodv = run(Protocol::Aodv, 1);
+    assert!(flood.mean_pdr() > 0.5, "flooding PDR {:.3}", flood.mean_pdr());
+    assert!(
+        flood.data_forwarded > 3 * aodv.data_forwarded,
+        "flooding forwards {} vs AODV {}",
+        flood.data_forwarded,
+        aodv.data_forwarded
+    );
+}
+
+/// AODV's bursty goodput: after a route outage, buffered packets flush in
+/// one bin, pushing instantaneous goodput above the offered rate — the
+/// spikes of Fig. 8.
+#[test]
+fn reactive_goodput_shows_bursts_above_offered_rate() {
+    let offered = 20480.0; // 5 pkt/s × 512 B × 8
+    for protocol in [Protocol::Aodv, Protocol::Dymo] {
+        let mut seen_burst = false;
+        for seed in [1, 2, 3, 4] {
+            if run(protocol, seed).peak_goodput_bps() > offered * 1.15 {
+                seen_burst = true;
+                break;
+            }
+        }
+        assert!(seen_burst, "{protocol} never showed a goodput burst");
+    }
+}
+
+/// The OLSR-ETX extension must remain functional (delivery in the same
+/// ballpark as plain OLSR).
+#[test]
+fn olsr_etx_functional() {
+    let plain = run(Protocol::Olsr, 1);
+    let etx = run(Protocol::OlsrEtx, 1);
+    assert!(
+        etx.mean_pdr() > plain.mean_pdr() * 0.5,
+        "ETX {:.3} vs plain {:.3}",
+        etx.mean_pdr(),
+        plain.mean_pdr()
+    );
+}
