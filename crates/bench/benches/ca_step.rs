@@ -56,5 +56,10 @@ fn bench_fundamental_point(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lane_step, bench_multilane_step, bench_fundamental_point);
+criterion_group!(
+    benches,
+    bench_lane_step,
+    bench_multilane_step,
+    bench_fundamental_point
+);
 criterion_main!(benches);

@@ -20,7 +20,12 @@ fn short_scenario(protocol: Protocol) -> Scenario {
 fn bench_protocols(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol_scenario_20s");
     group.sample_size(10);
-    for p in [Protocol::Aodv, Protocol::Olsr, Protocol::Dymo, Protocol::Flooding] {
+    for p in [
+        Protocol::Aodv,
+        Protocol::Olsr,
+        Protocol::Dymo,
+        Protocol::Flooding,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {
                 let r = Experiment::new(short_scenario(p)).run().unwrap();

@@ -26,7 +26,10 @@ fn saturated_link(c: &mut Criterion) {
             let mut sim = Simulator::builder(ScenarioConfig::default())
                 .nodes(2)
                 .mobility(Box::new(StaticMobility::line(2, 100.0)))
-                .app(0, Box::new(CbrSource::new(NodeId(1), cfg, Rc::clone(&recorder))))
+                .app(
+                    0,
+                    Box::new(CbrSource::new(NodeId(1), cfg, Rc::clone(&recorder))),
+                )
                 .app(1, Box::new(CbrSink::new(Rc::clone(&recorder))))
                 .build();
             sim.run_until_secs(1.2);

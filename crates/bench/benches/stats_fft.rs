@@ -25,8 +25,7 @@ fn bench_fft(c: &mut Criterion) {
         let data = series(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
             b.iter(|| {
-                let mut buf: Vec<Complex> =
-                    d.iter().map(|&x| Complex::from_real(x)).collect();
+                let mut buf: Vec<Complex> = d.iter().map(|&x| Complex::from_real(x)).collect();
                 fft(&mut buf);
                 black_box(buf[1].norm_sqr())
             });
@@ -56,5 +55,11 @@ fn bench_hurst(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fft, bench_periodogram, bench_autocorr, bench_hurst);
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_periodogram,
+    bench_autocorr,
+    bench_hurst
+);
 criterion_main!(benches);

@@ -41,7 +41,9 @@ fn run(label: &str, boundary: Boundary, geometry: LaneGeometry) -> f64 {
 }
 
 fn main() {
-    println!("# Ablation — the paper's improvement: ring vs recycling line (AODV, Table 1 traffic)\n");
+    println!(
+        "# Ablation — the paper's improvement: ring vs recycling line (AODV, Table 1 traffic)\n"
+    );
     let ring = run(
         "closed ring (improved)",
         Boundary::Closed,

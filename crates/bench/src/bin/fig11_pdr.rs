@@ -13,7 +13,9 @@ fn main() {
     let protocols = [Protocol::Aodv, Protocol::Olsr, Protocol::Dymo];
     let mut results = Vec::new();
     for p in protocols {
-        let r = Experiment::new(Scenario::paper_table1(p)).run().expect("runs");
+        let r = Experiment::new(Scenario::paper_table1(p))
+            .run()
+            .expect("runs");
         results.push(r);
     }
 
@@ -30,8 +32,13 @@ fn main() {
         );
         rows.push(vec![sender as f64, pdrs[0], pdrs[1], pdrs[2]]);
     }
-    println!("{:>8} {:>8.3} {:>8.3} {:>8.3}", "mean",
-        results[0].mean_pdr(), results[1].mean_pdr(), results[2].mean_pdr());
+    println!(
+        "{:>8} {:>8.3} {:>8.3} {:>8.3}",
+        "mean",
+        results[0].mean_pdr(),
+        results[1].mean_pdr(),
+        results[2].mean_pdr()
+    );
 
     println!("\nsupplementary metrics (paper §V future work):");
     println!(

@@ -14,9 +14,7 @@
 
 use cavenet_bench::csv_block;
 use cavenet_ca::{Boundary, Lane, NasParams};
-use cavenet_mobility::{
-    ConnectivityAnalyzer, LaneGeometry, MobilityTrace, TraceGenerator,
-};
+use cavenet_mobility::{ConnectivityAnalyzer, LaneGeometry, MobilityTrace, TraceGenerator};
 
 const RANGE_M: f64 = 250.0;
 const SPARSE: usize = 8; // sparse lane: mean spacing 375 m > 250 m range
@@ -83,8 +81,14 @@ fn main() {
     let without = pair_reachability(&sparse, SPARSE);
     let with = pair_reachability(&full, SPARSE);
 
-    println!("lane-0 pair reachability without relays: {:>5.1}%", without * 100.0);
-    println!("lane-0 pair reachability with lane-1 relays: {:>5.1}%", with * 100.0);
+    println!(
+        "lane-0 pair reachability without relays: {:>5.1}%",
+        without * 100.0
+    );
+    println!(
+        "lane-0 pair reachability with lane-1 relays: {:>5.1}%",
+        with * 100.0
+    );
     println!(
         "\nrelay gain: +{:.1} percentage points → {}",
         (with - without) * 100.0,

@@ -24,12 +24,20 @@ fn main() {
     let delta = 1.0; // Δ, the paper's footnote-3 offset
     let lane3 = Affine2::axis_swap_with_offset(xs / 2.0, delta);
     println!("# Fig. 3-a — lane construction by affine transformation\n");
-    println!("lane-3 transformation A(3) (coefficients [a b tx; c d ty]): {:?}", lane3.coefficients());
+    println!(
+        "lane-3 transformation A(3) (coefficients [a b tx; c d ty]): {:?}",
+        lane3.coefficients()
+    );
     for xi in [0.0, 100.0, 750.0, 1500.0] {
         let p = lane3.apply(Point2::new(xi, 0.0));
-        println!("  relative X = {xi:>7.1} m  →  absolute ({:>8.1}, {:>8.1})", p.x, p.y);
+        println!(
+            "  relative X = {xi:>7.1} m  →  absolute ({:>8.1}, {:>8.1})",
+            p.x, p.y
+        );
     }
-    println!("\n(lane coordinates run down the plane's Y axis at x = XS/2, as drawn in the figure)\n");
+    println!(
+        "\n(lane coordinates run down the plane's Y axis at x = XS/2, as drawn in the figure)\n"
+    );
 
     // --- Fig. 3-b: generated ns-2 trace for a 2-lane network -------------
     println!("# Fig. 3-b — excerpt of the generated ns-2 trace for 2 lanes\n");

@@ -11,6 +11,7 @@
 
 use cavenet_bench::{csv_block, sparkline};
 use cavenet_ca::FundamentalDiagram;
+use cavenet_stats::par_map;
 
 fn main() {
     let densities: Vec<f64> = (1..=20).map(|i| i as f64 * 0.025).collect();
@@ -23,11 +24,20 @@ fn main() {
             .iterations(500)
             .discard(250)
             .trials(20);
-        let points = diagram
-            .sweep(&densities, 42)
-            .expect("valid densities");
+        // Densities fan out across threads with the same per-density seed
+        // derivation `FundamentalDiagram::sweep` uses, so the points are
+        // bit-identical to the serial sweep.
+        let seed = 42u64;
+        let points: Vec<_> = par_map(&densities, None, |i, &rho| {
+            diagram
+                .point(rho, seed.wrapping_add((i as u64) << 32))
+                .expect("valid densities")
+        });
         println!("p = {p}:");
-        println!("  {:>8} {:>10} {:>10} {:>10}", "rho", "J", "v_mean", "J_std");
+        println!(
+            "  {:>8} {:>10} {:>10} {:>10}",
+            "rho", "J", "v_mean", "J_std"
+        );
         let mut flows = Vec::new();
         for pt in &points {
             println!(
@@ -48,7 +58,13 @@ fn main() {
             points[peak_idx].density
         );
         for pt in &points {
-            rows.push(vec![p, pt.density, pt.mean_flow, pt.mean_velocity, pt.flow_std]);
+            rows.push(vec![
+                p,
+                pt.density,
+                pt.mean_flow,
+                pt.mean_velocity,
+                pt.flow_std,
+            ]);
         }
         curves.push((p, points));
     }
@@ -58,8 +74,17 @@ fn main() {
     let sto = &curves[1].1;
     let det_peak = det.iter().map(|x| x.mean_flow).fold(0.0, f64::max);
     let sto_peak = sto.iter().map(|x| x.mean_flow).fold(0.0, f64::max);
-    println!("shape check: deterministic peak {det_peak:.3} > stochastic peak {sto_peak:.3}: {}",
-        if det_peak > sto_peak { "OK" } else { "MISMATCH" });
+    println!(
+        "shape check: deterministic peak {det_peak:.3} > stochastic peak {sto_peak:.3}: {}",
+        if det_peak > sto_peak {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
+    );
 
-    println!("\n## CSV\n{}", csv_block("p,rho,flow,velocity,flow_std", &rows));
+    println!(
+        "\n## CSV\n{}",
+        csv_block("p,rho,flow,velocity,flow_std", &rows)
+    );
 }

@@ -18,8 +18,8 @@ fn run(label: &str, length: usize, rho: f64, p: f64, seed: u64) {
         .slowdown_probability(p)
         .build()
         .expect("valid parameters");
-    let mut lane = Lane::with_random_placement(params, Boundary::Closed, seed)
-        .expect("vehicles fit");
+    let mut lane =
+        Lane::with_random_placement(params, Boundary::Closed, seed).expect("vehicles fit");
     // Warm up so the plot shows the (quasi-)stationary regime, as in the
     // paper's figures.
     for _ in 0..200 {

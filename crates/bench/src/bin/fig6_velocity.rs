@@ -40,5 +40,8 @@ fn main() {
         }
         println!();
     }
-    println!("## CSV (every 10th sample)\n{}", csv_block("rho,t,v_mean", &rows));
+    println!(
+        "## CSV (every 10th sample)\n{}",
+        csv_block("rho,t,v_mean", &rows)
+    );
 }

@@ -19,8 +19,8 @@ fn velocity_series(rho: f64, p: f64, steps: usize, seed: u64) -> Vec<f64> {
         .slowdown_probability(p)
         .build()
         .expect("valid parameters");
-    let mut lane = Lane::with_random_placement(params, Boundary::Closed, seed)
-        .expect("vehicles fit");
+    let mut lane =
+        Lane::with_random_placement(params, Boundary::Closed, seed).expect("vehicles fit");
     // Discard the transient before spectral analysis.
     for _ in 0..500 {
         lane.step();

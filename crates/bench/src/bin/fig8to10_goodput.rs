@@ -10,11 +10,10 @@
 //! and patchy.
 
 use cavenet_bench::{csv_block, sparkline};
-use cavenet_core::{Experiment, Protocol, Scenario};
+use cavenet_core::{Experiment, ExperimentResult, Protocol, Scenario};
+use cavenet_stats::par_map;
 
-fn run(protocol: Protocol) -> Vec<Vec<f64>> {
-    let scenario = Scenario::paper_table1(protocol);
-    let result = Experiment::new(scenario).run().expect("table-1 scenario runs");
+fn report(protocol: Protocol, result: &ExperimentResult) -> Vec<Vec<f64>> {
     println!("## {protocol} goodput per sender (bits/s, 1 s bins, 0–100 s)");
     let mut rows = Vec::new();
     let mut all_mean = 0.0;
@@ -63,9 +62,16 @@ fn main() {
             }
         },
     };
+    // Protocols are independent runs: simulate them in parallel, then print
+    // in protocol order so the output matches the serial layout exactly.
+    let results = par_map(&protocols, None, |_, &p| {
+        Experiment::new(Scenario::paper_table1(p))
+            .run()
+            .expect("table-1 scenario runs")
+    });
     let mut rows = Vec::new();
-    for (i, p) in protocols.iter().enumerate() {
-        let mut r = run(*p);
+    for (i, (p, result)) in protocols.iter().zip(&results).enumerate() {
+        let mut r = report(*p, result);
         for row in &mut r {
             row.insert(0, i as f64);
         }
@@ -75,5 +81,8 @@ fn main() {
         println!("shape check (paper): reactive (AODV/DYMO) goodput ≫ OLSR goodput;");
         println!("AODV bursty with spikes near 10× the CBR payload rate.\n");
     }
-    println!("## CSV\n{}", csv_block("protocol_index,sender,t,goodput_bps", &rows));
+    println!(
+        "## CSV\n{}",
+        csv_block("protocol_index,sender,t,goodput_bps", &rows)
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
     let churn = analyzer.link_change_rate(100.0, 1.0);
     let connected = analyzer.connected_fraction(100.0, 1.0);
     println!("# §V future-work metrics under the Table 1 scenario\n");
-    println!("mobility: link change rate {churn:.2} links/s, fully connected {:.0}% of the time\n", connected * 100.0);
+    println!(
+        "mobility: link change rate {churn:.2} links/s, fully connected {:.0}% of the time\n",
+        connected * 100.0
+    );
 
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12} {:>12}",

@@ -1,0 +1,199 @@
+//! Performance report: measures the hot paths this repo optimizes and emits
+//! `BENCH_perf.json` so the bench trajectory is machine-trackable.
+//!
+//! Three measurements:
+//!
+//! 1. **Broadcast kernel** — events/sec of the discrete-event engine on the
+//!    Table-1 scenario and on a scaled ring (8× the nodes at the paper's
+//!    density), comparing the brute-force all-pairs receiver scan against
+//!    the spatial neighbor grid with step-quantized mobility.
+//! 2. **CA stepper** — NaS lane steps/sec (the BA block's unit of work).
+//! 3. **Ensemble engine** — wall-clock of a 20-trial Monte-Carlo ensemble,
+//!    serial vs parallel, with a bit-identity check on the outputs.
+//!
+//! Usage: `perf_report [--quick]` (`--quick` shrinks the scaled scenario for
+//! smoke runs).
+
+use std::time::{Duration, Instant};
+
+use cavenet_ca::{Boundary, Lane, NasParams};
+use cavenet_core::{Experiment, Protocol, Scenario};
+use cavenet_stats::Ensemble;
+
+/// One timed simulation run: engine events processed and wall-clock seconds.
+struct EngineRun {
+    events: u64,
+    wall_s: f64,
+}
+
+impl EngineRun {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn time_scenario(s: &Scenario) -> EngineRun {
+    let t0 = Instant::now();
+    let r = Experiment::new(s.clone()).run().expect("scenario runs");
+    EngineRun {
+        events: r.global.events_processed,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// The paper's ring scaled by `factor` at constant vehicle density, with
+/// TTL-flooded CBR traffic: every node rebroadcasts every data packet, so
+/// the per-transmission receiver scan dominates the run.
+fn scaled_ring(factor: usize, sim_secs: u64) -> Scenario {
+    let mut s = Scenario::paper_table1(Protocol::Flooding);
+    s.nodes = 30 * factor;
+    s.circuit_m = 3000.0 * factor as f64;
+    s.sim_time = Duration::from_secs(sim_secs);
+    s.traffic.cbr.start = Duration::from_secs(2);
+    s.traffic.cbr.stop = Duration::from_secs(sim_secs.saturating_sub(2));
+    s.traffic.cbr.rate_pps = 20.0;
+    s.traffic.senders = (1u32..=8).map(|k| (k * s.nodes as u32) / 9).collect();
+    s.traffic.receiver = 0;
+    s
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (factor, sim_secs, ca_steps, trials) = if quick {
+        (4, 6u64, 20_000u64, 6usize)
+    } else {
+        (8, 10u64, 200_000u64, 20usize)
+    };
+
+    println!("# perf_report — broadcast kernel, CA stepper, ensemble engine\n");
+
+    // 1a. Table-1 scenario, default configuration (grid on, exact mobility).
+    let table1 = Scenario::paper_table1(Protocol::Aodv);
+    let t1 = time_scenario(&table1);
+    println!(
+        "table1 (AODV, 30 nodes, 100 s): {} events in {:.2} s wall = {:.0} events/s",
+        t1.events,
+        t1.wall_s,
+        t1.events_per_sec()
+    );
+
+    // 1b. Scaled ring: brute-force scan + exact mobility vs neighbor grid +
+    //     1 s step-quantized mobility (the CA advances in 1 s steps, so the
+    //     quantum matches the information content of the trace).
+    let mut brute = scaled_ring(factor, sim_secs);
+    brute.neighbor_grid = false;
+    let mut gridded = brute.clone();
+    gridded.neighbor_grid = true;
+    gridded.mobility_quantum = Some(Duration::from_secs(1));
+    let nodes = brute.nodes;
+    println!("\nscaled ring ({nodes} nodes, {sim_secs} s, flooding):");
+    let rb = time_scenario(&brute);
+    println!(
+        "  brute-force scan: {} events in {:.2} s wall = {:.0} events/s",
+        rb.events,
+        rb.wall_s,
+        rb.events_per_sec()
+    );
+    let rg = time_scenario(&gridded);
+    println!(
+        "  neighbor grid:    {} events in {:.2} s wall = {:.0} events/s",
+        rg.events,
+        rg.wall_s,
+        rg.events_per_sec()
+    );
+    let kernel_speedup = rg.events_per_sec() / rb.events_per_sec().max(1e-9);
+    println!("  events/sec speedup: {kernel_speedup:.2}×");
+
+    // 2. CA stepper throughput.
+    let params = NasParams::builder()
+        .length(400)
+        .density(0.3)
+        .slowdown_probability(0.3)
+        .build()
+        .expect("valid CA params");
+    let mut lane = Lane::with_random_placement(params, Boundary::Closed, 1).expect("lane");
+    let t0 = Instant::now();
+    for _ in 0..ca_steps {
+        lane.step();
+    }
+    let ca_wall = t0.elapsed().as_secs_f64();
+    let ca_rate = ca_steps as f64 / ca_wall.max(1e-9);
+    println!("\nCA stepper (L = 400, ρ = 0.3, p = 0.3): {ca_rate:.0} steps/s");
+
+    // 3. Ensemble engine: serial vs parallel wall-clock, bit-identity check.
+    let trial = |seed: u64| {
+        let mut s = Scenario::paper_table1(Protocol::Aodv);
+        s.sim_time = Duration::from_secs(15);
+        s.traffic.cbr.start = Duration::from_secs(2);
+        s.traffic.cbr.stop = Duration::from_secs(13);
+        s.traffic.senders = vec![1, 2];
+        s.seed = seed;
+        Experiment::new(s).run().expect("trial runs").mean_pdr()
+    };
+    let ensemble = Ensemble::new(trials, 42);
+    let workers = std::thread::available_parallelism().map_or(1, |w| w.get());
+    let t0 = Instant::now();
+    let serial = ensemble
+        .workers(1)
+        .run_scalar_par(trial)
+        .expect("trials >= 1");
+    let serial_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = ensemble.run_scalar_par(trial).expect("trials >= 1");
+    let parallel_wall = t0.elapsed().as_secs_f64();
+    let bit_identical = serial.mean().to_bits() == parallel.mean().to_bits()
+        && serial.variance().to_bits() == parallel.variance().to_bits();
+    let ensemble_speedup = serial_wall / parallel_wall.max(1e-9);
+    println!(
+        "\nensemble ({trials} trials, {workers} workers): serial {serial_wall:.2} s, \
+         parallel {parallel_wall:.2} s = {ensemble_speedup:.2}× (bit-identical: {bit_identical})"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"table1\": {{\"nodes\": 30, \"sim_secs\": 100, \"events\": {}, ",
+            "\"wall_s\": {}, \"events_per_sec\": {}}},\n",
+            "  \"scaled_ring\": {{\n",
+            "    \"nodes\": {}, \"sim_secs\": {},\n",
+            "    \"brute_force\": {{\"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}}},\n",
+            "    \"neighbor_grid\": {{\"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}}},\n",
+            "    \"events_per_sec_speedup\": {}\n",
+            "  }},\n",
+            "  \"ca\": {{\"cells\": 400, \"steps\": {}, \"steps_per_sec\": {}}},\n",
+            "  \"ensemble\": {{\"trials\": {}, \"workers\": {}, \"serial_wall_s\": {}, ",
+            "\"parallel_wall_s\": {}, \"speedup\": {}, \"bit_identical\": {}}}\n",
+            "}}\n",
+        ),
+        t1.events,
+        json_num(t1.wall_s),
+        json_num(t1.events_per_sec()),
+        nodes,
+        sim_secs,
+        rb.events,
+        json_num(rb.wall_s),
+        json_num(rb.events_per_sec()),
+        rg.events,
+        json_num(rg.wall_s),
+        json_num(rg.events_per_sec()),
+        json_num(kernel_speedup),
+        ca_steps,
+        json_num(ca_rate),
+        trials,
+        workers,
+        json_num(serial_wall),
+        json_num(parallel_wall),
+        json_num(ensemble_speedup),
+        bit_identical,
+    );
+    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
+    println!("\nwrote BENCH_perf.json:\n{json}");
+}

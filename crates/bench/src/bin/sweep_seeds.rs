@@ -3,20 +3,34 @@
 //! and control overhead, quantifying how stable the paper's single-run
 //! conclusions are.
 //!
-//! Usage: `sweep_seeds [n_seeds]` (default 10).
+//! Seeds run in parallel via [`cavenet_stats::par_map`]; results are
+//! reassembled in seed order before aggregation, so the output is
+//! byte-identical to `--serial`.
+//!
+//! Usage: `sweep_seeds [n_seeds] [--serial]` (default 10 seeds, parallel).
+
+use std::num::NonZeroUsize;
 
 use cavenet_bench::csv_block;
 use cavenet_core::{Experiment, Protocol, Scenario};
-use cavenet_stats::Summary;
+use cavenet_stats::{par_map, Summary};
 
 fn main() {
-    let n: u64 = match std::env::args().nth(1) {
-        None => 10,
-        Some(arg) => arg.parse().unwrap_or_else(|_| {
-            eprintln!("error: `{arg}` is not a seed count; usage: sweep_seeds [n_seeds]");
-            std::process::exit(2);
-        }),
-    };
+    let mut n: u64 = 10;
+    let mut serial = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--serial" {
+            serial = true;
+        } else {
+            n = arg.parse().unwrap_or_else(|_| {
+                eprintln!(
+                    "error: `{arg}` is not a seed count; usage: sweep_seeds [n_seeds] [--serial]"
+                );
+                std::process::exit(2);
+            });
+        }
+    }
+    let workers = if serial { NonZeroUsize::new(1) } else { None };
     println!("# Seed sweep over the Table 1 scenario ({n} seeds per protocol)\n");
     println!(
         "{:<10} {:>12} {:>12} {:>14} {:>14} {:>12}",
@@ -24,18 +38,26 @@ fn main() {
     );
     let mut rows = Vec::new();
     for (pi, protocol) in Protocol::PAPER_SET.iter().enumerate() {
-        let mut pdrs = Vec::new();
-        let mut delays = Vec::new();
-        let mut ctrl = Vec::new();
-        for seed in 1..=n {
+        let seeds: Vec<u64> = (1..=n).collect();
+        let results = par_map(&seeds, workers, |_, &seed| {
             let mut s = Scenario::paper_table1(*protocol);
             s.seed = seed;
             let r = Experiment::new(s).run().expect("scenario runs");
-            pdrs.push(r.mean_pdr());
-            if let Some(d) = r.mean_delay() {
-                delays.push(d.as_secs_f64() * 1e3);
+            (
+                r.mean_pdr(),
+                r.mean_delay().map(|d| d.as_secs_f64() * 1e3),
+                r.control_packets as f64,
+            )
+        });
+        let mut pdrs = Vec::new();
+        let mut delays = Vec::new();
+        let mut ctrl = Vec::new();
+        for (pdr, delay, c) in results {
+            pdrs.push(pdr);
+            if let Some(d) = delay {
+                delays.push(d);
             }
-            ctrl.push(r.control_packets as f64);
+            ctrl.push(c);
         }
         let p = Summary::from_slice(&pdrs).expect("nonempty");
         let d = Summary::from_slice(&delays).expect("nonempty");
@@ -49,12 +71,22 @@ fn main() {
             d.std_dev(),
             c.mean(),
         );
-        rows.push(vec![pi as f64, p.mean(), p.std_dev(), d.mean(), d.std_dev(), c.mean()]);
+        rows.push(vec![
+            pi as f64,
+            p.mean(),
+            p.std_dev(),
+            d.mean(),
+            d.std_dev(),
+            c.mean(),
+        ]);
     }
     println!("\nexpected: PDR ordering AODV ≈ DYMO > OLSR stable across seeds;");
     println!("delay ordering noisier (the paper reports a single run).");
     println!(
         "\n## CSV\n{}",
-        csv_block("protocol_index,pdr_mean,pdr_std,delay_ms_mean,delay_ms_std,ctrl_mean", &rows)
+        csv_block(
+            "protocol_index,pdr_mean,pdr_std,delay_ms_mean,delay_ms_std,ctrl_mean",
+            &rows
+        )
     );
 }

@@ -11,28 +11,107 @@ fn main() {
     let mac = MacParams::default();
     println!("# Table I — simulation parameters (paper value → implemented value)\n");
     let rows: Vec<(&str, String, String)> = vec![
-        ("Network Simulator", "ns-2".into(), "cavenet-net (deterministic DES)".into()),
-        ("Routing Protocol", "AODV, OLSR, DYMO".into(), "aodv / olsr / olsr-etx / dymo / flooding".into()),
-        ("Simulation Time", "100 s".into(), format!("{} s", s.sim_time.as_secs())),
-        ("Simulation Area", "3000 m Circuit".into(), format!("{} m ring (circle embedding)", s.circuit_m)),
+        (
+            "Network Simulator",
+            "ns-2".into(),
+            "cavenet-net (deterministic DES)".into(),
+        ),
+        (
+            "Routing Protocol",
+            "AODV, OLSR, DYMO".into(),
+            "aodv / olsr / olsr-etx / dymo / flooding".into(),
+        ),
+        (
+            "Simulation Time",
+            "100 s".into(),
+            format!("{} s", s.sim_time.as_secs()),
+        ),
+        (
+            "Simulation Area",
+            "3000 m Circuit".into(),
+            format!("{} m ring (circle embedding)", s.circuit_m),
+        ),
         ("Number of Nodes", "30".into(), format!("{}", s.nodes)),
-        ("Traffic Src/Dst", "Deterministic".into(), format!("senders {:?} → receiver {}", s.traffic.senders, s.traffic.receiver)),
+        (
+            "Traffic Src/Dst",
+            "Deterministic".into(),
+            format!(
+                "senders {:?} → receiver {}",
+                s.traffic.senders, s.traffic.receiver
+            ),
+        ),
         ("Data Type", "CBR".into(), "CBR (cavenet-traffic)".into()),
-        ("Packets Generation Rate", "5 packets/s".into(), format!("{} packets/s", s.traffic.cbr.rate_pps)),
-        ("Packet Size", "512 bytes".into(), format!("{} bytes", s.traffic.cbr.packet_size)),
-        ("MAC Protocol", "IEEE 802.11 DCF".into(), "IEEE 802.11 DCF (DSSS timing, CSMA/CA + ACK)".into()),
-        ("MAC Rate", "2 Mbps".into(), format!("{} Mbps", phy.data_rate_bps / 1e6)),
-        ("RTS/CTS", "None".into(), "implemented, disabled by default (Scenario::rts_cts)".into()),
-        ("Transmission Range", "250 m".into(), format!("{:.0} m (two-ray calibrated)", phy.effective_range(Propagation::TwoRayGround))),
-        ("Radio Propagation", "Two-ray Ground".into(), format!("{:?}", s.propagation)),
+        (
+            "Packets Generation Rate",
+            "5 packets/s".into(),
+            format!("{} packets/s", s.traffic.cbr.rate_pps),
+        ),
+        (
+            "Packet Size",
+            "512 bytes".into(),
+            format!("{} bytes", s.traffic.cbr.packet_size),
+        ),
+        (
+            "MAC Protocol",
+            "IEEE 802.11 DCF".into(),
+            "IEEE 802.11 DCF (DSSS timing, CSMA/CA + ACK)".into(),
+        ),
+        (
+            "MAC Rate",
+            "2 Mbps".into(),
+            format!("{} Mbps", phy.data_rate_bps / 1e6),
+        ),
+        (
+            "RTS/CTS",
+            "None".into(),
+            "implemented, disabled by default (Scenario::rts_cts)".into(),
+        ),
+        (
+            "Transmission Range",
+            "250 m".into(),
+            format!(
+                "{:.0} m (two-ray calibrated)",
+                phy.effective_range(Propagation::TwoRayGround)
+            ),
+        ),
+        (
+            "Radio Propagation",
+            "Two-ray Ground".into(),
+            format!("{:?}", s.propagation),
+        ),
         ("Hello AODV Interval", "1 s".into(), "1 s".into()),
         ("Hello OLSR Interval", "1 s".into(), "1 s".into()),
         ("TC OLSR Interval", "2 s".into(), "2 s".into()),
         ("Hello DYMO Interval", "1 s".into(), "1 s".into()),
-        ("CBR window", "10 s – 90 s".into(), format!("{} s – {} s", s.traffic.cbr.start.as_secs(), s.traffic.cbr.stop.as_secs())),
-        ("Slot / SIFS / DIFS", "(ns-2 DSSS)".into(), format!("{} / {} / {} µs", mac.slot.as_micros(), mac.sifs.as_micros(), mac.difs.as_micros())),
-        ("CWmin / CWmax / retries", "(ns-2 DSSS)".into(), format!("{} / {} / {}", mac.cw_min, mac.cw_max, mac.retry_limit)),
-        ("Interface queue", "(ns-2 ifqlen)".into(), format!("{} frames, drop-tail", mac.queue_capacity)),
+        (
+            "CBR window",
+            "10 s – 90 s".into(),
+            format!(
+                "{} s – {} s",
+                s.traffic.cbr.start.as_secs(),
+                s.traffic.cbr.stop.as_secs()
+            ),
+        ),
+        (
+            "Slot / SIFS / DIFS",
+            "(ns-2 DSSS)".into(),
+            format!(
+                "{} / {} / {} µs",
+                mac.slot.as_micros(),
+                mac.sifs.as_micros(),
+                mac.difs.as_micros()
+            ),
+        ),
+        (
+            "CWmin / CWmax / retries",
+            "(ns-2 DSSS)".into(),
+            format!("{} / {} / {}", mac.cw_min, mac.cw_max, mac.retry_limit),
+        ),
+        (
+            "Interface queue",
+            "(ns-2 ifqlen)".into(),
+            format!("{} frames, drop-tail", mac.queue_capacity),
+        ),
     ];
     println!("{:<26} | {:<22} | implementation", "parameter", "paper");
     println!("{}", "-".repeat(100));

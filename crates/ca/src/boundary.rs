@@ -68,14 +68,20 @@ mod tests {
     fn conservation_flags() {
         assert!(Boundary::Closed.conserves_vehicles());
         assert!(Boundary::Recycling.conserves_vehicles());
-        assert!(!Boundary::Open { injection_rate: 0.3 }.conserves_vehicles());
+        assert!(!Boundary::Open {
+            injection_rate: 0.3
+        }
+        .conserves_vehicles());
     }
 
     #[test]
     fn periodicity() {
         assert!(Boundary::Closed.is_periodic());
         assert!(!Boundary::Recycling.is_periodic());
-        assert!(!Boundary::Open { injection_rate: 0.1 }.is_periodic());
+        assert!(!Boundary::Open {
+            injection_rate: 0.1
+        }
+        .is_periodic());
     }
 
     #[test]
@@ -88,7 +94,9 @@ mod tests {
         for b in [
             Boundary::Closed,
             Boundary::Recycling,
-            Boundary::Open { injection_rate: 0.5 },
+            Boundary::Open {
+                injection_rate: 0.5,
+            },
         ] {
             assert!(!b.to_string().is_empty());
         }

@@ -72,7 +72,10 @@ mod tests {
             CaError::ZeroLength,
             CaError::InvalidProbability { value: 1.5 },
             CaError::InvalidDensity { value: -0.1 },
-            CaError::TooManyVehicles { vehicles: 10, sites: 5 },
+            CaError::TooManyVehicles {
+                vehicles: 10,
+                sites: 5,
+            },
             CaError::InvalidPlacement { site: 99 },
             CaError::ZeroVmax,
             CaError::NoLanes,

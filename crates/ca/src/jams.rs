@@ -60,10 +60,7 @@ impl JamSnapshot {
             });
         } else {
             // Start scanning right after a break.
-            let start = (0..n)
-                .find(|&i| !linked(i))
-                .expect("a break exists")
-                + 1;
+            let start = (0..n).find(|&i| !linked(i)).expect("a break exists") + 1;
             let mut i = 0;
             while i < n {
                 let idx = (start + i) % n;
@@ -73,7 +70,9 @@ impl JamSnapshot {
                 }
                 // Extend the run while linked.
                 let mut len = 1;
-                while i + len < n && linked((start + i + len - 1) % n) && in_cluster((start + i + len) % n)
+                while i + len < n
+                    && linked((start + i + len - 1) % n)
+                    && in_cluster((start + i + len) % n)
                 {
                     len += 1;
                 }
@@ -119,8 +118,7 @@ impl JamSnapshot {
         if self.clusters.is_empty() {
             return 0.0;
         }
-        self.clusters.iter().map(|c| c.vehicles).sum::<usize>() as f64
-            / self.clusters.len() as f64
+        self.clusters.iter().map(|c| c.vehicles).sum::<usize>() as f64 / self.clusters.len() as f64
     }
 }
 
@@ -140,7 +138,11 @@ mod tests {
 
     #[test]
     fn empty_lane_no_jams() {
-        let params = NasParams::builder().length(10).vehicle_count(1).build().unwrap();
+        let params = NasParams::builder()
+            .length(10)
+            .vehicle_count(1)
+            .build()
+            .unwrap();
         let lane = Lane::from_positions(params, Boundary::Closed, &[3], &[5], 0).unwrap();
         let snap = JamSnapshot::capture(&lane, 0, 1);
         assert_eq!(snap.count(), 0);
@@ -174,7 +176,12 @@ mod tests {
         // Jam straddling the seam: vehicles at 18, 19, 0, 1 on a 20-ring.
         let lane = lane_from(&[0, 1, 18, 19], &[0, 0, 0, 0], 20);
         let snap = JamSnapshot::capture(&lane, 0, 1);
-        assert_eq!(snap.count(), 1, "seam jam must not split: {:?}", snap.clusters());
+        assert_eq!(
+            snap.count(),
+            1,
+            "seam jam must not split: {:?}",
+            snap.clusters()
+        );
         assert_eq!(snap.largest(), 4);
     }
 

@@ -59,7 +59,10 @@ impl Lane {
         let n = params.vehicles();
         let l = params.length();
         if n > l {
-            return Err(CaError::TooManyVehicles { vehicles: n, sites: l });
+            return Err(CaError::TooManyVehicles {
+                vehicles: n,
+                sites: l,
+            });
         }
         let positions: Vec<usize> = (0..n).map(|i| i * l / n).collect();
         let velocities = vec![0; n];
@@ -80,7 +83,10 @@ impl Lane {
         let n = params.vehicles();
         let l = params.length();
         if n > l {
-            return Err(CaError::TooManyVehicles { vehicles: n, sites: l });
+            return Err(CaError::TooManyVehicles {
+                vehicles: n,
+                sites: l,
+            });
         }
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         // Floyd's algorithm for a uniform random n-subset of [0, l).
@@ -92,8 +98,7 @@ impl Lane {
             }
         }
         let positions: Vec<usize> = chosen.into_iter().collect();
-        let velocities: Vec<u32> =
-            (0..n).map(|_| rng.gen_range(0..=params.vmax())).collect();
+        let velocities: Vec<u32> = (0..n).map(|_| rng.gen_range(0..=params.vmax())).collect();
         Self::from_positions(params, boundary, &positions, &velocities, seed)
     }
 
@@ -524,8 +529,14 @@ mod tests {
     #[test]
     fn open_lane_drains_without_injection() {
         let p = params(30, 10, 0.0);
-        let mut lane =
-            Lane::with_uniform_placement(p, Boundary::Open { injection_rate: 0.0 }, 3).unwrap();
+        let mut lane = Lane::with_uniform_placement(
+            p,
+            Boundary::Open {
+                injection_rate: 0.0,
+            },
+            3,
+        )
+        .unwrap();
         for _ in 0..100 {
             lane.step();
         }
@@ -536,8 +547,14 @@ mod tests {
     #[test]
     fn open_lane_injects_vehicles() {
         let p = params(50, 1, 0.0);
-        let mut lane =
-            Lane::with_uniform_placement(p, Boundary::Open { injection_rate: 0.5 }, 3).unwrap();
+        let mut lane = Lane::with_uniform_placement(
+            p,
+            Boundary::Open {
+                injection_rate: 0.5,
+            },
+            3,
+        )
+        .unwrap();
         for _ in 0..200 {
             lane.step();
         }
@@ -621,8 +638,7 @@ mod tests {
         // Every site occupied: all gaps are 0, nobody can ever move.
         let p = params(6, 6, 0.0);
         let positions: Vec<usize> = (0..6).collect();
-        let mut lane =
-            Lane::from_positions(p, Boundary::Closed, &positions, &[0; 6], 0).unwrap();
+        let mut lane = Lane::from_positions(p, Boundary::Closed, &positions, &[0; 6], 0).unwrap();
         for _ in 0..10 {
             lane.step();
         }

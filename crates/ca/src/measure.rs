@@ -189,7 +189,11 @@ mod tests {
 
     #[test]
     fn observation_captures_lane_state() {
-        let params = NasParams::builder().length(100).density(0.2).build().unwrap();
+        let params = NasParams::builder()
+            .length(100)
+            .density(0.2)
+            .build()
+            .unwrap();
         let mut lane = Lane::with_uniform_placement(params, Boundary::Closed, 0).unwrap();
         lane.step();
         let obs = LaneObservation::capture(&lane);
@@ -201,7 +205,10 @@ mod tests {
     #[test]
     fn deterministic_free_flow_point() {
         // ρ = 0.1 < 1/6: flow should be ρ·vmax = 0.5 exactly for p = 0.
-        let d = FundamentalDiagram::new(400, 0.0).iterations(300).discard(100).trials(3);
+        let d = FundamentalDiagram::new(400, 0.0)
+            .iterations(300)
+            .discard(100)
+            .trials(3);
         let pt = d.point(0.1, 1).unwrap();
         assert!(
             (pt.mean_flow - 0.5).abs() < 0.02,
@@ -214,7 +221,10 @@ mod tests {
     #[test]
     fn deterministic_jammed_point() {
         // ρ = 0.5 > 1/6: deterministic stationary flow is 1 − ρ = 0.5.
-        let d = FundamentalDiagram::new(400, 0.0).iterations(2500).discard(2000).trials(3);
+        let d = FundamentalDiagram::new(400, 0.0)
+            .iterations(2500)
+            .discard(2000)
+            .trials(3);
         let pt = d.point(0.5, 1).unwrap();
         assert!(
             (pt.mean_flow - 0.5).abs() < 0.05,
@@ -225,8 +235,14 @@ mod tests {
 
     #[test]
     fn stochastic_flow_below_deterministic() {
-        let det = FundamentalDiagram::new(400, 0.0).iterations(400).discard(200).trials(3);
-        let sto = FundamentalDiagram::new(400, 0.5).iterations(400).discard(200).trials(3);
+        let det = FundamentalDiagram::new(400, 0.0)
+            .iterations(400)
+            .discard(200)
+            .trials(3);
+        let sto = FundamentalDiagram::new(400, 0.5)
+            .iterations(400)
+            .discard(200)
+            .trials(3);
         let jd = det.point(0.15, 7).unwrap().mean_flow;
         let js = sto.point(0.15, 7).unwrap().mean_flow;
         assert!(
@@ -237,7 +253,10 @@ mod tests {
 
     #[test]
     fn sweep_is_deterministic_given_seed() {
-        let d = FundamentalDiagram::new(200, 0.3).iterations(100).discard(20).trials(2);
+        let d = FundamentalDiagram::new(200, 0.3)
+            .iterations(100)
+            .discard(20)
+            .trials(2);
         let a = d.sweep(&[0.1, 0.3], 99).unwrap();
         let b = d.sweep(&[0.1, 0.3], 99).unwrap();
         assert_eq!(a, b);
@@ -253,7 +272,10 @@ mod tests {
     fn fundamental_diagram_peaks_near_critical_density_for_p0() {
         // For p = 0 the flow-density curve rises with slope vmax until
         // ρ_c = 1/(vmax+1) ≈ 0.167 and falls as 1 − ρ afterwards.
-        let d = FundamentalDiagram::new(240, 0.0).iterations(1500).discard(1000).trials(2);
+        let d = FundamentalDiagram::new(240, 0.0)
+            .iterations(1500)
+            .discard(1000)
+            .trials(2);
         let low = d.point(0.05, 3).unwrap().mean_flow;
         let crit = d.point(1.0 / 6.0, 3).unwrap().mean_flow;
         let high = d.point(0.45, 3).unwrap().mean_flow;

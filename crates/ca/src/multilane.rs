@@ -110,7 +110,10 @@ impl MultiLaneRoad {
         let n = params.nas.vehicles();
         let l = params.nas.length();
         if n > l {
-            return Err(CaError::TooManyVehicles { vehicles: n, sites: l });
+            return Err(CaError::TooManyVehicles {
+                vehicles: n,
+                sites: l,
+            });
         }
         let mut vehicles = Vec::with_capacity(n * params.lanes);
         let mut next = 0u32;
@@ -268,10 +271,12 @@ impl MultiLaneRoad {
                 let other_gap = Self::gap_ahead(&occ, target, v.pos, look, l);
                 let back_gap = Self::gap_behind(&occ, target, v.pos, vmax, l);
                 // Improvement + safety criteria.
-                if other_gap > own_gap && back_gap >= vmax
-                    && best.is_none_or(|(_, g)| other_gap > g) {
-                        best = Some((target, other_gap));
-                    }
+                if other_gap > own_gap
+                    && back_gap >= vmax
+                    && best.is_none_or(|(_, g)| other_gap > g)
+                {
+                    best = Some((target, other_gap));
+                }
             }
             if let Some((target, _)) = best {
                 if self.rng.gen_bool(self.params.change_probability) {
@@ -322,7 +327,10 @@ impl MultiLaneRoad {
             v.vel = vel;
             v.pos = (v.pos + vel as usize) % l;
         }
-        debug_assert!(self.no_collisions(), "multilane update produced a collision");
+        debug_assert!(
+            self.no_collisions(),
+            "multilane update produced a collision"
+        );
     }
 
     fn no_collisions(&self) -> bool {
@@ -334,7 +342,11 @@ impl MultiLaneRoad {
 /// Adjacent lane indices of `lane` on a road with `lanes` lanes.
 fn neighbours(lane: usize, lanes: usize) -> impl Iterator<Item = usize> {
     let left = lane.checked_sub(1);
-    let right = if lane + 1 < lanes { Some(lane + 1) } else { None };
+    let right = if lane + 1 < lanes {
+        Some(lane + 1)
+    } else {
+        None
+    };
     left.into_iter().chain(right)
 }
 

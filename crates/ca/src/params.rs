@@ -252,19 +252,30 @@ mod tests {
         assert_eq!(p.vmax(), 5);
         assert_eq!(p.slowdown_probability(), 0.0);
         assert!(p.is_deterministic());
-        assert!((p.length_m() - 3000.0).abs() < 1e-9, "400 cells = 3 km ring");
+        assert!(
+            (p.length_m() - 3000.0).abs() < 1e-9,
+            "400 cells = 3 km ring"
+        );
     }
 
     #[test]
     fn density_converts_to_count() {
-        let p = NasParams::builder().length(400).density(0.5).build().unwrap();
+        let p = NasParams::builder()
+            .length(400)
+            .density(0.5)
+            .build()
+            .unwrap();
         assert_eq!(p.vehicles(), 200);
         assert!((p.density() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn tiny_density_yields_at_least_one_vehicle() {
-        let p = NasParams::builder().length(10).density(0.001).build().unwrap();
+        let p = NasParams::builder()
+            .length(10)
+            .density(0.001)
+            .build()
+            .unwrap();
         assert_eq!(p.vehicles(), 1);
     }
 
@@ -312,7 +323,11 @@ mod tests {
 
     #[test]
     fn full_lane_is_allowed() {
-        let p = NasParams::builder().length(5).vehicle_count(5).build().unwrap();
+        let p = NasParams::builder()
+            .length(5)
+            .vehicle_count(5)
+            .build()
+            .unwrap();
         assert_eq!(p.vehicles(), 5);
         assert!((p.density() - 1.0).abs() < 1e-12);
     }
@@ -335,7 +350,10 @@ mod tests {
 
     #[test]
     fn p_equal_one_is_valid_and_not_reported_deterministic() {
-        let p = NasParams::builder().slowdown_probability(1.0).build().unwrap();
+        let p = NasParams::builder()
+            .slowdown_probability(1.0)
+            .build()
+            .unwrap();
         assert!(!p.is_deterministic());
     }
 }

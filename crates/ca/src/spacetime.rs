@@ -110,7 +110,10 @@ impl SpaceTimeDiagram {
         if self.rows.is_empty() {
             return 0.0;
         }
-        (0..self.rows.len()).map(|t| self.jam_fraction(t)).sum::<f64>() / self.rows.len() as f64
+        (0..self.rows.len())
+            .map(|t| self.jam_fraction(t))
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 
     /// Estimate the drift of the centre of mass of jammed (v = 0) vehicles in
@@ -169,9 +172,7 @@ impl SpaceTimeDiagram {
                 let ch = match cell {
                     SpaceTimeCell::Empty => '.',
                     SpaceTimeCell::Occupied(0) => '#',
-                    SpaceTimeCell::Occupied(v) => {
-                        char::from_digit((*v).min(9), 10).unwrap_or('9')
-                    }
+                    SpaceTimeCell::Occupied(v) => char::from_digit((*v).min(9), 10).unwrap_or('9'),
                 };
                 out.push(ch);
             }
@@ -270,9 +271,12 @@ mod tests {
 
     #[test]
     fn ascii_render_symbols() {
-        let params = NasParams::builder().length(10).vehicle_count(2).build().unwrap();
-        let l =
-            Lane::from_positions(params, Boundary::Closed, &[1, 5], &[0, 3], 0).unwrap();
+        let params = NasParams::builder()
+            .length(10)
+            .vehicle_count(2)
+            .build()
+            .unwrap();
+        let l = Lane::from_positions(params, Boundary::Closed, &[1, 5], &[0, 3], 0).unwrap();
         let mut l2 = l;
         let d = SpaceTimeDiagram::record(&mut l2, 0);
         let line = d.render_ascii();

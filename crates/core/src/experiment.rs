@@ -83,7 +83,10 @@ impl ExperimentResult {
     /// end-to-end delay of any delivered packet, dominated by packets
     /// buffered during route (re)discovery.
     pub fn max_delay(&self) -> Option<Duration> {
-        self.senders.iter().filter_map(|s| s.metrics.max_delay).max()
+        self.senders
+            .iter()
+            .filter_map(|s| s.metrics.max_delay)
+            .max()
     }
 
     /// Peak of any sender's binned goodput (the spike height in Fig. 8).
@@ -143,7 +146,10 @@ impl Experiment {
         let s = &self.scenario;
         s.validate()?;
         let trace = s.build_trace()?;
-        let mobility = TraceMobility::new(trace);
+        let mobility = match s.mobility_quantum {
+            Some(q) => TraceMobility::quantized(trace, q),
+            None => TraceMobility::new(trace),
+        };
 
         let recorder = TrafficRecorder::new_shared();
         let protocol = s.protocol;
@@ -158,6 +164,7 @@ impl Experiment {
             .nodes(s.nodes)
             .seed(s.seed)
             .mobility(Box::new(mobility))
+            .neighbor_grid(s.neighbor_grid)
             .routing_with(move |_| protocol.instantiate());
         for &sender in &s.traffic.senders {
             builder = builder.app(
@@ -174,7 +181,9 @@ impl Experiment {
             Box::new(CbrSink::new(Rc::clone(&recorder))),
         );
         let mut sim = builder.build();
-        sim.run_until(cavenet_net::SimTime::from_secs_f64(s.sim_time.as_secs_f64()));
+        sim.run_until(cavenet_net::SimTime::from_secs_f64(
+            s.sim_time.as_secs_f64(),
+        ));
 
         let rec = recorder.borrow();
         let senders = s
@@ -182,15 +191,15 @@ impl Experiment {
             .senders
             .iter()
             .map(|&sender| {
-                let flow = FlowId::new(NodeId(sender), NodeId(s.traffic.receiver), s.traffic.cbr.port);
+                let flow = FlowId::new(
+                    NodeId(sender),
+                    NodeId(s.traffic.receiver),
+                    s.traffic.cbr.port,
+                );
                 SenderReport {
                     sender,
                     metrics: rec.metrics(flow),
-                    goodput_series: rec.goodput_series(
-                        flow,
-                        Duration::from_secs(1),
-                        s.sim_time,
-                    ),
+                    goodput_series: rec.goodput_series(flow, Duration::from_secs(1), s.sim_time),
                 }
             })
             .collect();
@@ -235,9 +244,15 @@ mod tests {
 
     #[test]
     fn aodv_experiment_delivers_traffic() {
-        let r = Experiment::new(quick_scenario(Protocol::Aodv, 1)).run().unwrap();
+        let r = Experiment::new(quick_scenario(Protocol::Aodv, 1))
+            .run()
+            .unwrap();
         assert_eq!(r.senders.len(), 3);
-        assert!(r.total_sent() >= 290, "3 senders × ~100 packets, got {}", r.total_sent());
+        assert!(
+            r.total_sent() >= 290,
+            "3 senders × ~100 packets, got {}",
+            r.total_sent()
+        );
         assert!(
             r.total_received() > 100,
             "AODV should deliver a good share, got {}/{}",
@@ -249,7 +264,9 @@ mod tests {
 
     #[test]
     fn dymo_experiment_delivers_traffic() {
-        let r = Experiment::new(quick_scenario(Protocol::Dymo, 1)).run().unwrap();
+        let r = Experiment::new(quick_scenario(Protocol::Dymo, 1))
+            .run()
+            .unwrap();
         assert!(
             r.total_received() > 100,
             "DYMO should deliver, got {}/{}",
@@ -260,7 +277,9 @@ mod tests {
 
     #[test]
     fn olsr_experiment_runs() {
-        let r = Experiment::new(quick_scenario(Protocol::Olsr, 1)).run().unwrap();
+        let r = Experiment::new(quick_scenario(Protocol::Olsr, 1))
+            .run()
+            .unwrap();
         // OLSR delivers less on this dynamic ring (the paper's point), but
         // the run must complete and produce some deliveries.
         assert!(r.total_sent() > 0);
@@ -269,8 +288,12 @@ mod tests {
 
     #[test]
     fn results_are_deterministic() {
-        let a = Experiment::new(quick_scenario(Protocol::Aodv, 7)).run().unwrap();
-        let b = Experiment::new(quick_scenario(Protocol::Aodv, 7)).run().unwrap();
+        let a = Experiment::new(quick_scenario(Protocol::Aodv, 7))
+            .run()
+            .unwrap();
+        let b = Experiment::new(quick_scenario(Protocol::Aodv, 7))
+            .run()
+            .unwrap();
         assert_eq!(a.total_received(), b.total_received());
         assert_eq!(a.control_packets, b.control_packets);
         assert_eq!(a.global, b.global);
@@ -278,8 +301,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Experiment::new(quick_scenario(Protocol::Aodv, 1)).run().unwrap();
-        let b = Experiment::new(quick_scenario(Protocol::Aodv, 2)).run().unwrap();
+        let a = Experiment::new(quick_scenario(Protocol::Aodv, 1))
+            .run()
+            .unwrap();
+        let b = Experiment::new(quick_scenario(Protocol::Aodv, 2))
+            .run()
+            .unwrap();
         // Mobility and backoff differ; byte-identical outcomes would signal
         // a seeding bug.
         assert!(
@@ -290,7 +317,9 @@ mod tests {
 
     #[test]
     fn goodput_series_respects_traffic_window() {
-        let r = Experiment::new(quick_scenario(Protocol::Aodv, 3)).run().unwrap();
+        let r = Experiment::new(quick_scenario(Protocol::Aodv, 3))
+            .run()
+            .unwrap();
         for s in &r.senders {
             assert_eq!(s.goodput_series.len(), 30);
             // Nothing before the 5 s start.
@@ -304,6 +333,36 @@ mod tests {
         let mut s = quick_scenario(Protocol::Aodv, 1);
         s.traffic.senders = vec![40];
         assert!(Experiment::new(s).run().is_err());
+    }
+
+    #[test]
+    fn neighbor_grid_matches_brute_force_end_to_end() {
+        // The full BA → CPS pipeline (CA mobility, AODV, CBR traffic) must
+        // produce byte-identical results with the grid on and off.
+        let mut with_grid = quick_scenario(Protocol::Aodv, 11);
+        with_grid.neighbor_grid = true;
+        let mut brute = with_grid.clone();
+        brute.neighbor_grid = false;
+        let a = Experiment::new(with_grid).run().unwrap();
+        let b = Experiment::new(brute).run().unwrap();
+        assert_eq!(a.global, b.global, "engine counters diverged");
+        assert_eq!(a.total_received(), b.total_received());
+        assert_eq!(a.control_packets, b.control_packets);
+        assert_eq!(a.mean_delay(), b.mean_delay());
+        assert!(a.total_received() > 0, "scenario must carry traffic");
+    }
+
+    #[test]
+    fn quantized_mobility_runs_and_delivers() {
+        // Quantizing positions to the 1 s CA step changes *when* positions
+        // refresh (so results may differ from the continuous path) but must
+        // stay a healthy, deterministic simulation.
+        let mut s = quick_scenario(Protocol::Aodv, 1);
+        s.mobility_quantum = Some(Duration::from_secs(1));
+        let a = Experiment::new(s.clone()).run().unwrap();
+        let b = Experiment::new(s).run().unwrap();
+        assert!(a.total_received() > 100, "got {}", a.total_received());
+        assert_eq!(a.global, b.global, "quantized run must stay deterministic");
     }
 
     #[test]

@@ -90,7 +90,9 @@ impl FromStr for Protocol {
             "dymo" => Ok(Protocol::Dymo),
             "dsdv" => Ok(Protocol::Dsdv),
             "flood" | "flooding" => Ok(Protocol::Flooding),
-            _ => Err(ParseProtocolError { input: s.to_string() }),
+            _ => Err(ParseProtocolError {
+                input: s.to_string(),
+            }),
         }
     }
 }

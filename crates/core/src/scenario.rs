@@ -99,6 +99,14 @@ pub struct Scenario {
     /// unicast data frame is preceded by an RTS/CTS exchange with NAV-based
     /// virtual carrier sensing.
     pub rts_cts: bool,
+    /// Use the spatial neighbor grid for broadcast scans (default: on).
+    /// The event schedule is identical either way; off exists for
+    /// benchmarking the brute-force path.
+    pub neighbor_grid: bool,
+    /// Treat trace positions as constant within steps of this width (see
+    /// [`TraceMobility::quantized`](crate::TraceMobility::quantized)).
+    /// `None` (the default) resolves positions exactly at every event time.
+    pub mobility_quantum: Option<Duration>,
     /// Master random seed.
     pub seed: u64,
 }
@@ -123,6 +131,8 @@ impl Scenario {
             traffic: TrafficPattern::paper_default(),
             propagation: Propagation::TwoRayGround,
             rts_cts: false,
+            neighbor_grid: true,
+            mobility_quantum: None,
             seed: 1,
         }
     }
@@ -143,14 +153,12 @@ impl Scenario {
                 let spacing = self.circuit_m / self.nodes as f64;
                 let nodes = (0..self.nodes)
                     .map(|i| {
-                        cavenet_mobility::NodeTrajectory::new(vec![
-                            cavenet_mobility::TraceSample {
-                                time: 0.0,
-                                position: geometry.embed(i as f64 * spacing),
-                                speed: 0.0,
-                                teleport: false,
-                            },
-                        ])
+                        cavenet_mobility::NodeTrajectory::new(vec![cavenet_mobility::TraceSample {
+                            time: 0.0,
+                            position: geometry.embed(i as f64 * spacing),
+                            speed: 0.0,
+                            teleport: false,
+                        }])
                         .expect("single sample is ordered")
                     })
                     .collect();
@@ -257,7 +265,10 @@ impl fmt::Display for ScenarioError {
         match self {
             ScenarioError::Mobility(e) => write!(f, "mobility model error: {e}"),
             ScenarioError::BadTraffic { node } => {
-                write!(f, "traffic endpoint {node} is out of range or self-directed")
+                write!(
+                    f,
+                    "traffic endpoint {node} is out of range or self-directed"
+                )
             }
         }
     }
@@ -350,12 +361,14 @@ mod tests {
         // Vehicles move.
         let a = trace.position_at(0, 0.0).unwrap();
         let b = trace.position_at(0, 50.0).unwrap();
-        assert!(a.distance(&b) > 1.0 || {
-            // A vehicle stuck in a jam may barely move; check another.
-            let c = trace.position_at(5, 0.0).unwrap();
-            let d = trace.position_at(5, 50.0).unwrap();
-            c.distance(&d) > 1.0
-        });
+        assert!(
+            a.distance(&b) > 1.0 || {
+                // A vehicle stuck in a jam may barely move; check another.
+                let c = trace.position_at(5, 0.0).unwrap();
+                let d = trace.position_at(5, 50.0).unwrap();
+                c.distance(&d) > 1.0
+            }
+        );
     }
 
     #[test]

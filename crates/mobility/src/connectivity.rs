@@ -140,9 +140,7 @@ impl<'a> ConnectivityAnalyzer<'a> {
     /// the series of snapshots.
     pub fn series(&self, duration: f64, dt: f64) -> Vec<ConnectivitySnapshot> {
         let steps = (duration / dt.max(1e-9)).floor() as usize;
-        (0..=steps)
-            .map(|k| self.snapshot(k as f64 * dt))
-            .collect()
+        (0..=steps).map(|k| self.snapshot(k as f64 * dt)).collect()
     }
 
     /// Fraction of sampled instants at which the graph is fully connected.
@@ -293,7 +291,10 @@ mod tests {
             .generate(lane);
         let a = ConnectivityAnalyzer::new(&trace, 250.0);
         let rate = a.link_change_rate(100.0, 2.0);
-        assert!(rate > 0.0, "stochastic traffic must churn links, got {rate}");
+        assert!(
+            rate > 0.0,
+            "stochastic traffic must churn links, got {rate}"
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl fmt::Display for MobilityError {
         match self {
             MobilityError::UnknownNode { node } => write!(f, "unknown node id {node}"),
             MobilityError::UnorderedSamples { node } => {
-                write!(f, "samples for node {node} are not in increasing time order")
+                write!(
+                    f,
+                    "samples for node {node} are not in increasing time order"
+                )
             }
             MobilityError::InvalidParameter { name } => {
                 write!(f, "parameter `{name}` is out of range")
@@ -56,9 +59,14 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(MobilityError::UnknownNode { node: 3 }.to_string().contains('3'));
-        assert!(MobilityError::ParseError { line: 7, reason: "bad float".into() }
+        assert!(MobilityError::UnknownNode { node: 3 }
             .to_string()
-            .contains("line 7"));
+            .contains('3'));
+        assert!(MobilityError::ParseError {
+            line: 7,
+            reason: "bad float".into()
+        }
+        .to_string()
+        .contains("line 7"));
     }
 }

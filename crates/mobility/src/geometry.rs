@@ -157,7 +157,10 @@ mod tests {
         let g = LaneGeometry::ring_circle(3000.0);
         for i in 0..100 {
             let p = g.embed(i as f64 * 30.0);
-            assert!(p.x >= -1e-9 && p.y >= -1e-9, "negative ns-2 coordinate at {i}");
+            assert!(
+                p.x >= -1e-9 && p.y >= -1e-9,
+                "negative ns-2 coordinate at {i}"
+            );
         }
     }
 

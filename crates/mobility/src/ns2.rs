@@ -113,7 +113,9 @@ pub fn export(trace: &MobilityTrace, opts: &ExportOptions) -> String {
     let d = opts.delta;
     for (id, traj) in trace.iter() {
         let samples = traj.samples();
-        let Some(first) = samples.first() else { continue };
+        let Some(first) = samples.first() else {
+            continue;
+        };
         out.push_str(&format!(
             "$node_({id}) set X_ {:.prec$}\n$node_({id}) set Y_ {:.prec$}\n$node_({id}) set Z_ 0.000000\n",
             first.position.x + d,
@@ -198,12 +200,23 @@ pub fn parse(input: &str) -> Result<Vec<Command>, MobilityError> {
                     let x: f64 = x.parse().map_err(|_| err("bad x"))?;
                     let y: f64 = y.parse().map_err(|_| err("bad y"))?;
                     let speed: f64 = s.parse().map_err(|_| err("bad speed"))?;
-                    out.push(Command::SetDest { time, node, x, y, speed });
+                    out.push(Command::SetDest {
+                        time,
+                        node,
+                        x,
+                        y,
+                        speed,
+                    });
                 }
                 ["set", axis_tok, v] => {
                     let axis = parse_axis(axis_tok).ok_or_else(|| err("bad axis"))?;
                     let value: f64 = v.parse().map_err(|_| err("bad coordinate"))?;
-                    out.push(Command::SetTimed { time, node, axis, value });
+                    out.push(Command::SetTimed {
+                        time,
+                        node,
+                        axis,
+                        value,
+                    });
                 }
                 _ => return Err(err("unrecognized timed command")),
             }
@@ -271,7 +284,13 @@ pub fn commands_to_trace(commands: &[Command]) -> Result<MobilityTrace, Mobility
                 }
                 _ => {}
             },
-            Command::SetDest { time, node, x, y, speed } => {
+            Command::SetDest {
+                time,
+                node,
+                x,
+                y,
+                speed,
+            } => {
                 if speed <= 0.0 {
                     return Err(MobilityError::ParseError {
                         line: 0,
@@ -282,33 +301,47 @@ pub fn commands_to_trace(commands: &[Command]) -> Result<MobilityTrace, Mobility
                 let to = Point2::new(x, y);
                 let arrival = time + from.distance(&to) / speed;
                 // Departure sample (flush current position at start time).
-                push_sample(&mut samples[node], TraceSample {
-                    time,
-                    position: from,
-                    speed,
-                    teleport: false,
-                });
-                push_sample(&mut samples[node], TraceSample {
-                    time: arrival,
-                    position: to,
-                    speed,
-                    teleport: false,
-                });
+                push_sample(
+                    &mut samples[node],
+                    TraceSample {
+                        time,
+                        position: from,
+                        speed,
+                        teleport: false,
+                    },
+                );
+                push_sample(
+                    &mut samples[node],
+                    TraceSample {
+                        time: arrival,
+                        position: to,
+                        speed,
+                        teleport: false,
+                    },
+                );
                 current[node] = to;
             }
-            Command::SetTimed { time, node, axis, value } => {
+            Command::SetTimed {
+                time,
+                node,
+                axis,
+                value,
+            } => {
                 let mut p = current[node];
                 match axis {
                     'X' => p.x = value,
                     'Y' => p.y = value,
                     _ => {}
                 }
-                push_sample(&mut samples[node], TraceSample {
-                    time,
-                    position: p,
-                    speed: 0.0,
-                    teleport: true,
-                });
+                push_sample(
+                    &mut samples[node],
+                    TraceSample {
+                        time,
+                        position: p,
+                        speed: 0.0,
+                        teleport: true,
+                    },
+                );
                 current[node] = p;
             }
         }
@@ -318,12 +351,15 @@ pub fn commands_to_trace(commands: &[Command]) -> Result<MobilityTrace, Mobility
     for (i, mut s) in samples.into_iter().enumerate() {
         // Prepend the initial placement at t = 0 if nothing is there yet.
         if s.first().is_none_or(|f| f.time > 0.0) {
-            s.insert(0, TraceSample {
-                time: -f64::EPSILON, // strictly before any t ≥ 0 command
-                position: initial[i],
-                speed: 0.0,
-                teleport: false,
-            });
+            s.insert(
+                0,
+                TraceSample {
+                    time: -f64::EPSILON, // strictly before any t ≥ 0 command
+                    position: initial[i],
+                    speed: 0.0,
+                    teleport: false,
+                },
+            );
         }
         if s.windows(2).any(|w| w[0].time >= w[1].time) {
             // Merge exact duplicates (same time) keeping the later command.
@@ -375,7 +411,11 @@ mod tests {
     use cavenet_ca::{Boundary, Lane, NasParams};
 
     fn small_trace() -> MobilityTrace {
-        let params = NasParams::builder().length(100).density(0.05).build().unwrap();
+        let params = NasParams::builder()
+            .length(100)
+            .density(0.05)
+            .build()
+            .unwrap();
         let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
         TraceGenerator::new(LaneGeometry::ring_circle(750.0))
             .steps(20)
@@ -395,8 +435,20 @@ mod tests {
     #[test]
     fn delta_offset_applied() {
         let trace = small_trace();
-        let with = export(&trace, &ExportOptions { delta: 100.0, precision: 3 });
-        let without = export(&trace, &ExportOptions { delta: 0.0, precision: 3 });
+        let with = export(
+            &trace,
+            &ExportOptions {
+                delta: 100.0,
+                precision: 3,
+            },
+        );
+        let without = export(
+            &trace,
+            &ExportOptions {
+                delta: 0.0,
+                precision: 3,
+            },
+        );
         assert_ne!(with, without);
         // With a large delta all coordinates are ≥ 100.
         for cmd in parse(&with).unwrap() {
@@ -430,7 +482,11 @@ mod tests {
         assert_eq!(cmds.len(), 1);
         assert_eq!(
             cmds[0],
-            Command::SetInitial { node: 0, axis: 'X', value: 5.0 }
+            Command::SetInitial {
+                node: 0,
+                axis: 'X',
+                value: 5.0
+            }
         );
     }
 
@@ -439,7 +495,13 @@ mod tests {
         let cmds = parse("$ns_ at 1.5 \"$node_(3) setdest 10.0 20.0 7.5\"").unwrap();
         assert_eq!(
             cmds[0],
-            Command::SetDest { time: 1.5, node: 3, x: 10.0, y: 20.0, speed: 7.5 }
+            Command::SetDest {
+                time: 1.5,
+                node: 3,
+                x: 10.0,
+                y: 20.0,
+                speed: 7.5
+            }
         );
     }
 
@@ -448,14 +510,22 @@ mod tests {
         let cmds = parse("$ns_ at 2.0 \"$node_(1) set X_ 33.0\"").unwrap();
         assert_eq!(
             cmds[0],
-            Command::SetTimed { time: 2.0, node: 1, axis: 'X', value: 33.0 }
+            Command::SetTimed {
+                time: 2.0,
+                node: 1,
+                axis: 'X',
+                value: 33.0
+            }
         );
     }
 
     #[test]
     fn roundtrip_positions_match() {
         let trace = small_trace();
-        let opts = ExportOptions { delta: 0.0, precision: 9 };
+        let opts = ExportOptions {
+            delta: 0.0,
+            precision: 9,
+        };
         let tcl = export(&trace, &opts);
         let back = commands_to_trace(&parse(&tcl).unwrap()).unwrap();
         assert_eq!(back.node_count(), trace.node_count());
@@ -473,7 +543,13 @@ mod tests {
 
     #[test]
     fn zero_speed_setdest_rejected() {
-        let cmds = vec![Command::SetDest { time: 0.0, node: 0, x: 1.0, y: 0.0, speed: 0.0 }];
+        let cmds = vec![Command::SetDest {
+            time: 0.0,
+            node: 0,
+            x: 1.0,
+            y: 0.0,
+            speed: 0.0,
+        }];
         assert!(commands_to_trace(&cmds).is_err());
     }
 
@@ -489,7 +565,15 @@ mod tests {
         let dir = std::env::temp_dir().join("cavenet_ns2_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.tcl");
-        export_to_file(&trace, &ExportOptions { delta: 0.0, precision: 9 }, &path).unwrap();
+        export_to_file(
+            &trace,
+            &ExportOptions {
+                delta: 0.0,
+                precision: 9,
+            },
+            &path,
+        )
+        .unwrap();
         let back = import_from_file(&path).unwrap();
         assert_eq!(back.node_count(), trace.node_count());
         std::fs::remove_file(&path).ok();
@@ -513,7 +597,11 @@ mod tests {
 
     #[test]
     fn teleport_exported_as_timed_set() {
-        let params = NasParams::builder().length(60).density(0.1).build().unwrap();
+        let params = NasParams::builder()
+            .length(60)
+            .density(0.1)
+            .build()
+            .unwrap();
         let lane = Lane::with_uniform_placement(params, Boundary::Recycling, 1).unwrap();
         let trace = TraceGenerator::new(LaneGeometry::straight_x())
             .steps(100)

@@ -55,10 +55,7 @@ impl NodeTrajectory {
     }
 
     fn push(&mut self, s: TraceSample) {
-        debug_assert!(self
-            .samples
-            .last()
-            .is_none_or(|last| last.time < s.time));
+        debug_assert!(self.samples.last().is_none_or(|last| last.time < s.time));
         self.samples.push(s);
     }
 
@@ -130,7 +127,9 @@ impl MobilityTrace {
     ///
     /// Returns [`MobilityError::UnknownNode`] for an out-of-range id.
     pub fn node(&self, id: usize) -> Result<&NodeTrajectory, MobilityError> {
-        self.nodes.get(id).ok_or(MobilityError::UnknownNode { node: id })
+        self.nodes
+            .get(id)
+            .ok_or(MobilityError::UnknownNode { node: id })
     }
 
     /// Iterate over `(node_id, trajectory)`.
@@ -320,8 +319,7 @@ mod tests {
 
     #[test]
     fn interpolation_midpoint() {
-        let tr =
-            NodeTrajectory::new(vec![sample(0.0, 0.0, 0.0), sample(2.0, 10.0, 4.0)]).unwrap();
+        let tr = NodeTrajectory::new(vec![sample(0.0, 0.0, 0.0), sample(2.0, 10.0, 4.0)]).unwrap();
         let p = tr.position_at(1.0).unwrap();
         assert!((p.x - 5.0).abs() < 1e-12);
         assert!((p.y - 2.0).abs() < 1e-12);
@@ -329,8 +327,7 @@ mod tests {
 
     #[test]
     fn clamping_before_and_after() {
-        let tr =
-            NodeTrajectory::new(vec![sample(1.0, 1.0, 1.0), sample(2.0, 2.0, 2.0)]).unwrap();
+        let tr = NodeTrajectory::new(vec![sample(1.0, 1.0, 1.0), sample(2.0, 2.0, 2.0)]).unwrap();
         assert_eq!(tr.position_at(0.0).unwrap(), Point2::new(1.0, 1.0));
         assert_eq!(tr.position_at(5.0).unwrap(), Point2::new(2.0, 2.0));
     }
@@ -357,7 +354,11 @@ mod tests {
 
     #[test]
     fn trace_generation_from_closed_lane() {
-        let params = NasParams::builder().length(400).density(0.075).build().unwrap();
+        let params = NasParams::builder()
+            .length(400)
+            .density(0.075)
+            .build()
+            .unwrap();
         let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
         let geometry = LaneGeometry::ring_circle(params.length_m());
         let trace = TraceGenerator::new(geometry).steps(50).generate(lane);
@@ -372,7 +373,11 @@ mod tests {
 
     #[test]
     fn recycling_lane_on_straight_geometry_has_teleports() {
-        let params = NasParams::builder().length(60).density(0.1).build().unwrap();
+        let params = NasParams::builder()
+            .length(60)
+            .density(0.1)
+            .build()
+            .unwrap();
         let lane = Lane::with_uniform_placement(params, Boundary::Recycling, 1).unwrap();
         let trace = TraceGenerator::new(LaneGeometry::straight_x())
             .steps(200)
@@ -386,7 +391,11 @@ mod tests {
 
     #[test]
     fn sample_every_thins_output() {
-        let params = NasParams::builder().length(100).density(0.1).build().unwrap();
+        let params = NasParams::builder()
+            .length(100)
+            .density(0.1)
+            .build()
+            .unwrap();
         let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
         let trace = TraceGenerator::new(LaneGeometry::ring_circle(750.0))
             .steps(100)
@@ -397,7 +406,11 @@ mod tests {
 
     #[test]
     fn positions_stay_on_ring() {
-        let params = NasParams::builder().length(400).density(0.075).build().unwrap();
+        let params = NasParams::builder()
+            .length(400)
+            .density(0.075)
+            .build()
+            .unwrap();
         let lane = Lane::with_uniform_placement(params, Boundary::Closed, 3).unwrap();
         let circumference = params.length_m();
         let trace = TraceGenerator::new(LaneGeometry::ring_circle(circumference))
@@ -424,9 +437,12 @@ mod tests {
     #[test]
     fn multilane_trace_covers_all_vehicles() {
         use cavenet_ca::{MultiLaneParams, MultiLaneRoad};
-        let nas = NasParams::builder().length(100).vehicle_count(10).build().unwrap();
-        let road =
-            MultiLaneRoad::new(MultiLaneParams::new(nas, 2, 0.5).unwrap(), 4).unwrap();
+        let nas = NasParams::builder()
+            .length(100)
+            .vehicle_count(10)
+            .build()
+            .unwrap();
+        let road = MultiLaneRoad::new(MultiLaneParams::new(nas, 2, 0.5).unwrap(), 4).unwrap();
         let g0 = LaneGeometry::ring_circle(750.0);
         let g1 = LaneGeometry::ring_circle(760.0);
         let trace = TraceGenerator::new(g0)
@@ -440,7 +456,11 @@ mod tests {
 
     #[test]
     fn positions_at_returns_all_nodes() {
-        let params = NasParams::builder().length(100).density(0.05).build().unwrap();
+        let params = NasParams::builder()
+            .length(100)
+            .density(0.05)
+            .build()
+            .unwrap();
         let lane = Lane::with_uniform_placement(params, Boundary::Closed, 1).unwrap();
         let trace = TraceGenerator::new(LaneGeometry::ring_circle(750.0))
             .steps(10)

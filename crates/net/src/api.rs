@@ -63,7 +63,8 @@ impl NodeApi<'_> {
     /// `handle_timer(token)` will be invoked.
     pub fn schedule(&mut self, delay: Duration, token: u64) {
         let at = self.kernel.now + delay;
-        self.kernel.schedule_layer_timer(at, self.index, token, self.kind);
+        self.kernel
+            .schedule_layer_timer(at, self.index, token, self.kind);
     }
 
     /// Hand a packet to the MAC for transmission to `next_hop`

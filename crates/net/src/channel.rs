@@ -119,7 +119,13 @@ mod tests {
     #[test]
     fn lifecycle() {
         let mut ch = Channel::new();
-        let id = ch.begin(NodeId(0), frame(), SimTime::ZERO, SimTime::from_millis(1), 2);
+        let id = ch.begin(
+            NodeId(0),
+            frame(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            2,
+        );
         assert_eq!(ch.in_flight(), 1);
         assert!(ch.get(id).is_some());
         ch.release(id);
@@ -133,7 +139,13 @@ mod tests {
     #[test]
     fn retain_extends_life() {
         let mut ch = Channel::new();
-        let id = ch.begin(NodeId(0), frame(), SimTime::ZERO, SimTime::from_millis(1), 1);
+        let id = ch.begin(
+            NodeId(0),
+            frame(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            1,
+        );
         ch.retain(id, 2);
         ch.release(id);
         ch.release(id);
@@ -145,8 +157,20 @@ mod tests {
     #[test]
     fn distinct_ids() {
         let mut ch = Channel::new();
-        let a = ch.begin(NodeId(0), frame(), SimTime::ZERO, SimTime::from_millis(1), 1);
-        let b = ch.begin(NodeId(1), frame(), SimTime::ZERO, SimTime::from_millis(1), 1);
+        let a = ch.begin(
+            NodeId(0),
+            frame(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            1,
+        );
+        let b = ch.begin(
+            NodeId(1),
+            frame(),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            1,
+        );
         assert_ne!(a, b);
         assert_eq!(ch.in_flight(), 2);
     }

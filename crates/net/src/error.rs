@@ -42,7 +42,10 @@ mod tests {
 
     #[test]
     fn messages() {
-        let e = NetError::MobilityTooSmall { nodes: 30, covered: 10 };
+        let e = NetError::MobilityTooSmall {
+            nodes: 30,
+            covered: 10,
+        };
         assert!(e.to_string().contains("30"));
         assert!(NetError::UnknownNode { node: 5 }.to_string().contains('5'));
     }

@@ -40,6 +40,7 @@
 mod api;
 mod channel;
 mod error;
+mod grid;
 mod ids;
 mod mac;
 mod mobility;
@@ -54,9 +55,10 @@ mod traits;
 pub use api::NodeApi;
 pub use channel::{Channel, Transmission};
 pub use error::NetError;
+pub use grid::SpatialGrid;
 pub use ids::{FlowId, NodeId};
 pub use mac::{MacParams, MacStats};
-pub use mobility::{MobilityModel, StaticMobility};
+pub use mobility::{MobilityModel, PositionEpoch, StaticMobility};
 pub use node::NodeStats;
 pub use packet::{ControlBlob, DataPayload, Packet, PacketBody};
 pub use phy::{PhyParams, Propagation};

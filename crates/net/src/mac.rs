@@ -248,7 +248,12 @@ impl Mac {
 
     /// Accept a packet from the network layer for transmission to
     /// `next_hop` (or broadcast).
-    pub(crate) fn enqueue_packet(&mut self, hooks: &mut MacHooks<'_>, packet: Packet, next_hop: NodeId) {
+    pub(crate) fn enqueue_packet(
+        &mut self,
+        hooks: &mut MacHooks<'_>,
+        packet: Packet,
+        next_hop: NodeId,
+    ) {
         if self.queue.len() >= self.params.queue_capacity {
             self.stats.queue_drops += 1;
             return;
@@ -726,12 +731,7 @@ mod tests {
     }
 
     fn data_packet(dst: NodeId) -> Packet {
-        let mut p = Packet::data(
-            FlowId::new(NodeId(0), dst, 0),
-            1,
-            512,
-            SimTime::ZERO,
-        );
+        let mut p = Packet::data(FlowId::new(NodeId(0), dst, 0), 1, 512, SimTime::ZERO);
         p.uid = 99;
         p
     }
@@ -739,7 +739,9 @@ mod tests {
     #[test]
     fn broadcast_is_sent_after_difs_without_ack() {
         let mut h = Harness::new();
-        h.with(|mac, hooks| mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST));
+        h.with(|mac, hooks| {
+            mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST)
+        });
         assert_eq!(h.timers.len(), 1, "DIFS timer expected");
         assert_eq!(h.timers[0].0, Duration::from_micros(50));
         let frame = h.run_to_tx();
@@ -785,7 +787,10 @@ mod tests {
         let mut attempts = 0;
         // Let every ACK timeout expire.
         for _ in 0..100 {
-            if h.upcalls.iter().any(|u| matches!(u, MacUpcall::TxFailed { .. })) {
+            if h.upcalls
+                .iter()
+                .any(|u| matches!(u, MacUpcall::TxFailed { .. }))
+            {
                 break;
             }
             if let Some(_f) = h.tx.pop() {
@@ -835,7 +840,9 @@ mod tests {
     fn busy_medium_defers_access() {
         let mut h = Harness::new();
         h.with(|mac, hooks| mac.on_medium_busy(hooks));
-        h.with(|mac, hooks| mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST));
+        h.with(|mac, hooks| {
+            mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST)
+        });
         assert!(h.timers.is_empty(), "no access while busy");
         h.with(|mac, hooks| mac.on_medium_idle(hooks));
         assert_eq!(h.timers.len(), 1, "DIFS after idle");
@@ -849,7 +856,9 @@ mod tests {
         let mut h = Harness::new();
         // Force a deferral so a backoff is drawn.
         h.with(|mac, hooks| mac.on_medium_busy(hooks));
-        h.with(|mac, hooks| mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST));
+        h.with(|mac, hooks| {
+            mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST)
+        });
         h.with(|mac, hooks| mac.on_medium_idle(hooks));
         h.fire_timer(); // DIFS done → backoff scheduled (or instant tx)
         if h.tx.is_empty() {
@@ -950,7 +959,9 @@ mod tests {
     #[test]
     fn stale_timers_are_ignored() {
         let mut h = Harness::new();
-        h.with(|mac, hooks| mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST));
+        h.with(|mac, hooks| {
+            mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST)
+        });
         let (_, old_seq) = h.timers[0];
         // Medium busy invalidates the DIFS timer.
         h.with(|mac, hooks| mac.on_medium_busy(hooks));
@@ -961,8 +972,12 @@ mod tests {
     #[test]
     fn back_to_back_packets_are_both_sent() {
         let mut h = Harness::new();
-        h.with(|mac, hooks| mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST));
-        h.with(|mac, hooks| mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST));
+        h.with(|mac, hooks| {
+            mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST)
+        });
+        h.with(|mac, hooks| {
+            mac.enqueue_packet(hooks, data_packet(NodeId::BROADCAST), NodeId::BROADCAST)
+        });
         let _f1 = h.run_to_tx();
         h.with(|mac, hooks| mac.on_tx_end(hooks));
         let _f2 = h.run_to_tx();
@@ -984,7 +999,7 @@ mod proptests {
     /// without having been in Transmitting state already.
     #[derive(Debug, Clone)]
     enum Stimulus {
-        Enqueue(bool),   // broadcast?
+        Enqueue(bool), // broadcast?
         MediumBusy,
         MediumIdle,
         FireTimer,
@@ -1249,7 +1264,10 @@ mod rts_cts_tests {
         assert_eq!(cts.kind, FrameKind::Cts);
         assert_eq!(cts.mac_dst, NodeId(5));
         assert_eq!(cts.ack_uid, 42);
-        assert!(cts.nav < Duration::from_millis(3), "NAV shrinks along the chain");
+        assert!(
+            cts.nav < Duration::from_millis(3),
+            "NAV shrinks along the chain"
+        );
         assert_eq!(h.mac.stats().cts_tx, 1);
     }
 
@@ -1336,7 +1354,12 @@ mod rts_cts_tests {
             .nodes(2)
             .mobility(Box::new(StaticMobility::line(2, 150.0)))
             .app(0, Box::new(Src { sent: 0 }))
-            .app(1, Box::new(Sink { got: Rc::clone(&got) }))
+            .app(
+                1,
+                Box::new(Sink {
+                    got: Rc::clone(&got),
+                }),
+            )
             .build();
         sim.run_until_secs(2.0);
         assert_eq!(*got.borrow(), 20, "all packets delivered under RTS/CTS");

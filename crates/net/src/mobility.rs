@@ -2,6 +2,31 @@
 
 use crate::SimTime;
 
+/// Describes how a model's positions evolve around time `t`, so the
+/// simulator knows when its cached position snapshot must be refreshed.
+///
+/// The simulator samples every node's position once per epoch and reuses the
+/// snapshot (and the spatial grid built from it) for all events inside the
+/// epoch, instead of re-resolving each position per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PositionEpoch {
+    /// Positions never change; one snapshot is valid forever.
+    Static,
+    /// Positions may change at every instant; the snapshot is resampled
+    /// whenever the simulation clock has advanced. This is exact for any
+    /// model and is the default.
+    Continuous,
+    /// Positions are constant within the numbered epoch that begins at
+    /// `start`; the snapshot is sampled at `start` and reused until the
+    /// epoch id changes (e.g. a trace advancing in whole mobility steps).
+    Step {
+        /// Monotonically increasing epoch identifier.
+        id: u64,
+        /// The instant the snapshot should be sampled at.
+        start: SimTime,
+    },
+}
+
 /// Supplies node positions over time. Implemented for mobility traces by
 /// `cavenet-core`; [`StaticMobility`] covers fixed topologies in tests and
 /// examples.
@@ -14,6 +39,17 @@ pub trait MobilityModel {
 
     /// Number of nodes the model covers.
     fn node_count(&self) -> usize;
+
+    /// The position epoch containing `t` (see [`PositionEpoch`]).
+    ///
+    /// The default, [`PositionEpoch::Continuous`], preserves exact per-event
+    /// sampling. Models whose positions are piecewise-constant should return
+    /// [`PositionEpoch::Step`] so the simulator can amortize position
+    /// lookups and neighbor-grid builds across all events in an epoch;
+    /// time-invariant models should return [`PositionEpoch::Static`].
+    fn epoch(&self, _t: SimTime) -> PositionEpoch {
+        PositionEpoch::Continuous
+    }
 }
 
 /// Fixed node positions.
@@ -67,6 +103,10 @@ impl MobilityModel for StaticMobility {
     fn node_count(&self) -> usize {
         self.positions.len()
     }
+
+    fn epoch(&self, _t: SimTime) -> PositionEpoch {
+        PositionEpoch::Static
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +146,30 @@ mod tests {
         assert_eq!(
             m.position(0, SimTime::ZERO),
             m.position(0, SimTime::from_secs(100))
+        );
+    }
+
+    #[test]
+    fn static_mobility_reports_static_epoch() {
+        let m = StaticMobility::line(2, 10.0);
+        assert_eq!(m.epoch(SimTime::ZERO), PositionEpoch::Static);
+        assert_eq!(m.epoch(SimTime::from_secs(9)), PositionEpoch::Static);
+    }
+
+    #[test]
+    fn default_epoch_is_continuous() {
+        struct Wandering;
+        impl MobilityModel for Wandering {
+            fn position(&self, _i: usize, t: SimTime) -> (f64, f64) {
+                (t.as_secs_f64(), 0.0)
+            }
+            fn node_count(&self) -> usize {
+                1
+            }
+        }
+        assert_eq!(
+            Wandering.epoch(SimTime::from_secs(3)),
+            PositionEpoch::Continuous
         );
     }
 }

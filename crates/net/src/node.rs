@@ -66,7 +66,13 @@ impl Radio {
     }
 
     /// Start of an arriving signal (already filtered to ≥ CS threshold).
-    pub(crate) fn on_rx_start(&mut self, tx_id: u64, power: f64, rx_threshold: f64, capture_ratio: f64) {
+    pub(crate) fn on_rx_start(
+        &mut self,
+        tx_id: u64,
+        power: f64,
+        rx_threshold: f64,
+        capture_ratio: f64,
+    ) {
         self.arrivals.push(Arrival { tx_id, power });
         if self.transmitting {
             // Half-duplex: cannot decode while transmitting.
@@ -189,7 +195,10 @@ mod tests {
         let mut r = Radio::default();
         r.on_rx_start(1, 1e-12, RX, CAP); // above CS floor, below RX threshold
         assert!(r.medium_busy());
-        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::NotReceived));
+        assert!(matches!(
+            r.on_rx_end(1, Some(frame())),
+            RxOutcome::NotReceived
+        ));
     }
 
     #[test]
@@ -198,7 +207,10 @@ mod tests {
         r.on_rx_start(1, 1e-9, RX, CAP);
         r.on_rx_start(2, 0.5e-9, RX, CAP); // within 10× of the locked frame
         assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::Collided));
-        assert!(matches!(r.on_rx_end(2, Some(frame())), RxOutcome::NotReceived));
+        assert!(matches!(
+            r.on_rx_end(2, Some(frame())),
+            RxOutcome::NotReceived
+        ));
     }
 
     #[test]
@@ -206,7 +218,10 @@ mod tests {
         let mut r = Radio::default();
         r.on_rx_start(1, 1e-8, RX, CAP);
         r.on_rx_start(2, 1e-10, RX, CAP); // 100× weaker: captured over
-        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::Decoded(_)));
+        assert!(matches!(
+            r.on_rx_end(1, Some(frame())),
+            RxOutcome::Decoded(_)
+        ));
     }
 
     #[test]
@@ -214,15 +229,18 @@ mod tests {
         let mut r = Radio::default();
         r.on_rx_start(1, 1e-12, RX, CAP); // noise first (below RX threshold)
         r.on_rx_start(2, 5e-12, RX, CAP); // would-be frame, but < 10× the noise
-        // Signal 2 locks but is corrupted from the start... only if it
-        // reached the rx threshold at all; use stronger numbers:
+                                          // Signal 2 locks but is corrupted from the start... only if it
+                                          // reached the rx threshold at all; use stronger numbers:
         let mut r2 = Radio::default();
         r2.on_rx_start(1, 1e-10, RX, CAP);
         // tx 1 locks. End it; now test new lock with lingering interference.
         let _ = r2.on_rx_end(1, Some(frame()));
         r2.on_rx_start(2, 2e-10, RX, CAP); // interferer arrives first
         r2.on_rx_start(3, 4e-10, RX, CAP); // wait: 2 locks (≥ RX), 3 corrupts 2
-        assert!(matches!(r2.on_rx_end(2, Some(frame())), RxOutcome::Collided));
+        assert!(matches!(
+            r2.on_rx_end(2, Some(frame())),
+            RxOutcome::Collided
+        ));
     }
 
     #[test]
@@ -231,7 +249,10 @@ mod tests {
         r.on_tx_start();
         assert!(r.is_transmitting());
         r.on_rx_start(1, 1e-8, RX, CAP);
-        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::NotReceived));
+        assert!(matches!(
+            r.on_rx_end(1, Some(frame())),
+            RxOutcome::NotReceived
+        ));
         r.on_tx_end();
         assert!(!r.is_transmitting());
     }

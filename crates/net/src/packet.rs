@@ -225,7 +225,10 @@ mod tests {
         };
         assert!(f.addressed_to(NodeId(2)));
         assert!(!f.addressed_to(NodeId(3)));
-        let b = Frame { mac_dst: NodeId::BROADCAST, ..f };
+        let b = Frame {
+            mac_dst: NodeId::BROADCAST,
+            ..f
+        };
         assert!(b.addressed_to(NodeId(3)));
     }
 

@@ -171,17 +171,60 @@ impl PhyParams {
         lo
     }
 
+    /// A distance beyond which the given model's received power is
+    /// guaranteed to stay below the carrier-sense threshold, or `None` when
+    /// no such bound exists (the model has an unbounded random component, so
+    /// any distance may occasionally be sensed).
+    ///
+    /// This is the carrier-sense pruning radius of the simulator's neighbor
+    /// grid: a node farther than the returned distance can never observe the
+    /// transmission, so it can be skipped without changing the event
+    /// schedule. The bound is found by bisection on the mean received power
+    /// (monotone non-increasing in distance for every deterministic model)
+    /// and rounded conservatively upward.
+    pub fn carrier_sense_cutoff(&self, model: Propagation) -> Option<f64> {
+        let deterministic = match model {
+            Propagation::FreeSpace | Propagation::TwoRayGround => true,
+            // Zero-sigma shadowing draws no randomness; its mean power is
+            // monotone only for a positive path-loss exponent.
+            Propagation::Shadowing { exponent, sigma_db } => sigma_db <= 0.0 && exponent > 0.0,
+        };
+        if !deterministic {
+            return None;
+        }
+        let th = self.cs_threshold_w;
+        let mut lo = 1e-3;
+        let mut hi = 1e5;
+        if self.mean_rx_power(model, hi) >= th {
+            // Everything plausible is within carrier-sense range.
+            return Some(hi);
+        }
+        if self.mean_rx_power(model, lo) < th {
+            // Nothing is ever sensed; any positive radius works.
+            return Some(lo);
+        }
+        for _ in 0..200 {
+            let mid = (lo + hi) / 2.0;
+            if self.mean_rx_power(model, mid) >= th {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // `hi` already satisfies power(hi) < threshold; keep a small margin
+        // so the bound stays safe under any floating-point wobble.
+        Some(hi * (1.0 + 1e-9) + 1e-6)
+    }
+
     /// Air time of a data frame of `bytes` total size: PLCP overhead at the
     /// basic rate plus payload at the data rate.
     pub fn data_frame_duration(&self, bytes: u32) -> Duration {
-        self.plcp_overhead
-            + Duration::from_secs_f64(bytes as f64 * 8.0 / self.data_rate_bps)
+        self.plcp_overhead + Duration::from_secs_f64(bytes as f64 * 8.0 / self.data_rate_bps)
     }
 
     /// Air time of a control frame (ACK) of `bytes` size at the basic rate.
     pub fn control_frame_duration(&self, bytes: u32) -> Duration {
-        self.plcp_overhead
-            + Duration::from_secs_f64(bytes as f64 * 8.0 / self.basic_rate_bps)
+        self.plcp_overhead + Duration::from_secs_f64(bytes as f64 * 8.0 / self.basic_rate_bps)
     }
 
     /// Propagation delay over `d` metres.
@@ -253,7 +296,10 @@ mod tests {
         for model in [
             Propagation::FreeSpace,
             Propagation::TwoRayGround,
-            Propagation::Shadowing { exponent: 3.0, sigma_db: 0.0 },
+            Propagation::Shadowing {
+                exponent: 3.0,
+                sigma_db: 0.0,
+            },
         ] {
             let mut last = f64::INFINITY;
             for d in [10.0, 50.0, 100.0, 300.0, 600.0] {
@@ -274,9 +320,14 @@ mod tests {
     #[test]
     fn shadowing_randomizes_power() {
         let p = PhyParams::ns2_default();
-        let model = Propagation::Shadowing { exponent: 2.8, sigma_db: 6.0 };
+        let model = Propagation::Shadowing {
+            exponent: 2.8,
+            sigma_db: 6.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..100).map(|_| p.rx_power(model, 100.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..100)
+            .map(|_| p.rx_power(model, 100.0, &mut rng))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let distinct = samples.windows(2).any(|w| w[0] != w[1]);
         assert!(distinct, "shadowing should randomize");
@@ -286,7 +337,10 @@ mod tests {
     #[test]
     fn zero_sigma_shadowing_is_deterministic() {
         let p = PhyParams::ns2_default();
-        let model = Propagation::Shadowing { exponent: 2.8, sigma_db: 0.0 };
+        let model = Propagation::Shadowing {
+            exponent: 2.8,
+            sigma_db: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let a = p.rx_power(model, 123.0, &mut rng);
         let b = p.rx_power(model, 123.0, &mut rng);
@@ -319,18 +373,68 @@ mod calibration_tests {
 
     #[test]
     fn calibrate_shadowing_uses_mean_path_loss() {
-        let model = Propagation::Shadowing { exponent: 3.0, sigma_db: 6.0 };
+        let model = Propagation::Shadowing {
+            exponent: 3.0,
+            sigma_db: 6.0,
+        };
         let p = PhyParams::ns2_default().calibrate_ranges(model, 200.0, 400.0);
         let r = p.effective_range(model);
         assert!((r - 200.0).abs() < 2.0, "calibrated mean range {r}");
-        assert!(p.cs_threshold_w < p.rx_threshold_w, "CS floor below RX floor");
+        assert!(
+            p.cs_threshold_w < p.rx_threshold_w,
+            "CS floor below RX floor"
+        );
+    }
+
+    #[test]
+    fn carrier_sense_cutoff_bounds_cs_range() {
+        let p = PhyParams::ns2_default();
+        for model in [Propagation::FreeSpace, Propagation::TwoRayGround] {
+            let cutoff = p.carrier_sense_cutoff(model).expect("deterministic model");
+            // Everything beyond the cutoff must be below the CS threshold...
+            assert!(p.mean_rx_power(model, cutoff) < p.cs_threshold_w);
+            // ...and the bound must be tight enough to be useful: for the
+            // ns-2 profile the CS range is ≈550 m under two-ray ground.
+            if model == Propagation::TwoRayGround {
+                assert!((545.0..600.0).contains(&cutoff), "cutoff {cutoff}");
+            }
+        }
+    }
+
+    #[test]
+    fn carrier_sense_cutoff_shadowing_gating() {
+        let p = PhyParams::ns2_default();
+        assert!(p
+            .carrier_sense_cutoff(Propagation::Shadowing {
+                exponent: 2.8,
+                sigma_db: 6.0
+            })
+            .is_none());
+        let c = p
+            .carrier_sense_cutoff(Propagation::Shadowing {
+                exponent: 2.8,
+                sigma_db: 0.0,
+            })
+            .expect("zero-sigma shadowing is deterministic");
+        assert!(
+            p.mean_rx_power(
+                Propagation::Shadowing {
+                    exponent: 2.8,
+                    sigma_db: 0.0
+                },
+                c
+            ) < p.cs_threshold_w
+        );
     }
 
     #[test]
     fn two_ray_calibration_roundtrip() {
         for target in [150.0, 250.0, 400.0] {
-            let p = PhyParams::ns2_default()
-                .calibrate_ranges(Propagation::TwoRayGround, target, target * 2.2);
+            let p = PhyParams::ns2_default().calibrate_ranges(
+                Propagation::TwoRayGround,
+                target,
+                target * 2.2,
+            );
             let r = p.effective_range(Propagation::TwoRayGround);
             assert!((r - target).abs() < 2.0, "target {target}, got {r}");
         }
@@ -347,7 +451,10 @@ mod calibration_tests {
     fn shadowing_power_is_lognormal_around_mean() {
         use rand::SeedableRng;
         let p = PhyParams::ns2_default();
-        let model = Propagation::Shadowing { exponent: 2.8, sigma_db: 4.0 };
+        let model = Propagation::Shadowing {
+            exponent: 2.8,
+            sigma_db: 4.0,
+        };
         let mean = p.mean_rx_power(model, 150.0);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut log_sum = 0.0;

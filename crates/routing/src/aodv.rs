@@ -181,9 +181,7 @@ impl Aodv {
         let entry = RouteEntry {
             next_hop: neighbour,
             hop_count: 1,
-            seqno: seq.unwrap_or_else(|| {
-                self.table.get(neighbour).map_or(0, |r| r.seqno)
-            }),
+            seqno: seq.unwrap_or_else(|| self.table.get(neighbour).map_or(0, |r| r.seqno)),
             expires,
             valid: true,
         };
@@ -205,10 +203,8 @@ impl Aodv {
             hop_count: 0,
         };
         // Remember our own RREQ so we do not re-process it.
-        self.seen_rreq.insert(
-            (api.id(), self.rreq_id),
-            api.now() + Duration::from_secs(5),
-        );
+        self.seen_rreq
+            .insert((api.id(), self.rreq_id), api.now() + Duration::from_secs(5));
         let mut packet = Packet::control(api.id(), NodeId::BROADCAST, RREQ_SIZE, rreq);
         packet.ttl = ttl;
         api.send(packet, NodeId::BROADCAST);
@@ -233,7 +229,9 @@ impl Aodv {
     }
 
     fn flush_pending(&mut self, api: &mut NodeApi<'_>, dst: NodeId) {
-        let Some(p) = self.pending.remove(&dst) else { return };
+        let Some(p) = self.pending.remove(&dst) else {
+            return;
+        };
         for (packet, _) in p.queued {
             self.forward_data(api, packet);
         }
@@ -507,15 +505,12 @@ impl RoutingProtocol for Aodv {
         let fresh = !self.pending.contains_key(&dst);
         let ttl = self.initial_ttl();
         let deadline = now + self.discovery_wait(ttl);
-        let entry = self
-            .pending
-            .entry(dst)
-            .or_insert_with(|| PendingDiscovery {
-                retries: 0,
-                deadline,
-                ttl,
-                queued: VecDeque::new(),
-            });
+        let entry = self.pending.entry(dst).or_insert_with(|| PendingDiscovery {
+            retries: 0,
+            deadline,
+            ttl,
+            queued: VecDeque::new(),
+        });
         entry.queued.push_back((packet, now));
         if fresh {
             self.start_discovery(api, dst, true, ttl);
@@ -569,7 +564,10 @@ impl RoutingProtocol for Aodv {
                 let packet = Packet::control(api.id(), NodeId::BROADCAST, HELLO_SIZE, hello);
                 api.send(packet, NodeId::BROADCAST);
                 let jitter = Duration::from_millis(api.rng().gen_range(0..100));
-                api.schedule(self.config.hello_interval - Duration::from_millis(50) + jitter, TOKEN_HELLO);
+                api.schedule(
+                    self.config.hello_interval - Duration::from_millis(50) + jitter,
+                    TOKEN_HELLO,
+                );
             }
             TOKEN_TICK => {
                 self.tick(api);
@@ -613,7 +611,10 @@ mod tests {
         // 5 nodes at 200 m: 0 → 4 needs 4 hops.
         let (log, _sim) = run_line(5, 200.0, |_| Box::new(Aodv::new()), 0, 4, 10, 15.0, 2);
         let got = log.borrow().received.len();
-        assert!(got >= 9, "AODV should deliver nearly all packets, got {got}/10");
+        assert!(
+            got >= 9,
+            "AODV should deliver nearly all packets, got {got}/10"
+        );
     }
 
     #[test]
@@ -627,11 +628,8 @@ mod tests {
     #[test]
     fn unreachable_destination_is_dropped_after_retries() {
         // Two partitions: nodes 0-1 at x=0,200; node 2 at x=5000.
-        let mobility = cavenet_net::StaticMobility::new(vec![
-            (0.0, 0.0),
-            (200.0, 0.0),
-            (5000.0, 0.0),
-        ]);
+        let mobility =
+            cavenet_net::StaticMobility::new(vec![(0.0, 0.0), (200.0, 0.0), (5000.0, 0.0)]);
         let (log, _sim) = crate::testutil::run_with_mobility(
             mobility,
             3,
@@ -655,8 +653,14 @@ mod tests {
         // Source starts at 0.5 s; discovery adds latency but below a second
         // on a quiet 3-hop chain.
         let latency = first_at.as_secs_f64() - 0.5;
-        assert!(latency > 0.0005, "discovery latency expected, got {latency}");
-        assert!(latency < 2.0, "discovery should finish quickly, got {latency}");
+        assert!(
+            latency > 0.0005,
+            "discovery latency expected, got {latency}"
+        );
+        assert!(
+            latency < 2.0,
+            "discovery should finish quickly, got {latency}"
+        );
     }
 
     #[test]
@@ -675,7 +679,12 @@ mod tests {
             .mobility(Box::new(StaticMobility::line(3, 200.0)))
             .routing_with(|_| Box::new(Aodv::new()))
             .app(0, Box::new(crate::testutil::TestSource::new(NodeId(2), 3)))
-            .app(2, Box::new(crate::testutil::TestSink { log: Rc::clone(&log) }))
+            .app(
+                2,
+                Box::new(crate::testutil::TestSink {
+                    log: Rc::clone(&log),
+                }),
+            )
             .build();
         sim.run_until_secs(10.0);
         assert_eq!(log.borrow().received.len(), 3);

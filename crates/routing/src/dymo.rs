@@ -165,7 +165,8 @@ impl Dymo {
             valid: true,
         };
         self.table.offer(neighbour, entry, now);
-        self.table.refresh(neighbour, now + self.config.route_timeout);
+        self.table
+            .refresh(neighbour, now + self.config.route_timeout);
     }
 
     /// Install routes to **every** node on the accumulated path — DYMO's
@@ -258,7 +259,9 @@ impl Dymo {
     }
 
     fn flush_pending(&mut self, api: &mut NodeApi<'_>, dst: NodeId) {
-        let Some(p) = self.pending.remove(&dst) else { return };
+        let Some(p) = self.pending.remove(&dst) else {
+            return;
+        };
         for (packet, _) in p.queued {
             self.forward_data(api, packet);
         }
@@ -414,7 +417,8 @@ impl Dymo {
         }
         let max_q = self.config.max_queue_time;
         for p in self.pending.values_mut() {
-            p.queued.retain(|(_, at)| now.saturating_since(*at) <= max_q);
+            p.queued
+                .retain(|(_, at)| now.saturating_since(*at) <= max_q);
         }
     }
 }
@@ -565,8 +569,16 @@ mod tests {
     #[test]
     fn delivery_matches_aodv_on_same_scenario() {
         let (dymo_log, _) = run_line(5, 200.0, |_| Box::new(Dymo::new()), 0, 4, 10, 15.0, 6);
-        let (aodv_log, _) =
-            run_line(5, 200.0, |_| Box::new(crate::Aodv::new()), 0, 4, 10, 15.0, 6);
+        let (aodv_log, _) = run_line(
+            5,
+            200.0,
+            |_| Box::new(crate::Aodv::new()),
+            0,
+            4,
+            10,
+            15.0,
+            6,
+        );
         let d = dymo_log.borrow().received.len() as i64;
         let a = aodv_log.borrow().received.len() as i64;
         assert!((d - a).abs() <= 2, "DYMO {d} vs AODV {a}");
@@ -629,7 +641,12 @@ mod tests {
                 }),
             )
             .app(2, Box::new(flow2))
-            .app(4, Box::new(RelaySink { log: Rc::clone(&log4) }))
+            .app(
+                4,
+                Box::new(RelaySink {
+                    log: Rc::clone(&log4),
+                }),
+            )
             .build();
         sim.run_until_secs(15.0);
         assert!(log4.borrow().received.len() >= 4, "flow 1 delivered");

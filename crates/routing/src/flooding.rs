@@ -96,13 +96,25 @@ mod tests {
         // 5 nodes, 200 m spacing: src 0 → dst 4 is 4 hops.
         let (log, _sim) = run_line(5, 200.0, |_| Box::new(Flooding::new()), 0, 4, 10, 10.0, 1);
         let got = log.borrow().received.len();
-        assert!(got >= 8, "flooding should deliver most packets, got {got}/10");
+        assert!(
+            got >= 8,
+            "flooding should deliver most packets, got {got}/10"
+        );
     }
 
     #[test]
     fn respects_ttl() {
         // TTL 2 cannot span 4 hops.
-        let (log, _sim) = run_line(5, 200.0, |_| Box::new(Flooding::with_ttl(2)), 0, 4, 5, 10.0, 1);
+        let (log, _sim) = run_line(
+            5,
+            200.0,
+            |_| Box::new(Flooding::with_ttl(2)),
+            0,
+            4,
+            5,
+            10.0,
+            1,
+        );
         assert_eq!(log.borrow().received.len(), 0, "TTL 2 must not reach hop 4");
     }
 

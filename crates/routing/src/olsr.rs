@@ -728,4 +728,3 @@ mod tests {
         assert_eq!(c.tc_interval, Duration::from_secs(2));
     }
 }
-

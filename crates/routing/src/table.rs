@@ -162,7 +162,10 @@ mod tests {
         let now = SimTime::from_secs(1);
         t.offer(NodeId(5), entry(2, 3, 10, 5), now);
         assert!(t.lookup(NodeId(5), now).is_some());
-        assert!(t.lookup(NodeId(5), SimTime::from_secs(6)).is_none(), "expired");
+        assert!(
+            t.lookup(NodeId(5), SimTime::from_secs(6)).is_none(),
+            "expired"
+        );
         assert!(t.lookup(NodeId(9), now).is_none(), "unknown");
     }
 
@@ -171,8 +174,14 @@ mod tests {
         let mut t = RouteTable::new();
         let now = SimTime::ZERO;
         assert!(t.offer(NodeId(1), entry(2, 5, 10, 9), now));
-        assert!(!t.offer(NodeId(1), entry(3, 1, 9, 9), now), "older seq rejected");
-        assert!(t.offer(NodeId(1), entry(3, 9, 11, 9), now), "newer seq accepted");
+        assert!(
+            !t.offer(NodeId(1), entry(3, 1, 9, 9), now),
+            "older seq rejected"
+        );
+        assert!(
+            t.offer(NodeId(1), entry(3, 9, 11, 9), now),
+            "newer seq accepted"
+        );
         assert_eq!(t.get(NodeId(1)).unwrap().next_hop, NodeId(3));
     }
 
@@ -181,8 +190,14 @@ mod tests {
         let mut t = RouteTable::new();
         let now = SimTime::ZERO;
         t.offer(NodeId(1), entry(2, 5, 10, 9), now);
-        assert!(!t.offer(NodeId(1), entry(3, 5, 10, 9), now), "same length rejected");
-        assert!(t.offer(NodeId(1), entry(3, 2, 10, 9), now), "shorter accepted");
+        assert!(
+            !t.offer(NodeId(1), entry(3, 5, 10, 9), now),
+            "same length rejected"
+        );
+        assert!(
+            t.offer(NodeId(1), entry(3, 2, 10, 9), now),
+            "shorter accepted"
+        );
     }
 
     #[test]
@@ -190,7 +205,10 @@ mod tests {
         let mut t = RouteTable::new();
         let now = SimTime::from_secs(10);
         t.offer(NodeId(1), entry(2, 5, 100, 5), SimTime::ZERO); // expired by `now`
-        assert!(t.offer(NodeId(1), entry(3, 9, 1, 20), now), "expired replaced");
+        assert!(
+            t.offer(NodeId(1), entry(3, 9, 1, 20), now),
+            "expired replaced"
+        );
     }
 
     #[test]
@@ -210,7 +228,10 @@ mod tests {
         t.offer(NodeId(3), entry(4, 1, 7, 99), SimTime::ZERO);
         let broken = t.invalidate_via(NodeId(9));
         assert_eq!(broken, vec![(NodeId(1), 6), (NodeId(2), 7)]);
-        assert!(t.lookup(NodeId(3), SimTime::ZERO).is_some(), "unrelated survives");
+        assert!(
+            t.lookup(NodeId(3), SimTime::ZERO).is_some(),
+            "unrelated survives"
+        );
     }
 
     #[test]

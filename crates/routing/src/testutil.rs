@@ -145,7 +145,12 @@ where
         .mobility(Box::new(mobility))
         .routing_with(factory)
         .app(src, Box::new(TestSource::new(NodeId(dst as u32), packets)))
-        .app(dst, Box::new(TestSink { log: Rc::clone(&log) }))
+        .app(
+            dst,
+            Box::new(TestSink {
+                log: Rc::clone(&log),
+            }),
+        )
         .build();
     sim.run_until_secs(secs);
     (log, sim)

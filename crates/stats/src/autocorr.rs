@@ -6,7 +6,7 @@
 //! expose the partial-sum "SRD index" used to diagnose summability on finite
 //! samples.
 
-use crate::fft::{fft, ifft, Complex};
+use crate::fft::{Complex, FftPlan};
 use crate::StatsError;
 
 /// Biased sample autocorrelation `r(k)` for lags `0..=max_lag`, computed
@@ -62,17 +62,19 @@ pub fn autocorrelation_fft(data: &[f64], max_lag: usize) -> Result<Vec<f64>, Sta
     if var <= f64::EPSILON * n as f64 {
         return Err(StatsError::ZeroVariance);
     }
-    // Zero-pad to ≥ 2n to avoid circular wrap-around.
+    // Zero-pad to ≥ 2n to avoid circular wrap-around. The forward and
+    // inverse transforms share one twiddle table.
     let m = (2 * n).next_power_of_two();
+    let plan = FftPlan::new(m);
     let mut buf = vec![Complex::ZERO; m];
     for (slot, &x) in buf.iter_mut().zip(data) {
         *slot = Complex::from_real(x - mean);
     }
-    fft(&mut buf);
+    plan.process(&mut buf);
     for z in buf.iter_mut() {
         *z = Complex::from_real(z.norm_sqr());
     }
-    ifft(&mut buf);
+    plan.process_inverse(&mut buf);
     Ok((0..=max_lag).map(|k| buf[k].re / var).collect())
 }
 
@@ -124,7 +126,10 @@ mod tests {
         let data = noise(5000);
         let r = autocorrelation(&data, 20).unwrap();
         for &rk in &r[1..] {
-            assert!(rk.abs() < 0.1, "white-noise autocorrelation too large: {rk}");
+            assert!(
+                rk.abs() < 0.1,
+                "white-noise autocorrelation too large: {rk}"
+            );
         }
     }
 
@@ -146,7 +151,9 @@ mod tests {
 
     #[test]
     fn fft_matches_direct() {
-        let data: Vec<f64> = (0..300).map(|i| (i as f64 * 0.1).sin() + noise(300)[i]).collect();
+        let data: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.1).sin() + noise(300)[i])
+            .collect();
         let direct = autocorrelation(&data, 50).unwrap();
         let viafft = autocorrelation_fft(&data, 50).unwrap();
         for (a, b) in direct.iter().zip(&viafft) {

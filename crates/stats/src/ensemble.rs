@@ -4,8 +4,84 @@
 //! ensemble of 20 independent trials; this module provides a small harness
 //! for running seeded trials of any scalar- or series-valued experiment and
 //! aggregating the results.
+//!
+//! Trials are independent by construction (each gets its own derived seed),
+//! so [`Ensemble::run_scalar_par`] and [`Ensemble::run_series_par`] fan them
+//! out across OS threads. Results are **bit-identical** to the serial
+//! methods: trial outputs are reassembled in trial order before any
+//! floating-point aggregation, so the summation order never changes.
+
+use std::num::NonZeroUsize;
+use std::thread;
 
 use crate::{StatsError, Summary};
+
+/// Number of worker threads to use when none is requested explicitly.
+fn default_workers() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Deterministic parallel map: applies `f(index, &jobs[index])` to every job
+/// on a scoped thread pool and returns the results **in job order**,
+/// regardless of which worker ran which job or when it finished.
+///
+/// Jobs are assigned to workers in strides (worker `w` takes jobs `w`,
+/// `w + workers`, …), each worker collects `(index, result)` pairs, and the
+/// pairs are written back into an index-addressed slot vector. `workers =
+/// None` uses [`std::thread::available_parallelism`]; a single worker (or a
+/// single job) short-circuits to a plain serial loop with no threads
+/// spawned.
+///
+/// ```
+/// use cavenet_stats::par_map;
+/// let squares = par_map(&[1u64, 2, 3, 4], None, |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(jobs: &[T], workers: Option<NonZeroUsize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = jobs.len();
+    let w = workers
+        .map(NonZeroUsize::get)
+        .unwrap_or_else(default_workers)
+        .min(n.max(1));
+    if w <= 1 {
+        return jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..w)
+            .map(|wid| {
+                let f = &f;
+                scope.spawn(move || {
+                    (wid..n)
+                        .step_by(w)
+                        .map(|i| (i, f(i, &jobs[i])))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("ensemble worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("strided assignment covers every job"))
+        .collect()
+}
 
 /// Runs `trials` independent repetitions of a seeded experiment and
 /// aggregates scalar results.
@@ -19,6 +95,7 @@ use crate::{StatsError, Summary};
 pub struct Ensemble {
     trials: usize,
     seed: u64,
+    workers: Option<NonZeroUsize>,
 }
 
 impl Ensemble {
@@ -28,12 +105,22 @@ impl Ensemble {
         Ensemble {
             trials: trials.max(1),
             seed,
+            workers: None,
         }
     }
 
     /// Number of repetitions.
     pub fn trials(&self) -> usize {
         self.trials
+    }
+
+    /// Set the worker-thread count for the `_par` runners. `0` restores the
+    /// default ([`std::thread::available_parallelism`]); `1` forces serial
+    /// execution. The result is identical for any value — this is purely a
+    /// resource knob.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = NonZeroUsize::new(workers);
+        self
     }
 
     /// The seed for trial `i` (splitmix-style derivation so consecutive
@@ -69,10 +156,46 @@ impl Ensemble {
     where
         F: FnMut(u64) -> Vec<f64>,
     {
+        let series: Vec<Vec<f64>> = (0..self.trials).map(|i| f(self.trial_seed(i))).collect();
+        self.average_series(series)
+    }
+
+    /// [`run_scalar`](Self::run_scalar) with trials fanned out across worker
+    /// threads (see [`Ensemble::workers`]). The summary is **bit-identical**
+    /// to the serial method: per-trial values are reassembled in trial order
+    /// before aggregation, so no floating-point operation is reordered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StatsError`] from the summary computation (cannot occur
+    /// for `trials ≥ 1`).
+    pub fn run_scalar_par<F>(&self, f: F) -> Result<Summary, StatsError>
+    where
+        F: Fn(u64) -> f64 + Sync,
+    {
+        let seeds: Vec<u64> = (0..self.trials).map(|i| self.trial_seed(i)).collect();
+        let values = par_map(&seeds, self.workers, |_, &seed| f(seed));
+        Summary::from_slice(&values)
+    }
+
+    /// [`run_series`](Self::run_series) with trials fanned out across worker
+    /// threads; bit-identical to the serial method for the same reason as
+    /// [`run_scalar_par`](Self::run_scalar_par).
+    pub fn run_series_par<F>(&self, f: F) -> EnsembleSeries
+    where
+        F: Fn(u64) -> Vec<f64> + Sync,
+    {
+        let seeds: Vec<u64> = (0..self.trials).map(|i| self.trial_seed(i)).collect();
+        let series = par_map(&seeds, self.workers, |_, &seed| f(seed));
+        self.average_series(series)
+    }
+
+    /// Point-wise average in trial order — the shared aggregation tail of
+    /// the serial and parallel series runners.
+    fn average_series(&self, all: Vec<Vec<f64>>) -> EnsembleSeries {
         let mut sum: Vec<f64> = Vec::new();
         let mut count: Vec<u32> = Vec::new();
-        for i in 0..self.trials {
-            let series = f(self.trial_seed(i));
+        for series in &all {
             if series.len() > sum.len() {
                 sum.resize(series.len(), 0.0);
                 count.resize(series.len(), 0);
@@ -170,6 +293,65 @@ mod tests {
         assert!(!out.is_empty());
         assert!((out.mean[0] - 2.0).abs() < 1e-12);
         assert!((out.mean[1] - 4.0).abs() < 1e-12);
+    }
+
+    /// A scalar experiment with plenty of rounding surface: any reordering
+    /// of trials or of the aggregation sum would change the low bits.
+    fn awkward_scalar(seed: u64) -> f64 {
+        (seed as f64).sqrt().sin() * 1e-3 + (seed % 97) as f64 / 0.7
+    }
+
+    fn awkward_series(seed: u64) -> Vec<f64> {
+        (0..(seed % 13 + 1))
+            .map(|k| awkward_scalar(seed.wrapping_add(k)))
+            .collect()
+    }
+
+    #[test]
+    fn par_map_preserves_job_order() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let workers = NonZeroUsize::new(3);
+        let out = par_map(&jobs, workers, |i, &job| {
+            assert_eq!(i, job);
+            job * 2
+        });
+        assert_eq!(out, (0..200).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single_job() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, None, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[5u32], None, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn run_scalar_par_is_bit_identical_to_serial() {
+        for workers in [0, 1, 2, 5, 16] {
+            let e = Ensemble::new(37, 123).workers(workers);
+            let serial = e.run_scalar(awkward_scalar).unwrap();
+            let parallel = e.run_scalar_par(awkward_scalar).unwrap();
+            assert_eq!(
+                serial.mean().to_bits(),
+                parallel.mean().to_bits(),
+                "mean diverged at workers={workers}"
+            );
+            assert_eq!(serial.variance().to_bits(), parallel.variance().to_bits());
+            assert_eq!(serial.min().to_bits(), parallel.min().to_bits());
+            assert_eq!(serial.max().to_bits(), parallel.max().to_bits());
+        }
+    }
+
+    #[test]
+    fn run_series_par_is_bit_identical_to_serial() {
+        let e = Ensemble::new(29, 99).workers(4);
+        let serial = e.run_series(awkward_series);
+        let parallel = e.run_series_par(awkward_series);
+        assert_eq!(serial.mean.len(), parallel.mean.len());
+        for (a, b) in serial.mean.iter().zip(&parallel.mean) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(serial.trials, parallel.trials);
     }
 
     #[test]

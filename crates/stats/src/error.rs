@@ -28,10 +28,16 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::SeriesTooShort { got, need } => {
-                write!(f, "series has {got} samples but at least {need} are required")
+                write!(
+                    f,
+                    "series has {got} samples but at least {need} are required"
+                )
             }
             StatsError::ZeroVariance => {
-                write!(f, "series has zero variance; normalized statistic undefined")
+                write!(
+                    f,
+                    "series has zero variance; normalized statistic undefined"
+                )
             }
             StatsError::InvalidParameter { name } => {
                 write!(f, "parameter `{name}` is out of range")

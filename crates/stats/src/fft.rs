@@ -98,13 +98,130 @@ impl Neg for Complex {
     }
 }
 
+/// A reusable FFT plan for one transform length: the twiddle factors
+/// `e^{-2πik/n}` are tabulated once at construction instead of being rebuilt
+/// (one `Complex::cis` per stage plus a multiply per butterfly) on every
+/// call. Amortizes across repeated transforms of the same length — Welch
+/// segments, autocorrelation's forward+inverse pair, periodogram sweeps.
+///
+/// Every stage of the radix-2 transform reads its twiddles from the same
+/// table with a stride of `n / len`, so the table also replaces the serial
+/// `w = w * wlen` recurrence with direct lookups (better rounding, no loop
+/// dependency).
+///
+/// ```
+/// use cavenet_stats::{Complex, FftPlan};
+/// let plan = FftPlan::new(8);
+/// let mut data = vec![Complex::from_real(1.0); 8];
+/// plan.process(&mut data);
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// `twiddles[k] = e^{-2πik/n}` for `k < n/2` (forward direction; the
+    /// inverse transform conjugates on lookup).
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Plan transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two (including zero).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64))
+            .collect();
+        FftPlan { n, twiddles }
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the (degenerate) zero-length transform —
+    /// never true, since lengths must be powers of two.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn process(&self, data: &mut [Complex]) {
+        self.run(data, false);
+    }
+
+    /// In-place inverse FFT (including the `1/n` normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn process_inverse(&self, data: &mut [Complex]) {
+        self.run(data, true);
+        let scale = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    fn run(&self, data: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        assert_eq!(
+            data.len(),
+            n,
+            "FFT plan is for length {n}, got {}",
+            data.len()
+        );
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterfly passes; stage `len` strides the table by `n / len`.
+        let mut len = 2;
+        while len <= n {
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let tw = self.twiddles[k * stride];
+                    let w = if inverse { tw.conj() } else { tw };
+                    let u = data[start + k];
+                    let v = data[start + k + len / 2] * w;
+                    data[start + k] = u + v;
+                    data[start + k + len / 2] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
 /// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// One-shot convenience over [`FftPlan`]; build a plan explicitly to
+/// amortize twiddle-table construction across repeated transforms.
 ///
 /// # Panics
 ///
 /// Panics if `data.len()` is not a power of two (including zero).
 pub fn fft(data: &mut [Complex]) {
-    fft_dir(data, false);
+    FftPlan::new(data.len()).process(data);
 }
 
 /// In-place inverse FFT (including the `1/n` normalization).
@@ -113,42 +230,7 @@ pub fn fft(data: &mut [Complex]) {
 ///
 /// Panics if `data.len()` is not a power of two (including zero).
 pub fn ifft(data: &mut [Complex]) {
-    fft_dir(data, true);
-    let n = data.len() as f64;
-    for z in data.iter_mut() {
-        *z = z.scale(1.0 / n);
-    }
-}
-
-fn fft_dir(data: &mut [Complex], inverse: bool) {
-    let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
-        if i < j {
-            data.swap(i, j);
-        }
-    }
-    // Butterfly passes.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = Complex::cis(ang);
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::from_real(1.0);
-            for k in 0..len / 2 {
-                let u = data[start + k];
-                let v = data[start + k + len / 2] * w;
-                data[start + k] = u + v;
-                data[start + k + len / 2] = u - v;
-                w = w * wlen;
-            }
-        }
-        len <<= 1;
-    }
+    FftPlan::new(data.len()).process_inverse(data);
 }
 
 /// Naive `O(n²)` discrete Fourier transform, for arbitrary lengths.
@@ -223,7 +305,9 @@ mod tests {
 
     #[test]
     fn fft_matches_naive_dft() {
-        let input: Vec<f64> = (0..64).map(|i| ((i * 37 + 11) % 23) as f64 - 11.0).collect();
+        let input: Vec<f64> = (0..64)
+            .map(|i| ((i * 37 + 11) % 23) as f64 - 11.0)
+            .collect();
         let mut data: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
         fft(&mut data);
         let oracle = dft_naive(&input);
@@ -235,7 +319,9 @@ mod tests {
 
     #[test]
     fn ifft_inverts_fft() {
-        let input: Vec<f64> = (0..128).map(|i| (i as f64 * 0.7).sin() * 3.0 + 1.0).collect();
+        let input: Vec<f64> = (0..128)
+            .map(|i| (i as f64 * 0.7).sin() * 3.0 + 1.0)
+            .collect();
         let mut data: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
         fft(&mut data);
         ifft(&mut data);
@@ -269,6 +355,47 @@ mod tests {
     fn fft_rejects_non_power_of_two() {
         let mut data = vec![Complex::ZERO; 12];
         fft(&mut data);
+    }
+
+    #[test]
+    fn plan_reuse_matches_one_shot_bitwise() {
+        let input: Vec<f64> = (0..64).map(|i| ((i * 29 + 5) % 17) as f64 - 8.0).collect();
+        let plan = FftPlan::new(64);
+        assert_eq!(plan.len(), 64);
+        assert!(!plan.is_empty());
+        for round in 0..3 {
+            let mut planned: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+            let mut oneshot = planned.clone();
+            plan.process(&mut planned);
+            fft(&mut oneshot);
+            for (a, b) in planned.iter().zip(&oneshot) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "round {round}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "round {round}");
+            }
+            plan.process_inverse(&mut planned);
+            for (z, &x) in planned.iter().zip(&input) {
+                assert!(approx(z.re, x, 1e-9));
+                assert!(approx(z.im, 0.0, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_handles_trivial_lengths() {
+        let plan = FftPlan::new(1);
+        let mut data = vec![Complex::new(2.0, -3.0)];
+        plan.process(&mut data);
+        assert_eq!(data[0], Complex::new(2.0, -3.0));
+        plan.process_inverse(&mut data);
+        assert_eq!(data[0], Complex::new(2.0, -3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "plan is for length")]
+    fn plan_rejects_mismatched_length() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex::ZERO; 16];
+        plan.process(&mut data);
     }
 
     #[test]

@@ -44,9 +44,9 @@ mod summary;
 mod transient;
 
 pub use autocorr::{autocorrelation, autocorrelation_fft, srd_index};
-pub use ensemble::{Ensemble, EnsembleSeries};
+pub use ensemble::{par_map, Ensemble, EnsembleSeries};
 pub use error::StatsError;
-pub use fft::{dft_naive, fft, ifft, Complex};
+pub use fft::{dft_naive, fft, ifft, Complex, FftPlan};
 pub use histogram::Histogram;
 pub use hurst::{hurst_aggregated_variance, hurst_rescaled_range, LrdVerdict};
 pub use periodogram::{

@@ -6,7 +6,7 @@
 //! the log-log periodogram has a negative slope near the origin — exactly the
 //! visual criterion the paper applies to the stochastic NaS model.
 
-use crate::fft::{fft, Complex};
+use crate::fft::{Complex, FftPlan};
 use crate::summary::linear_fit;
 
 /// One periodogram ordinate.
@@ -43,7 +43,7 @@ pub fn periodogram(data: &[f64]) -> Vec<PeriodogramPoint> {
         .iter()
         .map(|&x| Complex::from_real(x - mean))
         .collect();
-    fft(&mut buf);
+    FftPlan::new(n).process(&mut buf);
     (1..=n / 2)
         .map(|k| PeriodogramPoint {
             frequency: k as f64 / n as f64,
@@ -102,6 +102,9 @@ pub fn welch_periodogram(data: &[f64], segments: usize) -> Vec<PeriodogramPoint>
         .collect();
     let win_power: f64 = window.iter().map(|w| w * w).sum::<f64>() / seg_len as f64;
 
+    // One plan shared by every segment — all segments have the same length,
+    // so the twiddle table is built once instead of per segment.
+    let plan = FftPlan::new(seg_len);
     let mut acc = vec![0.0; seg_len / 2];
     let mut count = 0usize;
     let mut start = 0;
@@ -109,7 +112,7 @@ pub fn welch_periodogram(data: &[f64], segments: usize) -> Vec<PeriodogramPoint>
         let mut buf: Vec<Complex> = (0..seg_len)
             .map(|i| Complex::from_real((data[start + i] - mean) * window[i]))
             .collect();
-        fft(&mut buf);
+        plan.process(&mut buf);
         for (k, slot) in acc.iter_mut().enumerate() {
             *slot += buf[k + 1].norm_sqr() / (seg_len as f64 * win_power);
         }
@@ -206,7 +209,10 @@ mod tests {
         let data = xorshift_noise(8192, 99);
         let p = periodogram(&data);
         let slope = low_frequency_slope(&p, 0.3);
-        assert!(slope.abs() < 0.5, "white-noise slope should be ≈0, got {slope}");
+        assert!(
+            slope.abs() < 0.5,
+            "white-noise slope should be ≈0, got {slope}"
+        );
     }
 
     #[test]
@@ -242,7 +248,10 @@ mod tests {
     #[test]
     fn slope_of_degenerate_input_is_zero() {
         assert_eq!(low_frequency_slope(&[], 0.5), 0.0);
-        let one = vec![PeriodogramPoint { frequency: 0.1, power: 1.0 }];
+        let one = vec![PeriodogramPoint {
+            frequency: 0.1,
+            power: 1.0,
+        }];
         assert_eq!(low_frequency_slope(&one, 1.0), 0.0);
     }
 
@@ -253,7 +262,11 @@ mod tests {
         let welch = welch_periodogram(&data, 8);
         assert!(!welch.is_empty());
         let spread = |p: &[PeriodogramPoint]| {
-            let logs: Vec<f64> = p.iter().filter(|q| q.power > 0.0).map(|q| q.power.ln()).collect();
+            let logs: Vec<f64> = p
+                .iter()
+                .filter(|q| q.power > 0.0)
+                .map(|q| q.power.ln())
+                .collect();
             let m = logs.iter().sum::<f64>() / logs.len() as f64;
             logs.iter().map(|l| (l - m).powi(2)).sum::<f64>() / logs.len() as f64
         };

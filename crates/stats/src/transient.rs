@@ -127,7 +127,10 @@ mod tests {
     fn stationary_series_truncates_near_zero() {
         let data: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 13) as f64).collect();
         let d = mser_truncation(&data).unwrap();
-        assert!(d < 100, "stationary data should not be truncated much, got {d}");
+        assert!(
+            d < 100,
+            "stationary data should not be truncated much, got {d}"
+        );
     }
 
     #[test]

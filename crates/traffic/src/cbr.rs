@@ -153,7 +153,10 @@ mod tests {
         let mut sim = Simulator::builder(ScenarioConfig::default())
             .nodes(2)
             .mobility(Box::new(StaticMobility::line(2, 100.0)))
-            .app(0, Box::new(CbrSource::new(NodeId(1), cfg, Rc::clone(&recorder))))
+            .app(
+                0,
+                Box::new(CbrSource::new(NodeId(1), cfg, Rc::clone(&recorder))),
+            )
             .app(1, Box::new(CbrSink::new(Rc::clone(&recorder))))
             .build();
         sim.run_until_secs(5.0);
@@ -163,9 +166,10 @@ mod tests {
         assert!((19..=21).contains(&m.sent), "sent {}", m.sent);
         assert_eq!(m.sent, m.received, "single hop should deliver all");
         // Nothing outside the window.
-        let series = recorder
-            .borrow()
-            .goodput_series(flow, Duration::from_secs(1), Duration::from_secs(5));
+        let series =
+            recorder
+                .borrow()
+                .goodput_series(flow, Duration::from_secs(1), Duration::from_secs(5));
         assert_eq!(series[0], 0.0);
         assert!(series[4].abs() < 1e-9);
         assert!(series[1] > 0.0);
@@ -183,7 +187,10 @@ mod tests {
         let mut sim = Simulator::builder(ScenarioConfig::default())
             .nodes(2)
             .mobility(Box::new(StaticMobility::line(2, 100.0)))
-            .app(0, Box::new(CbrSource::new(NodeId(1), cfg, Rc::clone(&recorder))))
+            .app(
+                0,
+                Box::new(CbrSource::new(NodeId(1), cfg, Rc::clone(&recorder))),
+            )
             .app(1, Box::new(CbrSink::new(Rc::clone(&recorder))))
             .build();
         sim.run_until_secs(12.0);

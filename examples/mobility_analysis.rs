@@ -49,17 +49,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("NaS CA (rho = {rho}, p = {p}):");
         println!("  MSER transient ≈ {transient} steps");
         let stationary = &series[transient.max(1)..];
-        if stationary.iter().all(|&v| (v - stationary[0]).abs() < 1e-12) {
+        if stationary
+            .iter()
+            .all(|&v| (v - stationary[0]).abs() < 1e-12)
+        {
             println!("  v(t) settles to a constant → trivially SRD\n");
             continue;
         }
         let slope = low_frequency_slope(&periodogram(stationary), 0.1);
         print!("  periodogram low-frequency slope {slope:+.2}");
         match hurst_aggregated_variance(stationary) {
-            Ok(h) => println!(
-                ", Hurst {h:.2} → {:?}",
-                LrdVerdict::from_hurst(h)
-            ),
+            Ok(h) => println!(", Hurst {h:.2} → {:?}", LrdVerdict::from_hurst(h)),
             Err(e) => println!(" (Hurst unavailable: {e})"),
         }
         println!();

@@ -26,7 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Protocol::Flooding,
     ];
 
-    println!("Table 1 scenario, seed {seed} — 30 nodes, 3000 m ring, 8 CBR flows of 5 pkt/s × 512 B\n");
+    println!(
+        "Table 1 scenario, seed {seed} — 30 nodes, 3000 m ring, 8 CBR flows of 5 pkt/s × 512 B\n"
+    );
     println!(
         "{:<10} {:>9} {:>12} {:>11} {:>12} {:>12} {:>10}",
         "protocol", "mean PDR", "worst PDR", "delay ms", "ctrl pkts", "ctrl bytes", "ovh/pkt"
@@ -52,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.overhead_per_delivery(),
         );
     }
-    println!("\npaper's finding: DYMO balances AODV-level delivery with lower route-acquisition delay,");
+    println!(
+        "\npaper's finding: DYMO balances AODV-level delivery with lower route-acquisition delay,"
+    );
     println!("while OLSR trails on this dynamic ring; flooding delivers but at maximal overhead.");
     Ok(())
 }

@@ -42,7 +42,13 @@ fn ns2_export_import_preserves_simulation_behaviour() {
     scenario.traffic.senders = vec![1, 2];
 
     let trace = scenario.build_trace().unwrap();
-    let tcl = ns2::export(&trace, &ns2::ExportOptions { delta: 0.0, precision: 6 });
+    let tcl = ns2::export(
+        &trace,
+        &ns2::ExportOptions {
+            delta: 0.0,
+            precision: 6,
+        },
+    );
     let reimported = ns2::commands_to_trace(&ns2::parse(&tcl).unwrap()).unwrap();
     assert_eq!(reimported.node_count(), trace.node_count());
 
@@ -121,7 +127,8 @@ fn pipeline_is_deterministic() {
     assert_eq!(a.global, b.global);
     let c = mk(4);
     assert!(
-        a.global.transmissions != c.global.transmissions || a.total_received() != c.total_received()
+        a.global.transmissions != c.global.transmissions
+            || a.total_received() != c.total_received()
     );
 }
 
@@ -135,7 +142,10 @@ fn traffic_window_respected_end_to_end() {
     s.traffic.senders = vec![1];
     let r = Experiment::new(s).run().unwrap();
     let series = &r.senders[0].goodput_series;
-    assert!(series[..9].iter().all(|&g| g == 0.0), "no goodput before 10 s");
+    assert!(
+        series[..9].iter().all(|&g| g == 0.0),
+        "no goodput before 10 s"
+    );
     assert!(
         series[33..].iter().all(|&g| g == 0.0),
         "no goodput after the stop + in-flight drain"

@@ -67,8 +67,14 @@ fn dymo_delay_matches_paper_on_reference_run() {
     let mut aodv_total = 0.0;
     let mut dymo_total = 0.0;
     for seed in [1, 2, 3] {
-        aodv_total += run(Protocol::Aodv, seed).mean_delay().unwrap().as_secs_f64();
-        dymo_total += run(Protocol::Dymo, seed).mean_delay().unwrap().as_secs_f64();
+        aodv_total += run(Protocol::Aodv, seed)
+            .mean_delay()
+            .unwrap()
+            .as_secs_f64();
+        dymo_total += run(Protocol::Dymo, seed)
+            .mean_delay()
+            .unwrap()
+            .as_secs_f64();
     }
     let ratio = dymo_total / aodv_total;
     assert!(
@@ -110,7 +116,11 @@ fn dymo_delivery_at_least_aodv_level() {
 fn flooding_delivers_with_maximal_overhead() {
     let flood = run(Protocol::Flooding, 1);
     let aodv = run(Protocol::Aodv, 1);
-    assert!(flood.mean_pdr() > 0.5, "flooding PDR {:.3}", flood.mean_pdr());
+    assert!(
+        flood.mean_pdr() > 0.5,
+        "flooding PDR {:.3}",
+        flood.mean_pdr()
+    );
     assert!(
         flood.data_forwarded > 3 * aodv.data_forwarded,
         "flooding forwards {} vs AODV {}",
