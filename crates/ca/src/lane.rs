@@ -1,7 +1,6 @@
 //! Single-lane Nagel–Schreckenberg automaton.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cavenet_rng::SimRng;
 
 use crate::{Boundary, CaError, NasParams, Vehicle, VehicleId};
 
@@ -35,7 +34,7 @@ pub struct Lane {
     boundary: Boundary,
     /// Vehicles sorted by ascending position.
     vehicles: Vec<Vehicle>,
-    rng: StdRng,
+    rng: SimRng,
     time: u64,
     next_id: u32,
     seam_crossings: u64,
@@ -88,7 +87,7 @@ impl Lane {
                 sites: l,
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         // Floyd's algorithm for a uniform random n-subset of [0, l).
         let mut chosen = std::collections::BTreeSet::new();
         for j in (l - n)..l {
@@ -142,7 +141,7 @@ impl Lane {
             params,
             boundary,
             vehicles,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             time: 0,
             next_id,
             seam_crossings: 0,

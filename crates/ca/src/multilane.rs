@@ -8,8 +8,7 @@
 //! (*Physica A* 231, 1996): a vehicle changes lanes when it is hindered in
 //! its own lane, the target lane offers more room, and the manoeuvre is safe.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cavenet_rng::SimRng;
 
 use crate::{CaError, NasParams, VehicleId};
 
@@ -93,7 +92,7 @@ struct MlVehicle {
 pub struct MultiLaneRoad {
     params: MultiLaneParams,
     vehicles: Vec<MlVehicle>,
-    rng: StdRng,
+    rng: SimRng,
     time: u64,
     changes: u64,
     recent_changes: Vec<LaneChange>,
@@ -135,7 +134,7 @@ impl MultiLaneRoad {
         Ok(MultiLaneRoad {
             params,
             vehicles,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             time: 0,
             changes: 0,
             recent_changes: Vec::new(),

@@ -3,7 +3,9 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use cavenet_net::{FlowId, GlobalStats, NodeId, ScenarioConfig, Simulator};
+use cavenet_net::{
+    FlowId, GlobalStats, NodeId, NoopObserver, ScenarioConfig, SimObserver, Simulator,
+};
 use cavenet_traffic::{CbrSink, CbrSource, FlowMetrics, TrafficRecorder};
 
 use crate::{Protocol, Scenario, ScenarioError, TraceMobility};
@@ -143,6 +145,23 @@ impl Experiment {
     /// Returns [`ScenarioError`] when the scenario is inconsistent or its
     /// mobility model cannot be built.
     pub fn run(&self) -> Result<ExperimentResult, ScenarioError> {
+        self.run_with_observer(NoopObserver).map(|(r, _)| r)
+    }
+
+    /// Like [`run`](Self::run), but attaches a [`SimObserver`] to the engine
+    /// and also returns the finished simulator, giving callers access to the
+    /// observer ([`Simulator::into_observer`]), per-node statistics and
+    /// routing-protocol state after the run. This is the entry point the
+    /// conformance testkit uses for invariant checking and golden digests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] when the scenario is inconsistent or its
+    /// mobility model cannot be built.
+    pub fn run_with_observer<O: SimObserver>(
+        &self,
+        observer: O,
+    ) -> Result<(ExperimentResult, Simulator<O>), ScenarioError> {
         let s = &self.scenario;
         s.validate()?;
         let trace = s.build_trace()?;
@@ -161,6 +180,7 @@ impl Experiment {
             config.mac.rts_threshold = Some(0);
         }
         let mut builder = Simulator::builder(config)
+            .observer(observer)
             .nodes(s.nodes)
             .seed(s.seed)
             .mobility(Box::new(mobility))
@@ -214,7 +234,7 @@ impl Experiment {
             data_forwarded += ns.data_forwarded;
         }
 
-        Ok(ExperimentResult {
+        let result = ExperimentResult {
             protocol: s.protocol,
             duration: s.sim_time,
             senders,
@@ -222,7 +242,8 @@ impl Experiment {
             control_bytes,
             data_forwarded,
             global: sim.global_stats(),
-        })
+        };
+        Ok((result, sim))
     }
 }
 

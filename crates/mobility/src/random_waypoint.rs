@@ -16,8 +16,7 @@
 //! against the CA model, whose finite state space guarantees a unique
 //! stationary regime.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cavenet_rng::SimRng;
 
 use crate::{MobilityError, MobilityTrace, NodeTrajectory, Point2, TraceSample};
 
@@ -96,7 +95,7 @@ enum Start {
 #[derive(Debug, Clone)]
 pub struct RandomWaypoint {
     params: RwParams,
-    rng: StdRng,
+    rng: SimRng,
     start: Start,
 }
 
@@ -106,7 +105,7 @@ impl RandomWaypoint {
     pub fn new(params: RwParams, seed: u64) -> Self {
         RandomWaypoint {
             params,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             start: Start::Naive,
         }
     }
@@ -116,7 +115,7 @@ impl RandomWaypoint {
     pub fn new_stationary(params: RwParams, seed: u64) -> Self {
         RandomWaypoint {
             params,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             start: Start::Stationary,
         }
     }

@@ -2,9 +2,10 @@
 
 use std::time::Duration;
 
-use rand::rngs::StdRng;
+use cavenet_rng::SimRng;
 
 use crate::node::NodeStats;
+use crate::observer::DropReason;
 use crate::sim::{Kernel, Pending};
 use crate::{NodeId, Packet, SimTime};
 
@@ -55,7 +56,7 @@ impl NodeApi<'_> {
     }
 
     /// The simulation's seeded random stream.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut SimRng {
         &mut self.kernel.rng
     }
 
@@ -100,6 +101,22 @@ impl NodeApi<'_> {
         self.kernel.pending.push_back(Pending::RouteOutput {
             node: self.index,
             packet,
+        });
+    }
+
+    /// Declare a packet discarded for `reason`: counted in
+    /// [`NodeStats::data_dropped`] (data only) and reported to the engine
+    /// observer. Routing protocols call this at every point where a packet
+    /// leaves the network without being delivered, which is what lets the
+    /// testkit's conservation ledger balance.
+    pub fn drop_packet(&mut self, packet: Packet, reason: DropReason) {
+        if packet.is_data() {
+            self.stats.data_dropped += 1;
+        }
+        self.kernel.pending.push_back(Pending::PacketDrop {
+            node: self.index,
+            packet,
+            reason,
         });
     }
 

@@ -45,6 +45,7 @@ mod ids;
 mod mac;
 mod mobility;
 mod node;
+mod observer;
 mod packet;
 mod phy;
 mod sim;
@@ -57,10 +58,11 @@ pub use channel::{Channel, Transmission};
 pub use error::NetError;
 pub use grid::SpatialGrid;
 pub use ids::{FlowId, NodeId};
-pub use mac::{MacParams, MacStats};
+pub use mac::{MacParams, MacState, MacStats};
 pub use mobility::{MobilityModel, PositionEpoch, StaticMobility};
 pub use node::NodeStats;
-pub use packet::{ControlBlob, DataPayload, Packet, PacketBody};
+pub use observer::{DropReason, EventKind, FrameDropReason, NoopObserver, SimObserver};
+pub use packet::{ControlBlob, DataPayload, Frame, FrameKind, Packet, PacketBody};
 pub use phy::{PhyParams, Propagation};
 pub use sim::{ScenarioConfig, Simulator, SimulatorBuilder};
 pub use stats::GlobalStats;

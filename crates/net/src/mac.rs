@@ -14,9 +14,9 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use cavenet_rng::SimRng;
 
+use crate::observer::{DropReason, NoopObserver, SimObserver};
 use crate::packet::{Frame, FrameKind};
 use crate::{NodeId, Packet, PhyParams, SimTime};
 
@@ -129,35 +129,39 @@ pub(crate) enum MacUpcall {
 }
 
 /// Mutable context handed to every MAC entry point.
-pub(crate) struct MacHooks<'a> {
+pub(crate) struct MacHooks<'a, O: SimObserver = NoopObserver> {
     /// Current virtual time.
     pub now: SimTime,
     /// Random stream for backoff draws.
-    pub rng: &'a mut StdRng,
+    pub rng: &'a mut SimRng,
     /// Timers to schedule: `(delay, timer_seq)`.
     pub timers: &'a mut Vec<(Duration, u64)>,
     /// Frames to put on the air immediately.
     pub tx: &'a mut Vec<Frame>,
     /// Upcalls to the network layer.
     pub upcalls: &'a mut Vec<MacUpcall>,
+    /// Engine observer (no-op by default).
+    pub observer: &'a mut O,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
+/// DCF states of one station, as reported through
+/// [`SimObserver::on_mac_transition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacState {
     /// Queue empty, nothing in service.
-    Idle,
+    Idle = 0,
     /// Waiting for the medium to become idle.
-    WaitIdle,
+    WaitIdle = 1,
     /// DIFS timer running.
-    WaitDifs,
+    WaitDifs = 2,
     /// Backoff timer running.
-    Backoff,
+    Backoff = 3,
     /// Own data frame on the air.
-    Transmitting,
+    Transmitting = 4,
     /// Waiting for the ACK of the frame just sent.
-    WaitAck,
+    WaitAck = 5,
     /// Waiting for the CTS answering our RTS.
-    WaitCts,
+    WaitCts = 6,
 }
 
 /// The 802.11 DCF state machine for one station.
@@ -167,7 +171,7 @@ pub(crate) struct Mac {
     params: MacParams,
     phy: PhyParams,
     queue: VecDeque<Frame>,
-    state: State,
+    state: MacState,
     /// Contention window for the frame in service.
     cw: u32,
     retries: u32,
@@ -213,7 +217,7 @@ impl Mac {
             params,
             phy,
             queue: VecDeque::new(),
-            state: State::Idle,
+            state: MacState::Idle,
             cw: params.cw_min,
             retries: 0,
             backoff_slots: 0,
@@ -241,6 +245,16 @@ impl Mac {
         self.queue.len()
     }
 
+    /// Change DCF state, reporting the transition to the observer.
+    fn set_state<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>, to: MacState) {
+        if O::ENABLED && self.state != to {
+            hooks
+                .observer
+                .on_mac_transition(hooks.now, self.id, self.state, to);
+        }
+        self.state = to;
+    }
+
     /// Total air size of a data frame for `packet`.
     fn frame_size(&self, packet: &Packet) -> u32 {
         packet.size_bytes + self.params.ip_overhead_bytes + self.params.mac_overhead_bytes
@@ -248,14 +262,22 @@ impl Mac {
 
     /// Accept a packet from the network layer for transmission to
     /// `next_hop` (or broadcast).
-    pub(crate) fn enqueue_packet(
+    pub(crate) fn enqueue_packet<O: SimObserver>(
         &mut self,
-        hooks: &mut MacHooks<'_>,
+        hooks: &mut MacHooks<'_, O>,
         packet: Packet,
         next_hop: NodeId,
     ) {
         if self.queue.len() >= self.params.queue_capacity {
             self.stats.queue_drops += 1;
+            if O::ENABLED && packet.is_data() {
+                hooks.observer.on_packet_dropped(
+                    hooks.now,
+                    self.id,
+                    packet.uid,
+                    DropReason::QueueOverflow,
+                );
+            }
             return;
         }
         let size = self.frame_size(&packet);
@@ -268,27 +290,27 @@ impl Mac {
             ack_uid: 0,
             nav: std::time::Duration::ZERO,
         });
-        if self.state == State::Idle {
+        if self.state == MacState::Idle {
             self.start_service(hooks);
         }
     }
 
     /// Begin serving the head-of-line frame.
-    fn start_service(&mut self, hooks: &mut MacHooks<'_>) {
+    fn start_service<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
         if self.queue.is_empty() {
-            self.state = State::Idle;
+            self.set_state(hooks, MacState::Idle);
             return;
         }
         if self.medium_busy {
-            self.state = State::WaitIdle;
+            self.set_state(hooks, MacState::WaitIdle);
             self.need_backoff = true;
         } else {
             self.start_difs(hooks);
         }
     }
 
-    fn start_difs(&mut self, hooks: &mut MacHooks<'_>) {
-        self.state = State::WaitDifs;
+    fn start_difs<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
+        self.set_state(hooks, MacState::WaitDifs);
         self.dcf_timer = self.alloc_timer();
         hooks.timers.push((self.params.difs, self.dcf_timer));
     }
@@ -299,26 +321,26 @@ impl Mac {
     }
 
     /// Draw a fresh backoff if none is pending.
-    fn ensure_backoff_slots(&mut self, rng: &mut StdRng) {
+    fn ensure_backoff_slots(&mut self, rng: &mut SimRng) {
         if self.backoff_slots == 0 {
             self.backoff_slots = rng.gen_range(0..=self.cw);
         }
     }
 
     /// The medium transitioned to busy (physical carrier sense).
-    pub(crate) fn on_medium_busy(&mut self, hooks: &mut MacHooks<'_>) {
+    pub(crate) fn on_medium_busy<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
         self.phys_busy = true;
         self.reevaluate_busy(hooks);
     }
 
     /// The medium transitioned to idle (physical carrier sense).
-    pub(crate) fn on_medium_idle(&mut self, hooks: &mut MacHooks<'_>) {
+    pub(crate) fn on_medium_idle<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
         self.phys_busy = false;
         self.reevaluate_busy(hooks);
     }
 
     /// Reserve the medium (virtual carrier sense) for `dur` from now.
-    fn set_nav(&mut self, hooks: &mut MacHooks<'_>, dur: Duration) {
+    fn set_nav<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>, dur: Duration) {
         if dur.is_zero() {
             return;
         }
@@ -333,7 +355,7 @@ impl Mac {
 
     /// Recompute the effective busy state and run the DCF transitions on a
     /// change.
-    fn reevaluate_busy(&mut self, hooks: &mut MacHooks<'_>) {
+    fn reevaluate_busy<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
         let effective = self.phys_busy || self.nav_until > hooks.now;
         if effective == self.medium_busy {
             return;
@@ -341,35 +363,35 @@ impl Mac {
         self.medium_busy = effective;
         if effective {
             self.freeze(hooks);
-        } else if self.state == State::WaitIdle {
+        } else if self.state == MacState::WaitIdle {
             self.start_difs(hooks);
         }
     }
 
     /// The medium just became busy: abort DIFS / freeze backoff.
-    fn freeze(&mut self, hooks: &mut MacHooks<'_>) {
+    fn freeze<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
         match self.state {
-            State::WaitDifs => {
+            MacState::WaitDifs => {
                 // Abort DIFS; a backoff is now mandatory.
                 self.dcf_timer = self.alloc_timer(); // invalidate running timer
                 self.need_backoff = true;
-                self.state = State::WaitIdle;
+                self.set_state(hooks, MacState::WaitIdle);
             }
-            State::Backoff => {
+            MacState::Backoff => {
                 // Freeze: compute how many whole slots elapsed.
                 let elapsed = hooks.now.saturating_since(self.backoff_started);
                 let done = (elapsed.as_nanos() / self.params.slot.as_nanos()) as u32;
                 self.backoff_slots = self.backoff_slots.saturating_sub(done);
                 self.dcf_timer = self.alloc_timer();
                 self.need_backoff = true;
-                self.state = State::WaitIdle;
+                self.set_state(hooks, MacState::WaitIdle);
             }
             _ => {}
         }
     }
 
     /// A timer fired.
-    pub(crate) fn on_timer(&mut self, hooks: &mut MacHooks<'_>, seq: u64) {
+    pub(crate) fn on_timer<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>, seq: u64) {
         // Delayed control transmissions (ACK/CTS) are independent of the
         // DCF timer.
         if let Some(pos) = self.pending_acks.iter().position(|(s, _)| *s == seq) {
@@ -397,13 +419,13 @@ impl Mac {
             return; // stale
         }
         match self.state {
-            State::WaitDifs => {
+            MacState::WaitDifs => {
                 if self.need_backoff {
                     self.ensure_backoff_slots(hooks.rng);
                     if self.backoff_slots == 0 {
                         self.transmit_current(hooks);
                     } else {
-                        self.state = State::Backoff;
+                        self.set_state(hooks, MacState::Backoff);
                         self.backoff_started = hooks.now;
                         self.dcf_timer = self.alloc_timer();
                         let wait = self.params.slot * self.backoff_slots;
@@ -413,11 +435,11 @@ impl Mac {
                     self.transmit_current(hooks);
                 }
             }
-            State::Backoff => {
+            MacState::Backoff => {
                 self.backoff_slots = 0;
                 self.transmit_current(hooks);
             }
-            State::WaitAck | State::WaitCts => {
+            MacState::WaitAck | MacState::WaitCts => {
                 // ACK (or CTS) timeout.
                 self.retries += 1;
                 self.stats.retries += 1;
@@ -439,7 +461,7 @@ impl Mac {
                     self.backoff_slots = 0;
                     self.need_backoff = true;
                     if self.medium_busy {
-                        self.state = State::WaitIdle;
+                        self.set_state(hooks, MacState::WaitIdle);
                     } else {
                         self.start_difs(hooks);
                     }
@@ -455,9 +477,9 @@ impl Mac {
         self.backoff_slots = 0;
     }
 
-    fn transmit_current(&mut self, hooks: &mut MacHooks<'_>) {
+    fn transmit_current<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
         let Some(frame) = self.queue.front() else {
-            self.state = State::Idle;
+            self.set_state(hooks, MacState::Idle);
             return;
         };
         let use_rts = !frame.mac_dst.is_broadcast()
@@ -473,9 +495,9 @@ impl Mac {
     }
 
     /// Put the head-of-line data frame itself on the air.
-    fn transmit_data_now(&mut self, hooks: &mut MacHooks<'_>) {
+    fn transmit_data_now<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
         let Some(mut frame) = self.queue.front().cloned() else {
-            self.state = State::Idle;
+            self.set_state(hooks, MacState::Idle);
             return;
         };
         // Protect the upcoming ACK via the duration field (only meaningful
@@ -484,7 +506,7 @@ impl Mac {
             frame.nav =
                 self.params.sifs + self.phy.control_frame_duration(self.params.ack_size_bytes);
         }
-        self.state = State::Transmitting;
+        self.set_state(hooks, MacState::Transmitting);
         self.tx_phase = TxPhase::Data;
         self.stats.data_tx += 1;
         if frame.mac_dst.is_broadcast() {
@@ -494,9 +516,9 @@ impl Mac {
     }
 
     /// Open the RTS/CTS handshake for the head-of-line frame.
-    fn transmit_rts(&mut self, hooks: &mut MacHooks<'_>) {
+    fn transmit_rts<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
         let Some(data) = self.queue.front() else {
-            self.state = State::Idle;
+            self.set_state(hooks, MacState::Idle);
             return;
         };
         let sifs = self.params.sifs;
@@ -513,24 +535,24 @@ impl Mac {
             // Reserve the whole remaining exchange: CTS + DATA + ACK.
             nav: sifs + cts + sifs + data_dur + sifs + ack,
         };
-        self.state = State::Transmitting;
+        self.set_state(hooks, MacState::Transmitting);
         self.tx_phase = TxPhase::Rts;
         self.stats.rts_tx += 1;
         hooks.tx.push(rts);
     }
 
     /// Our own transmission just left the antenna completely.
-    pub(crate) fn on_tx_end(&mut self, hooks: &mut MacHooks<'_>) {
+    pub(crate) fn on_tx_end<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>) {
         if self.sending_ack {
             self.sending_ack = false;
             return;
         }
-        if self.state != State::Transmitting {
+        if self.state != MacState::Transmitting {
             return;
         }
         if self.tx_phase == TxPhase::Rts {
             // Our RTS is out; await the CTS.
-            self.state = State::WaitCts;
+            self.set_state(hooks, MacState::WaitCts);
             self.dcf_timer = self.alloc_timer();
             let timeout = self.params.sifs
                 + self.phy.control_frame_duration(self.params.cts_size_bytes)
@@ -553,7 +575,7 @@ impl Mac {
             self.start_service(hooks);
         } else {
             // Unicast: await the ACK.
-            self.state = State::WaitAck;
+            self.set_state(hooks, MacState::WaitAck);
             self.dcf_timer = self.alloc_timer();
             let timeout = self.params.sifs
                 + self.phy.control_frame_duration(self.params.ack_size_bytes)
@@ -563,7 +585,7 @@ impl Mac {
     }
 
     /// A frame was successfully decoded by our radio.
-    pub(crate) fn on_frame_received(&mut self, hooks: &mut MacHooks<'_>, frame: Frame) {
+    pub(crate) fn on_frame_received<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>, frame: Frame) {
         match frame.kind {
             FrameKind::Data => {
                 if !frame.addressed_to(self.id) {
@@ -625,7 +647,7 @@ impl Mac {
                     self.set_nav(hooks, frame.nav);
                     return;
                 }
-                if self.state != State::WaitCts {
+                if self.state != MacState::WaitCts {
                     return;
                 }
                 let expected_uid = self
@@ -644,7 +666,7 @@ impl Mac {
                 hooks.timers.push((self.params.sifs, seq));
             }
             FrameKind::Ack => {
-                if frame.mac_dst != self.id || self.state != State::WaitAck {
+                if frame.mac_dst != self.id || self.state != MacState::WaitAck {
                     return;
                 }
                 let expected_uid = self
@@ -676,26 +698,27 @@ impl Mac {
 mod tests {
     use super::*;
     use crate::FlowId;
-    use rand::SeedableRng;
 
     struct Harness {
         mac: Mac,
-        rng: StdRng,
+        rng: SimRng,
         now: SimTime,
         timers: Vec<(Duration, u64)>,
         tx: Vec<Frame>,
         upcalls: Vec<MacUpcall>,
+        obs: NoopObserver,
     }
 
     impl Harness {
         fn new() -> Self {
             Harness {
                 mac: Mac::new(NodeId(0), MacParams::default(), PhyParams::ns2_default()),
-                rng: StdRng::seed_from_u64(7),
+                rng: SimRng::seed_from_u64(7),
                 now: SimTime::ZERO,
                 timers: Vec::new(),
                 tx: Vec::new(),
                 upcalls: Vec::new(),
+                obs: NoopObserver,
             }
         }
 
@@ -706,6 +729,7 @@ mod tests {
                 timers: &mut self.timers,
                 tx: &mut self.tx,
                 upcalls: &mut self.upcalls,
+                observer: &mut self.obs,
             };
             f(&mut self.mac, &mut hooks)
         }
@@ -992,7 +1016,6 @@ mod proptests {
     use super::*;
     use crate::FlowId;
     use proptest::prelude::*;
-    use rand::SeedableRng;
 
     /// Random sequences of MAC stimuli must never panic, never leave a
     /// negative queue, and never transmit while the medium is known busy
@@ -1027,11 +1050,12 @@ mod proptests {
             seed in any::<u64>(),
         ) {
             let mut mac = Mac::new(NodeId(0), MacParams::default(), PhyParams::ns2_default());
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::seed_from_u64(seed);
             let mut now = SimTime::ZERO;
             let mut timers: Vec<(Duration, u64)> = Vec::new();
             let mut tx: Vec<Frame> = Vec::new();
             let mut upcalls = Vec::new();
+            let mut obs = NoopObserver;
             let mut uid = 1u64;
             let mut enqueued = 0u64;
 
@@ -1043,6 +1067,7 @@ mod proptests {
                     timers: &mut timers,
                     tx: &mut tx,
                     upcalls: &mut upcalls,
+                    observer: &mut obs,
                 };
                 match s {
                     Stimulus::Enqueue(bcast) => {
@@ -1098,15 +1123,15 @@ mod proptests {
 mod rts_cts_tests {
     use super::*;
     use crate::FlowId;
-    use rand::SeedableRng;
 
     struct Harness {
         mac: Mac,
-        rng: StdRng,
+        rng: SimRng,
         now: SimTime,
         timers: Vec<(Duration, u64)>,
         tx: Vec<Frame>,
         upcalls: Vec<MacUpcall>,
+        obs: NoopObserver,
     }
 
     impl Harness {
@@ -1117,11 +1142,12 @@ mod rts_cts_tests {
             };
             Harness {
                 mac: Mac::new(NodeId(0), params, PhyParams::ns2_default()),
-                rng: StdRng::seed_from_u64(7),
+                rng: SimRng::seed_from_u64(7),
                 now: SimTime::ZERO,
                 timers: Vec::new(),
                 tx: Vec::new(),
                 upcalls: Vec::new(),
+                obs: NoopObserver,
             }
         }
 
@@ -1132,6 +1158,7 @@ mod rts_cts_tests {
                 timers: &mut self.timers,
                 tx: &mut self.tx,
                 upcalls: &mut self.upcalls,
+                observer: &mut self.obs,
             };
             f(&mut self.mac, &mut hooks)
         }

@@ -18,6 +18,11 @@ pub struct NodeStats {
     pub data_forwarded: u64,
     /// Data packets delivered to this node's application.
     pub data_delivered: u64,
+    /// Data packets discarded at this node's network layer (no route, TTL,
+    /// buffer timeout, link failure — see
+    /// [`DropReason`](crate::DropReason)). MAC-level interface-queue drops
+    /// are counted separately in [`MacStats`](crate::MacStats).
+    pub data_dropped: u64,
 }
 
 /// Outcome of a completed reception.

@@ -9,8 +9,7 @@
 use std::f64::consts::PI;
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use cavenet_rng::SimRng;
 
 /// Speed of light in vacuum (m/s).
 const C: f64 = 299_792_458.0;
@@ -144,7 +143,7 @@ impl PhyParams {
 
     /// Received power at distance `d`, including the random shadowing
     /// component when the model has one.
-    pub fn rx_power(&self, model: Propagation, d: f64, rng: &mut StdRng) -> f64 {
+    pub fn rx_power(&self, model: Propagation, d: f64, rng: &mut SimRng) -> f64 {
         let mean = self.mean_rx_power(model, d);
         match model {
             Propagation::Shadowing { sigma_db, .. } if sigma_db > 0.0 => {
@@ -240,7 +239,7 @@ impl Default for PhyParams {
 }
 
 /// Standard normal sample via Box–Muller.
-fn gaussian(rng: &mut StdRng) -> f64 {
+fn gaussian(rng: &mut SimRng) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen();
     (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
@@ -249,7 +248,6 @@ fn gaussian(rng: &mut StdRng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn ns2_two_ray_range_is_250m() {
@@ -324,7 +322,7 @@ mod tests {
             exponent: 2.8,
             sigma_db: 6.0,
         };
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let samples: Vec<f64> = (0..100)
             .map(|_| p.rx_power(model, 100.0, &mut rng))
             .collect();
@@ -341,7 +339,7 @@ mod tests {
             exponent: 2.8,
             sigma_db: 0.0,
         };
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let a = p.rx_power(model, 123.0, &mut rng);
         let b = p.rx_power(model, 123.0, &mut rng);
         assert_eq!(a, b);
@@ -449,14 +447,13 @@ mod calibration_tests {
 
     #[test]
     fn shadowing_power_is_lognormal_around_mean() {
-        use rand::SeedableRng;
         let p = PhyParams::ns2_default();
         let model = Propagation::Shadowing {
             exponent: 2.8,
             sigma_db: 4.0,
         };
         let mean = p.mean_rx_power(model, 150.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         let mut log_sum = 0.0;
         let n = 2000;
         for _ in 0..n {

@@ -1,5 +1,6 @@
 //! Hook traits implemented by routing protocols and applications.
 
+use crate::observer::DropReason;
 use crate::{NodeApi, NodeId, Packet};
 
 /// A network-layer routing protocol attached to a node.
@@ -39,9 +40,18 @@ pub trait RoutingProtocol {
 
     /// The MAC gave up on a unicast packet — the link to `next_hop` is
     /// considered broken (paper: DYMO "examining feedback obtained from the
-    /// data link layer").
+    /// data link layer"). The default implementation discards the packet;
+    /// protocols that salvage (re-route or re-queue) override this.
     fn tx_failed(&mut self, api: &mut NodeApi<'_>, packet: Packet, next_hop: NodeId) {
-        let _ = (api, packet, next_hop);
+        let _ = next_hop;
+        api.drop_packet(packet, DropReason::RetryLimit);
+    }
+
+    /// Downcasting access to the concrete protocol, for tests and tools
+    /// inspecting internal state (routing tables, MPR sets). Protocols that
+    /// opt in return `Some(self)`; the default is `None`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
     }
 }
 

@@ -5,8 +5,7 @@
 use std::time::Duration;
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cavenet_rng::SimRng;
 
 use cavenet_net::{
     Application, FlowId, NodeApi, NodeId, Packet, PhyParams, Propagation, ScenarioConfig,
@@ -56,7 +55,7 @@ proptest! {
     #[test]
     fn carrier_sense_cutoff_is_conservative(d in 0.1f64..5000.0) {
         let phy = PhyParams::default();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         for model in [Propagation::FreeSpace, Propagation::TwoRayGround] {
             let cutoff = phy.carrier_sense_cutoff(model)
                 .expect("deterministic model has a cutoff");

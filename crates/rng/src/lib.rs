@@ -1,0 +1,260 @@
+//! Vendored deterministic PRNG for the CAVENET workspace.
+//!
+//! Every stochastic component of the simulator (MAC backoff, CA slow-down,
+//! routing jitter, shadowing, mobility) draws from [`SimRng`], a splitmix64
+//! generator with a fixed, documented sampling discipline. The workspace
+//! deliberately does **not** use an external RNG crate for simulation state:
+//! the golden-digest conformance suite (`tests/conformance.rs`) commits
+//! 64-bit digests of entire event streams, and those are only meaningful if
+//! the byte-exact sequence of random draws is part of this repository's
+//! contract. `rand`'s `StdRng` explicitly disclaims cross-version stream
+//! stability; splitmix64 is five lines of arithmetic that will never change.
+//!
+//! The sampling discipline (one `next_u64` per sample, modulo reduction for
+//! integer ranges, 53-bit mantissa division for floats) is simple rather
+//! than statistically perfect — modulo reduction has bias `< span/2^64`,
+//! which is irrelevant at simulation scales but makes every draw exactly
+//! reproducible from the seed alone, in any build, on any platform.
+//!
+//! ```
+//! use cavenet_rng::SimRng;
+//!
+//! let mut rng = SimRng::seed_from_u64(42);
+//! let a: u64 = rng.gen_range(0..100);
+//! let b: u64 = SimRng::seed_from_u64(42).gen_range(0..100);
+//! assert_eq!(a, b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    ((bits >> 11) as f64) / ((1u64 << 53) as f64)
+}
+
+/// A value samplable uniformly from all 64 random bits ("standard"
+/// distribution): integers take the low bits, floats are uniform in
+/// `[0, 1)`, booleans take the lowest bit.
+pub trait SampleStandard: Sized {
+    /// Draw one value from `rng`.
+    fn sample(rng: &mut SimRng) -> Self;
+}
+
+/// A range samplable uniformly; implemented for half-open and inclusive
+/// integer and float ranges.
+pub trait SampleRange<T>: Sized {
+    /// Draw one value in the range from `rng`.
+    ///
+    /// Panics if the range is empty.
+    fn sample_single(self, rng: &mut SimRng) -> T;
+}
+
+/// Deterministic splitmix64 generator (Steele, Lea & Flood 2014).
+///
+/// The stream is a pure function of the seed: state advances by the golden
+/// 64-bit Weyl constant and each output is a finalizing hash of the state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Seed the generator. The seed is xor-folded with a fixed constant so
+    /// that seed 0 does not start the Weyl sequence at 0.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A standard-distribution sample: uniform `[0, 1)` for floats, all 64
+    /// bits (truncated) for integers, the lowest bit for `bool`.
+    #[inline]
+    pub fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (one `next_u64` per call).
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl SampleStandard for f64 {
+    #[inline]
+    fn sample(rng: &mut SimRng) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleStandard for f32 {
+    #[inline]
+    fn sample(rng: &mut SimRng) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl SampleStandard for bool {
+    #[inline]
+    fn sample(rng: &mut SimRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! std_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            #[inline]
+            fn sample(rng: &mut SimRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+std_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let f = unit_f64(rng.next_u64());
+                let v = self.start as f64 + f * (self.end as f64 - self.start as f64);
+                let v = v as $t;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let f = unit_f64(rng.next_u64());
+                (lo as f64 + f * (hi as f64 - lo as f64)) as $t
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn splitmix64_reference_vector() {
+        // Published splitmix64 test vector: raw state 1234567 produces this
+        // sequence (Vigna's reference implementation). Our seeding xors a
+        // constant, so reconstruct the raw state through the public API.
+        let mut rng = SimRng::seed_from_u64(1234567 ^ 0x5DEE_CE66_D1CE_4E5B);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        assert_eq!(rng.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SimRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_roughly_fair() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4500..5500).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = SimRng::seed_from_u64(0).gen_range(5..5u32);
+    }
+}

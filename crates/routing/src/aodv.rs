@@ -10,7 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-use cavenet_net::{NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
 
 use crate::table::{seq_newer, RouteEntry, RouteTable};
 
@@ -249,6 +249,7 @@ impl Aodv {
         } else {
             // No route mid-path: drop and report upstream.
             self.originate_rerr(api, vec![(dst, self.table.get(dst).map_or(0, |r| r.seqno))]);
+            api.drop_packet(packet, DropReason::NoRoute);
         }
     }
 
@@ -459,7 +460,11 @@ impl Aodv {
             };
             match action {
                 Action::GiveUp => {
-                    self.pending.remove(&dst);
+                    if let Some(p) = self.pending.remove(&dst) {
+                        for (packet, _) in p.queued {
+                            api.drop_packet(packet, DropReason::DiscoveryFailed);
+                        }
+                    }
                 }
                 Action::Retry { ttl, wait } => {
                     if let Some(p) = self.pending.get_mut(&dst) {
@@ -472,8 +477,15 @@ impl Aodv {
         // Queued-data expiry.
         let max_q = self.config.max_queue_time;
         for p in self.pending.values_mut() {
-            p.queued
-                .retain(|(_, queued_at)| now.saturating_since(*queued_at) <= max_q);
+            let mut kept = VecDeque::with_capacity(p.queued.len());
+            for (packet, queued_at) in p.queued.drain(..) {
+                if now.saturating_since(queued_at) <= max_q {
+                    kept.push_back((packet, queued_at));
+                } else {
+                    api.drop_packet(packet, DropReason::QueueTimeout);
+                }
+            }
+            p.queued = kept;
         }
     }
 }
@@ -545,6 +557,7 @@ impl RoutingProtocol for Aodv {
             return;
         }
         if packet.ttl <= 1 {
+            api.drop_packet(packet, DropReason::TtlExpired);
             return;
         }
         packet.ttl -= 1;
@@ -582,11 +595,15 @@ impl RoutingProtocol for Aodv {
         // If we originated the packet, try to rediscover rather than lose it.
         if packet.is_data() && packet.src == api.id() {
             self.route_output(api, packet);
+        } else if packet.is_data() {
+            api.drop_packet(packet, DropReason::RetryLimit);
         }
     }
-}
 
-use rand::Rng;
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -756,5 +773,124 @@ mod ring_search_tests {
         let c = AodvConfig::default();
         assert!(c.ring_traversal_time(1) < c.ring_traversal_time(7));
         assert_eq!(c.ring_traversal_time(1), Duration::from_millis(240));
+    }
+
+    /// A 0-1-2-3 line (200 m spacing) whose far end (node 3) teleports out
+    /// of range during `[gone_from, back_at)`.
+    struct VanishingTail {
+        gone_from: SimTime,
+        back_at: SimTime,
+    }
+
+    impl cavenet_net::MobilityModel for VanishingTail {
+        fn position(&self, index: usize, t: SimTime) -> (f64, f64) {
+            if index == 3 && t >= self.gone_from && t < self.back_at {
+                (1.0e6, 1.0e6)
+            } else {
+                (index as f64 * 200.0, 0.0)
+            }
+        }
+
+        fn node_count(&self) -> usize {
+            4
+        }
+    }
+
+    fn vanishing_tail_sim(
+        until_secs: f64,
+    ) -> (
+        std::rc::Rc<std::cell::RefCell<crate::testutil::SinkLog>>,
+        cavenet_net::Simulator,
+    ) {
+        use crate::testutil::{SinkLog, TestSink, TestSource};
+        use cavenet_net::{ScenarioConfig, Simulator};
+
+        // Routes live 120 s, so within a 16 s run only a propagated RERR
+        // can explain an invalidated entry at the source.
+        let cfg = AodvConfig {
+            active_route_timeout: Duration::from_secs(120),
+            ..AodvConfig::default()
+        };
+        let log = std::rc::Rc::new(std::cell::RefCell::new(SinkLog::default()));
+        let mut sim = Simulator::builder(ScenarioConfig::default())
+            .nodes(4)
+            .seed(1)
+            .mobility(Box::new(VanishingTail {
+                gone_from: SimTime::from_secs(4),
+                back_at: SimTime::from_secs(10),
+            }))
+            .routing_with(move |_| Box::new(Aodv::with_config(cfg)))
+            .app(0, Box::new(TestSource::new(NodeId(3), 100)))
+            .app(
+                3,
+                Box::new(TestSink {
+                    log: std::rc::Rc::clone(&log),
+                }),
+            )
+            .build();
+        sim.run_until_secs(until_secs);
+        (log, sim)
+    }
+
+    fn aodv_of(sim: &cavenet_net::Simulator, node: usize) -> &Aodv {
+        sim.routing(node)
+            .expect("routing attached")
+            .as_any()
+            .expect("AODV opts into downcasting")
+            .downcast_ref::<Aodv>()
+            .expect("protocol is AODV")
+    }
+
+    #[test]
+    fn rerr_propagates_upstream_and_invalidates_the_source_route() {
+        // Node 3 vanishes at 4 s. Node 2's MAC failure raises a RERR that
+        // must travel 2 -> 1 -> 0; by 8 s the *source* must hold an
+        // invalidated (not expired) entry with a bumped sequence number.
+        let (log, sim) = vanishing_tail_sim(8.0);
+        let delivered = log.borrow().received.len();
+        assert!(
+            delivered >= 10,
+            "3-hop route must work before the break, got {delivered}"
+        );
+        let entry = *aodv_of(&sim, 0)
+            .table()
+            .get(NodeId(3))
+            .expect("entry retained for its sequence number");
+        assert!(
+            !entry.valid,
+            "RERR did not reach the source: {entry:?}"
+        );
+        assert!(
+            entry.expires > sim.now(),
+            "route must be invalid by RERR, not by expiry: {entry:?}"
+        );
+    }
+
+    #[test]
+    fn rediscovery_after_rerr_requires_fresher_sequence_number() {
+        // Continue past the break: node 3 returns at 10 s. The new RREQ
+        // carries the bumped sequence number as its freshness requirement,
+        // so the rediscovered route must be strictly fresher than the
+        // invalidated one (RFC 3561 destination-sequence rules).
+        let (log, mut sim) = vanishing_tail_sim(8.0);
+        let before = log.borrow().received.len();
+        let bumped = aodv_of(&sim, 0)
+            .table()
+            .get(NodeId(3))
+            .expect("invalidated entry")
+            .seqno;
+        sim.run_until_secs(16.0);
+        let after = log.borrow().received.len();
+        assert!(
+            after > before,
+            "deliveries must resume after the destination returns ({before} -> {after})"
+        );
+        let entry = *aodv_of(&sim, 0).table().get(NodeId(3)).expect("route rediscovered");
+        assert!(entry.is_usable(sim.now()), "route must be usable: {entry:?}");
+        assert!(
+            seq_newer(entry.seqno, bumped),
+            "rediscovered seqno {} must be strictly newer than the RERR bump {bumped}",
+            entry.seqno
+        );
     }
 }

@@ -13,9 +13,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use rand::Rng;
-
-use cavenet_net::{NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
 
 /// DSDV tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -229,8 +227,10 @@ impl RoutingProtocol for Dsdv {
         }
         if let Some(nh) = self.lookup(packet.dst) {
             api.send(packet, nh);
+        } else {
+            // Proactive protocol: no route means drop.
+            api.drop_packet(packet, DropReason::NoRoute);
         }
-        // Proactive protocol: no route means drop.
     }
 
     fn handle_received(&mut self, api: &mut NodeApi<'_>, mut packet: Packet, from: NodeId) {
@@ -244,11 +244,14 @@ impl RoutingProtocol for Dsdv {
             return;
         }
         if packet.ttl <= 1 {
+            api.drop_packet(packet, DropReason::TtlExpired);
             return;
         }
         packet.ttl -= 1;
         if let Some(nh) = self.lookup(packet.dst) {
             api.send(packet, nh);
+        } else {
+            api.drop_packet(packet, DropReason::NoRoute);
         }
     }
 
@@ -270,8 +273,15 @@ impl RoutingProtocol for Dsdv {
         }
     }
 
-    fn tx_failed(&mut self, api: &mut NodeApi<'_>, _packet: Packet, next_hop: NodeId) {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn tx_failed(&mut self, api: &mut NodeApi<'_>, packet: Packet, next_hop: NodeId) {
         self.link_broken(api, next_hop);
+        if packet.is_data() {
+            api.drop_packet(packet, DropReason::RetryLimit);
+        }
     }
 }
 

@@ -12,9 +12,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-use rand::Rng;
-
-use cavenet_net::{NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
 
 use crate::table::{seq_newer, RouteEntry, RouteTable};
 
@@ -245,6 +243,7 @@ impl Dymo {
         } else {
             let seq = self.table.get(dst).map_or(0, |r| r.seqno);
             self.flood_rerr(api, vec![(dst, seq)]);
+            api.drop_packet(packet, DropReason::NoRoute);
         }
     }
 
@@ -406,7 +405,11 @@ impl Dymo {
                 (p.retries, p.retries > self.config.max_discovery_retries)
             };
             if give_up {
-                self.pending.remove(&dst);
+                if let Some(p) = self.pending.remove(&dst) {
+                    for (packet, _) in p.queued {
+                        api.drop_packet(packet, DropReason::DiscoveryFailed);
+                    }
+                }
             } else {
                 let wait = self.config.discovery_timeout * (retries + 1);
                 if let Some(p) = self.pending.get_mut(&dst) {
@@ -417,8 +420,15 @@ impl Dymo {
         }
         let max_q = self.config.max_queue_time;
         for p in self.pending.values_mut() {
-            p.queued
-                .retain(|(_, at)| now.saturating_since(*at) <= max_q);
+            let mut kept = VecDeque::with_capacity(p.queued.len());
+            while let Some((packet, at)) = p.queued.pop_front() {
+                if now.saturating_since(at) <= max_q {
+                    kept.push_back((packet, at));
+                } else {
+                    api.drop_packet(packet, DropReason::QueueTimeout);
+                }
+            }
+            p.queued = kept;
         }
     }
 }
@@ -480,6 +490,7 @@ impl RoutingProtocol for Dymo {
             return;
         }
         if packet.ttl <= 1 {
+            api.drop_packet(packet, DropReason::TtlExpired);
             return;
         }
         packet.ttl -= 1;
@@ -511,10 +522,16 @@ impl RoutingProtocol for Dymo {
         }
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn tx_failed(&mut self, api: &mut NodeApi<'_>, packet: Packet, next_hop: NodeId) {
         self.link_broken(api, next_hop);
         if packet.is_data() && packet.src == api.id() {
             self.route_output(api, packet);
+        } else if packet.is_data() {
+            api.drop_packet(packet, DropReason::RetryLimit);
         }
     }
 }
@@ -665,5 +682,36 @@ mod tests {
     #[test]
     fn default_config_matches_table1() {
         assert_eq!(DymoConfig::default().hello_interval, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn routes_expire_after_their_lifetime() {
+        // 5 packets sent between 0.5 s and 1.3 s keep the 2-hop route in
+        // use until ~1.3 s; with route_timeout = 5 s the entry must still
+        // be usable at 4 s and gone (expired) well after 6.3 s. Hellos only
+        // refresh direct-neighbour routes, not the multi-hop one.
+        assert_eq!(DymoConfig::default().route_timeout, Duration::from_secs(5));
+        let (log, mut sim) = run_line(3, 200.0, |_| Box::new(Dymo::new()), 0, 2, 5, 4.0, 6);
+        assert_eq!(log.borrow().received.len(), 5);
+        let lookup_at_src = |sim: &cavenet_net::Simulator| {
+            sim.routing(0)
+                .expect("routing attached")
+                .as_any()
+                .expect("DYMO opts into downcasting")
+                .downcast_ref::<Dymo>()
+                .expect("protocol is DYMO")
+                .table()
+                .lookup(NodeId(2), sim.now())
+                .copied()
+        };
+        assert!(
+            lookup_at_src(&sim).is_some(),
+            "route must still be alive within its 5 s lifetime"
+        );
+        sim.run_until_secs(12.0);
+        assert!(
+            lookup_at_src(&sim).is_none(),
+            "route must have expired 5 s after its last use"
+        );
     }
 }

@@ -7,7 +7,7 @@
 
 use std::collections::HashSet;
 
-use cavenet_net::{NodeApi, NodeId, Packet, RoutingProtocol};
+use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol};
 
 /// The flooding "protocol".
 #[derive(Debug, Default)]
@@ -58,10 +58,15 @@ impl RoutingProtocol for Flooding {
             api.deliver_to_app(packet.clone());
         }
         if packet.ttl <= 1 {
+            api.drop_packet(packet, DropReason::TtlExpired);
             return;
         }
         packet.ttl -= 1;
         api.send(packet, NodeId::BROADCAST);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -74,8 +79,7 @@ impl Flooding {
 }
 
 /// Duplicate-suppression key: `(source, sequence)` — stable across hops
-/// (the uid is only assigned at the first MAC send, so the originator would
-/// not recognize its own packet coming back around a ring by uid).
+/// and independent of the engine-assigned uid.
 fn flood_key(packet: &Packet) -> u64 {
     let seq = packet.body.as_data().map_or(u32::MAX, |d| d.seq);
     (u64::from(packet.src.0) << 32) | u64::from(seq)

@@ -19,9 +19,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
-use rand::Rng;
-
-use cavenet_net::{NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
 
 /// Which link cost the route computation minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -202,6 +200,20 @@ impl Olsr {
     /// Currently selected MPRs.
     pub fn mpr_set(&self) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self.mprs.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Current unexpired `(symmetric neighbour, two-hop node)` adjacency as
+    /// learned from HELLOs — the input to MPR selection. Exposed so the
+    /// testkit can check the MPR coverage property from outside.
+    pub fn two_hop_pairs(&self, now: SimTime) -> Vec<(NodeId, NodeId)> {
+        let mut v: Vec<(NodeId, NodeId)> = self
+            .two_hop
+            .iter()
+            .filter(|(_, &exp)| exp > now)
+            .map(|(&pair, _)| pair)
+            .collect();
         v.sort();
         v
     }
@@ -553,6 +565,10 @@ impl RoutingProtocol for Olsr {
         "olsr"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn start(&mut self, api: &mut NodeApi<'_>) {
         let jitter = Duration::from_millis(api.rng().gen_range(0..250));
         api.schedule(Duration::from_millis(100) + jitter, TOKEN_HELLO);
@@ -567,8 +583,10 @@ impl RoutingProtocol for Olsr {
         }
         if let Some(&(nh, _)) = self.routes.get(&packet.dst) {
             api.send(packet, nh);
+        } else {
+            // Proactive protocol: no route means drop (no buffering).
+            api.drop_packet(packet, DropReason::NoRoute);
         }
-        // Proactive protocol: no route means drop (no buffering).
     }
 
     fn handle_received(&mut self, api: &mut NodeApi<'_>, mut packet: Packet, from: NodeId) {
@@ -588,11 +606,14 @@ impl RoutingProtocol for Olsr {
             return;
         }
         if packet.ttl <= 1 {
+            api.drop_packet(packet, DropReason::TtlExpired);
             return;
         }
         packet.ttl -= 1;
         if let Some(&(nh, _)) = self.routes.get(&packet.dst) {
             api.send(packet, nh);
+        } else {
+            api.drop_packet(packet, DropReason::NoRoute);
         }
     }
 
@@ -726,5 +747,46 @@ mod tests {
         let c = OlsrConfig::default();
         assert_eq!(c.hello_interval, Duration::from_secs(1));
         assert_eq!(c.tc_interval, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn mpr_set_covers_every_strict_two_hop_neighbour() {
+        // RFC 3626 §8.3.1: the MPR set of a node must reach every strict
+        // two-hop neighbour. Ring of 10 nodes, 2000 m circumference: each
+        // node hears exactly its two ring neighbours (200 m arc ≈ 198 m
+        // chord < 250 m range; the two-hop chord ≈ 391 m is out of range),
+        // so both ring neighbours must be selected as MPRs.
+        let (_, sim) = run_ring(10, 2000.0, |_| Box::new(Olsr::new()), 0, 5, 0, 10.0, 4);
+        let now = sim.now();
+        for i in 0..10 {
+            let olsr = sim
+                .routing(i)
+                .expect("routing attached")
+                .as_any()
+                .expect("OLSR opts into downcasting")
+                .downcast_ref::<Olsr>()
+                .expect("protocol is OLSR");
+            let neighbours = olsr.symmetric_neighbours(now);
+            assert_eq!(neighbours.len(), 2, "node {i}: ring neighbours");
+            let mprs = olsr.mpr_set();
+            assert!(!mprs.is_empty(), "node {i}: no MPRs despite two-hop nodes");
+            // Coverage property: every strict two-hop node is reachable
+            // through at least one selected MPR.
+            let me = NodeId(i as u32);
+            let strict: Vec<NodeId> = olsr
+                .two_hop_pairs(now)
+                .iter()
+                .filter(|(_, t)| *t != me && !neighbours.contains(t))
+                .map(|&(_, t)| t)
+                .collect();
+            assert!(!strict.is_empty(), "node {i}: ring must have two-hop nodes");
+            for t in strict {
+                let covered = olsr
+                    .two_hop_pairs(now)
+                    .iter()
+                    .any(|&(n, t2)| t2 == t && mprs.contains(&n));
+                assert!(covered, "node {i}: two-hop node {} uncovered by MPRs", t.0);
+            }
+        }
     }
 }

@@ -1,0 +1,140 @@
+//! Golden-fixture storage: committed digests under `tests/golden/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// One committed fixture: the expected digest and event count of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Golden {
+    /// Expected [`GoldenDigest::value`](crate::GoldenDigest::value).
+    pub digest: u64,
+    /// Expected [`GoldenDigest::events`](crate::GoldenDigest::events).
+    pub events: u64,
+}
+
+impl Golden {
+    fn render(&self) -> String {
+        format!("digest = 0x{:016x}\nevents = {}\n", self.digest, self.events)
+    }
+
+    fn parse(text: &str) -> Option<Golden> {
+        let mut digest = None;
+        let mut events = None;
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "digest" => {
+                    let hex = value.strip_prefix("0x")?;
+                    digest = Some(u64::from_str_radix(hex, 16).ok()?);
+                }
+                "events" => events = Some(value.parse().ok()?),
+                _ => {}
+            }
+        }
+        Some(Golden {
+            digest: digest?,
+            events: events?,
+        })
+    }
+}
+
+/// Path of the fixture file for `name` (committed in `tests/golden/`).
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+/// Load a committed fixture, if present and well-formed.
+pub fn load_golden(name: &str) -> Option<Golden> {
+    let text = fs::read_to_string(golden_path(name)).ok()?;
+    Golden::parse(&text)
+}
+
+/// Write (or overwrite) the fixture for `name`.
+///
+/// # Panics
+///
+/// Panics if the fixture directory cannot be created or written.
+pub fn store_golden(name: &str, golden: Golden) {
+    let path = golden_path(name);
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create tests/golden");
+    }
+    fs::write(&path, golden.render()).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+/// Compare an observed digest against the committed fixture `name`.
+///
+/// With `UPDATE_GOLDEN=1` in the environment the fixture is rewritten
+/// instead and the check passes; otherwise a missing fixture or any
+/// mismatch panics with the full digest diff and a regeneration hint.
+///
+/// # Panics
+///
+/// Panics on mismatch or missing fixture (unless regenerating).
+pub fn check_golden(name: &str, digest: u64, events: u64) {
+    let observed = Golden { digest, events };
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        store_golden(name, observed);
+        eprintln!("golden `{name}` updated: digest 0x{digest:016x}, {events} events");
+        return;
+    }
+    match load_golden(name) {
+        None => panic!(
+            "no golden fixture `{}`.\n  observed: digest 0x{digest:016x}, {events} events\n  \
+             regenerate with: UPDATE_GOLDEN=1 cargo test -p cavenet-testkit",
+            golden_path(name).display()
+        ),
+        Some(expected) => {
+            assert!(
+                expected == observed,
+                "golden digest mismatch for `{name}`:\n  \
+                 expected: digest 0x{:016x}, {} events\n  \
+                 observed: digest 0x{:016x}, {} events\n  \
+                 The engine's observable behaviour changed. If intentional, regenerate\n  \
+                 fixtures with: UPDATE_GOLDEN=1 cargo test -p cavenet-testkit",
+                expected.digest,
+                expected.events,
+                observed.digest,
+                observed.events,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let g = Golden {
+            digest: 0xdead_beef_0123_4567,
+            events: 123_456,
+        };
+        assert_eq!(Golden::parse(&g.render()), Some(g));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Golden::parse("digest = xyz\nevents = 1\n"), None);
+        assert_eq!(Golden::parse(""), None);
+        assert_eq!(Golden::parse("digest = 0x10\n"), None);
+    }
+
+    #[test]
+    fn parse_tolerates_extra_lines() {
+        let text = "# comment\ndigest = 0x0000000000000010\nevents = 5\nother = 1\n";
+        assert_eq!(
+            Golden::parse(text),
+            Some(Golden {
+                digest: 16,
+                events: 5
+            })
+        );
+    }
+}

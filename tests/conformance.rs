@@ -1,0 +1,186 @@
+//! Conformance suite: golden event-stream digests, engine invariants, and
+//! differential equivalence checks.
+//!
+//! Golden fixtures live in `tests/golden/` and are regenerated with
+//! `UPDATE_GOLDEN=1 cargo test -p cavenet-testkit`. Any behavioural change
+//! to the engine, MAC, routing protocols or mobility pipeline flips the
+//! digests; the mismatch message prints both values.
+
+use std::time::Duration;
+
+use cavenet_ca::FundamentalDiagram;
+use cavenet_core::{Experiment, MobilitySource, Protocol, Scenario};
+use cavenet_stats::Ensemble;
+use cavenet_testkit::{
+    assert_equiv, check_golden, digest_scenario, GoldenDigest, InvariantChecker, Tee,
+};
+
+/// The paper's Table 1 setup trimmed for CI: 40 s simulated, CBR traffic
+/// from 5 s to 25 s, three senders. The 15 s drain window exceeds the
+/// reactive protocols' 10 s discovery-buffer timeout, so every data packet
+/// reaches a terminal fate before the run ends and the conservation ledger
+/// settles with zero outstanding packets.
+fn conformance_scenario(protocol: Protocol, seed: u64) -> Scenario {
+    let mut s = Scenario::paper_table1(protocol);
+    s.sim_time = Duration::from_secs(40);
+    s.traffic.cbr.start = Duration::from_secs(5);
+    s.traffic.cbr.stop = Duration::from_secs(25);
+    s.traffic.senders = vec![1, 2, 3];
+    s.seed = seed;
+    s
+}
+
+fn check_scenario_golden(name: &str, scenario: &Scenario) {
+    let run = digest_scenario(scenario);
+    assert!(
+        run.result.total_sent() > 0,
+        "golden scenario `{name}` carried no traffic"
+    );
+    check_golden(name, run.digest, run.events);
+}
+
+// --- Golden digests: Table 1 × {AODV, OLSR, DYMO} ------------------------
+
+#[test]
+fn golden_table1_aodv() {
+    check_scenario_golden("table1_aodv", &conformance_scenario(Protocol::Aodv, 1));
+}
+
+#[test]
+fn golden_table1_olsr() {
+    check_scenario_golden("table1_olsr", &conformance_scenario(Protocol::Olsr, 1));
+}
+
+#[test]
+fn golden_table1_dymo() {
+    check_scenario_golden("table1_dymo", &conformance_scenario(Protocol::Dymo, 1));
+}
+
+// --- Golden digest: Fig. 11 (PDR under the full 8-sender load) -----------
+
+#[test]
+fn golden_fig11_eight_senders() {
+    let mut s = conformance_scenario(Protocol::Aodv, 1);
+    s.traffic.senders = (1..=8).collect();
+    check_scenario_golden("fig11_aodv_8senders", &s);
+}
+
+// --- Golden digest: Fig. 4 (CA fundamental diagram) ----------------------
+
+#[test]
+fn golden_fig4_density_sweep() {
+    // The cellular automaton does not run inside the event engine, so its
+    // outputs are folded into a digest explicitly.
+    let densities = [0.05, 0.15, 0.3, 0.5, 0.8];
+    let points = FundamentalDiagram::new(400, 0.3)
+        .iterations(200)
+        .discard(50)
+        .trials(5)
+        .sweep(&densities, 42)
+        .expect("valid densities");
+    let mut digest = GoldenDigest::new();
+    for p in &points {
+        digest.absorb_f64(p.density);
+        digest.absorb_f64(p.mean_flow);
+        digest.absorb_f64(p.mean_velocity);
+        digest.absorb_f64(p.flow_std);
+        digest.absorb_u64(p.trials as u64);
+    }
+    check_golden("fig4_density_sweep", digest.value(), points.len() as u64);
+}
+
+// --- Engine invariants on the paper scenario ------------------------------
+
+#[test]
+fn invariants_hold_on_table1() {
+    for protocol in [Protocol::Aodv, Protocol::Olsr, Protocol::Dymo] {
+        let scenario = conformance_scenario(protocol, 1);
+        let (result, sim) = Experiment::new(scenario)
+            .run_with_observer(InvariantChecker::new())
+            .expect("scenario must run");
+        let checker = sim.into_observer();
+        assert!(checker.events_dispatched() > 1000, "{protocol:?}: too few events");
+        assert!(checker.mac_transitions() > 0, "{protocol:?}: MAC never moved");
+        checker.assert_clean();
+        let ledger = checker.ledger();
+        assert_eq!(
+            ledger.originated,
+            result.total_sent(),
+            "{protocol:?}: every CBR packet must be seen entering the network"
+        );
+        assert_eq!(
+            ledger.outstanding, 0,
+            "{protocol:?}: ledger must settle after the drain window: {ledger:?}"
+        );
+        assert!(ledger.balanced(), "{protocol:?}: {ledger:?}");
+        assert!(ledger.delivered > 0, "{protocol:?}: nothing delivered");
+    }
+}
+
+#[test]
+fn digest_and_invariants_can_share_a_run() {
+    let scenario = conformance_scenario(Protocol::Aodv, 1);
+    let (_, sim) = Experiment::new(scenario)
+        .run_with_observer(Tee(GoldenDigest::new(), InvariantChecker::new()))
+        .expect("scenario must run");
+    let Tee(digest, checker) = sim.into_observer();
+    checker.assert_clean();
+    // The teed digest observes the same stream as a standalone one.
+    let standalone = digest_scenario(&conformance_scenario(Protocol::Aodv, 1));
+    assert_eq!(digest.events(), standalone.events);
+}
+
+// --- Differential equivalence ---------------------------------------------
+
+#[test]
+fn neighbor_grid_is_equivalent_to_brute_force() {
+    assert_equiv(
+        &conformance_scenario(Protocol::Aodv, 11),
+        "neighbor grid",
+        |s| s.neighbor_grid = true,
+        "brute force",
+        |s| s.neighbor_grid = false,
+    );
+}
+
+#[test]
+fn digests_are_reproducible() {
+    let a = digest_scenario(&conformance_scenario(Protocol::Dymo, 3));
+    let b = digest_scenario(&conformance_scenario(Protocol::Dymo, 3));
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn parameter_flip_changes_digest() {
+    // The digest must be sensitive to every scenario parameter: nudging the
+    // CA slow-down probability by 0.01 must flip it.
+    let base = conformance_scenario(Protocol::Aodv, 1);
+    let mut flipped = base.clone();
+    match &mut flipped.mobility {
+        MobilitySource::NasCa {
+            slowdown_probability,
+            ..
+        } => *slowdown_probability += 0.01,
+        other => panic!("Table 1 uses the NaS CA, got {other:?}"),
+    }
+    let a = digest_scenario(&base);
+    let b = digest_scenario(&flipped);
+    assert_ne!(
+        a.digest, b.digest,
+        "digest must react to a mobility parameter change"
+    );
+}
+
+#[test]
+fn serial_and_parallel_ensembles_are_bit_identical() {
+    let pdr_at = |seed: u64| {
+        let mut s = conformance_scenario(Protocol::Aodv, seed);
+        s.seed = seed;
+        Experiment::new(s).run().expect("scenario must run").mean_pdr()
+    };
+    let ensemble = Ensemble::new(3, 9);
+    let serial = ensemble.run_scalar(pdr_at).expect("summary");
+    let parallel = ensemble.run_scalar_par(pdr_at).expect("summary");
+    assert_eq!(serial, parallel, "worker scheduling leaked into results");
+}

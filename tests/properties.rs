@@ -183,4 +183,46 @@ proptest! {
             prop_assert!(a.distance(&b) < 1.0, "node {} at t={}: {:?} vs {:?}", id, query_t, a, b);
         }
     }
+
+    /// The export knobs behave as documented for any setting: `delta`
+    /// shifts every reimported position by exactly (δ, δ) — it is an
+    /// export-side offset, never undone on import — and `precision`
+    /// bounds the residual rounding error at any query time.
+    #[test]
+    fn ns2_export_options_property(
+        density in 0.03f64..0.3,
+        seed in any::<u64>(),
+        query_t in 0.0f64..20.0,
+        delta in 0.0f64..500.0,
+        precision in 3usize..=9,
+    ) {
+        use cavenet_core::mobility::{ns2, TraceGenerator};
+        let params = NasParams::builder()
+            .length(100)
+            .density(density)
+            .slowdown_probability(0.3)
+            .build()
+            .unwrap();
+        let lane = Lane::with_random_placement(params, Boundary::Closed, seed).unwrap();
+        let trace = TraceGenerator::new(LaneGeometry::ring_circle(750.0))
+            .steps(20)
+            .generate(lane);
+        let tcl = ns2::export(&trace, &ns2::ExportOptions { delta, precision });
+        let back = ns2::commands_to_trace(&ns2::parse(&tcl).unwrap()).unwrap();
+        // Coordinates and speeds are printed with `precision` decimal
+        // places; the worst positional residual is the coordinate rounding
+        // plus the rounded speed/timestamp integrated over one waypoint
+        // segment (1 s, speeds ≤ ~40 m/s).
+        let tol = 50.0 * 10f64.powi(-(precision as i32));
+        for id in 0..trace.node_count() {
+            let a = trace.position_at(id, query_t).unwrap();
+            let b = back.position_at(id, query_t).unwrap();
+            let shifted = Point2::new(a.x + delta, a.y + delta);
+            prop_assert!(
+                shifted.distance(&b) < tol,
+                "node {} at t={} (δ={}, prec={}): expected {:?}, got {:?}",
+                id, query_t, delta, precision, shifted, b
+            );
+        }
+    }
 }
