@@ -1,0 +1,146 @@
+//! Resilience report: the Fig. 11 scenario under fault injection, per
+//! protocol, emitted as `BENCH_resilience.json`.
+//!
+//! For each of the paper's three protocols (AODV, OLSR, DYMO) this runs
+//! the Table 1 / Fig. 11 setup three times — unfaulted baseline, the
+//! standard node-churn plan (three relay vehicles crash and recover
+//! mid-run) and the standard burst-loss plan (network-wide 50 % frame loss
+//! over a fifth of the run) — and reports PDR/goodput degradation plus the
+//! time the routing layer needs to re-establish delivery after the first
+//! crash. The churn run is re-executed under the conformance
+//! [`InvariantChecker`] to prove the packet-conservation ledger stays
+//! balanced when nodes crash holding frames.
+//!
+//! Usage: `resilience [--quick]` (`--quick` shrinks the run for CI smoke).
+
+use std::time::Duration;
+
+use cavenet_core::{Experiment, Protocol, Resilience, ResilienceSummary, Scenario};
+use cavenet_testkit::InvariantChecker;
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn summary_json(s: &ResilienceSummary) -> String {
+    format!(
+        "{{\"pdr\": {}, \"goodput_bps\": {}, \"delivered\": {}, \"sent\": {}, \
+         \"control_packets\": {}}}",
+        json_num(s.mean_pdr),
+        json_num(s.goodput_bps),
+        s.delivered,
+        s.sent,
+        s.control_packets
+    )
+}
+
+fn fig11_scenario(protocol: Protocol, quick: bool) -> Scenario {
+    let mut s = Scenario::paper_table1(protocol);
+    if quick {
+        s.sim_time = Duration::from_secs(30);
+        s.traffic.cbr.start = Duration::from_secs(5);
+        s.traffic.cbr.stop = Duration::from_secs(25);
+        s.traffic.senders = vec![1, 2, 3];
+    }
+    s
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let protocols = [Protocol::Aodv, Protocol::Olsr, Protocol::Dymo];
+
+    println!("# resilience — Fig. 11 scenario under node churn and burst loss\n");
+
+    let mut entries = Vec::new();
+    for &protocol in &protocols {
+        let resilience = Resilience::new(fig11_scenario(protocol, quick));
+        let outcome = resilience.run().expect("scenario runs");
+
+        // Rerun the churn scenario under the invariant checker: the packet
+        // ledger must stay balanced even though crashed nodes held frames.
+        let churn_scenario = resilience.churn_scenario();
+        let (churn_result, sim) = Experiment::new(churn_scenario)
+            .run_with_observer(InvariantChecker::new())
+            .expect("churn scenario runs");
+        let checker = sim.into_observer();
+        checker.assert_clean();
+        let ledger = checker.ledger();
+        assert!(
+            ledger.balanced(),
+            "{protocol}: churn ledger unbalanced: {ledger:?}"
+        );
+        let (crashes, recoveries) = checker.faults();
+        assert!(
+            churn_result.mean_pdr() > 0.0,
+            "{protocol}: churn must not silence the network"
+        );
+
+        let ttr = outcome
+            .time_to_reroute
+            .map_or("null".to_string(), |d| json_num(d.as_secs_f64()));
+        println!(
+            "{protocol}: baseline PDR {:.3}, churn {:.3} (-{:.1} %), burst {:.3} (-{:.1} %), \
+             reroute {}, ledger {}/{}/{} (originated/delivered/dropped), \
+             faults {crashes}+{recoveries}",
+            outcome.baseline.mean_pdr,
+            outcome.churn.mean_pdr,
+            100.0 * outcome.churn_degradation(),
+            outcome.burst.mean_pdr,
+            100.0 * outcome.burst_degradation(),
+            outcome
+                .time_to_reroute
+                .map_or("never".to_string(), |d| format!("{:.0} s", d.as_secs_f64())),
+            ledger.originated,
+            ledger.delivered,
+            ledger.dropped,
+        );
+
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"protocol\": \"{}\",\n",
+                "      \"baseline\": {},\n",
+                "      \"churn\": {},\n",
+                "      \"burst\": {},\n",
+                "      \"churn_pdr_degradation\": {},\n",
+                "      \"burst_pdr_degradation\": {},\n",
+                "      \"time_to_reroute_s\": {},\n",
+                "      \"churn_ledger_balanced\": true,\n",
+                "      \"churn_crashes\": {},\n",
+                "      \"churn_recoveries\": {}\n",
+                "    }}"
+            ),
+            protocol,
+            summary_json(&outcome.baseline),
+            summary_json(&outcome.churn),
+            summary_json(&outcome.burst),
+            json_num(outcome.churn_degradation()),
+            json_num(outcome.burst_degradation()),
+            ttr,
+            crashes,
+            recoveries,
+        ));
+    }
+
+    let sample = fig11_scenario(Protocol::Aodv, quick);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": {{\"nodes\": {}, \"sim_secs\": {}, \"senders\": {}, ",
+            "\"quick\": {}}},\n",
+            "  \"protocols\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        sample.nodes,
+        sample.sim_time.as_secs(),
+        sample.traffic.senders.len(),
+        quick,
+        entries.join(",\n"),
+    );
+    std::fs::write("BENCH_resilience.json", &json).expect("write BENCH_resilience.json");
+    println!("\nwrote BENCH_resilience.json:\n{json}");
+}

@@ -50,17 +50,10 @@ impl JamSnapshot {
         // treating the ring circularly.
         let in_cluster = |i: usize| slow[i];
         let linked = |i: usize| chained[i] && slow[i] && slow[(i + 1) % n];
-        let all_linked = (0..n).all(linked);
         let mut clusters = Vec::new();
-        if all_linked {
-            // One giant ring-spanning jam.
-            clusters.push(JamCluster {
-                start_site: vehicles[0].position(),
-                vehicles: n,
-            });
-        } else {
-            // Start scanning right after a break.
-            let start = (0..n).find(|&i| !linked(i)).expect("a break exists") + 1;
+        if let Some(first_break) = (0..n).find(|&i| !linked(i)) {
+            // Start scanning right after the break.
+            let start = first_break + 1;
             let mut i = 0;
             while i < n {
                 let idx = (start + i) % n;
@@ -82,6 +75,12 @@ impl JamSnapshot {
                 });
                 i += len;
             }
+        } else {
+            // Every vehicle links to its successor: one ring-spanning jam.
+            clusters.push(JamCluster {
+                start_site: vehicles[0].position(),
+                vehicles: n,
+            });
         }
         JamSnapshot {
             clusters,

@@ -185,6 +185,7 @@ impl Experiment {
             .seed(s.seed)
             .mobility(Box::new(mobility))
             .neighbor_grid(s.neighbor_grid)
+            .fault_plan(s.fault_plan.clone())
             .routing_with(move |_| protocol.instantiate());
         for &sender in &s.traffic.senders {
             builder = builder.app(
@@ -200,7 +201,7 @@ impl Experiment {
             s.traffic.receiver as usize,
             Box::new(CbrSink::new(Rc::clone(&recorder))),
         );
-        let mut sim = builder.build();
+        let mut sim = builder.try_build().map_err(ScenarioError::Fault)?;
         sim.run_until(cavenet_net::SimTime::from_secs_f64(
             s.sim_time.as_secs_f64(),
         ));

@@ -32,11 +32,15 @@
 mod experiment;
 mod mobility_adapter;
 mod protocol;
+mod resilience;
 mod scenario;
 
 pub use experiment::{Experiment, ExperimentResult, SenderReport};
 pub use mobility_adapter::TraceMobility;
 pub use protocol::Protocol;
+pub use resilience::{
+    burst_plan, churn_plan, time_to_reroute, Resilience, ResilienceOutcome, ResilienceSummary,
+};
 pub use scenario::{MobilitySource, Scenario, ScenarioError, TrafficPattern};
 
 // Re-export the sub-crates so downstream users need a single dependency.

@@ -5,8 +5,8 @@ use std::fmt;
 use std::time::Duration;
 
 use cavenet_ca::{Boundary, CaError, Lane, NasParams, DEFAULT_VMAX};
-use cavenet_mobility::{LaneGeometry, MobilityTrace, TraceGenerator};
-use cavenet_net::Propagation;
+use cavenet_mobility::{LaneGeometry, MobilityError, MobilityTrace, TraceGenerator};
+use cavenet_net::{FaultPlan, NetError, Propagation};
 use cavenet_traffic::CbrConfig;
 
 use crate::Protocol;
@@ -107,6 +107,10 @@ pub struct Scenario {
     /// [`TraceMobility::quantized`](crate::TraceMobility::quantized)).
     /// `None` (the default) resolves positions exactly at every event time.
     pub mobility_quantum: Option<Duration>,
+    /// Fault-injection plan (node churn, link loss, fading bursts). The
+    /// default empty plan leaves the simulation untouched — results are
+    /// bit-identical to a scenario without the field.
+    pub fault_plan: FaultPlan,
     /// Master random seed.
     pub seed: u64,
 }
@@ -133,6 +137,7 @@ impl Scenario {
             rts_cts: false,
             neighbor_grid: true,
             mobility_quantum: None,
+            fault_plan: FaultPlan::default(),
             seed: 1,
         }
     }
@@ -159,9 +164,9 @@ impl Scenario {
                             speed: 0.0,
                             teleport: false,
                         }])
-                        .expect("single sample is ordered")
+                        .map_err(ScenarioError::Trace)
                     })
-                    .collect();
+                    .collect::<Result<Vec<_>, _>>()?;
                 Ok(MobilityTrace::from_trajectories(nodes))
             }
             MobilitySource::MultiLaneCa {
@@ -225,12 +230,15 @@ impl Scenario {
         }
     }
 
-    /// Validate internal consistency (sender/receiver ids in range).
+    /// Validate internal consistency (sender/receiver ids in range, fault
+    /// plan well-formed).
     ///
     /// # Errors
     ///
     /// Returns [`ScenarioError::BadTraffic`] when a flow endpoint does not
-    /// exist.
+    /// exist, or [`ScenarioError::Fault`] when the fault plan names an
+    /// unknown node, recovers a node that is not down, or has overlapping
+    /// or inverted loss windows.
     pub fn validate(&self) -> Result<(), ScenarioError> {
         let n = self.nodes as u32;
         if self.traffic.receiver >= n {
@@ -243,6 +251,9 @@ impl Scenario {
                 return Err(ScenarioError::BadTraffic { node: s });
             }
         }
+        self.fault_plan
+            .validate(self.nodes)
+            .map_err(ScenarioError::Fault)?;
         Ok(())
     }
 }
@@ -253,23 +264,32 @@ impl Scenario {
 pub enum ScenarioError {
     /// The CA mobility parameters are invalid.
     Mobility(CaError),
+    /// A mobility trace is malformed (unordered samples, unknown node).
+    Trace(MobilityError),
     /// A traffic endpoint is out of range or self-directed.
     BadTraffic {
         /// The offending node id.
         node: u32,
     },
+    /// The fault-injection plan is invalid for this scenario (unknown
+    /// node, recover-before-crash, overlapping or inverted windows, bad
+    /// probability), or the engine rejected the configuration at build
+    /// time.
+    Fault(NetError),
 }
 
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScenarioError::Mobility(e) => write!(f, "mobility model error: {e}"),
+            ScenarioError::Trace(e) => write!(f, "mobility trace error: {e}"),
             ScenarioError::BadTraffic { node } => {
                 write!(
                     f,
                     "traffic endpoint {node} is out of range or self-directed"
                 )
             }
+            ScenarioError::Fault(e) => write!(f, "fault plan error: {e}"),
         }
     }
 }
@@ -278,7 +298,9 @@ impl Error for ScenarioError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ScenarioError::Mobility(e) => Some(e),
+            ScenarioError::Trace(e) => Some(e),
             ScenarioError::BadTraffic { .. } => None,
+            ScenarioError::Fault(e) => Some(e),
         }
     }
 }
@@ -286,6 +308,12 @@ impl Error for ScenarioError {
 impl From<CaError> for ScenarioError {
     fn from(e: CaError) -> Self {
         ScenarioError::Mobility(e)
+    }
+}
+
+impl From<NetError> for ScenarioError {
+    fn from(e: NetError) -> Self {
+        ScenarioError::Fault(e)
     }
 }
 
@@ -335,6 +363,30 @@ mod tests {
         let mut s = Scenario::paper_table1(Protocol::Aodv);
         s.traffic.senders = vec![0]; // same as receiver
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_fault_plans() {
+        use cavenet_net::SimTime;
+        let at = SimTime::from_secs_f64(10.0);
+        let mut s = Scenario::paper_table1(Protocol::Aodv);
+        s.fault_plan = FaultPlan::new().crash(at, 99);
+        assert!(matches!(
+            s.validate(),
+            Err(ScenarioError::Fault(NetError::FaultUnknownNode {
+                node: 99,
+                nodes: 30
+            }))
+        ));
+        let mut s = Scenario::paper_table1(Protocol::Aodv);
+        s.fault_plan = FaultPlan::new().recover(at, 5);
+        assert!(matches!(
+            s.validate(),
+            Err(ScenarioError::Fault(NetError::FaultRecoverBeforeCrash {
+                node: 5,
+                ..
+            }))
+        ));
     }
 
     #[test]

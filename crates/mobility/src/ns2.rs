@@ -175,7 +175,7 @@ pub fn parse(input: &str) -> Result<Vec<Command>, MobilityError> {
             match (it.next(), it.next(), it.next()) {
                 (Some("set"), Some(axis_tok), Some(v)) => {
                     let axis = parse_axis(axis_tok).ok_or_else(|| err("bad axis"))?;
-                    let value: f64 = v.parse().map_err(|_| err("bad coordinate"))?;
+                    let value = parse_finite(v).ok_or_else(|| err("bad coordinate"))?;
                     out.push(Command::SetInitial { node, axis, value });
                 }
                 _ => return Err(err("expected `set <axis> <value>`")),
@@ -184,7 +184,7 @@ pub fn parse(input: &str) -> Result<Vec<Command>, MobilityError> {
             let (time_tok, quoted) = rest
                 .split_once(' ')
                 .ok_or_else(|| err("expected time and command"))?;
-            let time: f64 = time_tok.parse().map_err(|_| err("bad time"))?;
+            let time = parse_finite(time_tok).ok_or_else(|| err("bad time"))?;
             let inner = quoted
                 .trim()
                 .strip_prefix('"')
@@ -197,9 +197,9 @@ pub fn parse(input: &str) -> Result<Vec<Command>, MobilityError> {
             let toks: Vec<&str> = rest.split_whitespace().collect();
             match toks.as_slice() {
                 ["setdest", x, y, s] => {
-                    let x: f64 = x.parse().map_err(|_| err("bad x"))?;
-                    let y: f64 = y.parse().map_err(|_| err("bad y"))?;
-                    let speed: f64 = s.parse().map_err(|_| err("bad speed"))?;
+                    let x = parse_finite(x).ok_or_else(|| err("bad x"))?;
+                    let y = parse_finite(y).ok_or_else(|| err("bad y"))?;
+                    let speed = parse_finite(s).ok_or_else(|| err("bad speed"))?;
                     out.push(Command::SetDest {
                         time,
                         node,
@@ -210,7 +210,7 @@ pub fn parse(input: &str) -> Result<Vec<Command>, MobilityError> {
                 }
                 ["set", axis_tok, v] => {
                     let axis = parse_axis(axis_tok).ok_or_else(|| err("bad axis"))?;
-                    let value: f64 = v.parse().map_err(|_| err("bad coordinate"))?;
+                    let value = parse_finite(v).ok_or_else(|| err("bad coordinate"))?;
                     out.push(Command::SetTimed {
                         time,
                         node,
@@ -225,6 +225,12 @@ pub fn parse(input: &str) -> Result<Vec<Command>, MobilityError> {
         }
     }
     Ok(out)
+}
+
+/// Parse a float, rejecting non-finite values: `NaN`/`inf` parse as valid
+/// `f64`s but would silently poison every downstream interpolation.
+fn parse_finite(tok: &str) -> Option<f64> {
+    tok.parse::<f64>().ok().filter(|v| v.is_finite())
 }
 
 fn split_node(rest: &str) -> Option<(usize, &str)> {
@@ -593,6 +599,74 @@ mod tests {
     #[test]
     fn import_missing_file_is_io_error() {
         assert!(import_from_file("/nonexistent/path/trace.tcl").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_truncated_commands() {
+        // Unclosed quote: the file was cut off mid-line.
+        assert!(matches!(
+            parse("$ns_ at 1.5 \"$node_(3) setdest 10.0 20.0"),
+            Err(MobilityError::ParseError { line: 1, .. })
+        ));
+        // Initial placement missing its value.
+        assert!(matches!(
+            parse("$node_(0) set X_"),
+            Err(MobilityError::ParseError { line: 1, .. })
+        ));
+        // Bare `at` with no command at all.
+        assert!(matches!(
+            parse("$ns_ at 1.5"),
+            Err(MobilityError::ParseError { line: 1, .. })
+        ));
+        // setdest with a missing operand.
+        assert!(matches!(
+            parse("$ns_ at 1.5 \"$node_(3) setdest 10.0 20.0\""),
+            Err(MobilityError::ParseError { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_floats() {
+        // `NaN`/`inf` parse as valid f64s; accepting them would silently
+        // poison interpolation, so the parser must reject them.
+        for bad in ["NaN", "inf", "-inf", "infinity"] {
+            assert!(
+                parse(&format!("$node_(0) set X_ {bad}")).is_err(),
+                "coordinate {bad} must be rejected"
+            );
+            assert!(
+                parse(&format!("$ns_ at {bad} \"$node_(0) setdest 1 2 3\"")).is_err(),
+                "time {bad} must be rejected"
+            );
+            assert!(
+                parse(&format!("$ns_ at 1.0 \"$node_(0) setdest 1 2 {bad}\"")).is_err(),
+                "speed {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_oversized_node_index() {
+        assert!(matches!(
+            parse("$node_(99999999999999999999999) set X_ 1.0"),
+            Err(MobilityError::ParseError { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn import_truncated_file_returns_err() {
+        let dir = std::env::temp_dir().join("cavenet_ns2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.tcl");
+        // A valid prefix followed by a line chopped mid-write.
+        std::fs::write(
+            &path,
+            "$node_(0) set X_ 1.0\n$node_(0) set Y_ 2.0\n$ns_ at 1.0 \"$node_(0) setde",
+        )
+        .unwrap();
+        let err = import_from_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

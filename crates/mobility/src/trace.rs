@@ -31,8 +31,19 @@ impl NodeTrajectory {
     /// # Errors
     ///
     /// Returns [`MobilityError::UnorderedSamples`] (with node 0 as a
-    /// placeholder — the caller knows the real id) when out of order.
+    /// placeholder — the caller knows the real id) when out of order, and
+    /// [`MobilityError::InvalidParameter`] for non-finite sample times or
+    /// positions (`NaN` comparisons would defeat the ordering check and
+    /// poison interpolation downstream).
     pub fn new(samples: Vec<TraceSample>) -> Result<Self, MobilityError> {
+        if samples
+            .iter()
+            .any(|s| !s.time.is_finite() || !s.position.x.is_finite() || !s.position.y.is_finite())
+        {
+            return Err(MobilityError::InvalidParameter {
+                name: "sample time/position must be finite",
+            });
+        }
         if samples.windows(2).any(|w| w[0].time >= w[1].time) {
             return Err(MobilityError::UnorderedSamples { node: 0 });
         }
@@ -315,6 +326,20 @@ mod tests {
     fn trajectory_rejects_unordered() {
         let r = NodeTrajectory::new(vec![sample(1.0, 0.0, 0.0), sample(1.0, 1.0, 0.0)]);
         assert!(matches!(r, Err(MobilityError::UnorderedSamples { .. })));
+    }
+
+    #[test]
+    fn trajectory_rejects_non_finite_samples() {
+        // A NaN time would defeat the ordering check (NaN comparisons are
+        // always false) and then poison interpolation.
+        for bad in [
+            vec![sample(f64::NAN, 0.0, 0.0), sample(1.0, 1.0, 0.0)],
+            vec![sample(0.0, f64::INFINITY, 0.0)],
+            vec![sample(0.0, 0.0, f64::NAN)],
+        ] {
+            let r = NodeTrajectory::new(bad);
+            assert!(matches!(r, Err(MobilityError::InvalidParameter { .. })));
+        }
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! Deterministic fault injection: node churn and frame-level impairments.
+//!
+//! A [`FaultPlan`] is a declarative, serializable schedule of disturbances
+//! applied to a simulation run: node crash/recover events, a constant
+//! per-frame link-loss probability, and windowed loss bursts (fading or
+//! partitions). Plans are validated at [`Simulator`](crate::Simulator)
+//! build time and driven by a dedicated stream of the vendored PRNG, so an
+//! identical `(scenario, fault_plan, seed)` triple replays bit-identically
+//! — faulted runs are golden-digestable exactly like fault-free ones.
+//!
+//! The determinism contract has a second half: an **empty** plan is
+//! provably zero-effect. No fault events are scheduled, no random draws
+//! are taken (the fault stream is separate from the main stream anyway),
+//! and no observer hooks fire, so every committed golden digest of a
+//! fault-free scenario is unchanged by this module's existence.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::SimTime;
+
+/// What happened to a node at a [`FaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The node powers off: in-flight receptions are lost, the MAC queue is
+    /// flushed (queued data packets reach a
+    /// [`DropReason::NodeDown`](crate::DropReason::NodeDown) fate) and the
+    /// node stops originating, forwarding and answering.
+    Crash = 0,
+    /// The node powers back on with a clean MAC/radio; its routing state is
+    /// wiped or preserved per [`RecoveryMode`].
+    Recover = 1,
+}
+
+/// One scheduled lifecycle change of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// The affected node index.
+    pub node: usize,
+    /// Crash or recover.
+    pub kind: FaultKind,
+}
+
+/// A time window during which frames arriving at a node (or at every node)
+/// are additionally lost with probability `loss` — a fading episode, or a
+/// partition when `loss` is `1.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossBurst {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Affected receiver, or `None` for all nodes.
+    pub node: Option<usize>,
+    /// Per-frame loss probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl LossBurst {
+    fn covers(&self, node: usize, now: SimTime) -> bool {
+        (self.node.is_none() || self.node == Some(node)) && self.start <= now && now < self.end
+    }
+
+    fn overlaps(&self, other: &LossBurst) -> bool {
+        let same_scope = self.node.is_none() || other.node.is_none() || self.node == other.node;
+        same_scope && self.start < other.end && other.start < self.end
+    }
+}
+
+/// What happens to a crashed node's routing state when it recovers.
+///
+/// Either way the node's MAC/radio restart clean and any data buffered in
+/// the routing layer was already surrendered at crash time (see
+/// [`RoutingProtocol::on_crash`](crate::RoutingProtocol::on_crash)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// The routing protocol restarts from a factory-fresh instance — a
+    /// power-cycled router that lost its tables (the default).
+    #[default]
+    ColdStart,
+    /// The routing instance (tables, sequence numbers, neighbour history)
+    /// survives the outage; only its timers are restarted.
+    WarmStart,
+}
+
+/// A declarative, validated schedule of faults for one simulation run.
+///
+/// Build with the fluent helpers and attach via
+/// [`SimulatorBuilder::fault_plan`](crate::SimulatorBuilder::fault_plan):
+///
+/// ```
+/// use cavenet_net::{FaultPlan, SimTime};
+///
+/// let plan = FaultPlan::new()
+///     .crash(SimTime::from_secs(10), 3)
+///     .recover(SimTime::from_secs(20), 3)
+///     .burst(SimTime::from_secs(30), SimTime::from_secs(35), 0.5);
+/// assert!(plan.validate(30).is_ok());
+/// assert_eq!(FaultPlan::parse(&plan.render()).unwrap(), plan);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Crash/recover schedule, in time order.
+    pub events: Vec<FaultEvent>,
+    /// Constant per-frame loss probability applied to every reception for
+    /// the whole run (`0.0` = off).
+    pub link_loss: f64,
+    /// Windowed loss bursts.
+    pub bursts: Vec<LossBurst>,
+    /// Routing-state semantics of recovery.
+    pub recovery: RecoveryMode,
+}
+
+impl FaultPlan {
+    /// An empty (zero-effect) plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan disturbs anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.link_loss == 0.0 && self.bursts.is_empty()
+    }
+
+    /// Whether any per-frame impairment (constant loss or burst) can apply
+    /// at some instant of the run.
+    pub(crate) fn has_impairments(&self) -> bool {
+        self.link_loss > 0.0 || !self.bursts.is_empty()
+    }
+
+    /// The per-frame loss probability in effect for a reception at `node`
+    /// at instant `now` (constant loss and covering bursts combined as
+    /// independent loss processes).
+    pub(crate) fn loss_at(&self, node: usize, now: SimTime) -> f64 {
+        let mut pass = 1.0 - self.link_loss;
+        for b in &self.bursts {
+            if b.covers(node, now) {
+                pass *= 1.0 - b.loss;
+            }
+        }
+        1.0 - pass
+    }
+
+    /// Append a crash of `node` at `at`.
+    #[must_use]
+    pub fn crash(mut self, at: SimTime, node: usize) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            node,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Append a recovery of `node` at `at`.
+    #[must_use]
+    pub fn recover(mut self, at: SimTime, node: usize) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            node,
+            kind: FaultKind::Recover,
+        });
+        self
+    }
+
+    /// Set the constant per-frame loss probability.
+    #[must_use]
+    pub fn link_loss(mut self, p: f64) -> Self {
+        self.link_loss = p;
+        self
+    }
+
+    /// Append a loss burst affecting every node.
+    #[must_use]
+    pub fn burst(mut self, start: SimTime, end: SimTime, loss: f64) -> Self {
+        self.bursts.push(LossBurst {
+            start,
+            end,
+            node: None,
+            loss,
+        });
+        self
+    }
+
+    /// Append a loss burst affecting only `node`.
+    #[must_use]
+    pub fn burst_at(mut self, node: usize, start: SimTime, end: SimTime, loss: f64) -> Self {
+        self.bursts.push(LossBurst {
+            start,
+            end,
+            node: Some(node),
+            loss,
+        });
+        self
+    }
+
+    /// Set the [`RecoveryMode`].
+    #[must_use]
+    pub fn recovery(mut self, mode: RecoveryMode) -> Self {
+        self.recovery = mode;
+        self
+    }
+
+    /// Down-time windows per node, derived from the event schedule.
+    /// Requires a validated plan; an unmatched crash yields an open window
+    /// ending at `SimTime::from_nanos(u64::MAX)`.
+    pub fn down_windows(&self) -> Vec<(usize, SimTime, SimTime)> {
+        let mut open: Vec<(usize, SimTime)> = Vec::new();
+        let mut windows = Vec::new();
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at);
+        for e in &events {
+            match e.kind {
+                FaultKind::Crash => open.push((e.node, e.at)),
+                FaultKind::Recover => {
+                    if let Some(pos) = open.iter().position(|&(n, _)| n == e.node) {
+                        let (node, from) = open.remove(pos);
+                        windows.push((node, from, e.at));
+                    }
+                }
+            }
+        }
+        for (node, from) in open {
+            windows.push((node, from, SimTime::from_nanos(u64::MAX)));
+        }
+        windows
+    }
+
+    /// Check the plan against a simulation of `nodes` stations.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetError::FaultUnknownNode`] — an event or burst names a node
+    ///   outside `0..nodes`;
+    /// - [`NetError::FaultRecoverBeforeCrash`] — a recovery of a node that
+    ///   is not down at that instant;
+    /// - [`NetError::FaultOverlappingWindows`] — a node crashed while
+    ///   already down, or two loss bursts with intersecting scope overlap
+    ///   in time;
+    /// - [`NetError::FaultBadWindow`] — a burst whose end is not after its
+    ///   start;
+    /// - [`NetError::FaultBadProbability`] — a loss probability outside
+    ///   `[0, 1]`.
+    pub fn validate(&self, nodes: usize) -> Result<(), NetError> {
+        if !(0.0..=1.0).contains(&self.link_loss) {
+            return Err(NetError::FaultBadProbability);
+        }
+        for b in &self.bursts {
+            if !(0.0..=1.0).contains(&b.loss) {
+                return Err(NetError::FaultBadProbability);
+            }
+            if b.end <= b.start {
+                return Err(NetError::FaultBadWindow { at: b.start });
+            }
+            if let Some(n) = b.node {
+                if n >= nodes {
+                    return Err(NetError::FaultUnknownNode { node: n, nodes });
+                }
+            }
+        }
+        for (i, a) in self.bursts.iter().enumerate() {
+            for b in &self.bursts[i + 1..] {
+                if a.overlaps(b) {
+                    return Err(NetError::FaultOverlappingWindows {
+                        at: a.start.max(b.start),
+                    });
+                }
+            }
+        }
+        // Per-node lifecycle: walking the schedule in time order (stable for
+        // ties) must alternate crash → recover starting from "up".
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| self.events[i].at);
+        let mut down = vec![false; nodes];
+        for i in order {
+            let e = &self.events[i];
+            if e.node >= nodes {
+                return Err(NetError::FaultUnknownNode {
+                    node: e.node,
+                    nodes,
+                });
+            }
+            match e.kind {
+                FaultKind::Crash => {
+                    if down[e.node] {
+                        return Err(NetError::FaultOverlappingWindows { at: e.at });
+                    }
+                    down[e.node] = true;
+                }
+                FaultKind::Recover => {
+                    if !down[e.node] {
+                        return Err(NetError::FaultRecoverBeforeCrash {
+                            node: e.node,
+                            at: e.at,
+                        });
+                    }
+                    down[e.node] = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the plan's line-oriented text format (one directive per
+    /// line; times in nanoseconds). The output round-trips through
+    /// [`parse`](Self::parse).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# cavenet fault plan v1\n");
+        out.push_str(&format!(
+            "recovery = {}\n",
+            match self.recovery {
+                RecoveryMode::ColdStart => "cold",
+                RecoveryMode::WarmStart => "warm",
+            }
+        ));
+        if self.link_loss != 0.0 {
+            out.push_str(&format!("link_loss = {}\n", self.link_loss));
+        }
+        for e in &self.events {
+            let verb = match e.kind {
+                FaultKind::Crash => "crash",
+                FaultKind::Recover => "recover",
+            };
+            out.push_str(&format!("{verb} {} {}\n", e.node, e.at.as_nanos()));
+        }
+        for b in &self.bursts {
+            let scope = match b.node {
+                Some(n) => n.to_string(),
+                None => "*".to_string(),
+            };
+            out.push_str(&format!(
+                "burst {scope} {} {} {}\n",
+                b.start.as_nanos(),
+                b.end.as_nanos(),
+                b.loss
+            ));
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`render`](Self::render).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::FaultPlanSyntax`] naming the first malformed
+    /// line. Unknown keys and blank/comment lines are ignored, so the
+    /// format can grow compatibly.
+    pub fn parse(text: &str) -> Result<FaultPlan, NetError> {
+        let mut plan = FaultPlan::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = || NetError::FaultPlanSyntax { line: lineno + 1 };
+            if let Some((key, value)) = line.split_once('=') {
+                match key.trim() {
+                    "recovery" => {
+                        plan.recovery = match value.trim() {
+                            "cold" => RecoveryMode::ColdStart,
+                            "warm" => RecoveryMode::WarmStart,
+                            _ => return Err(err()),
+                        };
+                    }
+                    "link_loss" => {
+                        plan.link_loss = value.trim().parse().map_err(|_| err())?;
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let verb = parts.next().ok_or_else(err)?;
+            match verb {
+                "crash" | "recover" => {
+                    let node: usize = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+                    let ns: u64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+                    plan.events.push(FaultEvent {
+                        at: SimTime::from_nanos(ns),
+                        node,
+                        kind: if verb == "crash" {
+                            FaultKind::Crash
+                        } else {
+                            FaultKind::Recover
+                        },
+                    });
+                }
+                "burst" => {
+                    let scope = parts.next().ok_or_else(err)?;
+                    let node = if scope == "*" {
+                        None
+                    } else {
+                        Some(scope.parse().map_err(|_| err())?)
+                    };
+                    let start: u64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+                    let end: u64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+                    let loss: f64 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+                    plan.bursts.push(LossBurst {
+                        start: SimTime::from_nanos(start),
+                        end: SimTime::from_nanos(end),
+                        node,
+                        loss,
+                    });
+                }
+                _ => return Err(err()),
+            }
+            if parts.next().is_some() {
+                return Err(err());
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Total downtime across all nodes (diagnostic; open windows are
+    /// clipped to `horizon`).
+    pub fn total_downtime(&self, horizon: SimTime) -> Duration {
+        self.down_windows()
+            .iter()
+            .map(|&(_, from, to)| to.min(horizon).saturating_since(from))
+            .sum()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault event(s), link_loss {}, {} burst(s), {:?}",
+            self.events.len(),
+            self.link_loss,
+            self.bursts.len(),
+            self.recovery
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_plan_is_empty_and_valid() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert!(!p.has_impairments());
+        assert!(p.validate(10).is_ok());
+        assert_eq!(p.loss_at(0, s(1)), 0.0);
+    }
+
+    #[test]
+    fn crash_recover_round_trip_validates() {
+        let p = FaultPlan::new().crash(s(5), 2).recover(s(10), 2);
+        assert!(p.validate(5).is_ok());
+        assert_eq!(p.down_windows(), vec![(2, s(5), s(10))]);
+    }
+
+    #[test]
+    fn unknown_node_is_rejected() {
+        let p = FaultPlan::new().crash(s(1), 9);
+        assert_eq!(
+            p.validate(5),
+            Err(NetError::FaultUnknownNode { node: 9, nodes: 5 })
+        );
+        let b = FaultPlan::new().burst_at(7, s(1), s(2), 0.5);
+        assert!(matches!(
+            b.validate(5),
+            Err(NetError::FaultUnknownNode { node: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn recover_before_crash_is_rejected() {
+        let p = FaultPlan::new().recover(s(3), 1);
+        assert_eq!(
+            p.validate(5),
+            Err(NetError::FaultRecoverBeforeCrash { node: 1, at: s(3) })
+        );
+        // Recovery scheduled before the crash in time also fails.
+        let p = FaultPlan::new().crash(s(10), 1).recover(s(3), 1);
+        assert!(p.validate(5).is_err());
+    }
+
+    #[test]
+    fn double_crash_is_overlapping() {
+        let p = FaultPlan::new().crash(s(1), 0).crash(s(2), 0);
+        assert!(matches!(
+            p.validate(5),
+            Err(NetError::FaultOverlappingWindows { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_bursts_are_rejected() {
+        let p = FaultPlan::new()
+            .burst(s(1), s(5), 0.5)
+            .burst(s(4), s(8), 0.2);
+        assert!(matches!(
+            p.validate(5),
+            Err(NetError::FaultOverlappingWindows { .. })
+        ));
+        // Node-scoped bursts on different nodes may overlap in time.
+        let p = FaultPlan::new()
+            .burst_at(1, s(1), s(5), 0.5)
+            .burst_at(2, s(4), s(8), 0.2);
+        assert!(p.validate(5).is_ok());
+        // A global burst conflicts with any node burst.
+        let p = FaultPlan::new()
+            .burst(s(1), s(5), 0.5)
+            .burst_at(2, s(4), s(8), 0.2);
+        assert!(p.validate(5).is_err());
+    }
+
+    #[test]
+    fn bad_windows_and_probabilities_are_rejected() {
+        let p = FaultPlan::new().burst(s(5), s(5), 0.5);
+        assert!(matches!(
+            p.validate(5),
+            Err(NetError::FaultBadWindow { .. })
+        ));
+        let p = FaultPlan::new().link_loss(1.5);
+        assert_eq!(p.validate(5), Err(NetError::FaultBadProbability));
+        let p = FaultPlan::new().burst(s(1), s(2), -0.1);
+        assert_eq!(p.validate(5), Err(NetError::FaultBadProbability));
+    }
+
+    #[test]
+    fn loss_combines_independently() {
+        let p = FaultPlan::new().link_loss(0.5).burst(s(1), s(2), 0.5);
+        assert_eq!(p.loss_at(0, s(0)), 0.5);
+        assert!((p.loss_at(0, s(1)) - 0.75).abs() < 1e-12);
+        // The burst end is exclusive.
+        assert_eq!(p.loss_at(0, s(2)), 0.5);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let p = FaultPlan::new()
+            .crash(s(5), 2)
+            .recover(s(10), 2)
+            .link_loss(0.25)
+            .burst(s(20), s(25), 0.5)
+            .burst_at(3, s(30), s(31), 1.0)
+            .recovery(RecoveryMode::WarmStart);
+        assert_eq!(FaultPlan::parse(&p.render()).unwrap(), p);
+        assert_eq!(
+            FaultPlan::parse(&FaultPlan::new().render()).unwrap(),
+            FaultPlan::new()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_number() {
+        let e = FaultPlan::parse("crash 0 100\nwibble 1 2\n");
+        assert_eq!(e, Err(NetError::FaultPlanSyntax { line: 2 }));
+        assert!(FaultPlan::parse("crash zero 100\n").is_err());
+        assert!(FaultPlan::parse("crash 0 100 extra\n").is_err());
+        assert!(FaultPlan::parse("recovery = lukewarm\n").is_err());
+    }
+
+    #[test]
+    fn downtime_accounting() {
+        let p = FaultPlan::new()
+            .crash(s(5), 1)
+            .recover(s(15), 1)
+            .crash(s(20), 2);
+        assert_eq!(
+            p.total_downtime(s(30)),
+            Duration::from_secs(10) + Duration::from_secs(10)
+        );
+    }
+}

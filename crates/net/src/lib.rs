@@ -40,6 +40,7 @@
 mod api;
 mod channel;
 mod error;
+mod fault;
 mod grid;
 mod ids;
 mod mac;
@@ -56,6 +57,7 @@ mod traits;
 pub use api::NodeApi;
 pub use channel::{Channel, Transmission};
 pub use error::NetError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, LossBurst, RecoveryMode};
 pub use grid::SpatialGrid;
 pub use ids::{FlowId, NodeId};
 pub use mac::{MacParams, MacState, MacStats};

@@ -245,6 +245,44 @@ impl Mac {
         self.queue.len()
     }
 
+    /// The node hosting this MAC crashed: abandon everything in service and
+    /// return to a power-on state.
+    ///
+    /// The whole interface queue (including the head-of-line frame in
+    /// service) is drained and its network-layer packets returned so the
+    /// engine can give each a terminal `NodeDown` fate; pending delayed
+    /// ACK/CTS transmissions, NAV state and carrier-sense caches are
+    /// cleared; both DCF timers are re-allocated so every in-flight MAC
+    /// timer event becomes stale. `next_timer` is *not* reset — its
+    /// monotonicity is what makes pre-crash timer sequence numbers
+    /// permanently invalid. Statistics survive the crash.
+    pub(crate) fn crash_flush<O: SimObserver>(
+        &mut self,
+        hooks: &mut MacHooks<'_, O>,
+    ) -> Vec<Packet> {
+        let flushed: Vec<Packet> = self
+            .queue
+            .drain(..)
+            .filter_map(|frame| frame.packet)
+            .collect();
+        self.set_state(hooks, MacState::Idle);
+        self.cw = self.params.cw_min;
+        self.retries = 0;
+        self.backoff_slots = 0;
+        self.need_backoff = false;
+        self.backoff_started = SimTime::ZERO;
+        self.pending_acks.clear();
+        self.sending_ack = false;
+        self.medium_busy = false;
+        self.phys_busy = false;
+        self.nav_until = SimTime::ZERO;
+        self.tx_phase = TxPhase::Data;
+        self.pending_data_go = None;
+        self.dcf_timer = self.alloc_timer();
+        self.nav_timer = self.alloc_timer();
+        flushed
+    }
+
     /// Change DCF state, reporting the transition to the observer.
     fn set_state<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>, to: MacState) {
         if O::ENABLED && self.state != to {
@@ -585,7 +623,11 @@ impl Mac {
     }
 
     /// A frame was successfully decoded by our radio.
-    pub(crate) fn on_frame_received<O: SimObserver>(&mut self, hooks: &mut MacHooks<'_, O>, frame: Frame) {
+    pub(crate) fn on_frame_received<O: SimObserver>(
+        &mut self,
+        hooks: &mut MacHooks<'_, O>,
+        frame: Frame,
+    ) {
         match frame.kind {
             FrameKind::Data => {
                 if !frame.addressed_to(self.id) {

@@ -141,6 +141,16 @@ impl Radio {
     pub(crate) fn on_tx_end(&mut self) {
         self.transmitting = false;
     }
+
+    /// The node crashed: forget every signal in flight and any reception
+    /// lock. Subsequent `RxEnd` events for pre-crash arrivals resolve to
+    /// [`RxOutcome::NotReceived`], which is exactly what a powered-off
+    /// receiver produces.
+    pub(crate) fn reset(&mut self) {
+        self.transmitting = false;
+        self.lock = None;
+        self.arrivals.clear();
+    }
 }
 
 /// A simulated station: radio + MAC + routing + application + counters.
@@ -269,6 +279,21 @@ mod tests {
         r.on_tx_start();
         r.on_tx_end();
         assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::Collided));
+    }
+
+    #[test]
+    fn reset_clears_locks_and_arrivals() {
+        let mut r = Radio::default();
+        r.on_tx_start();
+        r.on_rx_start(1, 1e-8, RX, CAP);
+        r.reset();
+        assert!(!r.medium_busy());
+        assert!(!r.is_transmitting());
+        // The stale RxEnd for the pre-crash arrival is a non-reception.
+        assert!(matches!(
+            r.on_rx_end(1, Some(frame())),
+            RxOutcome::NotReceived
+        ));
     }
 
     #[test]

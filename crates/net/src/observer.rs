@@ -11,6 +11,7 @@
 //! The `cavenet-testkit` crate builds an invariant checker and a golden
 //! event-stream digest on top of this trait.
 
+use crate::fault::FaultKind;
 use crate::mac::MacState;
 use crate::packet::Frame;
 use crate::{NodeId, SimTime};
@@ -31,6 +32,9 @@ pub enum EventKind {
     RoutingTimer = 4,
     /// An application timer.
     AppTimer = 5,
+    /// A scheduled fault (node crash or recovery) from a
+    /// [`FaultPlan`](crate::FaultPlan).
+    Fault = 6,
 }
 
 /// Why a frame that was on the air never became a reception at a node.
@@ -43,6 +47,8 @@ pub enum FrameDropReason {
     /// The signal was sensed but never locked onto (below the reception
     /// threshold, or the receiver was already locked elsewhere).
     BelowThreshold = 1,
+    /// The receiver crashed while the frame was in flight.
+    NodeDown = 2,
 }
 
 /// Why a network-layer data packet was discarded.
@@ -62,6 +68,9 @@ pub enum DropReason {
     QueueTimeout = 4,
     /// Route discovery gave up after its retry budget.
     DiscoveryFailed = 5,
+    /// The node holding the packet (in its MAC queue or routing buffer)
+    /// crashed.
+    NodeDown = 6,
 }
 
 /// Observer of engine-level activity.
@@ -124,6 +133,13 @@ pub trait SimObserver {
     fn on_packet_dropped(&mut self, now: SimTime, node: NodeId, uid: u64, reason: DropReason) {
         let _ = (now, node, uid, reason);
     }
+
+    /// A [`FaultPlan`](crate::FaultPlan) event took effect: `node` crashed
+    /// or recovered. Fires after the engine applied the state change (so a
+    /// crash's `NodeDown` packet drops arrive *after* this hook).
+    fn on_fault(&mut self, now: SimTime, node: NodeId, kind: FaultKind) {
+        let _ = (now, node, kind);
+    }
 }
 
 /// The default observer: does nothing, costs nothing.
@@ -140,14 +156,14 @@ mod tests {
 
     #[test]
     fn noop_observer_is_disabled() {
-        assert!(!NoopObserver::ENABLED);
+        const { assert!(!NoopObserver::ENABLED) }
     }
 
     #[test]
     fn default_methods_are_callable() {
         struct Minimal;
         impl SimObserver for Minimal {}
-        assert!(Minimal::ENABLED);
+        const { assert!(Minimal::ENABLED) }
         let mut m = Minimal;
         m.on_event_scheduled(SimTime::ZERO, 1, 0, EventKind::MacTimer);
         m.on_frame_drop(SimTime::ZERO, 0, FrameDropReason::Collision);
@@ -160,7 +176,12 @@ mod tests {
         // golden-fixture contract and must never be renumbered.
         assert_eq!(EventKind::RxStart as u8, 0);
         assert_eq!(EventKind::AppTimer as u8, 5);
+        assert_eq!(EventKind::Fault as u8, 6);
         assert_eq!(FrameDropReason::BelowThreshold as u8, 1);
+        assert_eq!(FrameDropReason::NodeDown as u8, 2);
         assert_eq!(DropReason::DiscoveryFailed as u8, 5);
+        assert_eq!(DropReason::NodeDown as u8, 6);
+        assert_eq!(FaultKind::Crash as u8, 0);
+        assert_eq!(FaultKind::Recover as u8, 1);
     }
 }

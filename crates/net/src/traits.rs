@@ -47,6 +47,18 @@ pub trait RoutingProtocol {
         api.drop_packet(packet, DropReason::RetryLimit);
     }
 
+    /// The node hosting this protocol crashed (see
+    /// [`FaultPlan`](crate::FaultPlan)). Protocols that buffer data packets
+    /// (AODV and DYMO hold packets awaiting route discovery) must surrender
+    /// them here via [`NodeApi::drop_packet`] with
+    /// [`DropReason::NodeDown`], so the packet-conservation ledger stays
+    /// balanced; the default does nothing. Internal protocol state need not
+    /// be touched — on recovery it is either discarded (cold start) or
+    /// reused as-is (warm start).
+    fn on_crash(&mut self, api: &mut NodeApi<'_>) {
+        let _ = api;
+    }
+
     /// Downcasting access to the concrete protocol, for tests and tools
     /// inspecting internal state (routing tables, MPR sets). Protocols that
     /// opt in return `Some(self)`; the default is `None`.

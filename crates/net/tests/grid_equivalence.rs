@@ -4,8 +4,8 @@
 
 use std::time::Duration;
 
-use proptest::prelude::*;
 use cavenet_rng::SimRng;
+use proptest::prelude::*;
 
 use cavenet_net::{
     Application, FlowId, NodeApi, NodeId, Packet, PhyParams, Propagation, ScenarioConfig,

@@ -397,12 +397,16 @@ impl Aodv {
         let now = api.now();
         // Neighbour timeout.
         let deadline = self.config.hello_interval * self.config.allowed_hello_loss;
-        let stale: Vec<NodeId> = self
+        // Sort every batch collected from a HashMap before acting on it:
+        // iteration order is per-process random, and link_broken /
+        // start_discovery / drop_packet all have observable effects.
+        let mut stale: Vec<NodeId> = self
             .neighbours
             .iter()
             .filter(|(_, &last)| now.saturating_since(last) > deadline)
             .map(|(&n, _)| n)
             .collect();
+        stale.sort_by_key(|n| n.0);
         for n in stale {
             self.link_broken(api, n);
         }
@@ -411,12 +415,13 @@ impl Aodv {
         // Table purge.
         self.table.purge(now, Duration::from_secs(10));
         // Discovery retries / expiry.
-        let due: Vec<NodeId> = self
+        let mut due: Vec<NodeId> = self
             .pending
             .iter()
             .filter(|(_, p)| p.deadline <= now)
             .map(|(&d, _)| d)
             .collect();
+        due.sort_by_key(|d| d.0);
         for dst in due {
             enum Action {
                 GiveUp,
@@ -476,7 +481,10 @@ impl Aodv {
         }
         // Queued-data expiry.
         let max_q = self.config.max_queue_time;
-        for p in self.pending.values_mut() {
+        let mut queued_dsts: Vec<NodeId> = self.pending.keys().copied().collect();
+        queued_dsts.sort_by_key(|d| d.0);
+        for dst in queued_dsts {
+            let p = self.pending.get_mut(&dst).expect("pending entry");
             let mut kept = VecDeque::with_capacity(p.queued.len());
             for (packet, queued_at) in p.queued.drain(..) {
                 if now.saturating_since(queued_at) <= max_q {
@@ -597,6 +605,23 @@ impl RoutingProtocol for Aodv {
             self.route_output(api, packet);
         } else if packet.is_data() {
             api.drop_packet(packet, DropReason::RetryLimit);
+        }
+    }
+
+    fn on_crash(&mut self, api: &mut NodeApi<'_>) {
+        // Data buffered behind in-progress route discoveries dies with the
+        // node; each packet must reach a terminal fate or the conservation
+        // ledger would report it outstanding forever. Drop in destination
+        // order — HashMap iteration order would leak into the event stream
+        // and break bit-identical replay.
+        let mut dsts: Vec<NodeId> = self.pending.keys().copied().collect();
+        dsts.sort_by_key(|d| d.0);
+        for dst in dsts {
+            if let Some(p) = self.pending.remove(&dst) {
+                for (packet, _) in p.queued {
+                    api.drop_packet(packet, DropReason::NodeDown);
+                }
+            }
         }
     }
 
@@ -856,10 +881,7 @@ mod ring_search_tests {
             .table()
             .get(NodeId(3))
             .expect("entry retained for its sequence number");
-        assert!(
-            !entry.valid,
-            "RERR did not reach the source: {entry:?}"
-        );
+        assert!(!entry.valid, "RERR did not reach the source: {entry:?}");
         assert!(
             entry.expires > sim.now(),
             "route must be invalid by RERR, not by expiry: {entry:?}"
@@ -885,12 +907,115 @@ mod ring_search_tests {
             after > before,
             "deliveries must resume after the destination returns ({before} -> {after})"
         );
-        let entry = *aodv_of(&sim, 0).table().get(NodeId(3)).expect("route rediscovered");
-        assert!(entry.is_usable(sim.now()), "route must be usable: {entry:?}");
+        let entry = *aodv_of(&sim, 0)
+            .table()
+            .get(NodeId(3))
+            .expect("route rediscovered");
+        assert!(
+            entry.is_usable(sim.now()),
+            "route must be usable: {entry:?}"
+        );
         assert!(
             seq_newer(entry.seqno, bumped),
             "rediscovered seqno {} must be strictly newer than the RERR bump {bumped}",
             entry.seqno
+        );
+    }
+
+    /// A 0-1-2-3 line whose only relay towards the source (node 1) crashes
+    /// at 3 s and recovers at 8 s via the fault-injection subsystem.
+    fn crashed_relay_sim(
+        until_secs: f64,
+    ) -> (
+        std::rc::Rc<std::cell::RefCell<crate::testutil::SinkLog>>,
+        cavenet_net::Simulator,
+    ) {
+        use crate::testutil::{SinkLog, TestSink, TestSource};
+        use cavenet_net::{FaultPlan, ScenarioConfig, Simulator, StaticMobility};
+
+        // Long route lifetime: only a RERR can explain invalidation.
+        let cfg = AodvConfig {
+            active_route_timeout: Duration::from_secs(120),
+            ..AodvConfig::default()
+        };
+        let log = std::rc::Rc::new(std::cell::RefCell::new(SinkLog::default()));
+        let mut sim = Simulator::builder(ScenarioConfig::default())
+            .nodes(4)
+            .seed(1)
+            .mobility(Box::new(StaticMobility::line(4, 200.0)))
+            .fault_plan(
+                FaultPlan::new()
+                    .crash(SimTime::from_secs(3), 1)
+                    .recover(SimTime::from_secs(8), 1),
+            )
+            .routing_with(move |_| Box::new(Aodv::with_config(cfg)))
+            .app(0, Box::new(TestSource::new(NodeId(3), 100)))
+            .app(
+                3,
+                Box::new(TestSink {
+                    log: std::rc::Rc::clone(&log),
+                }),
+            )
+            .build();
+        sim.run_until_secs(until_secs);
+        (log, sim)
+    }
+
+    #[test]
+    fn relay_crash_raises_rerr_at_the_source() {
+        // Node 1 is node 0's only next hop towards 3. After the crash the
+        // source's MAC retries fail, link_broken fires, and the RERR path
+        // must leave an invalidated (not expired) entry at the source.
+        let (log, sim) = crashed_relay_sim(7.0);
+        let delivered = log.borrow().received.len();
+        assert!(
+            delivered >= 8,
+            "route must work before the crash, got {delivered}"
+        );
+        assert!(
+            log.borrow()
+                .received
+                .iter()
+                .all(|&(_, at)| at < SimTime::from_secs(4)),
+            "no deliveries while the only relay is down"
+        );
+        let entry = *aodv_of(&sim, 0)
+            .table()
+            .get(NodeId(3))
+            .expect("entry retained for its sequence number");
+        assert!(!entry.valid, "crash must invalidate via RERR: {entry:?}");
+        assert!(
+            entry.expires > sim.now(),
+            "route must be invalid by RERR, not by expiry: {entry:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_repairs_the_route_and_delivery_resumes() {
+        // Continue past the recovery at 8 s: a fresh discovery through the
+        // cold-started relay must re-establish the route end to end.
+        let (log, mut sim) = crashed_relay_sim(7.0);
+        let before = log.borrow().received.len();
+        sim.run_until_secs(20.0);
+        let after = log.borrow().received.len();
+        assert!(
+            after > before,
+            "deliveries must resume after the relay recovers ({before} -> {after})"
+        );
+        assert!(
+            log.borrow()
+                .received
+                .iter()
+                .any(|&(_, at)| at > SimTime::from_secs(8)),
+            "post-recovery deliveries must exist"
+        );
+        let entry = *aodv_of(&sim, 0)
+            .table()
+            .get(NodeId(3))
+            .expect("route repaired");
+        assert!(
+            entry.is_usable(sim.now()),
+            "route must be usable: {entry:?}"
         );
     }
 }

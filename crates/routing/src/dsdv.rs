@@ -277,6 +277,12 @@ impl RoutingProtocol for Dsdv {
         Some(self)
     }
 
+    fn on_crash(&mut self, _api: &mut NodeApi<'_>) {
+        // DSDV forwards or drops immediately (no discovery buffer), so
+        // there is nothing to surrender; distance-vector state is discarded
+        // or aged out per the RecoveryMode semantics.
+    }
+
     fn tx_failed(&mut self, api: &mut NodeApi<'_>, packet: Packet, next_hop: NodeId) {
         self.link_broken(api, next_hop);
         if packet.is_data() {

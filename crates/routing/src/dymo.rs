@@ -331,12 +331,15 @@ impl Dymo {
                 let dst = msg.path.first().expect("non-empty").addr;
                 self.flush_pending(api, dst);
                 // Path accumulation may have satisfied other discoveries.
-                let satisfied: Vec<NodeId> = self
+                // Flush in destination order: HashMap iteration order is
+                // per-process random and the send order is observable.
+                let mut satisfied: Vec<NodeId> = self
                     .pending
                     .keys()
                     .copied()
                     .filter(|&d| self.table.lookup(d, now).is_some())
                     .collect();
+                satisfied.sort_by_key(|d| d.0);
                 for d in satisfied {
                     self.flush_pending(api, d);
                 }
@@ -380,24 +383,29 @@ impl Dymo {
     fn tick(&mut self, api: &mut NodeApi<'_>) {
         let now = api.now();
         let deadline = self.config.hello_interval * self.config.allowed_hello_loss;
-        let stale: Vec<NodeId> = self
+        // Sort every batch collected from a HashMap before acting on it:
+        // iteration order is per-process random, and link_broken /
+        // start_discovery / drop_packet all have observable effects.
+        let mut stale: Vec<NodeId> = self
             .neighbours
             .iter()
             .filter(|(_, &last)| now.saturating_since(last) > deadline)
             .map(|(&n, _)| n)
             .collect();
+        stale.sort_by_key(|n| n.0);
         for n in stale {
             self.link_broken(api, n);
         }
         self.seen.retain(|_, &mut exp| exp > now);
         self.table.purge(now, Duration::from_secs(10));
 
-        let due: Vec<NodeId> = self
+        let mut due: Vec<NodeId> = self
             .pending
             .iter()
             .filter(|(_, p)| p.deadline <= now)
             .map(|(&d, _)| d)
             .collect();
+        due.sort_by_key(|d| d.0);
         for dst in due {
             let (retries, give_up) = {
                 let p = self.pending.get_mut(&dst).expect("pending entry");
@@ -419,7 +427,10 @@ impl Dymo {
             }
         }
         let max_q = self.config.max_queue_time;
-        for p in self.pending.values_mut() {
+        let mut queued_dsts: Vec<NodeId> = self.pending.keys().copied().collect();
+        queued_dsts.sort_by_key(|d| d.0);
+        for dst in queued_dsts {
+            let p = self.pending.get_mut(&dst).expect("pending entry");
             let mut kept = VecDeque::with_capacity(p.queued.len());
             while let Some((packet, at)) = p.queued.pop_front() {
                 if now.saturating_since(at) <= max_q {
@@ -532,6 +543,21 @@ impl RoutingProtocol for Dymo {
             self.route_output(api, packet);
         } else if packet.is_data() {
             api.drop_packet(packet, DropReason::RetryLimit);
+        }
+    }
+
+    fn on_crash(&mut self, api: &mut NodeApi<'_>) {
+        // Like AODV, DYMO buffers data behind route discoveries; those
+        // packets die with the node. Destination order keeps the drop
+        // stream independent of HashMap iteration order.
+        let mut dsts: Vec<NodeId> = self.pending.keys().copied().collect();
+        dsts.sort_by_key(|d| d.0);
+        for dst in dsts {
+            if let Some(p) = self.pending.remove(&dst) {
+                for (packet, _) in p.queued {
+                    api.drop_packet(packet, DropReason::NodeDown);
+                }
+            }
         }
     }
 }

@@ -68,6 +68,13 @@ impl RoutingProtocol for Flooding {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn on_crash(&mut self, _api: &mut NodeApi<'_>) {
+        // Flooding holds no packets — every data packet is rebroadcast or
+        // dropped the moment it is seen — so a crash surrenders nothing.
+        // The duplicate-suppression set may survive a warm restart safely:
+        // suppressing a pre-crash duplicate is still correct.
+    }
 }
 
 impl Flooding {

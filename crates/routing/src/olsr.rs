@@ -276,7 +276,7 @@ impl Olsr {
     fn emit_hello(&mut self, api: &mut NodeApi<'_>) {
         let now = api.now();
         let me = api.id();
-        let entries: Vec<HelloEntry> = self
+        let mut entries: Vec<HelloEntry> = self
             .links
             .iter()
             .filter(|(_, l)| l.is_heard(now))
@@ -287,6 +287,7 @@ impl Olsr {
                 lq: self.ni(addr, now),
             })
             .collect();
+        entries.sort_by_key(|e| e.addr);
         let size = 16 + 8 * entries.len() as u32;
         let packet = Packet::control(me, NodeId::BROADCAST, size, Hello { entries });
         api.send(packet, NodeId::BROADCAST);
@@ -513,6 +514,10 @@ impl Olsr {
         for (&(dest, lasthop), &(lq, _)) in &self.topology {
             edges.push((lasthop, dest, self.remote_cost(lq)));
         }
+        // The edge list is assembled from HashMaps, so its order is
+        // per-process random; equal-cost relaxations below resolve by edge
+        // order, which must not leak into next-hop choice.
+        edges.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.total_cmp(&b.2)));
 
         // Dijkstra with a simple scan (graphs are tiny).
         let mut dist: HashMap<NodeId, f64> = HashMap::new();
@@ -567,6 +572,14 @@ impl RoutingProtocol for Olsr {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn on_crash(&mut self, _api: &mut NodeApi<'_>) {
+        // OLSR never buffers data (no route means an immediate NoRoute
+        // drop), so a crash surrenders nothing. Link-state tables need no
+        // cleanup either: a cold-start recovery replaces the instance, and
+        // a warm start deliberately keeps the stale topology — neighbours
+        // expire it through the usual HELLO/TC hold timers.
     }
 
     fn start(&mut self, api: &mut NodeApi<'_>) {
@@ -747,6 +760,56 @@ mod tests {
         let c = OlsrConfig::default();
         assert_eq!(c.hello_interval, Duration::from_secs(1));
         assert_eq!(c.tc_interval, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn crashed_mpr_is_dropped_and_reelected_after_recovery() {
+        // 0-1-2 chain: node 1 is the only possible MPR for both ends. It
+        // crashes at 6 s (well after convergence) and recovers at 12 s.
+        // Node 0 must age the dead neighbour out within neighb_hold (3 s)
+        // and recompute an empty MPR set; after recovery the HELLO
+        // exchange must re-elect node 1.
+        use cavenet_net::{FaultPlan, ScenarioConfig, Simulator, StaticMobility};
+
+        let mut sim = Simulator::builder(ScenarioConfig::default())
+            .nodes(3)
+            .seed(2)
+            .mobility(Box::new(StaticMobility::line(3, 200.0)))
+            .fault_plan(
+                FaultPlan::new()
+                    .crash(SimTime::from_secs(6), 1)
+                    .recover(SimTime::from_secs(12), 1),
+            )
+            .routing_with(|_| Box::new(Olsr::new()))
+            .build();
+        let olsr_of = |sim: &Simulator, node: usize| -> Vec<NodeId> {
+            sim.routing(node)
+                .expect("routing attached")
+                .as_any()
+                .expect("OLSR opts into downcasting")
+                .downcast_ref::<Olsr>()
+                .expect("protocol is OLSR")
+                .mpr_set()
+        };
+        sim.run_until_secs(5.0);
+        assert_eq!(
+            olsr_of(&sim, 0),
+            vec![NodeId(1)],
+            "converged chain must elect the middle node"
+        );
+        sim.run_until_secs(11.0);
+        assert!(
+            olsr_of(&sim, 0).is_empty(),
+            "dead MPR must age out and the set be recomputed"
+        );
+        assert!(olsr_of(&sim, 2).is_empty());
+        sim.run_until_secs(18.0);
+        assert_eq!(
+            olsr_of(&sim, 0),
+            vec![NodeId(1)],
+            "recovered node must be re-elected as MPR"
+        );
+        assert_eq!(olsr_of(&sim, 2), vec![NodeId(1)]);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Folding an observed event stream into a stable 64-bit digest.
 
 use cavenet_net::{
-    DropReason, EventKind, Frame, FrameDropReason, GlobalStats, MacState, MacStats, NodeId,
-    NodeStats, SimObserver, SimTime,
+    DropReason, EventKind, FaultKind, Frame, FrameDropReason, GlobalStats, MacState, MacStats,
+    NodeId, NodeStats, SimObserver, SimTime,
 };
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -22,6 +22,7 @@ mod tag {
     pub const DROPPED: u8 = 9;
     pub const GLOBAL_STATS: u8 = 10;
     pub const NODE_STATS: u8 = 11;
+    pub const FAULT: u8 = 12;
 }
 
 /// A [`SimObserver`] that folds every observed occurrence into an FNV-1a
@@ -210,6 +211,13 @@ impl SimObserver for GoldenDigest {
         self.absorb_u64(uid);
         self.absorb_u8(reason as u8);
     }
+
+    fn on_fault(&mut self, now: SimTime, node: NodeId, kind: FaultKind) {
+        self.absorb_u8(tag::FAULT);
+        self.absorb_time(now);
+        self.absorb_u64(u64::from(node.0));
+        self.absorb_u8(kind as u8);
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +251,16 @@ mod tests {
         b.on_packet_delivered(SimTime::ZERO, NodeId(2), 1);
         b.on_packet_originated(SimTime::ZERO, NodeId(1), 1);
         assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn fault_hook_flips_digest() {
+        let mut a = GoldenDigest::new();
+        a.on_fault(SimTime::from_secs(1), NodeId(2), FaultKind::Crash);
+        let mut b = GoldenDigest::new();
+        b.on_fault(SimTime::from_secs(1), NodeId(2), FaultKind::Recover);
+        assert_ne!(a.value(), b.value());
+        assert_ne!(a.value(), GoldenDigest::new().value());
     }
 
     #[test]

@@ -14,7 +14,10 @@ pub struct Golden {
 
 impl Golden {
     fn render(&self) -> String {
-        format!("digest = 0x{:016x}\nevents = {}\n", self.digest, self.events)
+        format!(
+            "digest = 0x{:016x}\nevents = {}\n",
+            self.digest, self.events
+        )
     }
 
     fn parse(text: &str) -> Option<Golden> {

@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cavenet_net::{DropReason, EventKind, MacState, NodeId, SimObserver, SimTime};
+use cavenet_net::{DropReason, EventKind, FaultKind, MacState, NodeId, SimObserver, SimTime};
 
 /// Cap on recorded violation messages (counters keep counting past it).
 const MAX_RECORDED: usize = 64;
@@ -63,6 +63,9 @@ pub struct InvariantChecker {
     live: HashSet<u64>,
     fated: HashMap<u64, Fate>,
     duplicate_fates: u64,
+    crashes: u64,
+    recoveries: u64,
+    down_nodes: HashSet<u32>,
     violation_count: u64,
     violations: Vec<String>,
 }
@@ -91,6 +94,11 @@ impl InvariantChecker {
     /// Number of MAC state transitions observed.
     pub fn mac_transitions(&self) -> u64 {
         self.mac_transitions
+    }
+
+    /// Fault events observed: `(crashes, recoveries)`.
+    pub fn faults(&self) -> (u64, u64) {
+        (self.crashes, self.recoveries)
     }
 
     /// The current conservation-ledger balance.
@@ -146,6 +154,9 @@ impl InvariantChecker {
 }
 
 /// The legal edges of the DCF state machine in `cavenet-net::mac`.
+///
+/// `WaitIdle -> Idle` exists only on the crash-flush path: a node that
+/// crashes while parked behind a busy medium snaps straight back to `Idle`.
 fn legal_transition(from: MacState, to: MacState) -> bool {
     use MacState::*;
     matches!(
@@ -153,6 +164,7 @@ fn legal_transition(from: MacState, to: MacState) -> bool {
         (Idle, WaitIdle)
             | (Idle, WaitDifs)
             | (WaitIdle, WaitDifs)
+            | (WaitIdle, Idle)
             | (WaitDifs, Backoff)
             | (WaitDifs, Transmitting)
             | (WaitDifs, WaitIdle)
@@ -187,7 +199,9 @@ impl SimObserver for InvariantChecker {
         }
         self.last_dispatch = Some(now);
         if !self.seen_seq.insert(seq) {
-            self.violation(format!("event seq {seq} dispatched twice (node {node}, {kind:?})"));
+            self.violation(format!(
+                "event seq {seq} dispatched twice (node {node}, {kind:?})"
+            ));
         }
     }
 
@@ -235,6 +249,29 @@ impl SimObserver for InvariantChecker {
         self.settle(uid, Fate::Dropped, "dropped", node, now);
         let _ = reason;
     }
+
+    fn on_fault(&mut self, now: SimTime, node: NodeId, kind: FaultKind) {
+        match kind {
+            FaultKind::Crash => {
+                self.crashes += 1;
+                if !self.down_nodes.insert(node.0) {
+                    self.violation(format!(
+                        "node {} crashed at {now:?} while already down",
+                        node.0
+                    ));
+                }
+            }
+            FaultKind::Recover => {
+                self.recoveries += 1;
+                if !self.down_nodes.remove(&node.0) {
+                    self.violation(format!(
+                        "node {} recovered at {now:?} without a preceding crash",
+                        node.0
+                    ));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,7 +283,12 @@ mod tests {
         let mut c = InvariantChecker::new();
         c.on_event_dispatched(SimTime::from_nanos(1), 1, 0, EventKind::MacTimer);
         c.on_event_dispatched(SimTime::from_nanos(2), 2, 0, EventKind::TxEnd);
-        c.on_mac_transition(SimTime::from_nanos(1), NodeId(0), MacState::Idle, MacState::WaitDifs);
+        c.on_mac_transition(
+            SimTime::from_nanos(1),
+            NodeId(0),
+            MacState::Idle,
+            MacState::WaitDifs,
+        );
         c.on_packet_originated(SimTime::from_nanos(1), NodeId(0), 10);
         c.on_packet_delivered(SimTime::from_nanos(2), NodeId(1), 10);
         c.assert_clean();
@@ -277,7 +319,12 @@ mod tests {
     fn illegal_mac_transition_is_caught() {
         let mut c = InvariantChecker::new();
         // Idle -> Transmitting skips carrier sensing: not an edge.
-        c.on_mac_transition(SimTime::ZERO, NodeId(0), MacState::Idle, MacState::Transmitting);
+        c.on_mac_transition(
+            SimTime::ZERO,
+            NodeId(0),
+            MacState::Idle,
+            MacState::Transmitting,
+        );
         assert_eq!(c.violation_count(), 1);
     }
 
@@ -297,6 +344,50 @@ mod tests {
         assert_eq!(c.violation_count(), 0);
         assert_eq!(c.ledger().duplicate_fates, 1);
         assert!(c.ledger().balanced());
+    }
+
+    /// Regression for the crash-time ledger fix. The pre-fix checker failed
+    /// this stream twice over: `WaitIdle -> Idle` (the crash-flush edge of a
+    /// node parked behind a busy medium) was not in the legal-transition
+    /// map, and the flushed packet reached no fate, leaving the ledger with
+    /// a phantom outstanding packet after the run drained.
+    #[test]
+    fn crash_flush_stream_settles_the_ledger() {
+        let mut c = InvariantChecker::new();
+        c.on_packet_originated(SimTime::from_nanos(1), NodeId(0), 1);
+        c.on_mac_transition(
+            SimTime::from_nanos(1),
+            NodeId(0),
+            MacState::Idle,
+            MacState::WaitIdle,
+        );
+        c.on_fault(SimTime::from_nanos(2), NodeId(0), FaultKind::Crash);
+        // Crash flush: the MAC snaps back to Idle and the held packet gets
+        // its terminal fate.
+        c.on_mac_transition(
+            SimTime::from_nanos(2),
+            NodeId(0),
+            MacState::WaitIdle,
+            MacState::Idle,
+        );
+        c.on_packet_dropped(SimTime::from_nanos(2), NodeId(0), 1, DropReason::NodeDown);
+        c.on_fault(SimTime::from_nanos(5), NodeId(0), FaultKind::Recover);
+        c.assert_clean();
+        let l = c.ledger();
+        assert_eq!(l.outstanding, 0, "crashed-node packet must be fated");
+        assert!(l.balanced());
+        assert_eq!(c.faults(), (1, 1));
+    }
+
+    #[test]
+    fn unmatched_fault_lifecycle_is_caught() {
+        let mut c = InvariantChecker::new();
+        c.on_fault(SimTime::ZERO, NodeId(3), FaultKind::Recover);
+        assert_eq!(c.violation_count(), 1);
+        let mut c = InvariantChecker::new();
+        c.on_fault(SimTime::ZERO, NodeId(3), FaultKind::Crash);
+        c.on_fault(SimTime::from_nanos(1), NodeId(3), FaultKind::Crash);
+        assert_eq!(c.violation_count(), 1);
     }
 
     #[test]

@@ -10,10 +10,12 @@ use std::time::Duration;
 
 use cavenet_ca::FundamentalDiagram;
 use cavenet_core::{Experiment, MobilitySource, Protocol, Scenario};
+use cavenet_net::{FaultPlan, RecoveryMode, SimTime};
 use cavenet_stats::Ensemble;
 use cavenet_testkit::{
     assert_equiv, check_golden, digest_scenario, GoldenDigest, InvariantChecker, Tee,
 };
+use proptest::prelude::*;
 
 /// The paper's Table 1 setup trimmed for CI: 40 s simulated, CBR traffic
 /// from 5 s to 25 s, three senders. The 15 s drain window exceeds the
@@ -99,8 +101,14 @@ fn invariants_hold_on_table1() {
             .run_with_observer(InvariantChecker::new())
             .expect("scenario must run");
         let checker = sim.into_observer();
-        assert!(checker.events_dispatched() > 1000, "{protocol:?}: too few events");
-        assert!(checker.mac_transitions() > 0, "{protocol:?}: MAC never moved");
+        assert!(
+            checker.events_dispatched() > 1000,
+            "{protocol:?}: too few events"
+        );
+        assert!(
+            checker.mac_transitions() > 0,
+            "{protocol:?}: MAC never moved"
+        );
         checker.assert_clean();
         let ledger = checker.ledger();
         assert_eq!(
@@ -172,12 +180,171 @@ fn parameter_flip_changes_digest() {
     );
 }
 
+// --- Fault injection ------------------------------------------------------
+
+/// The fixed churn plan used by the faulted golden fixture and the
+/// determinism checks: two relay vehicles crash mid-traffic and recover
+/// before the drain window ends. Changing it invalidates
+/// `tests/golden/table1_aodv_churn.golden`.
+fn fixed_churn_plan() -> FaultPlan {
+    FaultPlan::new()
+        .crash(SimTime::from_secs(10), 12)
+        .recover(SimTime::from_secs(20), 12)
+        .crash(SimTime::from_secs(15), 20)
+        .recover(SimTime::from_secs(24), 20)
+}
+
+#[test]
+fn golden_table1_aodv_churn() {
+    let mut s = conformance_scenario(Protocol::Aodv, 1);
+    s.fault_plan = fixed_churn_plan();
+    check_scenario_golden("table1_aodv_churn", &s);
+}
+
+#[test]
+fn empty_fault_plan_leaves_digest_unchanged() {
+    // An empty plan must be a provable no-op: no scheduled events, no RNG
+    // draws, no observer calls. A non-default recovery mode with no events
+    // is still empty.
+    let base = conformance_scenario(Protocol::Aodv, 1);
+    let mut explicit = base.clone();
+    explicit.fault_plan = FaultPlan::new().recovery(RecoveryMode::WarmStart);
+    assert!(explicit.fault_plan.is_empty());
+    let a = digest_scenario(&base);
+    let b = digest_scenario(&explicit);
+    assert_eq!(a.digest, b.digest, "empty fault plan perturbed the run");
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn fixed_churn_plan_replays_bit_identically() {
+    let mut s = conformance_scenario(Protocol::Aodv, 1);
+    s.fault_plan = fixed_churn_plan();
+    let a = digest_scenario(&s);
+    let b = digest_scenario(&s);
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn churn_ledger_stays_balanced() {
+    // Nodes crash while holding frames in their MAC queue and discovery
+    // buffers; the conservation ledger must settle every one of them as
+    // `DropReason::NodeDown` (or a later legitimate fate), never lose one.
+    for protocol in [Protocol::Aodv, Protocol::Olsr, Protocol::Dymo] {
+        let mut s = conformance_scenario(protocol, 1);
+        s.fault_plan = fixed_churn_plan();
+        let (result, sim) = Experiment::new(s)
+            .run_with_observer(InvariantChecker::new())
+            .expect("scenario must run");
+        let checker = sim.into_observer();
+        checker.assert_clean();
+        assert_eq!(checker.faults(), (2, 2), "{protocol:?}: fault events");
+        let ledger = checker.ledger();
+        assert!(ledger.balanced(), "{protocol:?}: {ledger:?}");
+        assert_eq!(
+            ledger.outstanding, 0,
+            "{protocol:?}: ledger must settle after the drain window: {ledger:?}"
+        );
+        assert!(
+            result.total_received() > 0,
+            "{protocol:?}: churn silenced the network"
+        );
+    }
+}
+
+#[test]
+fn faulted_serial_and_parallel_ensembles_are_bit_identical() {
+    let pdr_at = |seed: u64| {
+        let mut s = conformance_scenario(Protocol::Aodv, seed);
+        s.fault_plan = fixed_churn_plan();
+        Experiment::new(s)
+            .run()
+            .expect("scenario must run")
+            .mean_pdr()
+    };
+    let ensemble = Ensemble::new(3, 9);
+    let serial = ensemble.run_scalar(pdr_at).expect("summary");
+    let parallel = ensemble.run_scalar_par(pdr_at).expect("summary");
+    assert_eq!(
+        serial, parallel,
+        "worker scheduling leaked into faulted results"
+    );
+}
+
+/// A small always-connected ring for property tests: 8 parked nodes at
+/// 150 m spacing, two CBR flows, 12 s simulated.
+fn proptest_scenario(plan: FaultPlan) -> Scenario {
+    let mut s = Scenario::paper_table1(Protocol::Aodv);
+    s.nodes = 8;
+    s.circuit_m = 1200.0;
+    s.mobility = MobilitySource::ParkedRing;
+    s.sim_time = Duration::from_secs(12);
+    s.traffic.senders = vec![1, 2];
+    s.traffic.cbr.start = Duration::from_secs(2);
+    s.traffic.cbr.stop = Duration::from_secs(8);
+    s.fault_plan = plan;
+    s.seed = 5;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any random valid fault plan must (a) pass validation, (b) replay
+    /// bit-identically across two independent runs, and (c) never provoke
+    /// an engine-invariant violation — DCF state-machine legality, event
+    /// time monotonicity, packet-ledger balance.
+    #[test]
+    fn random_fault_plans_replay_bit_identically(
+        pairs in proptest::collection::vec((0usize..8, 1_000u64..8_000, 500u64..3_000), 0..4),
+        loss in 0.0f64..0.3,
+        burst in (any::<bool>(), 3_000u64..6_000, 500u64..3_000, 0.0f64..0.9),
+    ) {
+        let mut plan = FaultPlan::new().link_loss(loss);
+        let mut used = std::collections::HashSet::new();
+        for (node, crash_ms, down_ms) in pairs {
+            if !used.insert(node) {
+                continue; // one crash/recover pair per node keeps it valid
+            }
+            plan = plan
+                .crash(SimTime::from_millis(crash_ms), node)
+                .recover(SimTime::from_millis(crash_ms + down_ms), node);
+        }
+        let (with_burst, start_ms, len_ms, burst_loss) = burst;
+        if with_burst {
+            plan = plan.burst(
+                SimTime::from_millis(start_ms),
+                SimTime::from_millis(start_ms + len_ms),
+                burst_loss,
+            );
+        }
+        prop_assert!(plan.validate(8).is_ok(), "constructed plan must be valid");
+
+        let s = proptest_scenario(plan);
+        let a = digest_scenario(&s);
+        let b = digest_scenario(&s);
+        prop_assert_eq!(a.digest, b.digest, "faulted run is not replayable");
+        prop_assert_eq!(a.events, b.events);
+
+        let (_, sim) = Experiment::new(s)
+            .run_with_observer(InvariantChecker::new())
+            .expect("scenario must run");
+        let checker = sim.into_observer();
+        prop_assert_eq!(checker.violations(), &[] as &[String]);
+        prop_assert!(checker.ledger().balanced());
+    }
+}
+
 #[test]
 fn serial_and_parallel_ensembles_are_bit_identical() {
     let pdr_at = |seed: u64| {
         let mut s = conformance_scenario(Protocol::Aodv, seed);
         s.seed = seed;
-        Experiment::new(s).run().expect("scenario must run").mean_pdr()
+        Experiment::new(s)
+            .run()
+            .expect("scenario must run")
+            .mean_pdr()
     };
     let ensemble = Ensemble::new(3, 9);
     let serial = ensemble.run_scalar(pdr_at).expect("summary");
