@@ -16,9 +16,11 @@
 
 use std::time::{Duration, Instant};
 
+use cavenet_bench::report::{self, num, obj};
 use cavenet_ca::{Boundary, Lane, NasParams};
 use cavenet_core::{Experiment, Protocol, Scenario};
 use cavenet_stats::Ensemble;
+use cavenet_telemetry::{fnv64, Json, RunManifest};
 
 /// One timed simulation run: engine events processed and wall-clock seconds.
 struct EngineRun {
@@ -29,6 +31,14 @@ struct EngineRun {
 impl EngineRun {
     fn events_per_sec(&self) -> f64 {
         self.events as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("events", Json::num_u64(self.events)),
+            ("wall_s", num(self.wall_s)),
+            ("events_per_sec", num(self.events_per_sec())),
+        ])
     }
 }
 
@@ -55,14 +65,6 @@ fn scaled_ring(factor: usize, sim_secs: u64) -> Scenario {
     s.traffic.senders = (1u32..=8).map(|k| (k * s.nodes as u32) / 9).collect();
     s.traffic.receiver = 0;
     s
-}
-
-fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.3}")
-    } else {
-        "null".to_string()
-    }
 }
 
 fn main() {
@@ -157,43 +159,64 @@ fn main() {
          parallel {parallel_wall:.2} s = {ensemble_speedup:.2}× (bit-identical: {bit_identical})"
     );
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"table1\": {{\"nodes\": 30, \"sim_secs\": 100, \"events\": {}, ",
-            "\"wall_s\": {}, \"events_per_sec\": {}}},\n",
-            "  \"scaled_ring\": {{\n",
-            "    \"nodes\": {}, \"sim_secs\": {},\n",
-            "    \"brute_force\": {{\"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}}},\n",
-            "    \"neighbor_grid\": {{\"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}}},\n",
-            "    \"events_per_sec_speedup\": {}\n",
-            "  }},\n",
-            "  \"ca\": {{\"cells\": 400, \"steps\": {}, \"steps_per_sec\": {}}},\n",
-            "  \"ensemble\": {{\"trials\": {}, \"workers\": {}, \"serial_wall_s\": {}, ",
-            "\"parallel_wall_s\": {}, \"speedup\": {}, \"bit_identical\": {}}}\n",
-            "}}\n",
-        ),
-        t1.events,
-        json_num(t1.wall_s),
-        json_num(t1.events_per_sec()),
-        nodes,
-        sim_secs,
-        rb.events,
-        json_num(rb.wall_s),
-        json_num(rb.events_per_sec()),
-        rg.events,
-        json_num(rg.wall_s),
-        json_num(rg.events_per_sec()),
-        json_num(kernel_speedup),
-        ca_steps,
-        json_num(ca_rate),
-        trials,
-        workers,
-        json_num(serial_wall),
-        json_num(parallel_wall),
-        json_num(ensemble_speedup),
-        bit_identical,
+    let mut manifest = RunManifest::new("perf_report");
+    manifest.scenario_hash = fnv64(format!("{table1:?}").as_bytes());
+    manifest.fault_plan_hash = fnv64(table1.fault_plan.render().as_bytes());
+    manifest.seed = table1.seed;
+    manifest.crate_versions = cavenet_telemetry::base_crate_versions();
+    manifest
+        .crate_versions
+        .push(("cavenet-bench".into(), env!("CARGO_PKG_VERSION").into()));
+    manifest.add_timing("table1", t1.wall_s);
+    manifest.add_timing("scaled_ring_brute", rb.wall_s);
+    manifest.add_timing("scaled_ring_grid", rg.wall_s);
+    manifest.add_timing("ca", ca_wall);
+    manifest.add_timing("ensemble_serial", serial_wall);
+    manifest.add_timing("ensemble_parallel", parallel_wall);
+
+    report::write_report(
+        "BENCH_perf.json",
+        &manifest,
+        vec![
+            (
+                "table1".into(),
+                obj(vec![
+                    ("nodes", Json::num_u64(30)),
+                    ("sim_secs", Json::num_u64(100)),
+                    ("events", Json::num_u64(t1.events)),
+                    ("wall_s", num(t1.wall_s)),
+                    ("events_per_sec", num(t1.events_per_sec())),
+                ]),
+            ),
+            (
+                "scaled_ring".into(),
+                obj(vec![
+                    ("nodes", Json::num_u64(nodes as u64)),
+                    ("sim_secs", Json::num_u64(sim_secs)),
+                    ("brute_force", rb.to_json()),
+                    ("neighbor_grid", rg.to_json()),
+                    ("events_per_sec_speedup", num(kernel_speedup)),
+                ]),
+            ),
+            (
+                "ca".into(),
+                obj(vec![
+                    ("cells", Json::num_u64(400)),
+                    ("steps", Json::num_u64(ca_steps)),
+                    ("steps_per_sec", num(ca_rate)),
+                ]),
+            ),
+            (
+                "ensemble".into(),
+                obj(vec![
+                    ("trials", Json::num_u64(trials as u64)),
+                    ("workers", Json::num_u64(workers as u64)),
+                    ("serial_wall_s", num(serial_wall)),
+                    ("parallel_wall_s", num(parallel_wall)),
+                    ("speedup", num(ensemble_speedup)),
+                    ("bit_identical", Json::Bool(bit_identical)),
+                ]),
+            ),
+        ],
     );
-    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
-    println!("\nwrote BENCH_perf.json:\n{json}");
 }

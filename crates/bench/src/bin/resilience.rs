@@ -13,29 +13,30 @@
 //!
 //! Usage: `resilience [--quick]` (`--quick` shrinks the run for CI smoke).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use cavenet_bench::report::{self, num, obj};
 use cavenet_core::{Experiment, Protocol, Resilience, ResilienceSummary, Scenario};
+use cavenet_telemetry::{drop_reason_name, fnv64, Json, RunManifest};
 use cavenet_testkit::InvariantChecker;
 
-fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.4}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn summary_json(s: &ResilienceSummary) -> String {
-    format!(
-        "{{\"pdr\": {}, \"goodput_bps\": {}, \"delivered\": {}, \"sent\": {}, \
-         \"control_packets\": {}}}",
-        json_num(s.mean_pdr),
-        json_num(s.goodput_bps),
-        s.delivered,
-        s.sent,
-        s.control_packets
-    )
+fn summary_json(s: &ResilienceSummary) -> Json {
+    obj(vec![
+        ("pdr", num(s.mean_pdr)),
+        ("goodput_bps", num(s.goodput_bps)),
+        ("delivered", Json::num_u64(s.delivered)),
+        ("sent", Json::num_u64(s.sent)),
+        ("control_packets", Json::num_u64(s.control_packets)),
+        (
+            "drops",
+            Json::Obj(
+                s.drops
+                    .iter()
+                    .map(|(reason, n)| (drop_reason_name(reason).to_string(), Json::num_u64(n)))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn fig11_scenario(protocol: Protocol, quick: bool) -> Scenario {
@@ -55,6 +56,7 @@ fn main() {
 
     println!("# resilience — Fig. 11 scenario under node churn and burst loss\n");
 
+    let t_start = Instant::now();
     let mut entries = Vec::new();
     for &protocol in &protocols {
         let resilience = Resilience::new(fig11_scenario(protocol, quick));
@@ -79,9 +81,6 @@ fn main() {
             "{protocol}: churn must not silence the network"
         );
 
-        let ttr = outcome
-            .time_to_reroute
-            .map_or("null".to_string(), |d| json_num(d.as_secs_f64()));
         println!(
             "{protocol}: baseline PDR {:.3}, churn {:.3} (-{:.1} %), burst {:.3} (-{:.1} %), \
              reroute {}, ledger {}/{}/{} (originated/delivered/dropped), \
@@ -99,48 +98,53 @@ fn main() {
             ledger.dropped,
         );
 
-        entries.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"protocol\": \"{}\",\n",
-                "      \"baseline\": {},\n",
-                "      \"churn\": {},\n",
-                "      \"burst\": {},\n",
-                "      \"churn_pdr_degradation\": {},\n",
-                "      \"burst_pdr_degradation\": {},\n",
-                "      \"time_to_reroute_s\": {},\n",
-                "      \"churn_ledger_balanced\": true,\n",
-                "      \"churn_crashes\": {},\n",
-                "      \"churn_recoveries\": {}\n",
-                "    }}"
+        entries.push(obj(vec![
+            ("protocol", Json::str(protocol.to_string())),
+            ("baseline", summary_json(&outcome.baseline)),
+            ("churn", summary_json(&outcome.churn)),
+            ("burst", summary_json(&outcome.burst)),
+            ("churn_pdr_degradation", num(outcome.churn_degradation())),
+            ("burst_pdr_degradation", num(outcome.burst_degradation())),
+            (
+                "time_to_reroute_s",
+                outcome
+                    .time_to_reroute
+                    .map_or(Json::Null, |d| num(d.as_secs_f64())),
             ),
-            protocol,
-            summary_json(&outcome.baseline),
-            summary_json(&outcome.churn),
-            summary_json(&outcome.burst),
-            json_num(outcome.churn_degradation()),
-            json_num(outcome.burst_degradation()),
-            ttr,
-            crashes,
-            recoveries,
-        ));
+            ("churn_ledger_balanced", Json::Bool(true)),
+            ("churn_crashes", Json::num_u64(crashes)),
+            ("churn_recoveries", Json::num_u64(recoveries)),
+        ]));
     }
 
     let sample = fig11_scenario(Protocol::Aodv, quick);
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"scenario\": {{\"nodes\": {}, \"sim_secs\": {}, \"senders\": {}, ",
-            "\"quick\": {}}},\n",
-            "  \"protocols\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        sample.nodes,
-        sample.sim_time.as_secs(),
-        sample.traffic.senders.len(),
-        quick,
-        entries.join(",\n"),
+    let mut manifest = RunManifest::new("resilience");
+    manifest.scenario_hash = fnv64(format!("{sample:?}").as_bytes());
+    manifest.fault_plan_hash = fnv64(sample.fault_plan.render().as_bytes());
+    manifest.seed = sample.seed;
+    manifest.crate_versions = cavenet_telemetry::base_crate_versions();
+    manifest
+        .crate_versions
+        .push(("cavenet-bench".into(), env!("CARGO_PKG_VERSION").into()));
+    manifest.add_timing("total", t_start.elapsed().as_secs_f64());
+
+    report::write_report(
+        "BENCH_resilience.json",
+        &manifest,
+        vec![
+            (
+                "scenario".into(),
+                obj(vec![
+                    ("nodes", Json::num_u64(sample.nodes as u64)),
+                    ("sim_secs", Json::num_u64(sample.sim_time.as_secs())),
+                    (
+                        "senders",
+                        Json::num_u64(sample.traffic.senders.len() as u64),
+                    ),
+                    ("quick", Json::Bool(quick)),
+                ]),
+            ),
+            ("protocols".into(), Json::Arr(entries)),
+        ],
     );
-    std::fs::write("BENCH_resilience.json", &json).expect("write BENCH_resilience.json");
-    println!("\nwrote BENCH_resilience.json:\n{json}");
 }

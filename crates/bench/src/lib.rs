@@ -10,10 +10,13 @@
 //!   FFT/periodogram pipeline, the discrete-event engine and the full
 //!   per-protocol scenario.
 //!
-//! This library crate carries the small shared rendering helpers.
+//! This library crate carries the small shared rendering helpers and the
+//! [`report`] writer every `BENCH_*.json`-emitting binary goes through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
 
 /// Render a numeric series as a one-line unicode sparkline.
 pub fn sparkline(values: &[f64]) -> String {

@@ -4,7 +4,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use cavenet_net::{
-    FlowId, GlobalStats, NodeId, NoopObserver, ScenarioConfig, SimObserver, Simulator,
+    DropCounts, FlowId, GlobalStats, NodeId, NoopObserver, ScenarioConfig, SimObserver, Simulator,
 };
 use cavenet_traffic::{CbrSink, CbrSource, FlowMetrics, TrafficRecorder};
 
@@ -39,6 +39,8 @@ pub struct ExperimentResult {
     pub data_forwarded: u64,
     /// Engine/channel counters.
     pub global: GlobalStats,
+    /// Network-wide data-packet drops, broken down by terminal reason.
+    pub drops: DropCounts,
 }
 
 impl ExperimentResult {
@@ -243,6 +245,7 @@ impl Experiment {
             control_bytes,
             data_forwarded,
             global: sim.global_stats(),
+            drops: sim.drop_counts(),
         };
         Ok((result, sim))
     }

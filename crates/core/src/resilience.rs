@@ -14,7 +14,7 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use cavenet_net::{FaultPlan, SimTime};
+use cavenet_net::{DropCounts, FaultPlan, SimTime};
 
 use crate::{Experiment, ExperimentResult, Protocol, Scenario, ScenarioError};
 
@@ -34,6 +34,12 @@ pub struct ResilienceSummary {
     pub sent: u64,
     /// Routing control packets sent network-wide.
     pub control_packets: u64,
+    /// Data-packet drops by terminal reason, straight from the engine's
+    /// per-reason counters ([`Simulator::drop_counts`]) — no observer or
+    /// event replay needed.
+    ///
+    /// [`Simulator::drop_counts`]: cavenet_net::Simulator::drop_counts
+    pub drops: DropCounts,
 }
 
 impl ResilienceSummary {
@@ -50,7 +56,13 @@ impl ResilienceSummary {
             delivered: r.total_received(),
             sent: r.total_sent(),
             control_packets: r.control_packets,
+            drops: r.drops,
         }
+    }
+
+    /// Total data packets dropped, across all reasons.
+    pub fn dropped(&self) -> u64 {
+        self.drops.total()
     }
 }
 

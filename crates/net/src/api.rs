@@ -5,7 +5,7 @@ use std::time::Duration;
 use cavenet_rng::SimRng;
 
 use crate::node::NodeStats;
-use crate::observer::DropReason;
+use crate::observer::{DropReason, RouteEventKind};
 use crate::sim::{Kernel, Pending};
 use crate::{NodeId, Packet, SimTime};
 
@@ -118,6 +118,21 @@ impl NodeApi<'_> {
             packet,
             reason,
         });
+    }
+
+    /// Report a route-discovery milestone towards `dst` to the engine
+    /// observer (see [`SimObserver::on_route_event`](crate::SimObserver::on_route_event)).
+    ///
+    /// Costs one branch when no observer is attached: the note is recorded
+    /// only while an enabled observer is listening, and it never feeds back
+    /// into the simulation, so instrumented protocols stay bit-identical to
+    /// uninstrumented ones.
+    pub fn note_route_event(&mut self, dst: NodeId, kind: RouteEventKind) {
+        if self.kernel.record_sched {
+            self.kernel
+                .route_log
+                .push((self.kernel.now, NodeId(self.index as u32), dst, kind));
+        }
     }
 
     /// Deliver a packet that reached its destination up to the application.

@@ -63,10 +63,12 @@ pub use ids::{FlowId, NodeId};
 pub use mac::{MacParams, MacState, MacStats};
 pub use mobility::{MobilityModel, PositionEpoch, StaticMobility};
 pub use node::NodeStats;
-pub use observer::{DropReason, EventKind, FrameDropReason, NoopObserver, SimObserver};
+pub use observer::{
+    DropReason, EventKind, FrameDropReason, NoopObserver, RouteEventKind, SimObserver,
+};
 pub use packet::{ControlBlob, DataPayload, Frame, FrameKind, Packet, PacketBody};
 pub use phy::{PhyParams, Propagation};
 pub use sim::{ScenarioConfig, Simulator, SimulatorBuilder};
-pub use stats::GlobalStats;
+pub use stats::{DropCounts, GlobalStats};
 pub use time::SimTime;
-pub use traits::{Application, NullApplication, NullRouting, RoutingProtocol};
+pub use traits::{Application, NullApplication, NullRouting, RoutingProtocol, RoutingTelemetry};

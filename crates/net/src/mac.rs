@@ -18,6 +18,7 @@ use cavenet_rng::SimRng;
 
 use crate::observer::{DropReason, NoopObserver, SimObserver};
 use crate::packet::{Frame, FrameKind};
+use crate::stats::DropCounts;
 use crate::{NodeId, Packet, PhyParams, SimTime};
 
 /// 802.11 DCF timing and policy parameters (DSSS PHY defaults).
@@ -99,6 +100,24 @@ pub struct MacStats {
     pub rts_tx: u64,
     /// CTS frames put on the air.
     pub cts_tx: u64,
+    /// High-water mark of the interface queue (frames), including the
+    /// head-of-line frame in service.
+    pub queue_hwm: u64,
+    /// Log₂ histogram of drawn backoff slot counts: bucket 0 holds draws of
+    /// 0 slots, bucket `k ≥ 1` holds draws in `[2^(k-1), 2^k - 1]`. With
+    /// `cw_max = 1023` the last populated bucket is 10; the distribution
+    /// shifting right is the signature of contention collapse.
+    pub backoff_hist: [u64; MacStats::BACKOFF_BUCKETS],
+}
+
+impl MacStats {
+    /// Number of log₂ backoff buckets (covers `cw_max` up to 1023).
+    pub const BACKOFF_BUCKETS: usize = 11;
+
+    /// Total backoff draws recorded in [`MacStats::backoff_hist`].
+    pub fn backoff_draws(&self) -> u64 {
+        self.backoff_hist.iter().sum()
+    }
 }
 
 /// What the MAC asks its host to do; drained by the simulator after every
@@ -140,6 +159,8 @@ pub(crate) struct MacHooks<'a, O: SimObserver = NoopObserver> {
     pub tx: &'a mut Vec<Frame>,
     /// Upcalls to the network layer.
     pub upcalls: &'a mut Vec<MacUpcall>,
+    /// Simulation-wide per-reason drop counters (always maintained).
+    pub drops: &'a mut DropCounts,
     /// Engine observer (no-op by default).
     pub observer: &'a mut O,
 }
@@ -308,13 +329,16 @@ impl Mac {
     ) {
         if self.queue.len() >= self.params.queue_capacity {
             self.stats.queue_drops += 1;
-            if O::ENABLED && packet.is_data() {
-                hooks.observer.on_packet_dropped(
-                    hooks.now,
-                    self.id,
-                    packet.uid,
-                    DropReason::QueueOverflow,
-                );
+            if packet.is_data() {
+                hooks.drops.record(DropReason::QueueOverflow);
+                if O::ENABLED {
+                    hooks.observer.on_packet_dropped(
+                        hooks.now,
+                        self.id,
+                        packet.uid,
+                        DropReason::QueueOverflow,
+                    );
+                }
             }
             return;
         }
@@ -328,6 +352,7 @@ impl Mac {
             ack_uid: 0,
             nav: std::time::Duration::ZERO,
         });
+        self.stats.queue_hwm = self.stats.queue_hwm.max(self.queue.len() as u64);
         if self.state == MacState::Idle {
             self.start_service(hooks);
         }
@@ -362,6 +387,8 @@ impl Mac {
     fn ensure_backoff_slots(&mut self, rng: &mut SimRng) {
         if self.backoff_slots == 0 {
             self.backoff_slots = rng.gen_range(0..=self.cw);
+            let bucket = (u32::BITS - self.backoff_slots.leading_zeros()) as usize;
+            self.stats.backoff_hist[bucket.min(MacStats::BACKOFF_BUCKETS - 1)] += 1;
         }
     }
 
@@ -748,6 +775,7 @@ mod tests {
         timers: Vec<(Duration, u64)>,
         tx: Vec<Frame>,
         upcalls: Vec<MacUpcall>,
+        drops: DropCounts,
         obs: NoopObserver,
     }
 
@@ -760,6 +788,7 @@ mod tests {
                 timers: Vec::new(),
                 tx: Vec::new(),
                 upcalls: Vec::new(),
+                drops: DropCounts::default(),
                 obs: NoopObserver,
             }
         }
@@ -771,6 +800,7 @@ mod tests {
                 timers: &mut self.timers,
                 tx: &mut self.tx,
                 upcalls: &mut self.upcalls,
+                drops: &mut self.drops,
                 observer: &mut self.obs,
             };
             f(&mut self.mac, &mut hooks)
@@ -1097,6 +1127,7 @@ mod proptests {
             let mut timers: Vec<(Duration, u64)> = Vec::new();
             let mut tx: Vec<Frame> = Vec::new();
             let mut upcalls = Vec::new();
+            let mut drops = DropCounts::default();
             let mut obs = NoopObserver;
             let mut uid = 1u64;
             let mut enqueued = 0u64;
@@ -1109,6 +1140,7 @@ mod proptests {
                     timers: &mut timers,
                     tx: &mut tx,
                     upcalls: &mut upcalls,
+                    drops: &mut drops,
                     observer: &mut obs,
                 };
                 match s {
@@ -1173,6 +1205,7 @@ mod rts_cts_tests {
         timers: Vec<(Duration, u64)>,
         tx: Vec<Frame>,
         upcalls: Vec<MacUpcall>,
+        drops: DropCounts,
         obs: NoopObserver,
     }
 
@@ -1189,6 +1222,7 @@ mod rts_cts_tests {
                 timers: Vec::new(),
                 tx: Vec::new(),
                 upcalls: Vec::new(),
+                drops: DropCounts::default(),
                 obs: NoopObserver,
             }
         }
@@ -1200,6 +1234,7 @@ mod rts_cts_tests {
                 timers: &mut self.timers,
                 tx: &mut self.tx,
                 upcalls: &mut self.upcalls,
+                drops: &mut self.drops,
                 observer: &mut self.obs,
             };
             f(&mut self.mac, &mut hooks)

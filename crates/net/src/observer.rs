@@ -73,6 +73,26 @@ pub enum DropReason {
     NodeDown = 6,
 }
 
+/// Milestones in the life of an on-demand route discovery, reported through
+/// [`SimObserver::on_route_event`].
+///
+/// Proactive protocols (OLSR, DSDV) maintain routes continuously and emit
+/// no route events; reactive protocols (AODV, DYMO) report the full
+/// discovery life cycle, which is what lets a telemetry layer count
+/// discovery storms without parsing control packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RouteEventKind {
+    /// A fresh route discovery towards a destination began (first RREQ).
+    DiscoveryStart = 0,
+    /// An ongoing discovery was retried (expanding-ring or flood retry).
+    DiscoveryRetry = 1,
+    /// A discovery completed: the origin installed a route.
+    DiscoverySuccess = 2,
+    /// A discovery exhausted its retry budget without a route.
+    DiscoveryFailure = 3,
+}
+
 /// Observer of engine-level activity.
 ///
 /// All methods have empty default bodies; implement only what you need.
@@ -140,6 +160,12 @@ pub trait SimObserver {
     fn on_fault(&mut self, now: SimTime, node: NodeId, kind: FaultKind) {
         let _ = (now, node, kind);
     }
+
+    /// A routing protocol at `node` reported a route-discovery milestone
+    /// towards `dst` (see [`NodeApi::note_route_event`](crate::NodeApi::note_route_event)).
+    fn on_route_event(&mut self, now: SimTime, node: NodeId, dst: NodeId, kind: RouteEventKind) {
+        let _ = (now, node, dst, kind);
+    }
 }
 
 /// The default observer: does nothing, costs nothing.
@@ -183,5 +209,7 @@ mod tests {
         assert_eq!(DropReason::NodeDown as u8, 6);
         assert_eq!(FaultKind::Crash as u8, 0);
         assert_eq!(FaultKind::Recover as u8, 1);
+        assert_eq!(RouteEventKind::DiscoveryStart as u8, 0);
+        assert_eq!(RouteEventKind::DiscoveryFailure as u8, 3);
     }
 }

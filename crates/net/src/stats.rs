@@ -1,5 +1,7 @@
 //! Simulation-wide statistics.
 
+use crate::observer::DropReason;
+
 /// Channel-level counters aggregated across the whole run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GlobalStats {
@@ -15,6 +17,54 @@ pub struct GlobalStats {
     pub events_processed: u64,
 }
 
+/// Simulation-wide count of terminally discarded **data** packets, broken
+/// down by [`DropReason`]. Maintained unconditionally by the engine (no
+/// observer required) and read through
+/// [`Simulator::drop_counts`](crate::Simulator::drop_counts); with an
+/// observer attached, [`DropCounts::total`] equals the `dropped` side of
+/// the testkit's packet-conservation ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropCounts {
+    counts: [u64; DropCounts::REASONS],
+}
+
+impl DropCounts {
+    /// Number of distinct [`DropReason`] variants tracked.
+    pub const REASONS: usize = 7;
+
+    /// Every reason in discriminant order, for exhaustive iteration.
+    pub const ALL: [DropReason; DropCounts::REASONS] = [
+        DropReason::QueueOverflow,
+        DropReason::RetryLimit,
+        DropReason::NoRoute,
+        DropReason::TtlExpired,
+        DropReason::QueueTimeout,
+        DropReason::DiscoveryFailed,
+        DropReason::NodeDown,
+    ];
+
+    pub(crate) fn record(&mut self, reason: DropReason) {
+        self.counts[reason as usize] += 1;
+    }
+
+    /// Data packets discarded for `reason`.
+    pub fn get(&self, reason: DropReason) -> u64 {
+        self.counts[reason as usize]
+    }
+
+    /// Data packets discarded for any reason.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(reason, count)` pairs in stable discriminant order.
+    pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropCounts::ALL
+            .iter()
+            .map(move |&r| (r, self.counts[r as usize]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -25,5 +75,20 @@ mod tests {
         assert_eq!(s.transmissions, 0);
         assert_eq!(s.decoded, 0);
         assert_eq!(s.collisions, 0);
+    }
+
+    #[test]
+    fn drop_counts_track_per_reason() {
+        let mut d = DropCounts::default();
+        d.record(DropReason::NoRoute);
+        d.record(DropReason::NoRoute);
+        d.record(DropReason::NodeDown);
+        assert_eq!(d.get(DropReason::NoRoute), 2);
+        assert_eq!(d.get(DropReason::NodeDown), 1);
+        assert_eq!(d.get(DropReason::RetryLimit), 0);
+        assert_eq!(d.total(), 3);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs.len(), DropCounts::REASONS);
+        assert_eq!(pairs[2], (DropReason::NoRoute, 2));
     }
 }

@@ -3,6 +3,34 @@
 use crate::observer::DropReason;
 use crate::{NodeApi, NodeId, Packet};
 
+/// A point-in-time summary of one routing instance's internal state,
+/// polled through [`RoutingProtocol::telemetry`] (typically after a run,
+/// via [`Simulator::routing`](crate::Simulator::routing)).
+///
+/// Fields that do not apply to a protocol stay zero: proactive protocols
+/// report no discoveries, reactive protocols no MPR set. Control-message
+/// overhead is *not* duplicated here — it is already counted per node in
+/// [`NodeStats`](crate::NodeStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoutingTelemetry {
+    /// Entries currently held in the routing/forwarding table (for
+    /// Flooding, the duplicate-suppression set).
+    pub route_table_size: u64,
+    /// Neighbours the protocol currently tracks (link set, HELLO
+    /// neighbours), when it keeps such a set.
+    pub neighbours: u64,
+    /// Fresh route discoveries initiated (reactive protocols).
+    pub discoveries_started: u64,
+    /// Discovery retries (expanding-ring or flood retries).
+    pub discovery_retries: u64,
+    /// Discoveries that installed a route at the origin.
+    pub discoveries_succeeded: u64,
+    /// Discoveries abandoned after the retry budget.
+    pub discoveries_failed: u64,
+    /// Size of the multipoint-relay set (OLSR only).
+    pub mpr_set_size: u64,
+}
+
 /// A network-layer routing protocol attached to a node.
 ///
 /// The protocol is an event-driven state machine: the simulator calls into
@@ -64,6 +92,13 @@ pub trait RoutingProtocol {
     /// opt in return `Some(self)`; the default is `None`.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
+    }
+
+    /// Summarize the instance's current internal state for telemetry.
+    /// Purely observational — implementations must not mutate state or
+    /// touch the simulation. The default reports all-zero.
+    fn telemetry(&self) -> RoutingTelemetry {
+        RoutingTelemetry::default()
     }
 }
 

@@ -10,7 +10,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+use cavenet_net::{
+    DropReason, NodeApi, NodeId, Packet, RouteEventKind, RoutingProtocol, RoutingTelemetry, SimTime,
+};
 
 use crate::table::{seq_newer, RouteEntry, RouteTable};
 
@@ -137,6 +139,12 @@ pub struct Aodv {
     /// Last time each neighbour was heard.
     neighbours: HashMap<NodeId, SimTime>,
     pending: HashMap<NodeId, PendingDiscovery>,
+    /// Lifetime discovery counters reported through
+    /// [`RoutingProtocol::telemetry`]; purely observational.
+    discoveries_started: u64,
+    discovery_retries: u64,
+    discoveries_succeeded: u64,
+    discoveries_failed: u64,
 }
 
 impl Default for Aodv {
@@ -161,6 +169,10 @@ impl Aodv {
             seen_rreq: HashMap::new(),
             neighbours: HashMap::new(),
             pending: HashMap::new(),
+            discoveries_started: 0,
+            discovery_retries: 0,
+            discoveries_succeeded: 0,
+            discoveries_failed: 0,
         }
     }
 
@@ -357,6 +369,10 @@ impl Aodv {
         );
 
         if rrep.origin == api.id() {
+            if self.pending.contains_key(&rrep.dst) {
+                self.discoveries_succeeded += 1;
+                api.note_route_event(rrep.dst, RouteEventKind::DiscoverySuccess);
+            }
             self.flush_pending(api, rrep.dst);
             return;
         }
@@ -465,6 +481,8 @@ impl Aodv {
             };
             match action {
                 Action::GiveUp => {
+                    self.discoveries_failed += 1;
+                    api.note_route_event(dst, RouteEventKind::DiscoveryFailure);
                     if let Some(p) = self.pending.remove(&dst) {
                         for (packet, _) in p.queued {
                             api.drop_packet(packet, DropReason::DiscoveryFailed);
@@ -472,6 +490,8 @@ impl Aodv {
                     }
                 }
                 Action::Retry { ttl, wait } => {
+                    self.discovery_retries += 1;
+                    api.note_route_event(dst, RouteEventKind::DiscoveryRetry);
                     if let Some(p) = self.pending.get_mut(&dst) {
                         p.deadline = now + wait;
                     }
@@ -533,6 +553,8 @@ impl RoutingProtocol for Aodv {
         });
         entry.queued.push_back((packet, now));
         if fresh {
+            self.discoveries_started += 1;
+            api.note_route_event(dst, RouteEventKind::DiscoveryStart);
             self.start_discovery(api, dst, true, ttl);
         }
     }
@@ -627,6 +649,18 @@ impl RoutingProtocol for Aodv {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn telemetry(&self) -> RoutingTelemetry {
+        RoutingTelemetry {
+            route_table_size: self.table.len() as u64,
+            neighbours: self.neighbours.len() as u64,
+            discoveries_started: self.discoveries_started,
+            discovery_retries: self.discovery_retries,
+            discoveries_succeeded: self.discoveries_succeeded,
+            discoveries_failed: self.discoveries_failed,
+            mpr_set_size: 0,
+        }
     }
 }
 

@@ -13,7 +13,9 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+use cavenet_net::{
+    DropReason, NodeApi, NodeId, Packet, RoutingProtocol, RoutingTelemetry, SimTime,
+};
 
 /// DSDV tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -275,6 +277,15 @@ impl RoutingProtocol for Dsdv {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn telemetry(&self) -> RoutingTelemetry {
+        RoutingTelemetry {
+            route_table_size: self.routes.len() as u64,
+            // DSDV's 1-hop entries double as its neighbour set.
+            neighbours: self.routes.values().filter(|r| r.metric == 1).count() as u64,
+            ..RoutingTelemetry::default()
+        }
     }
 
     fn on_crash(&mut self, _api: &mut NodeApi<'_>) {

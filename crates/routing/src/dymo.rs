@@ -12,7 +12,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+use cavenet_net::{
+    DropReason, NodeApi, NodeId, Packet, RouteEventKind, RoutingProtocol, RoutingTelemetry, SimTime,
+};
 
 use crate::table::{seq_newer, RouteEntry, RouteTable};
 
@@ -120,6 +122,12 @@ pub struct Dymo {
     seen: HashMap<(NodeId, u32), SimTime>,
     neighbours: HashMap<NodeId, SimTime>,
     pending: HashMap<NodeId, PendingDiscovery>,
+    /// Lifetime discovery counters reported through
+    /// [`RoutingProtocol::telemetry`]; purely observational.
+    discoveries_started: u64,
+    discovery_retries: u64,
+    discoveries_succeeded: u64,
+    discoveries_failed: u64,
 }
 
 impl Default for Dymo {
@@ -144,6 +152,10 @@ impl Dymo {
             seen: HashMap::new(),
             neighbours: HashMap::new(),
             pending: HashMap::new(),
+            discoveries_started: 0,
+            discovery_retries: 0,
+            discoveries_succeeded: 0,
+            discoveries_failed: 0,
         }
     }
 
@@ -329,6 +341,10 @@ impl Dymo {
             // RREP travelling back to its target (the original requester).
             if msg.target == api.id() {
                 let dst = msg.path.first().expect("non-empty").addr;
+                if self.pending.contains_key(&dst) {
+                    self.discoveries_succeeded += 1;
+                    api.note_route_event(dst, RouteEventKind::DiscoverySuccess);
+                }
                 self.flush_pending(api, dst);
                 // Path accumulation may have satisfied other discoveries.
                 // Flush in destination order: HashMap iteration order is
@@ -341,6 +357,8 @@ impl Dymo {
                     .collect();
                 satisfied.sort_by_key(|d| d.0);
                 for d in satisfied {
+                    self.discoveries_succeeded += 1;
+                    api.note_route_event(d, RouteEventKind::DiscoverySuccess);
                     self.flush_pending(api, d);
                 }
                 return;
@@ -413,12 +431,16 @@ impl Dymo {
                 (p.retries, p.retries > self.config.max_discovery_retries)
             };
             if give_up {
+                self.discoveries_failed += 1;
+                api.note_route_event(dst, RouteEventKind::DiscoveryFailure);
                 if let Some(p) = self.pending.remove(&dst) {
                     for (packet, _) in p.queued {
                         api.drop_packet(packet, DropReason::DiscoveryFailed);
                     }
                 }
             } else {
+                self.discovery_retries += 1;
+                api.note_route_event(dst, RouteEventKind::DiscoveryRetry);
                 let wait = self.config.discovery_timeout * (retries + 1);
                 if let Some(p) = self.pending.get_mut(&dst) {
                     p.deadline = now + wait;
@@ -475,6 +497,8 @@ impl RoutingProtocol for Dymo {
         });
         entry.queued.push_back((packet, now));
         if fresh {
+            self.discoveries_started += 1;
+            api.note_route_event(dst, RouteEventKind::DiscoveryStart);
             self.start_discovery(api, dst);
         }
     }
@@ -558,6 +582,18 @@ impl RoutingProtocol for Dymo {
                     api.drop_packet(packet, DropReason::NodeDown);
                 }
             }
+        }
+    }
+
+    fn telemetry(&self) -> RoutingTelemetry {
+        RoutingTelemetry {
+            route_table_size: self.table.len() as u64,
+            neighbours: self.neighbours.len() as u64,
+            discoveries_started: self.discoveries_started,
+            discovery_retries: self.discovery_retries,
+            discoveries_succeeded: self.discoveries_succeeded,
+            discoveries_failed: self.discoveries_failed,
+            mpr_set_size: 0,
         }
     }
 }

@@ -7,7 +7,7 @@
 
 use std::collections::HashSet;
 
-use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol};
+use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, RoutingTelemetry};
 
 /// The flooding "protocol".
 #[derive(Debug, Default)]
@@ -67,6 +67,15 @@ impl RoutingProtocol for Flooding {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn telemetry(&self) -> RoutingTelemetry {
+        RoutingTelemetry {
+            // Flooding keeps no routes; the duplicate-suppression set is
+            // its only table-like state.
+            route_table_size: self.seen.len() as u64,
+            ..RoutingTelemetry::default()
+        }
     }
 
     fn on_crash(&mut self, _api: &mut NodeApi<'_>) {

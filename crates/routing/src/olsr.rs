@@ -19,7 +19,9 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
-use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, SimTime};
+use cavenet_net::{
+    DropReason, NodeApi, NodeId, Packet, RoutingProtocol, RoutingTelemetry, SimTime,
+};
 
 /// Which link cost the route computation minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -572,6 +574,15 @@ impl RoutingProtocol for Olsr {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn telemetry(&self) -> RoutingTelemetry {
+        RoutingTelemetry {
+            route_table_size: self.routes.len() as u64,
+            neighbours: self.links.len() as u64,
+            mpr_set_size: self.mprs.len() as u64,
+            ..RoutingTelemetry::default()
+        }
     }
 
     fn on_crash(&mut self, _api: &mut NodeApi<'_>) {

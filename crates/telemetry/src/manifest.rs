@@ -1,0 +1,206 @@
+//! Run manifests: the provenance block stamped into every bench report.
+//!
+//! A manifest answers "what exactly produced these numbers?": a hash of
+//! the scenario, a hash of the fault plan, the seed, the crate versions
+//! compiled in and the wall-clock timings of the run's tiers. Two reports
+//! with equal manifests came from the same inputs, so their payloads are
+//! directly comparable.
+
+use crate::json::Json;
+
+/// Version stamped into every manifest as `"manifest_version"`.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// 64-bit FNV-1a over a byte string — the same constants the conformance
+/// testkit's golden digests use, so hashes are stable across platforms.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Provenance of one benchmark or experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// The producing binary ("telemetry_report", "perf_report", ...).
+    pub tool: String,
+    /// [`fnv64`] of the scenario's canonical rendering; 0 when the run has
+    /// no single scenario.
+    pub scenario_hash: u64,
+    /// [`fnv64`] of the fault plan's textual form; 0 when unfaulted.
+    pub fault_plan_hash: u64,
+    /// Engine seed.
+    pub seed: u64,
+    /// `(crate, version)` pairs compiled into the binary.
+    pub crate_versions: Vec<(String, String)>,
+    /// `(label, seconds)` wall-clock timings for the run's tiers.
+    pub timings: Vec<(String, f64)>,
+}
+
+impl RunManifest {
+    /// A manifest for `tool` with everything else zero/empty.
+    pub fn new(tool: impl Into<String>) -> Self {
+        RunManifest {
+            tool: tool.into(),
+            scenario_hash: 0,
+            fault_plan_hash: 0,
+            seed: 0,
+            crate_versions: Vec::new(),
+            timings: Vec::new(),
+        }
+    }
+
+    /// Record a tier timing.
+    pub fn add_timing(&mut self, label: impl Into<String>, seconds: f64) {
+        self.timings.push((label.into(), seconds));
+    }
+
+    /// Render as JSON. Hashes are 16-digit hex strings (they do not fit a
+    /// JSON number exactly); members appear in a fixed order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "manifest_version".into(),
+                Json::num_u64(MANIFEST_SCHEMA_VERSION),
+            ),
+            ("tool".into(), Json::str(self.tool.clone())),
+            (
+                "scenario_hash".into(),
+                Json::str(format!("{:016x}", self.scenario_hash)),
+            ),
+            (
+                "fault_plan_hash".into(),
+                Json::str(format!("{:016x}", self.fault_plan_hash)),
+            ),
+            ("seed".into(), Json::num_u64(self.seed)),
+            (
+                "crate_versions".into(),
+                Json::Obj(
+                    self.crate_versions
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "timings_s".into(),
+                Json::Obj(
+                    self.timings
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Validate that `json` is a well-formed manifest of this schema
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or ill-typed member.
+    pub fn validate(json: &Json) -> Result<(), String> {
+        let version = json
+            .get("manifest_version")
+            .and_then(Json::as_u64)
+            .ok_or("manifest_version missing")?;
+        if version != MANIFEST_SCHEMA_VERSION {
+            return Err(format!("unsupported manifest_version {version}"));
+        }
+        json.get("tool")
+            .and_then(Json::as_str)
+            .ok_or("tool missing")?;
+        for key in ["scenario_hash", "fault_plan_hash"] {
+            let hex = json
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{key} missing"))?;
+            if hex.len() != 16 || u64::from_str_radix(hex, 16).is_err() {
+                return Err(format!("{key} is not a 16-digit hex hash: {hex:?}"));
+            }
+        }
+        json.get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("seed missing")?;
+        match json.get("crate_versions") {
+            Some(Json::Obj(members)) => {
+                for (k, v) in members {
+                    if v.as_str().is_none() {
+                        return Err(format!("crate_versions.{k} is not a string"));
+                    }
+                }
+            }
+            _ => return Err("crate_versions missing".into()),
+        }
+        match json.get("timings_s") {
+            Some(Json::Obj(members)) => {
+                for (k, v) in members {
+                    if v.as_f64().is_none() {
+                        return Err(format!("timings_s.{k} is not a number"));
+                    }
+                }
+            }
+            _ => return Err("timings_s missing".into()),
+        }
+        Ok(())
+    }
+}
+
+/// The `(crate, version)` pairs of the telemetry stack itself, for
+/// [`RunManifest::crate_versions`]. Callers append their own crates.
+pub fn base_crate_versions() -> Vec<(String, String)> {
+    vec![("cavenet-telemetry".into(), env!("CARGO_PKG_VERSION").into())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        // FNV-1a("a") — standard test vector.
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_validates() {
+        let mut m = RunManifest::new("unit_test");
+        m.scenario_hash = fnv64(b"scenario");
+        m.fault_plan_hash = fnv64(b"plan");
+        m.seed = 42;
+        m.crate_versions = base_crate_versions();
+        m.add_timing("run", 1.25);
+        let rendered = m.to_json().render_pretty();
+        let parsed = parse(&rendered).unwrap();
+        RunManifest::validate(&parsed).unwrap();
+        assert_eq!(parsed.get("seed").and_then(Json::as_u64), Some(42));
+    }
+
+    #[test]
+    fn validation_rejects_missing_members() {
+        let mut m = RunManifest::new("t");
+        m.seed = 1;
+        let Json::Obj(mut members) = m.to_json() else {
+            unreachable!()
+        };
+        members.retain(|(k, _)| k != "seed");
+        assert!(RunManifest::validate(&Json::Obj(members)).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_foreign_version() {
+        let mut m = RunManifest::new("t");
+        m.scenario_hash = 1;
+        let Json::Obj(mut members) = m.to_json() else {
+            unreachable!()
+        };
+        members[0].1 = Json::num_u64(99);
+        assert!(RunManifest::validate(&Json::Obj(members)).is_err());
+    }
+}

@@ -1,7 +1,8 @@
 //! Combining two observers into one.
 
 use cavenet_net::{
-    DropReason, EventKind, Frame, FrameDropReason, MacState, NodeId, SimObserver, SimTime,
+    DropReason, EventKind, FaultKind, Frame, FrameDropReason, MacState, NodeId, RouteEventKind,
+    SimObserver, SimTime,
 };
 
 /// An observer that forwards every hook to both of its members, letting a
@@ -56,6 +57,16 @@ impl<A: SimObserver, B: SimObserver> SimObserver for Tee<A, B> {
     fn on_packet_dropped(&mut self, now: SimTime, node: NodeId, uid: u64, reason: DropReason) {
         self.0.on_packet_dropped(now, node, uid, reason);
         self.1.on_packet_dropped(now, node, uid, reason);
+    }
+
+    fn on_fault(&mut self, now: SimTime, node: NodeId, kind: FaultKind) {
+        self.0.on_fault(now, node, kind);
+        self.1.on_fault(now, node, kind);
+    }
+
+    fn on_route_event(&mut self, now: SimTime, node: NodeId, dst: NodeId, kind: RouteEventKind) {
+        self.0.on_route_event(now, node, dst, kind);
+        self.1.on_route_event(now, node, dst, kind);
     }
 }
 

@@ -1,0 +1,188 @@
+//! Telemetry conformance: attaching the telemetry stack never changes the
+//! simulation, and its outputs round-trip.
+//!
+//! Wired into `cavenet-telemetry` via a `[[test]]` entry (the testkit
+//! pattern for cross-crate integration tests living in `tests/`).
+
+use std::time::Duration;
+
+use cavenet_core::{Experiment, Protocol, Scenario};
+use cavenet_telemetry::{
+    Counter, Json, RunManifest, TelemetryObserver, TraceCategory, TraceConfig, Tracer,
+};
+use cavenet_testkit::{GoldenDigest, InvariantChecker, Tee};
+
+/// The Fig. 11 scenario shortened for tests: 30 s, traffic 5–25 s,
+/// senders 1–3 (matches the testkit's quick scenarios).
+fn quick(protocol: Protocol, seed: u64) -> Scenario {
+    let mut s = Scenario::paper_table1(protocol);
+    s.sim_time = Duration::from_secs(30);
+    s.traffic.cbr.start = Duration::from_secs(5);
+    s.traffic.cbr.stop = Duration::from_secs(25);
+    s.traffic.senders = vec![1, 2, 3];
+    s.seed = seed;
+    s
+}
+
+/// Attaching the TelemetryObserver next to a GoldenDigest must leave the
+/// digest — a fold over the *complete* observed event stream — identical
+/// to a digest-only run, and the run's outcome identical to an unobserved
+/// (NoopObserver) run. This is the "observation does not perturb"
+/// guarantee, for every protocol with a distinct code path.
+#[test]
+fn telemetry_observer_leaves_event_stream_bit_identical() {
+    for protocol in [Protocol::Aodv, Protocol::Olsr, Protocol::Dymo] {
+        let scenario = quick(protocol, 11);
+
+        let (plain_result, plain_sim) = Experiment::new(scenario.clone())
+            .run_with_observer(GoldenDigest::new())
+            .unwrap();
+        let plain = plain_sim.into_observer();
+
+        let (teed_result, teed_sim) = Experiment::new(scenario.clone())
+            .run_with_observer(Tee(GoldenDigest::new(), TelemetryObserver::new()))
+            .unwrap();
+        let Tee(digest, mut telemetry) = teed_sim.into_observer();
+        telemetry.finish();
+
+        assert_eq!(
+            plain.value(),
+            digest.value(),
+            "{protocol:?}: telemetry observer perturbed the event stream"
+        );
+        assert_eq!(plain.events(), digest.events());
+        assert_eq!(plain_result.global, teed_result.global);
+        assert_eq!(plain_result.drops, teed_result.drops);
+
+        let unobserved = Experiment::new(scenario).run().unwrap();
+        assert_eq!(
+            unobserved.global, teed_result.global,
+            "{protocol:?}: observed run diverged from the noop baseline"
+        );
+
+        // The observer actually saw the run.
+        assert!(telemetry.registry().counter(Counter::EventsDispatched) > 0);
+        assert!(telemetry.registry().counter(Counter::PacketsDelivered) > 0);
+    }
+}
+
+/// The engine's per-reason drop counters must agree with the testkit's
+/// packet-conservation ledger: every first-fate drop the ledger sees is in
+/// the counters, and only duplicate fates can make the counters larger.
+#[test]
+fn drop_counts_agree_with_conservation_ledger() {
+    let (result, sim) = Experiment::new(quick(Protocol::Aodv, 3))
+        .run_with_observer(InvariantChecker::new())
+        .unwrap();
+    let drops = sim.drop_counts();
+    let checker = sim.observer();
+    checker.assert_clean();
+    let ledger = checker.ledger();
+    let total = drops.total();
+    assert!(
+        ledger.dropped <= total && total <= ledger.dropped + ledger.duplicate_fates,
+        "drop counters {total} disagree with ledger {ledger:?}"
+    );
+    assert_eq!(
+        result.drops, drops,
+        "ExperimentResult must carry the counters"
+    );
+    // Per-reason counts decompose the total.
+    assert_eq!(drops.iter().map(|(_, n)| n).sum::<u64>(), total);
+}
+
+/// Route-discovery telemetry: AODV on the quick scenario must start
+/// discoveries, and the observer's counters must match what the routing
+/// instances report.
+#[test]
+fn route_discovery_counters_match_protocol_telemetry() {
+    let scenario = quick(Protocol::Aodv, 5);
+    let nodes = scenario.nodes;
+    let (_, sim) = Experiment::new(scenario)
+        .run_with_observer(TelemetryObserver::new())
+        .unwrap();
+    let mut started = 0;
+    let mut succeeded = 0;
+    for i in 0..nodes {
+        let t = sim.routing(i).expect("routing attached").telemetry();
+        started += t.discoveries_started;
+        succeeded += t.discoveries_succeeded;
+    }
+    let obs = sim.observer();
+    assert!(started > 0, "AODV must discover routes in this scenario");
+    assert!(succeeded > 0);
+    assert_eq!(
+        obs.registry().counter(Counter::RouteDiscoveryStarts),
+        started
+    );
+    assert_eq!(
+        obs.registry().counter(Counter::RouteDiscoverySuccesses),
+        succeeded
+    );
+}
+
+/// JSONL round trip: every emitted line parses back, categories and
+/// counts reconstruct the registry's view of the run.
+#[test]
+fn trace_round_trips_and_reconstructs_counters() {
+    let (_, sim) = Experiment::new(quick(Protocol::Aodv, 7))
+        .run_with_observer(TelemetryObserver::with_config(TraceConfig::full()))
+        .unwrap();
+    let mut obs = sim.into_observer();
+    obs.finish();
+    let tracer = obs.tracer();
+    assert_eq!(tracer.sampled_out(), 0);
+    assert_eq!(tracer.truncated(), 0);
+    assert_eq!(tracer.filtered(), 0);
+    assert_eq!(tracer.emitted() as usize, tracer.lines().len());
+
+    let mut per_category = [0u64; TraceCategory::COUNT];
+    let mut drops = 0u64;
+    for line in tracer.lines() {
+        let rec = Tracer::parse_line(line).expect("every emitted line parses");
+        per_category[rec.category as usize] += 1;
+        if rec.category == TraceCategory::Packet && rec.event == "drop" {
+            drops += 1;
+        }
+    }
+    let registry = obs.registry();
+    assert_eq!(
+        per_category[TraceCategory::Mac as usize],
+        registry.counter(Counter::MacTransitions)
+    );
+    assert_eq!(
+        per_category[TraceCategory::Packet as usize],
+        registry.counter(Counter::PacketsOriginated)
+            + registry.counter(Counter::PacketsDelivered)
+            + registry.counter(Counter::PacketsDropped)
+    );
+    assert_eq!(drops, registry.counter(Counter::PacketsDropped));
+    assert_eq!(
+        per_category[TraceCategory::Frame as usize],
+        registry.counter(Counter::FramesTx)
+            + registry.counter(Counter::FramesRx)
+            + registry.counter(Counter::FramesDropped)
+    );
+    // Sched category enabled under full(): one record per scheduled event.
+    assert!(per_category[TraceCategory::Sched as usize] > 0);
+}
+
+/// A manifest built the way the bench bins build it must render, parse
+/// and validate.
+#[test]
+fn manifest_validates_after_render_parse() {
+    let scenario = quick(Protocol::Dymo, 9);
+    let mut m = RunManifest::new("telemetry_test");
+    m.scenario_hash = cavenet_telemetry::fnv64(format!("{scenario:?}").as_bytes());
+    m.fault_plan_hash = cavenet_telemetry::fnv64(scenario.fault_plan.render().as_bytes());
+    m.seed = scenario.seed;
+    m.crate_versions = cavenet_telemetry::base_crate_versions();
+    m.add_timing("run", 0.5);
+    let text = m.to_json().render_pretty();
+    let parsed = cavenet_telemetry::json::parse(&text).unwrap();
+    RunManifest::validate(&parsed).unwrap();
+    assert_eq!(
+        parsed.get("tool").and_then(Json::as_str),
+        Some("telemetry_test")
+    );
+}
