@@ -88,6 +88,21 @@ mod tests {
     }
 
     #[test]
+    fn envelope_with_checkpoint_lineage_validates() {
+        let mut m = RunManifest::new("unit");
+        m.set_lineage(0xdead_beef_cafe_f00d, 4096);
+        let json = assemble(&m, vec![]);
+        let reparsed = cavenet_telemetry::json::parse(&json.render_pretty()).unwrap();
+        let manifest = reparsed.get("manifest").unwrap();
+        RunManifest::validate(manifest).unwrap();
+        assert_eq!(
+            manifest.get("parent_snapshot_hash").and_then(Json::as_str),
+            Some("deadbeefcafef00d")
+        );
+        assert_eq!(manifest.get("resume_step").and_then(Json::as_u64), Some(4096));
+    }
+
+    #[test]
     fn num_maps_non_finite_to_null() {
         assert_eq!(num(1.5), Json::Num(1.5));
         assert_eq!(num(f64::NAN), Json::Null);

@@ -1,5 +1,6 @@
 //! Single-lane Nagel–Schreckenberg automaton.
 
+use cavenet_rng::wire::{WireError, WireReader, WireWriter};
 use cavenet_rng::SimRng;
 
 use crate::{Boundary, CaError, NasParams, Vehicle, VehicleId};
@@ -400,6 +401,64 @@ impl Lane {
             .windows(2)
             .all(|w| w[0].position() < w[1].position())
     }
+
+    /// Serialize the lane's dynamic state: every vehicle, the RNG stream,
+    /// the step counter and the boundary bookkeeping. The configuration
+    /// (`params`, `boundary`) is *not* captured — restores go into a lane
+    /// rebuilt from the same scenario parameters.
+    pub fn capture(&self, w: &mut WireWriter) {
+        w.put_usize(self.vehicles.len());
+        for v in &self.vehicles {
+            v.capture(w);
+        }
+        w.put_u64(self.rng.state());
+        w.put_u64(self.time);
+        w.put_u32(self.next_id);
+        w.put_u64(self.seam_crossings);
+        w.put_u64(self.removed);
+        w.put_u64(self.injected);
+    }
+
+    /// Overwrite this lane's dynamic state from a [`Lane::capture`] stream.
+    ///
+    /// The lane must have been built with the same parameters as the
+    /// captured one; vehicle positions are validated against the current
+    /// lane length so a snapshot from a different scenario fails loudly.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on a truncated stream, a malformed value, or a vehicle
+    /// position outside this lane.
+    pub fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let n = r.get_usize()?;
+        let mut vehicles = Vec::with_capacity(n);
+        let mut last: Option<usize> = None;
+        for _ in 0..n {
+            let v = Vehicle::restore(r)?;
+            if v.position() >= self.params.length() {
+                return Err(WireError::Malformed {
+                    what: "vehicle position out of lane",
+                    value: v.position() as u64,
+                });
+            }
+            if last.is_some_and(|prev| prev >= v.position()) {
+                return Err(WireError::Malformed {
+                    what: "vehicle positions not strictly increasing",
+                    value: v.position() as u64,
+                });
+            }
+            last = Some(v.position());
+            vehicles.push(v);
+        }
+        self.vehicles = vehicles;
+        self.rng = SimRng::from_state(r.get_u64()?);
+        self.time = r.get_u64()?;
+        self.next_id = r.get_u32()?;
+        self.seam_crossings = r.get_u64()?;
+        self.removed = r.get_u64()?;
+        self.injected = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -644,6 +703,92 @@ mod tests {
         assert!((lane.average_velocity()).abs() < 1e-12);
         let pos: Vec<usize> = lane.vehicles().iter().map(|v| v.position()).collect();
         assert_eq!(pos, positions);
+    }
+
+    #[test]
+    fn snapshot_resume_matches_straight_run() {
+        // Straight run: 300 steps. Resumed run: 100 steps, capture, restore
+        // into a fresh lane, 200 more steps. Trajectories must be
+        // bit-identical (the RNG stream is part of the snapshot).
+        let p = params(120, 50, 0.4);
+        let mut straight = Lane::with_random_placement(p, Boundary::Closed, 21).unwrap();
+        let mut first = Lane::with_random_placement(p, Boundary::Closed, 21).unwrap();
+        for _ in 0..100 {
+            straight.step();
+            first.step();
+        }
+        let mut w = WireWriter::new();
+        first.capture(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut resumed = Lane::with_random_placement(p, Boundary::Closed, 999).unwrap();
+        let mut r = WireReader::new(&bytes);
+        resumed.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(resumed.time(), 100);
+        assert_eq!(resumed.occupancy_row(), first.occupancy_row());
+
+        for _ in 0..200 {
+            straight.step();
+            resumed.step();
+        }
+        assert_eq!(resumed.occupancy_row(), straight.occupancy_row());
+        assert_eq!(resumed.seam_flow_rate(), straight.seam_flow_rate());
+    }
+
+    #[test]
+    fn snapshot_round_trips_open_lane_counters() {
+        let p = params(50, 5, 0.3);
+        let boundary = Boundary::Open {
+            injection_rate: 0.4,
+        };
+        let mut lane = Lane::with_uniform_placement(p, boundary, 3).unwrap();
+        for _ in 0..80 {
+            lane.step();
+        }
+        let mut w = WireWriter::new();
+        lane.capture(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = Lane::with_uniform_placement(p, boundary, 77).unwrap();
+        let mut r = WireReader::new(&bytes);
+        restored.restore(&mut r).unwrap();
+        assert_eq!(restored.injected_count(), lane.injected_count());
+        assert_eq!(restored.removed_count(), lane.removed_count());
+        let mut w2 = WireWriter::new();
+        restored.capture(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "round trip not bit-identical");
+    }
+
+    #[test]
+    fn restore_rejects_foreign_and_truncated_snapshots() {
+        let big = params(200, 60, 0.2);
+        let mut lane = Lane::with_random_placement(big, Boundary::Closed, 5).unwrap();
+        for _ in 0..50 {
+            lane.step();
+        }
+        let mut w = WireWriter::new();
+        lane.capture(&mut w);
+        let bytes = w.into_bytes();
+
+        // A shorter lane cannot hold these positions.
+        let small = params(40, 10, 0.2);
+        let mut wrong = Lane::with_uniform_placement(small, Boundary::Closed, 5).unwrap();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            wrong.restore(&mut r),
+            Err(WireError::Malformed {
+                what: "vehicle position out of lane",
+                ..
+            })
+        ));
+
+        let mut fresh = Lane::with_random_placement(big, Boundary::Closed, 5).unwrap();
+        let mut r = WireReader::new(&bytes[..bytes.len() - 5]);
+        assert!(matches!(
+            fresh.restore(&mut r),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

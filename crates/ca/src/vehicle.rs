@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use cavenet_rng::wire::{WireError, WireReader, WireWriter};
+
 /// Unique, stable identifier of a vehicle within a lane or road.
 ///
 /// The paper uses the relative euclidean position `X_i` as the identifier for
@@ -105,6 +107,28 @@ impl Vehicle {
         if wrapped {
             self.laps += 1;
         }
+    }
+
+    /// Serialize the complete vehicle state (checkpoint snapshots).
+    pub(crate) fn capture(&self, w: &mut WireWriter) {
+        w.put_u32(self.id.0);
+        w.put_usize(self.position);
+        w.put_u32(self.velocity);
+        w.put_u32(self.gap);
+        w.put_u64(self.laps);
+        w.put_bool(self.wrapped_last_step);
+    }
+
+    /// Rebuild a vehicle from a [`Vehicle::capture`] stream.
+    pub(crate) fn restore(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Vehicle {
+            id: VehicleId(r.get_u32()?),
+            position: r.get_usize()?,
+            velocity: r.get_u32()?,
+            gap: r.get_u32()?,
+            laps: r.get_u64()?,
+            wrapped_last_step: r.get_bool()?,
+        })
     }
 }
 

@@ -1,0 +1,147 @@
+//! Typed failures of snapshot encoding, decoding and restoration.
+//!
+//! Every way a snapshot can be malformed — wrong magic, foreign version,
+//! truncated container, corrupted section, missing or duplicated section,
+//! or a section whose payload does not parse — maps to a distinct
+//! [`SnapshotError`] variant. Restoring from an untrusted or damaged file
+//! must fail loudly and precisely, never panic and never half-apply.
+
+use cavenet_net::WireError;
+
+use crate::format::section_name;
+
+/// Why a snapshot could not be encoded, decoded or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The container does not start with [`MAGIC`](crate::format::MAGIC).
+    BadMagic {
+        /// The first bytes actually found (zero-padded when shorter).
+        found: [u8; 8],
+    },
+    /// The container's schema version is not one this build can read.
+    UnsupportedVersion {
+        /// The version stamped in the container.
+        found: u32,
+    },
+    /// The container ends before the advertised content.
+    Truncated {
+        /// Bytes required to continue decoding.
+        need: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A section table entry points outside the payload region or out of
+    /// order — the container was rewritten or spliced.
+    BadSectionTable {
+        /// Id of the offending entry.
+        id: u32,
+    },
+    /// The same section id appears twice.
+    DuplicateSection {
+        /// The repeated id.
+        id: u32,
+    },
+    /// A section required for this restore is absent.
+    MissingSection {
+        /// The absent id.
+        id: u32,
+    },
+    /// A section's FNV-1a hash does not match its payload — bit rot or
+    /// tampering inside that section.
+    SectionHash {
+        /// Id of the corrupted section.
+        id: u32,
+    },
+    /// A section's payload failed to parse or to apply.
+    Wire {
+        /// Id of the section being decoded.
+        id: u32,
+        /// The underlying wire-level failure.
+        error: WireError,
+    },
+    /// The snapshot's metadata disagrees with the scenario it is being
+    /// restored into (different scenario, seed or node count).
+    MetaMismatch {
+        /// Which metadata field disagreed.
+        what: &'static str,
+        /// The value found in the snapshot.
+        found: u64,
+        /// The value the restoring scenario expected.
+        expected: u64,
+    },
+}
+
+impl SnapshotError {
+    /// Attach a section id to a [`WireError`] (for `map_err`).
+    pub fn wire(id: u32) -> impl FnOnce(WireError) -> SnapshotError {
+        move |error| SnapshotError::Wire { id, error }
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a CAVENET snapshot (magic {found:02x?})")
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::Truncated { need, have } => {
+                write!(f, "snapshot truncated: need {need} bytes, have {have}")
+            }
+            SnapshotError::BadSectionTable { id } => {
+                write!(f, "section table entry for {} is inconsistent", section_name(*id))
+            }
+            SnapshotError::DuplicateSection { id } => {
+                write!(f, "duplicate section {}", section_name(*id))
+            }
+            SnapshotError::MissingSection { id } => {
+                write!(f, "missing section {}", section_name(*id))
+            }
+            SnapshotError::SectionHash { id } => {
+                write!(f, "section {} is corrupted (hash mismatch)", section_name(*id))
+            }
+            SnapshotError::Wire { id, error } => {
+                write!(f, "section {}: {error}", section_name(*id))
+            }
+            SnapshotError::MetaMismatch {
+                what,
+                found,
+                expected,
+            } => write!(
+                f,
+                "snapshot is from a different run: {what} is {found:#x}, expected {expected:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_section() {
+        let e = SnapshotError::SectionHash { id: 2 };
+        assert!(e.to_string().contains("engine"), "{e}");
+        let e = SnapshotError::Wire {
+            id: 5,
+            error: WireError::Truncated { need: 8, have: 0 },
+        };
+        assert!(e.to_string().contains("routing"), "{e}");
+    }
+
+    #[test]
+    fn meta_mismatch_reports_both_sides() {
+        let e = SnapshotError::MetaMismatch {
+            what: "seed",
+            found: 1,
+            expected: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("seed") && s.contains("0x1") && s.contains("0x2"), "{s}");
+    }
+}

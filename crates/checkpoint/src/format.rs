@@ -1,0 +1,442 @@
+//! The on-disk snapshot container.
+//!
+//! A snapshot is a flat, self-describing binary file:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"CAVENETS"
+//! 8       4     schema version (little-endian u32, currently 1)
+//! 12      4     section count
+//! 16      28×n  section table: { id u32, offset u64, len u64, fnv64 u64 }
+//! 16+28n  …     section payloads, concatenated in table order
+//! ```
+//!
+//! Section offsets are relative to the start of the payload region and
+//! must be contiguous in table order; every section carries its own
+//! 64-bit FNV-1a hash so corruption is localized to a section, not just
+//! detected globally. Section payloads are [`WireWriter`] streams — the
+//! same serde-free little-endian encoding the engine uses everywhere.
+//!
+//! **Compatibility policy**: readers accept exactly the versions they
+//! know. Any change to a section's payload encoding bumps
+//! [`SNAPSHOT_VERSION`]; old files then fail with
+//! [`SnapshotError::UnsupportedVersion`] instead of misparsing. Section
+//! ids are append-only and never renumbered; unknown section ids in a
+//! future file are a version bump, not a silent skip.
+
+use cavenet_net::{WireReader, WireWriter};
+use cavenet_rng::fnv::fnv64;
+
+use crate::error::SnapshotError;
+
+/// First eight bytes of every CAVENET snapshot.
+pub const MAGIC: [u8; 8] = *b"CAVENETS";
+
+/// Schema version written by this build and the only one it reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Bytes per section-table entry: id + offset + len + hash.
+const TABLE_ENTRY_BYTES: usize = 4 + 8 + 8 + 8;
+
+/// Fixed header bytes before the section table.
+const HEADER_BYTES: usize = 8 + 4 + 4;
+
+/// Well-known section ids. Append-only: ids are part of the format and
+/// are never renumbered or reused.
+pub mod section {
+    /// Snapshot metadata ([`SnapshotMeta`](super::SnapshotMeta)).
+    pub const META: u32 = 1;
+    /// Engine: clock, event queue, RNG streams, counters.
+    pub const ENGINE: u32 = 2;
+    /// Channel: in-flight transmissions.
+    pub const CHANNEL: u32 = 3;
+    /// Link: per-node MAC state machines, radios, node counters.
+    pub const LINK: u32 = 4;
+    /// Routing: per-node protocol state (tables, buffers, sequence numbers).
+    pub const ROUTING: u32 = 5;
+    /// Applications: per-node traffic-source cursors.
+    pub const APPS: u32 = 6;
+    /// Traffic ledger: the shared send/receive recorder.
+    pub const TRAFFIC: u32 = 7;
+    /// Mobility fingerprint: which trace the run was driven by.
+    pub const MOBILITY: u32 = 8;
+    /// Observer state (e.g. a running golden digest).
+    pub const OBSERVER: u32 = 9;
+    /// Cellular-automaton lane state (standalone BA checkpoints).
+    pub const CA: u32 = 10;
+}
+
+/// Human-readable name of a section id, for error messages.
+pub fn section_name(id: u32) -> &'static str {
+    match id {
+        section::META => "meta",
+        section::ENGINE => "engine",
+        section::CHANNEL => "channel",
+        section::LINK => "link",
+        section::ROUTING => "routing",
+        section::APPS => "apps",
+        section::TRAFFIC => "traffic",
+        section::MOBILITY => "mobility",
+        section::OBSERVER => "observer",
+        section::CA => "ca",
+        _ => "unknown",
+    }
+}
+
+/// What a snapshot was taken *of*: enough identity to refuse restoring
+/// into the wrong scenario, and enough position to resume bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Hash of the scenario's canonical rendering.
+    pub scenario_hash: u64,
+    /// Hash of the fault plan's textual form (0 when unfaulted).
+    pub fault_plan_hash: u64,
+    /// Engine seed.
+    pub seed: u64,
+    /// Node count.
+    pub nodes: u64,
+    /// Virtual clock at capture, in nanoseconds.
+    pub time_ns: u64,
+    /// Engine events dispatched before capture (the resume step).
+    pub step: u64,
+}
+
+impl SnapshotMeta {
+    /// Serialize into the META section payload.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.scenario_hash);
+        w.put_u64(self.fault_plan_hash);
+        w.put_u64(self.seed);
+        w.put_u64(self.nodes);
+        w.put_u64(self.time_ns);
+        w.put_u64(self.step);
+    }
+
+    /// Parse a META section payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Wire`] on a short or over-long payload.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, SnapshotError> {
+        let e = SnapshotError::wire(section::META);
+        let meta = SnapshotMeta {
+            scenario_hash: r.get_u64().map_err(e)?,
+            fault_plan_hash: r.get_u64().map_err(SnapshotError::wire(section::META))?,
+            seed: r.get_u64().map_err(SnapshotError::wire(section::META))?,
+            nodes: r.get_u64().map_err(SnapshotError::wire(section::META))?,
+            time_ns: r.get_u64().map_err(SnapshotError::wire(section::META))?,
+            step: r.get_u64().map_err(SnapshotError::wire(section::META))?,
+        };
+        r.finish().map_err(SnapshotError::wire(section::META))?;
+        Ok(meta)
+    }
+
+    /// Check that `self` (from a snapshot) identifies the same run as
+    /// `expected` (from the scenario being restored into). Clock and step
+    /// are positional, not identity, and are not compared.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::MetaMismatch`] naming the first differing field.
+    pub fn check_same_run(&self, expected: &SnapshotMeta) -> Result<(), SnapshotError> {
+        let fields = [
+            ("scenario_hash", self.scenario_hash, expected.scenario_hash),
+            ("fault_plan_hash", self.fault_plan_hash, expected.fault_plan_hash),
+            ("seed", self.seed, expected.seed),
+            ("nodes", self.nodes, expected.nodes),
+        ];
+        for (what, found, expected) in fields {
+            if found != expected {
+                return Err(SnapshotError::MetaMismatch {
+                    what,
+                    found,
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory snapshot: an ordered set of hashed sections.
+///
+/// Build one with [`insert`](Self::insert), serialize with
+/// [`to_bytes`](Self::to_bytes), and reopen with
+/// [`from_bytes`](Self::from_bytes) — which verifies the magic, version,
+/// table geometry and every section hash before returning.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Append a section.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::DuplicateSection`] when `id` is already present.
+    pub fn insert(&mut self, id: u32, payload: Vec<u8>) -> Result<(), SnapshotError> {
+        if self.sections.iter().any(|(i, _)| *i == id) {
+            return Err(SnapshotError::DuplicateSection { id });
+        }
+        self.sections.push((id, payload));
+        Ok(())
+    }
+
+    /// The payload of section `id`, if present.
+    pub fn get(&self, id: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// A [`WireReader`] over section `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::MissingSection`] when absent.
+    pub fn reader(&self, id: u32) -> Result<WireReader<'_>, SnapshotError> {
+        self.get(id)
+            .map(WireReader::new)
+            .ok_or(SnapshotError::MissingSection { id })
+    }
+
+    /// `(id, payload length)` of every section, in container order — the
+    /// per-component size breakdown the checkpoint bench reports.
+    pub fn section_sizes(&self) -> Vec<(u32, usize)> {
+        self.sections.iter().map(|(id, p)| (*id, p.len())).collect()
+    }
+
+    /// Serialize the container (header, table, payloads).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload_len: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut out =
+            Vec::with_capacity(HEADER_BYTES + TABLE_ENTRY_BYTES * self.sections.len() + payload_len);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let mut offset = 0u64;
+        for (id, payload) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv64(payload).to_le_bytes());
+            offset += payload.len() as u64;
+        }
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// FNV-1a hash of the serialized container — the identity stamped
+    /// into [`RunManifest`] lineage (`parent_snapshot_hash`) by resumed
+    /// runs.
+    ///
+    /// [`RunManifest`]: https://docs.rs/cavenet-telemetry
+    pub fn container_hash(&self) -> u64 {
+        fnv64(&self.to_bytes())
+    }
+
+    /// Parse and fully verify a serialized container.
+    ///
+    /// # Errors
+    ///
+    /// Every malformation maps to a typed [`SnapshotError`]: wrong magic,
+    /// foreign version, truncation anywhere, inconsistent table geometry,
+    /// duplicate ids, or a per-section hash mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_BYTES {
+            if bytes.len() >= 8 && bytes[..8] != MAGIC {
+                let mut found = [0u8; 8];
+                found.copy_from_slice(&bytes[..8]);
+                return Err(SnapshotError::BadMagic { found });
+            }
+            return Err(SnapshotError::Truncated {
+                need: HEADER_BYTES,
+                have: bytes.len(),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(&bytes[..8]);
+            return Err(SnapshotError::BadMagic { found });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let table_end = HEADER_BYTES + TABLE_ENTRY_BYTES * count;
+        if bytes.len() < table_end {
+            return Err(SnapshotError::Truncated {
+                need: table_end,
+                have: bytes.len(),
+            });
+        }
+        let payload = &bytes[table_end..];
+        let mut sections = Vec::with_capacity(count);
+        let mut expected_offset = 0u64;
+        for entry in 0..count {
+            let at = HEADER_BYTES + TABLE_ENTRY_BYTES * entry;
+            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().expect("8 bytes"));
+            let hash = u64::from_le_bytes(bytes[at + 20..at + 28].try_into().expect("8 bytes"));
+            if sections.iter().any(|(i, _): &(u32, Vec<u8>)| *i == id) {
+                return Err(SnapshotError::DuplicateSection { id });
+            }
+            if offset != expected_offset {
+                return Err(SnapshotError::BadSectionTable { id });
+            }
+            let end = offset
+                .checked_add(len)
+                .ok_or(SnapshotError::BadSectionTable { id })?;
+            if end > payload.len() as u64 {
+                return Err(SnapshotError::Truncated {
+                    need: table_end + end as usize,
+                    have: bytes.len(),
+                });
+            }
+            let body = payload[offset as usize..end as usize].to_vec();
+            if fnv64(&body) != hash {
+                return Err(SnapshotError::SectionHash { id });
+            }
+            sections.push((id, body));
+            expected_offset = end;
+        }
+        Ok(Snapshot { sections })
+    }
+
+    /// Decode the META section.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::MissingSection`] or a META parse failure.
+    pub fn meta(&self) -> Result<SnapshotMeta, SnapshotError> {
+        SnapshotMeta::decode(&mut self.reader(section::META)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new();
+        let mut w = WireWriter::new();
+        SnapshotMeta {
+            scenario_hash: 0x1111,
+            fault_plan_hash: 0,
+            seed: 7,
+            nodes: 30,
+            time_ns: 5_000_000_000,
+            step: 12_345,
+        }
+        .encode(&mut w);
+        s.insert(section::META, w.into_bytes()).unwrap();
+        s.insert(section::ENGINE, vec![1, 2, 3, 4, 5]).unwrap();
+        s.insert(section::ROUTING, vec![9; 100]).unwrap();
+        s
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.meta().unwrap().step, 12_345);
+        assert_eq!(back.get(section::ENGINE), Some(&[1u8, 2, 3, 4, 5][..]));
+        assert_eq!(s.container_hash(), back.container_hash());
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        // Corrupting *any* byte of the container must yield a typed error
+        // (or, for the rare table-geometry bit that still parses, a changed
+        // section set) — never a silent success with the same content.
+        let s = sample();
+        let bytes = s.to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            match Snapshot::from_bytes(&bad) {
+                Err(_) => {}
+                Ok(parsed) => assert_ne!(parsed, s, "flip at byte {i} went unnoticed"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed() {
+        let bytes = sample().to_bytes();
+        for keep in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..keep]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::BadMagic { .. }
+                        | SnapshotError::SectionHash { .. }
+                        | SnapshotError::BadSectionTable { .. }
+                ),
+                "keep={keep}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_magic_and_version_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::BadMagic { .. }
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99;
+        assert_eq!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion { found: 99 }
+        );
+    }
+
+    #[test]
+    fn duplicate_sections_are_rejected() {
+        let mut s = Snapshot::new();
+        s.insert(section::ENGINE, vec![1]).unwrap();
+        assert_eq!(
+            s.insert(section::ENGINE, vec![2]).unwrap_err(),
+            SnapshotError::DuplicateSection { id: section::ENGINE }
+        );
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let s = sample();
+        assert_eq!(
+            s.reader(section::CA).unwrap_err(),
+            SnapshotError::MissingSection { id: section::CA }
+        );
+    }
+
+    #[test]
+    fn meta_identity_check() {
+        let a = sample().meta().unwrap();
+        let mut b = a;
+        b.time_ns = 0;
+        b.step = 0;
+        // Position differs, identity matches: same run.
+        a.check_same_run(&b).unwrap();
+        b.seed = 8;
+        let err = a.check_same_run(&b).unwrap_err();
+        assert!(matches!(err, SnapshotError::MetaMismatch { what: "seed", .. }));
+    }
+}

@@ -1,0 +1,38 @@
+//! # cavenet-checkpoint — save, kill, resume, bit-identically
+//!
+//! A long vehicular-network sweep should survive being interrupted. This
+//! crate defines CAVENET's versioned binary snapshot format and the
+//! capture/restore choreography over a running
+//! [`Simulator`](cavenet_net::Simulator):
+//!
+//! * [`Snapshot`] — the container: an 8-byte magic, a schema version, a
+//!   section table and per-section FNV-1a integrity hashes, holding the
+//!   engine's serde-free [`WireWriter`](cavenet_net::WireWriter) streams.
+//! * [`SnapshotMeta`] — run identity (scenario/fault-plan hashes, seed,
+//!   node count) plus position (virtual clock, event step), so a snapshot
+//!   refuses to restore into the wrong scenario.
+//! * [`capture_simulator`] / [`restore_simulator`] — pack and unpack the
+//!   engine, channel, link, routing, application and observer sections.
+//! * [`SnapshotError`] — a typed error for every way a snapshot can be
+//!   malformed; corrupt files fail loudly, never panic, never half-apply.
+//!
+//! The contract is exact: a run driven `0 → T` produces the same golden
+//! digest as a run driven `0 → k`, captured, restored into a fresh
+//! process, and driven `k → T`. The conformance suite in `tests/`
+//! enforces this for every routing protocol and for faulted scenarios.
+//!
+//! Higher layers build on this: `cavenet-core` adds periodic checkpoints
+//! and sweep resumption, `cavenet-testkit` adds divergence bisection over
+//! checkpoint trails, and `cavenet-bench` reports snapshot sizes and
+//! save/restore latency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod format;
+mod sim;
+
+pub use error::SnapshotError;
+pub use format::{section, section_name, Snapshot, SnapshotMeta, MAGIC, SNAPSHOT_VERSION};
+pub use sim::{capture_simulator, restore_simulator};

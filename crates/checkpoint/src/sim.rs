@@ -1,0 +1,237 @@
+//! Capturing and restoring a whole [`Simulator`].
+//!
+//! [`capture_simulator`] walks the engine's five snapshot sections
+//! (engine, channel, link, routing, apps) plus the attached observer and
+//! packs them — with metadata — into a [`Snapshot`]. [`restore_simulator`]
+//! does the inverse into a *freshly built* simulator of the same scenario:
+//! configuration is never serialized, only dynamic state is overwritten,
+//! and afterwards the simulator continues bit-identically to the captured
+//! one.
+
+use cavenet_net::{SimObserver, Simulator, WireWriter};
+
+use crate::error::SnapshotError;
+use crate::format::{section, Snapshot, SnapshotMeta};
+
+/// Capture `sim` into a snapshot.
+///
+/// `identity` supplies the run's identity half of the metadata (scenario
+/// and fault-plan hashes, seed, node count); the positional half
+/// (`time_ns`, `step`) is stamped from the simulator itself.
+///
+/// # Errors
+///
+/// [`SnapshotError::Wire`] naming the section that failed — e.g. the
+/// engine section when the simulator is at a non-quiescent point, or the
+/// channel/link sections when an in-flight control payload has no codec.
+pub fn capture_simulator<O: SimObserver>(
+    sim: &Simulator<O>,
+    identity: SnapshotMeta,
+) -> Result<Snapshot, SnapshotError> {
+    let codec = sim.control_codec();
+    let meta = SnapshotMeta {
+        time_ns: sim.now().as_nanos(),
+        step: sim.global_stats().events_processed,
+        ..identity
+    };
+    let mut snap = Snapshot::new();
+
+    let mut w = WireWriter::new();
+    meta.encode(&mut w);
+    snap.insert(section::META, w.into_bytes())?;
+
+    let mut w = WireWriter::new();
+    sim.capture_engine(&mut w)
+        .map_err(SnapshotError::wire(section::ENGINE))?;
+    snap.insert(section::ENGINE, w.into_bytes())?;
+
+    let mut w = WireWriter::new();
+    sim.capture_channel(&mut w, codec.as_ref())
+        .map_err(SnapshotError::wire(section::CHANNEL))?;
+    snap.insert(section::CHANNEL, w.into_bytes())?;
+
+    let mut w = WireWriter::new();
+    sim.capture_link(&mut w, codec.as_ref())
+        .map_err(SnapshotError::wire(section::LINK))?;
+    snap.insert(section::LINK, w.into_bytes())?;
+
+    let mut w = WireWriter::new();
+    sim.capture_routing(&mut w)
+        .map_err(SnapshotError::wire(section::ROUTING))?;
+    snap.insert(section::ROUTING, w.into_bytes())?;
+
+    let mut w = WireWriter::new();
+    sim.capture_apps(&mut w)
+        .map_err(SnapshotError::wire(section::APPS))?;
+    snap.insert(section::APPS, w.into_bytes())?;
+
+    let mut w = WireWriter::new();
+    sim.observer()
+        .capture_state(&mut w)
+        .map_err(SnapshotError::wire(section::OBSERVER))?;
+    snap.insert(section::OBSERVER, w.into_bytes())?;
+
+    Ok(snap)
+}
+
+/// Restore `snap` into `sim`, a freshly built simulator of the same
+/// scenario, and return the snapshot's metadata (whose `step`/`time_ns`
+/// say where to resume bookkeeping).
+///
+/// # Errors
+///
+/// * [`SnapshotError::MetaMismatch`] when the snapshot identifies a
+///   different run than `expected` (or a different node count than `sim`).
+/// * [`SnapshotError::MissingSection`] when a simulator section is absent.
+/// * [`SnapshotError::Wire`] naming the section whose payload failed to
+///   parse or apply — including trailing bytes left by a section that
+///   decoded "successfully" but too short.
+pub fn restore_simulator<O: SimObserver>(
+    sim: &mut Simulator<O>,
+    snap: &Snapshot,
+    expected: &SnapshotMeta,
+) -> Result<SnapshotMeta, SnapshotError> {
+    let meta = snap.meta()?;
+    meta.check_same_run(expected)?;
+    if meta.nodes != sim.node_count() as u64 {
+        return Err(SnapshotError::MetaMismatch {
+            what: "nodes",
+            found: meta.nodes,
+            expected: sim.node_count() as u64,
+        });
+    }
+    let codec = sim.control_codec();
+
+    let mut r = snap.reader(section::ENGINE)?;
+    sim.restore_engine(&mut r)
+        .and_then(|()| r.finish())
+        .map_err(SnapshotError::wire(section::ENGINE))?;
+
+    let mut r = snap.reader(section::CHANNEL)?;
+    sim.restore_channel(&mut r, codec.as_ref())
+        .and_then(|()| r.finish())
+        .map_err(SnapshotError::wire(section::CHANNEL))?;
+
+    let mut r = snap.reader(section::LINK)?;
+    sim.restore_link(&mut r, codec.as_ref())
+        .and_then(|()| r.finish())
+        .map_err(SnapshotError::wire(section::LINK))?;
+
+    let mut r = snap.reader(section::ROUTING)?;
+    sim.restore_routing(&mut r)
+        .and_then(|()| r.finish())
+        .map_err(SnapshotError::wire(section::ROUTING))?;
+
+    let mut r = snap.reader(section::APPS)?;
+    sim.restore_apps(&mut r)
+        .and_then(|()| r.finish())
+        .map_err(SnapshotError::wire(section::APPS))?;
+
+    let mut r = snap.reader(section::OBSERVER)?;
+    sim.observer_mut()
+        .restore_state(&mut r)
+        .and_then(|()| r.finish())
+        .map_err(SnapshotError::wire(section::OBSERVER))?;
+
+    Ok(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cavenet_net::{NoopObserver, ScenarioConfig, SimTime, Simulator};
+
+    fn build(seed: u64) -> Simulator<NoopObserver> {
+        Simulator::builder(ScenarioConfig::default())
+            .nodes(4)
+            .seed(seed)
+            .build()
+    }
+
+    fn identity() -> SnapshotMeta {
+        SnapshotMeta {
+            scenario_hash: 0xABCD,
+            fault_plan_hash: 0,
+            seed: 5,
+            nodes: 4,
+            time_ns: 0,
+            step: 0,
+        }
+    }
+
+    #[test]
+    fn capture_restore_resume_is_bit_identical() {
+        let mut straight = build(5);
+        straight.run_until(SimTime::from_secs(3));
+
+        let mut first = build(5);
+        first.run_until(SimTime::from_secs(1));
+        let snap = capture_simulator(&first, identity()).unwrap();
+        let meta = snap.meta().unwrap();
+        assert_eq!(meta.time_ns, SimTime::from_secs(1).as_nanos());
+
+        let mut resumed = build(999); // seed overwritten by restore
+        let got = restore_simulator(&mut resumed, &snap, &identity()).unwrap();
+        assert_eq!(got, meta);
+        resumed.run_until(SimTime::from_secs(3));
+
+        assert_eq!(resumed.global_stats(), straight.global_stats());
+        assert_eq!(resumed.drop_counts(), straight.drop_counts());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_identity() {
+        let sim = build(5);
+        let snap = capture_simulator(&sim, identity()).unwrap();
+        let mut other = identity();
+        other.scenario_hash = 0x9999;
+        let mut fresh = build(5);
+        let err = restore_simulator(&mut fresh, &snap, &other).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::MetaMismatch {
+                what: "scenario_hash",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_missing_section() {
+        let sim = build(5);
+        let full = capture_simulator(&sim, identity()).unwrap();
+        let mut gutted = Snapshot::new();
+        for (id, _) in full.section_sizes() {
+            if id != section::ROUTING {
+                gutted.insert(id, full.get(id).unwrap().to_vec()).unwrap();
+            }
+        }
+        let mut fresh = build(5);
+        assert_eq!(
+            restore_simulator(&mut fresh, &gutted, &identity()).unwrap_err(),
+            SnapshotError::MissingSection {
+                id: section::ROUTING
+            }
+        );
+    }
+
+    #[test]
+    fn restore_rejects_trailing_bytes_in_a_section() {
+        let sim = build(5);
+        let full = capture_simulator(&sim, identity()).unwrap();
+        let mut padded = Snapshot::new();
+        for (id, _) in full.section_sizes() {
+            let mut body = full.get(id).unwrap().to_vec();
+            if id == section::APPS {
+                body.push(0xEE);
+            }
+            padded.insert(id, body).unwrap();
+        }
+        let mut fresh = build(5);
+        let err = restore_simulator(&mut fresh, &padded, &identity()).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Wire { id, .. } if id == section::APPS),
+            "{err:?}"
+        );
+    }
+}

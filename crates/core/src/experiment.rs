@@ -164,6 +164,28 @@ impl Experiment {
         &self,
         observer: O,
     ) -> Result<(ExperimentResult, Simulator<O>), ScenarioError> {
+        let (mut sim, recorder) = self.build_sim(observer)?;
+        sim.run_until(cavenet_net::SimTime::from_secs_f64(
+            self.scenario.sim_time.as_secs_f64(),
+        ));
+        let result = self.collect(&sim, &recorder);
+        Ok((result, sim))
+    }
+
+    /// Build the scenario's simulator (mobility trace, routing, CBR apps,
+    /// shared traffic recorder) without running it. This is the
+    /// construction half of [`run_with_observer`](Self::run_with_observer),
+    /// exposed so checkpointing can capture or restore a simulator at any
+    /// point between build and completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] when the scenario is inconsistent or its
+    /// mobility model cannot be built.
+    pub fn build_sim<O: SimObserver>(
+        &self,
+        observer: O,
+    ) -> Result<(Simulator<O>, cavenet_traffic::SharedRecorder), ScenarioError> {
         let s = &self.scenario;
         s.validate()?;
         let trace = s.build_trace()?;
@@ -203,11 +225,19 @@ impl Experiment {
             s.traffic.receiver as usize,
             Box::new(CbrSink::new(Rc::clone(&recorder))),
         );
-        let mut sim = builder.try_build().map_err(ScenarioError::Fault)?;
-        sim.run_until(cavenet_net::SimTime::from_secs_f64(
-            s.sim_time.as_secs_f64(),
-        ));
+        let sim = builder.try_build().map_err(ScenarioError::Fault)?;
+        Ok((sim, recorder))
+    }
 
+    /// Assemble the experiment's metrics from a finished (or mid-flight)
+    /// simulator and its traffic recorder — the collection half of
+    /// [`run_with_observer`](Self::run_with_observer).
+    pub fn collect<O: SimObserver>(
+        &self,
+        sim: &Simulator<O>,
+        recorder: &cavenet_traffic::SharedRecorder,
+    ) -> ExperimentResult {
+        let s = &self.scenario;
         let rec = recorder.borrow();
         let senders = s
             .traffic
@@ -237,7 +267,7 @@ impl Experiment {
             data_forwarded += ns.data_forwarded;
         }
 
-        let result = ExperimentResult {
+        ExperimentResult {
             protocol: s.protocol,
             duration: s.sim_time,
             senders,
@@ -246,8 +276,7 @@ impl Experiment {
             data_forwarded,
             global: sim.global_stats(),
             drops: sim.drop_counts(),
-        };
-        Ok((result, sim))
+        }
     }
 }
 

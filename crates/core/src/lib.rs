@@ -29,12 +29,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpointing;
 mod experiment;
 mod mobility_adapter;
 mod protocol;
 mod resilience;
 mod scenario;
 
+pub use checkpointing::{
+    scenario_identity, Campaign, CheckpointError, CheckpointPlan, Lineage,
+};
 pub use experiment::{Experiment, ExperimentResult, SenderReport};
 pub use mobility_adapter::TraceMobility;
 pub use protocol::Protocol;
@@ -45,6 +49,7 @@ pub use scenario::{MobilitySource, Scenario, ScenarioError, TrafficPattern};
 
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use cavenet_ca as ca;
+pub use cavenet_checkpoint as checkpoint;
 pub use cavenet_mobility as mobility;
 pub use cavenet_net as net;
 pub use cavenet_routing as routing;

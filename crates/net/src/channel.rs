@@ -3,6 +3,10 @@
 use std::collections::HashMap;
 
 use crate::packet::Frame;
+use crate::snapshot::{
+    read_frame, read_node_id, read_time, write_frame, write_node_id, write_time, ControlCodec,
+    WireError, WireReader, WireWriter,
+};
 use crate::{NodeId, SimTime};
 
 /// A frame in flight on the channel.
@@ -96,6 +100,65 @@ impl Channel {
     /// Total transmissions ever started.
     pub fn total_transmissions(&self) -> u64 {
         self.total
+    }
+
+    /// Serialize the in-flight set (sorted by id) plus the id counters.
+    /// Transmission ids and reference counts are preserved exactly: queued
+    /// `RxEnd`/`TxEnd` events refer to them.
+    pub(crate) fn capture(
+        &self,
+        w: &mut WireWriter,
+        codec: &dyn ControlCodec,
+    ) -> Result<(), WireError> {
+        w.put_u64(self.next_id);
+        w.put_u64(self.total);
+        let mut ids: Vec<u64> = self.active.keys().copied().collect();
+        ids.sort_unstable();
+        w.put_usize(ids.len());
+        for id in ids {
+            let (t, refs) = &self.active[&id];
+            w.put_u64(id);
+            write_node_id(w, t.sender);
+            write_frame(w, &t.frame, codec)?;
+            write_time(w, t.start);
+            write_time(w, t.end);
+            w.put_u32(*refs);
+        }
+        Ok(())
+    }
+
+    /// Rebuild the in-flight set from a [`Channel::capture`] stream.
+    pub(crate) fn restore(
+        &mut self,
+        r: &mut WireReader<'_>,
+        codec: &dyn ControlCodec,
+    ) -> Result<(), WireError> {
+        self.next_id = r.get_u64()?;
+        self.total = r.get_u64()?;
+        self.active.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let id = r.get_u64()?;
+            let sender = read_node_id(r)?;
+            let frame = read_frame(r, codec)?;
+            let start = read_time(r)?;
+            let end = read_time(r)?;
+            let refs = r.get_u32()?;
+            self.active.insert(
+                id,
+                (
+                    Transmission {
+                        id,
+                        sender,
+                        frame,
+                        start,
+                        end,
+                    },
+                    refs,
+                ),
+            );
+        }
+        Ok(())
     }
 }
 

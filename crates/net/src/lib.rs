@@ -50,6 +50,7 @@ mod observer;
 mod packet;
 mod phy;
 mod sim;
+pub mod snapshot;
 mod stats;
 mod time;
 mod traits;
@@ -69,6 +70,7 @@ pub use observer::{
 pub use packet::{ControlBlob, DataPayload, Frame, FrameKind, Packet, PacketBody};
 pub use phy::{PhyParams, Propagation};
 pub use sim::{ScenarioConfig, Simulator, SimulatorBuilder};
+pub use snapshot::{ControlCodec, DataOnlyCodec, WireError, WireReader, WireWriter};
 pub use stats::{DropCounts, GlobalStats};
 pub use time::SimTime;
 pub use traits::{Application, NullApplication, NullRouting, RoutingProtocol, RoutingTelemetry};

@@ -18,6 +18,9 @@ use cavenet_rng::SimRng;
 
 use crate::observer::{DropReason, NoopObserver, SimObserver};
 use crate::packet::{Frame, FrameKind};
+use crate::snapshot::{
+    read_frame, read_time, write_frame, write_time, ControlCodec, WireError, WireReader, WireWriter,
+};
 use crate::stats::DropCounts;
 use crate::{NodeId, Packet, PhyParams, SimTime};
 
@@ -302,6 +305,143 @@ impl Mac {
         self.dcf_timer = self.alloc_timer();
         self.nav_timer = self.alloc_timer();
         flushed
+    }
+
+    /// Serialize the complete DCF state: interface queue, contention
+    /// variables, timer sequence numbers (preserved exactly — queued
+    /// `MacTimer` events refer to them), pending delayed control frames,
+    /// carrier-sense caches and statistics. `id`/`params`/`phy` are
+    /// configuration and are not captured.
+    pub(crate) fn capture(
+        &self,
+        w: &mut WireWriter,
+        codec: &dyn ControlCodec,
+    ) -> Result<(), WireError> {
+        w.put_usize(self.queue.len());
+        for f in &self.queue {
+            write_frame(w, f, codec)?;
+        }
+        w.put_u8(self.state as u8);
+        w.put_u32(self.cw);
+        w.put_u32(self.retries);
+        w.put_u32(self.backoff_slots);
+        w.put_bool(self.need_backoff);
+        write_time(w, self.backoff_started);
+        w.put_u64(self.dcf_timer);
+        w.put_u64(self.next_timer);
+        w.put_usize(self.pending_acks.len());
+        for (seq, f) in &self.pending_acks {
+            w.put_u64(*seq);
+            write_frame(w, f, codec)?;
+        }
+        w.put_bool(self.sending_ack);
+        w.put_bool(self.medium_busy);
+        w.put_bool(self.phys_busy);
+        write_time(w, self.nav_until);
+        w.put_u64(self.nav_timer);
+        w.put_bool(self.tx_phase == TxPhase::Rts);
+        match self.pending_data_go {
+            None => w.put_bool(false),
+            Some(seq) => {
+                w.put_bool(true);
+                w.put_u64(seq);
+            }
+        }
+        let s = &self.stats;
+        for v in [
+            s.data_tx,
+            s.broadcast_tx,
+            s.ack_tx,
+            s.retries,
+            s.retry_drops,
+            s.queue_drops,
+            s.data_rx,
+            s.ack_rx,
+            s.overheard,
+            s.rts_tx,
+            s.cts_tx,
+            s.queue_hwm,
+        ] {
+            w.put_u64(v);
+        }
+        for v in s.backoff_hist {
+            w.put_u64(v);
+        }
+        Ok(())
+    }
+
+    /// Rebuild the DCF state from a [`Mac::capture`] stream.
+    pub(crate) fn restore(
+        &mut self,
+        r: &mut WireReader<'_>,
+        codec: &dyn ControlCodec,
+    ) -> Result<(), WireError> {
+        self.queue.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            self.queue.push_back(read_frame(r, codec)?);
+        }
+        self.state = match r.get_u8()? {
+            0 => MacState::Idle,
+            1 => MacState::WaitIdle,
+            2 => MacState::WaitDifs,
+            3 => MacState::Backoff,
+            4 => MacState::Transmitting,
+            5 => MacState::WaitAck,
+            6 => MacState::WaitCts,
+            tag => {
+                return Err(WireError::Malformed {
+                    what: "mac state tag",
+                    value: u64::from(tag),
+                })
+            }
+        };
+        self.cw = r.get_u32()?;
+        self.retries = r.get_u32()?;
+        self.backoff_slots = r.get_u32()?;
+        self.need_backoff = r.get_bool()?;
+        self.backoff_started = read_time(r)?;
+        self.dcf_timer = r.get_u64()?;
+        self.next_timer = r.get_u64()?;
+        self.pending_acks.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let seq = r.get_u64()?;
+            let frame = read_frame(r, codec)?;
+            self.pending_acks.push((seq, frame));
+        }
+        self.sending_ack = r.get_bool()?;
+        self.medium_busy = r.get_bool()?;
+        self.phys_busy = r.get_bool()?;
+        self.nav_until = read_time(r)?;
+        self.nav_timer = r.get_u64()?;
+        self.tx_phase = if r.get_bool()? {
+            TxPhase::Rts
+        } else {
+            TxPhase::Data
+        };
+        self.pending_data_go = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        let s = &mut self.stats;
+        s.data_tx = r.get_u64()?;
+        s.broadcast_tx = r.get_u64()?;
+        s.ack_tx = r.get_u64()?;
+        s.retries = r.get_u64()?;
+        s.retry_drops = r.get_u64()?;
+        s.queue_drops = r.get_u64()?;
+        s.data_rx = r.get_u64()?;
+        s.ack_rx = r.get_u64()?;
+        s.overheard = r.get_u64()?;
+        s.rts_tx = r.get_u64()?;
+        s.cts_tx = r.get_u64()?;
+        s.queue_hwm = r.get_u64()?;
+        for b in s.backoff_hist.iter_mut() {
+            *b = r.get_u64()?;
+        }
+        Ok(())
     }
 
     /// Change DCF state, reporting the transition to the observer.

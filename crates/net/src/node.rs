@@ -2,6 +2,7 @@
 
 use crate::mac::Mac;
 use crate::packet::Frame;
+use crate::snapshot::{WireError, WireReader, WireWriter};
 use crate::traits::{Application, RoutingProtocol};
 use crate::NodeId;
 
@@ -150,6 +151,50 @@ impl Radio {
         self.transmitting = false;
         self.lock = None;
         self.arrivals.clear();
+    }
+
+    /// Serialize the receiver state: the arrival set in insertion order
+    /// (capture decisions depend on it), the current lock, and the
+    /// transmit flag.
+    pub(crate) fn capture(&self, w: &mut WireWriter) {
+        w.put_bool(self.transmitting);
+        match &self.lock {
+            None => w.put_bool(false),
+            Some(l) => {
+                w.put_bool(true);
+                w.put_u64(l.tx_id);
+                w.put_f64(l.power);
+                w.put_bool(l.corrupted);
+            }
+        }
+        w.put_usize(self.arrivals.len());
+        for a in &self.arrivals {
+            w.put_u64(a.tx_id);
+            w.put_f64(a.power);
+        }
+    }
+
+    /// Rebuild the receiver state from a [`Radio::capture`] stream.
+    pub(crate) fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.transmitting = r.get_bool()?;
+        self.lock = if r.get_bool()? {
+            Some(RxLock {
+                tx_id: r.get_u64()?,
+                power: r.get_f64()?,
+                corrupted: r.get_bool()?,
+            })
+        } else {
+            None
+        };
+        self.arrivals.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            self.arrivals.push(Arrival {
+                tx_id: r.get_u64()?,
+                power: r.get_f64()?,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@ use crate::fault::FaultKind;
 use crate::mac::MacState;
 use crate::packet::Frame;
 use crate::{NodeId, SimTime};
+use cavenet_rng::wire::{WireError, WireReader, WireWriter};
 
 /// Classes of engine events, mirroring the internal event enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -165,6 +166,30 @@ pub trait SimObserver {
     /// towards `dst` (see [`NodeApi::note_route_event`](crate::NodeApi::note_route_event)).
     fn on_route_event(&mut self, now: SimTime, node: NodeId, dst: NodeId, kind: RouteEventKind) {
         let _ = (now, node, dst, kind);
+    }
+
+    /// Serialize the observer's accumulated state for a checkpoint, so
+    /// that an observer resumed in a fresh process continues exactly where
+    /// the captured one stopped (a resumed digest must equal the digest of
+    /// an uninterrupted run). Stateless observers keep the empty default.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when the state cannot be serialized.
+    fn capture_state(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        let _ = w;
+        Ok(())
+    }
+
+    /// Overwrite the observer's state from a snapshot produced by
+    /// [`capture_state`](Self::capture_state).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on a truncated or malformed stream.
+    fn restore_state(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let _ = r;
+        Ok(())
     }
 }
 

@@ -1,0 +1,387 @@
+//! Snapshot primitives: wire helpers and the control-payload codec.
+//!
+//! The checkpoint subsystem (crate `cavenet-checkpoint`) serializes live
+//! engine state into versioned binary sections. The encoding primitives are
+//! `cavenet-rng`'s [`WireWriter`]/[`WireReader`]; this module adds the
+//! network-layer vocabulary on top: times, durations, packets and frames.
+//!
+//! The one genuinely hard case is the routing control payload.
+//! [`ControlBlob`] is `Arc<dyn Any>` — opaque to this crate by design — so
+//! in-flight control packets (sitting in MAC queues or on the channel at
+//! snapshot time) can only be serialized by the protocol family that minted
+//! them. Each routing protocol exposes a [`ControlCodec`] through
+//! [`RoutingProtocol::control_codec`](crate::RoutingProtocol::control_codec);
+//! since a simulation runs one protocol family on every node (one routing
+//! factory per build), a single codec covers every blob in the snapshot.
+
+use std::time::Duration;
+
+pub use cavenet_rng::wire::{WireError, WireReader, WireWriter};
+
+use crate::packet::{ControlBlob, DataPayload, Frame, FrameKind, Packet, PacketBody};
+use crate::{FlowId, NodeId, SimTime};
+
+/// Serializer for one protocol family's opaque control payloads.
+///
+/// `encode` downcasts the blob to the family's message types and writes a
+/// tagged representation; `decode` reverses it. A blob from a foreign
+/// protocol family is a [`WireError::Malformed`] — it cannot appear in a
+/// correctly built simulation.
+pub trait ControlCodec {
+    /// Serialize `blob` into `w`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] if the blob is not one of this family's
+    /// message types.
+    fn encode(&self, blob: &ControlBlob, w: &mut WireWriter) -> Result<(), WireError>;
+
+    /// Deserialize one control payload from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] for a truncated or malformed stream.
+    fn decode(&self, r: &mut WireReader<'_>) -> Result<ControlBlob, WireError>;
+}
+
+/// The codec for protocols that send no control packets at all (flooding,
+/// [`NullRouting`](crate::NullRouting)): encoding or decoding any blob is an
+/// error.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataOnlyCodec;
+
+impl ControlCodec for DataOnlyCodec {
+    fn encode(&self, _blob: &ControlBlob, _w: &mut WireWriter) -> Result<(), WireError> {
+        Err(WireError::Malformed {
+            what: "control payload under DataOnlyCodec",
+            value: 0,
+        })
+    }
+
+    fn decode(&self, _r: &mut WireReader<'_>) -> Result<ControlBlob, WireError> {
+        Err(WireError::Malformed {
+            what: "control payload under DataOnlyCodec",
+            value: 0,
+        })
+    }
+}
+
+/// Write a [`SimTime`] as raw nanoseconds.
+pub fn write_time(w: &mut WireWriter, t: SimTime) {
+    w.put_u64(t.as_nanos());
+}
+
+/// Read a [`SimTime`] written by [`write_time`].
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on a short stream.
+pub fn read_time(r: &mut WireReader<'_>) -> Result<SimTime, WireError> {
+    Ok(SimTime::from_nanos(r.get_u64()?))
+}
+
+/// Write a [`Duration`] as raw nanoseconds (u64; simulation durations never
+/// exceed that).
+pub fn write_duration(w: &mut WireWriter, d: Duration) {
+    w.put_u64(d.as_nanos() as u64);
+}
+
+/// Read a [`Duration`] written by [`write_duration`].
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on a short stream.
+pub fn read_duration(r: &mut WireReader<'_>) -> Result<Duration, WireError> {
+    Ok(Duration::from_nanos(r.get_u64()?))
+}
+
+/// Write a [`NodeId`] (including the broadcast address) as its raw `u32`.
+pub fn write_node_id(w: &mut WireWriter, id: NodeId) {
+    w.put_u32(id.0);
+}
+
+/// Read a [`NodeId`] written by [`write_node_id`].
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on a short stream.
+pub fn read_node_id(r: &mut WireReader<'_>) -> Result<NodeId, WireError> {
+    Ok(NodeId(r.get_u32()?))
+}
+
+const BODY_DATA: u8 = 0;
+const BODY_CONTROL: u8 = 1;
+
+/// Write a network-layer [`Packet`], using `codec` for a control body.
+///
+/// # Errors
+///
+/// Whatever `codec` reports for an unencodable control payload.
+pub fn write_packet(
+    w: &mut WireWriter,
+    p: &Packet,
+    codec: &dyn ControlCodec,
+) -> Result<(), WireError> {
+    write_node_id(w, p.src);
+    write_node_id(w, p.dst);
+    w.put_u8(p.ttl);
+    w.put_u32(p.size_bytes);
+    w.put_u64(p.uid);
+    match &p.body {
+        PacketBody::Data(d) => {
+            w.put_u8(BODY_DATA);
+            write_node_id(w, d.flow.src);
+            write_node_id(w, d.flow.dst);
+            w.put_u16(d.flow.port);
+            w.put_u32(d.seq);
+            write_time(w, d.sent_at);
+        }
+        PacketBody::Control(blob) => {
+            w.put_u8(BODY_CONTROL);
+            codec.encode(blob, w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a [`Packet`] written by [`write_packet`].
+///
+/// # Errors
+///
+/// Any [`WireError`] for a truncated or malformed stream.
+pub fn read_packet(r: &mut WireReader<'_>, codec: &dyn ControlCodec) -> Result<Packet, WireError> {
+    let src = read_node_id(r)?;
+    let dst = read_node_id(r)?;
+    let ttl = r.get_u8()?;
+    let size_bytes = r.get_u32()?;
+    let uid = r.get_u64()?;
+    let body = match r.get_u8()? {
+        BODY_DATA => {
+            let fsrc = read_node_id(r)?;
+            let fdst = read_node_id(r)?;
+            let port = r.get_u16()?;
+            let seq = r.get_u32()?;
+            let sent_at = read_time(r)?;
+            PacketBody::Data(DataPayload {
+                flow: FlowId::new(fsrc, fdst, port),
+                seq,
+                sent_at,
+            })
+        }
+        BODY_CONTROL => PacketBody::Control(codec.decode(r)?),
+        tag => {
+            return Err(WireError::Malformed {
+                what: "packet body tag",
+                value: u64::from(tag),
+            })
+        }
+    };
+    Ok(Packet {
+        src,
+        dst,
+        ttl,
+        size_bytes,
+        uid,
+        body,
+    })
+}
+
+/// Write an `Option<Packet>` (presence flag + packet).
+///
+/// # Errors
+///
+/// See [`write_packet`].
+pub fn write_opt_packet(
+    w: &mut WireWriter,
+    p: &Option<Packet>,
+    codec: &dyn ControlCodec,
+) -> Result<(), WireError> {
+    match p {
+        None => w.put_bool(false),
+        Some(p) => {
+            w.put_bool(true);
+            write_packet(w, p, codec)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read an `Option<Packet>` written by [`write_opt_packet`].
+///
+/// # Errors
+///
+/// Any [`WireError`] for a truncated or malformed stream.
+pub fn read_opt_packet(
+    r: &mut WireReader<'_>,
+    codec: &dyn ControlCodec,
+) -> Result<Option<Packet>, WireError> {
+    if r.get_bool()? {
+        Ok(Some(read_packet(r, codec)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn frame_kind_tag(kind: FrameKind) -> u8 {
+    match kind {
+        FrameKind::Data => 0,
+        FrameKind::Ack => 1,
+        FrameKind::Rts => 2,
+        FrameKind::Cts => 3,
+    }
+}
+
+fn frame_kind_from_tag(tag: u8) -> Result<FrameKind, WireError> {
+    match tag {
+        0 => Ok(FrameKind::Data),
+        1 => Ok(FrameKind::Ack),
+        2 => Ok(FrameKind::Rts),
+        3 => Ok(FrameKind::Cts),
+        _ => Err(WireError::Malformed {
+            what: "frame kind tag",
+            value: u64::from(tag),
+        }),
+    }
+}
+
+/// Write a link-layer [`Frame`].
+///
+/// # Errors
+///
+/// See [`write_packet`] for the encapsulated packet.
+pub fn write_frame(
+    w: &mut WireWriter,
+    f: &Frame,
+    codec: &dyn ControlCodec,
+) -> Result<(), WireError> {
+    write_node_id(w, f.mac_src);
+    write_node_id(w, f.mac_dst);
+    w.put_u8(frame_kind_tag(f.kind));
+    w.put_u32(f.size_bytes);
+    write_opt_packet(w, &f.packet, codec)?;
+    w.put_u64(f.ack_uid);
+    write_duration(w, f.nav);
+    Ok(())
+}
+
+/// Read a [`Frame`] written by [`write_frame`].
+///
+/// # Errors
+///
+/// Any [`WireError`] for a truncated or malformed stream.
+pub fn read_frame(r: &mut WireReader<'_>, codec: &dyn ControlCodec) -> Result<Frame, WireError> {
+    Ok(Frame {
+        mac_src: read_node_id(r)?,
+        mac_dst: read_node_id(r)?,
+        kind: frame_kind_from_tag(r.get_u8()?)?,
+        size_bytes: r.get_u32()?,
+        packet: read_opt_packet(r, codec)?,
+        ack_uid: r.get_u64()?,
+        nav: read_duration(r)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_packet_round_trips() {
+        let mut p = Packet::data(
+            FlowId::new(NodeId(3), NodeId(9), 7),
+            42,
+            512,
+            SimTime::from_millis(1500),
+        );
+        p.uid = 77;
+        p.ttl = 5;
+        let mut w = WireWriter::new();
+        write_packet(&mut w, &p, &DataOnlyCodec).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let q = read_packet(&mut r, &DataOnlyCodec).unwrap();
+        r.finish().unwrap();
+        assert_eq!(q.src, p.src);
+        assert_eq!(q.dst, p.dst);
+        assert_eq!(q.ttl, 5);
+        assert_eq!(q.uid, 77);
+        let d = q.body.as_data().unwrap();
+        assert_eq!(d.seq, 42);
+        assert_eq!(d.sent_at, SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn control_packet_needs_a_real_codec() {
+        let p = Packet::control(NodeId(0), NodeId::BROADCAST, 24, 5u32);
+        let mut w = WireWriter::new();
+        assert!(write_packet(&mut w, &p, &DataOnlyCodec).is_err());
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let mut p = Packet::data(
+            FlowId::new(NodeId(0), NodeId(1), 0),
+            1,
+            256,
+            SimTime::from_micros(10),
+        );
+        p.uid = 13;
+        let f = Frame {
+            mac_src: NodeId(0),
+            mac_dst: NodeId(1),
+            kind: FrameKind::Data,
+            size_bytes: 304,
+            packet: Some(p),
+            ack_uid: 0,
+            nav: Duration::from_micros(66),
+        };
+        let mut w = WireWriter::new();
+        write_frame(&mut w, &f, &DataOnlyCodec).unwrap();
+        let bytes = w.into_bytes();
+        let g = read_frame(&mut WireReader::new(&bytes), &DataOnlyCodec).unwrap();
+        assert_eq!(g.mac_src, f.mac_src);
+        assert_eq!(g.mac_dst, f.mac_dst);
+        assert_eq!(g.kind, f.kind);
+        assert_eq!(g.size_bytes, f.size_bytes);
+        assert_eq!(g.ack_uid, 0);
+        assert_eq!(g.nav, f.nav);
+        assert_eq!(g.packet.unwrap().uid, 13);
+    }
+
+    #[test]
+    fn ack_frame_round_trips_without_packet() {
+        let f = Frame {
+            mac_src: NodeId(4),
+            mac_dst: NodeId(2),
+            kind: FrameKind::Ack,
+            size_bytes: 14,
+            packet: None,
+            ack_uid: 991,
+            nav: Duration::ZERO,
+        };
+        let mut w = WireWriter::new();
+        write_frame(&mut w, &f, &DataOnlyCodec).unwrap();
+        let bytes = w.into_bytes();
+        let g = read_frame(&mut WireReader::new(&bytes), &DataOnlyCodec).unwrap();
+        assert!(g.packet.is_none());
+        assert_eq!(g.ack_uid, 991);
+        assert_eq!(g.kind, FrameKind::Ack);
+    }
+
+    #[test]
+    fn bad_tags_are_typed_errors() {
+        // Bad frame-kind tag.
+        let mut w = WireWriter::new();
+        write_node_id(&mut w, NodeId(0));
+        write_node_id(&mut w, NodeId(1));
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            read_frame(&mut WireReader::new(&bytes), &DataOnlyCodec),
+            Err(WireError::Malformed {
+                what: "frame kind tag",
+                ..
+            })
+        ));
+    }
+}

@@ -47,6 +47,14 @@ impl DropCounts {
         self.counts[reason as usize] += 1;
     }
 
+    pub(crate) fn raw(&self) -> &[u64; DropCounts::REASONS] {
+        &self.counts
+    }
+
+    pub(crate) fn set_raw(&mut self, counts: [u64; DropCounts::REASONS]) {
+        self.counts = counts;
+    }
+
     /// Data packets discarded for `reason`.
     pub fn get(&self, reason: DropReason) -> u64 {
         self.counts[reason as usize]

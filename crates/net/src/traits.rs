@@ -1,6 +1,7 @@
 //! Hook traits implemented by routing protocols and applications.
 
 use crate::observer::DropReason;
+use crate::snapshot::{ControlCodec, WireError, WireReader, WireWriter};
 use crate::{NodeApi, NodeId, Packet};
 
 /// A point-in-time summary of one routing instance's internal state,
@@ -100,6 +101,44 @@ pub trait RoutingProtocol {
     fn telemetry(&self) -> RoutingTelemetry {
         RoutingTelemetry::default()
     }
+
+    /// Serialize this instance's complete dynamic state for a checkpoint
+    /// snapshot. Together with [`restore_state`](Self::restore_state) this
+    /// must round-trip *bit-identically*: a restored instance continues the
+    /// simulation with exactly the events the captured one would have
+    /// produced. Map-backed state must be written in sorted key order.
+    /// Configuration need not be captured — restore happens into a
+    /// factory-fresh instance built with the same configuration.
+    ///
+    /// The default captures nothing, which is correct only for stateless
+    /// protocols ([`NullRouting`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if buffered packets cannot be serialized.
+    fn capture_state(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        let _ = w;
+        Ok(())
+    }
+
+    /// Overwrite this (factory-fresh) instance's dynamic state from a
+    /// snapshot produced by [`capture_state`](Self::capture_state).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on a truncated or malformed stream.
+    fn restore_state(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let _ = r;
+        Ok(())
+    }
+
+    /// The codec able to serialize this protocol family's in-flight control
+    /// payloads (see [`ControlCodec`]). Protocols that send control packets
+    /// must return `Some`; the default `None` means "no control traffic"
+    /// and snapshotting falls back to [`DataOnlyCodec`](crate::DataOnlyCodec).
+    fn control_codec(&self) -> Option<Box<dyn ControlCodec>> {
+        None
+    }
 }
 
 /// An application attached to a node (traffic source or sink).
@@ -117,6 +156,30 @@ pub trait Application {
     /// A data packet destined to this node arrived.
     fn handle_packet(&mut self, api: &mut NodeApi<'_>, packet: &Packet) {
         let _ = (api, packet);
+    }
+
+    /// Serialize this application's dynamic state (send cursors, counters)
+    /// for a checkpoint snapshot; see
+    /// [`RoutingProtocol::capture_state`] for the contract. The default
+    /// captures nothing (stateless sinks).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if state cannot be serialized.
+    fn capture_state(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        let _ = w;
+        Ok(())
+    }
+
+    /// Overwrite this (freshly built) application's dynamic state from a
+    /// snapshot produced by [`capture_state`](Self::capture_state).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on a truncated or malformed stream.
+    fn restore_state(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let _ = r;
+        Ok(())
     }
 }
 

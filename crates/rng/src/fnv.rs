@@ -1,0 +1,110 @@
+//! The workspace's one FNV-1a implementation.
+//!
+//! Three subsystems fingerprint byte streams with 64-bit FNV-1a: the
+//! conformance testkit's golden digests, the telemetry run manifests, and
+//! the checkpoint snapshot section hashes. They must all use the *same*
+//! constants and fold order — the committed golden fixtures are only
+//! meaningful if the hash is part of the repository's contract — so the
+//! implementation lives here, in the lowest crate of the workspace, and
+//! everything else re-exports or wraps it.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot 64-bit FNV-1a over a byte string.
+#[inline]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// Byte-stream equivalent to [`fnv64`]: feeding the same bytes in any
+/// chunking produces the same hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    #[inline]
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// A hasher resumed from a previously captured [`Fnv64::finish`] value.
+    ///
+    /// FNV-1a's running state *is* its output, so a digest can be
+    /// checkpointed and continued across processes.
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        Fnv64 { state }
+    }
+
+    /// Fold `bytes` into the hash.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a single byte into the hash.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= u64::from(b);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// The current hash value. The hasher remains usable.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        // FNV-1a("a") — standard test vector.
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // FNV-1a("foobar") — standard test vector.
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chunking_is_irrelevant() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"");
+        h.write_u8(b'b');
+        h.write(b"ar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn resumes_from_state() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        let mut resumed = Fnv64::from_state(h.finish());
+        resumed.write(b"bar");
+        assert_eq!(resumed.finish(), fnv64(b"foobar"));
+    }
+}

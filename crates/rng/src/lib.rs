@@ -28,6 +28,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fnv;
+pub mod wire;
+
 /// Map 64 random bits to a uniform `f64` in `[0, 1)` using the top 53 bits.
 #[inline]
 fn unit_f64(bits: u64) -> f64 {
@@ -67,6 +70,23 @@ impl SimRng {
         SimRng {
             state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
         }
+    }
+
+    /// The raw generator state, for checkpointing. Restoring the state via
+    /// [`SimRng::from_state`] continues the stream bit-identically.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator from a previously captured [`SimRng::state`].
+    ///
+    /// Unlike [`SimRng::seed_from_u64`] this applies no seed folding: the
+    /// argument is the exact internal state, so the restored generator emits
+    /// the same continuation of the stream the captured one would have.
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        SimRng { state }
     }
 
     /// The next 64 random bits.

@@ -10,8 +10,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
+use cavenet_net::snapshot::{
+    read_duration, read_node_id, read_packet, read_time, write_duration, write_node_id,
+    write_packet, write_time,
+};
 use cavenet_net::{
-    DropReason, NodeApi, NodeId, Packet, RouteEventKind, RoutingProtocol, RoutingTelemetry, SimTime,
+    ControlBlob, ControlCodec, DataOnlyCodec, DropReason, NodeApi, NodeId, Packet, RouteEventKind,
+    RoutingProtocol, RoutingTelemetry, SimTime, WireError, WireReader, WireWriter,
 };
 
 use crate::table::{seq_newer, RouteEntry, RouteTable};
@@ -518,6 +523,100 @@ impl Aodv {
     }
 }
 
+/// Serializer for AODV's in-flight control payloads (RREQ, RREP, RERR,
+/// HELLO). Tag bytes are part of the checkpoint format and fixed forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AodvCodec;
+
+const CTRL_RREQ: u8 = 1;
+const CTRL_RREP: u8 = 2;
+const CTRL_RERR: u8 = 3;
+const CTRL_HELLO: u8 = 4;
+
+impl ControlCodec for AodvCodec {
+    fn encode(&self, blob: &ControlBlob, w: &mut WireWriter) -> Result<(), WireError> {
+        if let Some(m) = blob.downcast_ref::<Rreq>() {
+            w.put_u8(CTRL_RREQ);
+            w.put_u32(m.rreq_id);
+            write_node_id(w, m.dst);
+            match m.dst_seq {
+                None => w.put_bool(false),
+                Some(s) => {
+                    w.put_bool(true);
+                    w.put_u32(s);
+                }
+            }
+            write_node_id(w, m.origin);
+            w.put_u32(m.origin_seq);
+            w.put_u32(m.hop_count);
+        } else if let Some(m) = blob.downcast_ref::<Rrep>() {
+            w.put_u8(CTRL_RREP);
+            write_node_id(w, m.dst);
+            w.put_u32(m.dst_seq);
+            write_node_id(w, m.origin);
+            w.put_u32(m.hop_count);
+            write_duration(w, m.lifetime);
+        } else if let Some(m) = blob.downcast_ref::<Rerr>() {
+            w.put_u8(CTRL_RERR);
+            w.put_usize(m.unreachable.len());
+            for &(dst, seq) in &m.unreachable {
+                write_node_id(w, dst);
+                w.put_u32(seq);
+            }
+        } else if let Some(m) = blob.downcast_ref::<Hello>() {
+            w.put_u8(CTRL_HELLO);
+            w.put_u32(m.seq);
+        } else {
+            return Err(WireError::Malformed {
+                what: "non-AODV control payload",
+                value: 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn decode(&self, r: &mut WireReader<'_>) -> Result<ControlBlob, WireError> {
+        Ok(match r.get_u8()? {
+            CTRL_RREQ => std::sync::Arc::new(Rreq {
+                rreq_id: r.get_u32()?,
+                dst: read_node_id(r)?,
+                dst_seq: if r.get_bool()? {
+                    Some(r.get_u32()?)
+                } else {
+                    None
+                },
+                origin: read_node_id(r)?,
+                origin_seq: r.get_u32()?,
+                hop_count: r.get_u32()?,
+            }),
+            CTRL_RREP => std::sync::Arc::new(Rrep {
+                dst: read_node_id(r)?,
+                dst_seq: r.get_u32()?,
+                origin: read_node_id(r)?,
+                hop_count: r.get_u32()?,
+                lifetime: read_duration(r)?,
+            }),
+            CTRL_RERR => {
+                let n = r.get_usize()?;
+                let mut unreachable = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let dst = read_node_id(r)?;
+                    let seq = r.get_u32()?;
+                    unreachable.push((dst, seq));
+                }
+                std::sync::Arc::new(Rerr { unreachable })
+            }
+            CTRL_HELLO => std::sync::Arc::new(Hello { seq: r.get_u32()? }),
+            tag => {
+                return Err(WireError::Malformed {
+                    what: "aodv control tag",
+                    value: u64::from(tag),
+                })
+            }
+        })
+    }
+}
+
 impl RoutingProtocol for Aodv {
     fn name(&self) -> &'static str {
         "aodv"
@@ -662,6 +761,106 @@ impl RoutingProtocol for Aodv {
             mpr_set_size: 0,
         }
     }
+
+    fn capture_state(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        self.table.capture(w);
+        w.put_u32(self.seqno);
+        w.put_u32(self.rreq_id);
+        let mut seen: Vec<(NodeId, u32)> = self.seen_rreq.keys().copied().collect();
+        seen.sort_by_key(|&(n, id)| (n.0, id));
+        w.put_usize(seen.len());
+        for key in seen {
+            write_node_id(w, key.0);
+            w.put_u32(key.1);
+            write_time(w, self.seen_rreq[&key]);
+        }
+        let mut neigh: Vec<NodeId> = self.neighbours.keys().copied().collect();
+        neigh.sort_by_key(|n| n.0);
+        w.put_usize(neigh.len());
+        for n in neigh {
+            write_node_id(w, n);
+            write_time(w, self.neighbours[&n]);
+        }
+        let mut dsts: Vec<NodeId> = self.pending.keys().copied().collect();
+        dsts.sort_by_key(|d| d.0);
+        w.put_usize(dsts.len());
+        for dst in dsts {
+            let p = &self.pending[&dst];
+            write_node_id(w, dst);
+            w.put_u32(p.retries);
+            write_time(w, p.deadline);
+            w.put_u8(p.ttl);
+            w.put_usize(p.queued.len());
+            for (packet, queued_at) in &p.queued {
+                // Only data packets are ever buffered behind a discovery.
+                write_packet(w, packet, &DataOnlyCodec)?;
+                write_time(w, *queued_at);
+            }
+        }
+        for v in [
+            self.discoveries_started,
+            self.discovery_retries,
+            self.discoveries_succeeded,
+            self.discoveries_failed,
+        ] {
+            w.put_u64(v);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.table.restore(r)?;
+        self.seqno = r.get_u32()?;
+        self.rreq_id = r.get_u32()?;
+        self.seen_rreq.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let node = read_node_id(r)?;
+            let id = r.get_u32()?;
+            let expires = read_time(r)?;
+            self.seen_rreq.insert((node, id), expires);
+        }
+        self.neighbours.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let node = read_node_id(r)?;
+            let heard = read_time(r)?;
+            self.neighbours.insert(node, heard);
+        }
+        self.pending.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let dst = read_node_id(r)?;
+            let retries = r.get_u32()?;
+            let deadline = read_time(r)?;
+            let ttl = r.get_u8()?;
+            let qn = r.get_usize()?;
+            let mut queued = VecDeque::with_capacity(qn);
+            for _ in 0..qn {
+                let packet = read_packet(r, &DataOnlyCodec)?;
+                let queued_at = read_time(r)?;
+                queued.push_back((packet, queued_at));
+            }
+            self.pending.insert(
+                dst,
+                PendingDiscovery {
+                    retries,
+                    deadline,
+                    ttl,
+                    queued,
+                },
+            );
+        }
+        self.discoveries_started = r.get_u64()?;
+        self.discovery_retries = r.get_u64()?;
+        self.discoveries_succeeded = r.get_u64()?;
+        self.discoveries_failed = r.get_u64()?;
+        Ok(())
+    }
+
+    fn control_codec(&self) -> Option<Box<dyn ControlCodec>> {
+        Some(Box::new(AodvCodec))
+    }
 }
 
 #[cfg(test)]
@@ -672,6 +871,74 @@ mod tests {
     #[test]
     fn name() {
         assert_eq!(Aodv::new().name(), "aodv");
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        crate::testutil::assert_snapshot_round_trip(4, |_| Box::new(Aodv::new()), 8.0, 7);
+    }
+
+    #[test]
+    fn codec_round_trips_every_control_message() {
+        let codec = AodvCodec;
+        let blobs: Vec<ControlBlob> = vec![
+            std::sync::Arc::new(Rreq {
+                rreq_id: 7,
+                dst: NodeId(3),
+                dst_seq: Some(9),
+                origin: NodeId(1),
+                origin_seq: 4,
+                hop_count: 2,
+            }),
+            std::sync::Arc::new(Rreq {
+                rreq_id: 8,
+                dst: NodeId(3),
+                dst_seq: None,
+                origin: NodeId(1),
+                origin_seq: 4,
+                hop_count: 0,
+            }),
+            std::sync::Arc::new(Rrep {
+                dst: NodeId(3),
+                dst_seq: 10,
+                origin: NodeId(1),
+                hop_count: 2,
+                lifetime: Duration::from_secs(3),
+            }),
+            std::sync::Arc::new(Rerr {
+                unreachable: vec![(NodeId(5), 11), (NodeId(6), 12)],
+            }),
+            std::sync::Arc::new(Hello { seq: 42 }),
+        ];
+        for blob in blobs {
+            let mut w = WireWriter::new();
+            codec.encode(&blob, &mut w).expect("encode");
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let decoded = codec.decode(&mut r).expect("decode");
+            r.finish().expect("whole stream consumed");
+            let mut w2 = WireWriter::new();
+            codec.encode(&decoded, &mut w2).expect("re-encode");
+            assert_eq!(bytes, w2.into_bytes(), "codec round trip not stable");
+        }
+    }
+
+    #[test]
+    fn codec_rejects_foreign_payload_and_bad_tag() {
+        let codec = AodvCodec;
+        let foreign: ControlBlob = std::sync::Arc::new(42u32);
+        assert!(matches!(
+            codec.encode(&foreign, &mut WireWriter::new()),
+            Err(WireError::Malformed { .. })
+        ));
+        let mut r = WireReader::new(&[0xEE]);
+        assert!(matches!(
+            codec.decode(&mut r),
+            Err(WireError::Malformed {
+                what: "aodv control tag",
+                ..
+            })
+        ));
     }
 
     #[test]

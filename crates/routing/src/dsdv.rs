@@ -13,8 +13,10 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use cavenet_net::snapshot::{read_node_id, read_time, write_node_id, write_time};
 use cavenet_net::{
-    DropReason, NodeApi, NodeId, Packet, RoutingProtocol, RoutingTelemetry, SimTime,
+    ControlBlob, ControlCodec, DropReason, NodeApi, NodeId, Packet, RoutingProtocol,
+    RoutingTelemetry, SimTime, WireError, WireReader, WireWriter,
 };
 
 /// DSDV tunables.
@@ -211,6 +213,54 @@ fn seq32_newer(a: u32, b: u32) -> bool {
     (a.wrapping_sub(b) as i32) > 0
 }
 
+/// Serializer for DSDV's single in-flight control payload (the full-dump
+/// update). The tag byte is part of the checkpoint format and fixed
+/// forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DsdvCodec;
+
+const CTRL_UPDATE: u8 = 1;
+
+impl ControlCodec for DsdvCodec {
+    fn encode(&self, blob: &ControlBlob, w: &mut WireWriter) -> Result<(), WireError> {
+        let Some(m) = blob.downcast_ref::<Update>() else {
+            return Err(WireError::Malformed {
+                what: "non-DSDV control payload",
+                value: 0,
+            });
+        };
+        w.put_u8(CTRL_UPDATE);
+        w.put_usize(m.entries.len());
+        for adv in &m.entries {
+            write_node_id(w, adv.dst);
+            w.put_u32(adv.metric);
+            w.put_u32(adv.seqno);
+        }
+        Ok(())
+    }
+
+    fn decode(&self, r: &mut WireReader<'_>) -> Result<ControlBlob, WireError> {
+        match r.get_u8()? {
+            CTRL_UPDATE => {
+                let n = r.get_usize()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(Advertised {
+                        dst: read_node_id(r)?,
+                        metric: r.get_u32()?,
+                        seqno: r.get_u32()?,
+                    });
+                }
+                Ok(std::sync::Arc::new(Update { entries }))
+            }
+            tag => Err(WireError::Malformed {
+                what: "dsdv control tag",
+                value: u64::from(tag),
+            }),
+        }
+    }
+}
+
 impl RoutingProtocol for Dsdv {
     fn name(&self) -> &'static str {
         "dsdv"
@@ -300,6 +350,43 @@ impl RoutingProtocol for Dsdv {
             api.drop_packet(packet, DropReason::RetryLimit);
         }
     }
+
+    fn capture_state(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        let mut dsts: Vec<NodeId> = self.routes.keys().copied().collect();
+        dsts.sort_by_key(|d| d.0);
+        w.put_usize(dsts.len());
+        for dst in dsts {
+            let r = &self.routes[&dst];
+            write_node_id(w, dst);
+            write_node_id(w, r.next_hop);
+            w.put_u32(r.metric);
+            w.put_u32(r.seqno);
+            write_time(w, r.updated);
+        }
+        w.put_u32(self.own_seq);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.routes.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let dst = read_node_id(r)?;
+            let route = DsdvRoute {
+                next_hop: read_node_id(r)?,
+                metric: r.get_u32()?,
+                seqno: r.get_u32()?,
+                updated: read_time(r)?,
+            };
+            self.routes.insert(dst, route);
+        }
+        self.own_seq = r.get_u32()?;
+        Ok(())
+    }
+
+    fn control_codec(&self) -> Option<Box<dyn ControlCodec>> {
+        Some(Box::new(DsdvCodec))
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +404,53 @@ mod tests {
         assert!(seq32_newer(4, 2));
         assert!(!seq32_newer(2, 4));
         assert!(seq32_newer(0, u32::MAX - 1));
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        crate::testutil::assert_snapshot_round_trip(4, |_| Box::new(Dsdv::new()), 8.0, 7);
+    }
+
+    #[test]
+    fn codec_round_trips_update_and_rejects_garbage() {
+        let codec = DsdvCodec;
+        let blob: ControlBlob = std::sync::Arc::new(Update {
+            entries: vec![
+                Advertised {
+                    dst: NodeId(0),
+                    metric: 0,
+                    seqno: 8,
+                },
+                Advertised {
+                    dst: NodeId(2),
+                    metric: 3,
+                    seqno: 5,
+                },
+            ],
+        });
+        let mut w = WireWriter::new();
+        codec.encode(&blob, &mut w).expect("encode");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let decoded = codec.decode(&mut r).expect("decode");
+        r.finish().expect("whole stream consumed");
+        let mut w2 = WireWriter::new();
+        codec.encode(&decoded, &mut w2).expect("re-encode");
+        assert_eq!(bytes, w2.into_bytes(), "codec round trip not stable");
+
+        let foreign: ControlBlob = std::sync::Arc::new("nope");
+        assert!(matches!(
+            codec.encode(&foreign, &mut WireWriter::new()),
+            Err(WireError::Malformed { .. })
+        ));
+        let mut bad = WireReader::new(&[0x7F]);
+        assert!(matches!(
+            codec.decode(&mut bad),
+            Err(WireError::Malformed {
+                what: "dsdv control tag",
+                ..
+            })
+        ));
     }
 
     #[test]

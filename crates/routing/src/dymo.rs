@@ -12,8 +12,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
+use cavenet_net::snapshot::{read_node_id, read_packet, read_time, write_node_id, write_packet, write_time};
 use cavenet_net::{
-    DropReason, NodeApi, NodeId, Packet, RouteEventKind, RoutingProtocol, RoutingTelemetry, SimTime,
+    ControlBlob, ControlCodec, DataOnlyCodec, DropReason, NodeApi, NodeId, Packet, RouteEventKind,
+    RoutingProtocol, RoutingTelemetry, SimTime, WireError, WireReader, WireWriter,
 };
 
 use crate::table::{seq_newer, RouteEntry, RouteTable};
@@ -466,6 +468,108 @@ impl Dymo {
     }
 }
 
+/// Serializer for DYMO's in-flight control payloads (route messages with
+/// their accumulated paths, RERRs, HELLOs). Tag bytes are part of the
+/// checkpoint format and fixed forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DymoCodec;
+
+const CTRL_RM: u8 = 1;
+const CTRL_RERR: u8 = 2;
+const CTRL_HELLO: u8 = 3;
+
+impl ControlCodec for DymoCodec {
+    fn encode(&self, blob: &ControlBlob, w: &mut WireWriter) -> Result<(), WireError> {
+        if let Some(m) = blob.downcast_ref::<RouteMessage>() {
+            w.put_u8(CTRL_RM);
+            w.put_bool(m.is_reply);
+            write_node_id(w, m.target);
+            match m.target_seq {
+                None => w.put_bool(false),
+                Some(s) => {
+                    w.put_bool(true);
+                    w.put_u32(s);
+                }
+            }
+            w.put_u32(m.msg_id);
+            w.put_usize(m.path.len());
+            for node in &m.path {
+                write_node_id(w, node.addr);
+                w.put_u32(node.seqno);
+            }
+        } else if let Some(m) = blob.downcast_ref::<Rerr>() {
+            w.put_u8(CTRL_RERR);
+            w.put_usize(m.unreachable.len());
+            for &(dst, seq) in &m.unreachable {
+                write_node_id(w, dst);
+                w.put_u32(seq);
+            }
+        } else if let Some(m) = blob.downcast_ref::<Hello>() {
+            w.put_u8(CTRL_HELLO);
+            w.put_u32(m.seq);
+        } else {
+            return Err(WireError::Malformed {
+                what: "non-DYMO control payload",
+                value: 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn decode(&self, r: &mut WireReader<'_>) -> Result<ControlBlob, WireError> {
+        Ok(match r.get_u8()? {
+            CTRL_RM => {
+                let is_reply = r.get_bool()?;
+                let target = read_node_id(r)?;
+                let target_seq = if r.get_bool()? {
+                    Some(r.get_u32()?)
+                } else {
+                    None
+                };
+                let msg_id = r.get_u32()?;
+                let n = r.get_usize()?;
+                if n == 0 {
+                    // `RouteMessage::origin` relies on a non-empty path.
+                    return Err(WireError::Malformed {
+                        what: "empty DYMO path",
+                        value: 0,
+                    });
+                }
+                let mut path = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let addr = read_node_id(r)?;
+                    let seqno = r.get_u32()?;
+                    path.push(PathNode { addr, seqno });
+                }
+                std::sync::Arc::new(RouteMessage {
+                    is_reply,
+                    target,
+                    target_seq,
+                    msg_id,
+                    path,
+                })
+            }
+            CTRL_RERR => {
+                let n = r.get_usize()?;
+                let mut unreachable = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let dst = read_node_id(r)?;
+                    let seq = r.get_u32()?;
+                    unreachable.push((dst, seq));
+                }
+                std::sync::Arc::new(Rerr { unreachable })
+            }
+            CTRL_HELLO => std::sync::Arc::new(Hello { seq: r.get_u32()? }),
+            tag => {
+                return Err(WireError::Malformed {
+                    what: "dymo control tag",
+                    value: u64::from(tag),
+                })
+            }
+        })
+    }
+}
+
 impl RoutingProtocol for Dymo {
     fn name(&self) -> &'static str {
         "dymo"
@@ -596,6 +700,102 @@ impl RoutingProtocol for Dymo {
             mpr_set_size: 0,
         }
     }
+
+    fn capture_state(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        self.table.capture(w);
+        w.put_u32(self.seqno);
+        w.put_u32(self.msg_id);
+        let mut seen: Vec<(NodeId, u32)> = self.seen.keys().copied().collect();
+        seen.sort_by_key(|&(n, id)| (n.0, id));
+        w.put_usize(seen.len());
+        for key in seen {
+            write_node_id(w, key.0);
+            w.put_u32(key.1);
+            write_time(w, self.seen[&key]);
+        }
+        let mut neigh: Vec<NodeId> = self.neighbours.keys().copied().collect();
+        neigh.sort_by_key(|n| n.0);
+        w.put_usize(neigh.len());
+        for n in neigh {
+            write_node_id(w, n);
+            write_time(w, self.neighbours[&n]);
+        }
+        let mut dsts: Vec<NodeId> = self.pending.keys().copied().collect();
+        dsts.sort_by_key(|d| d.0);
+        w.put_usize(dsts.len());
+        for dst in dsts {
+            let p = &self.pending[&dst];
+            write_node_id(w, dst);
+            w.put_u32(p.retries);
+            write_time(w, p.deadline);
+            w.put_usize(p.queued.len());
+            for (packet, queued_at) in &p.queued {
+                write_packet(w, packet, &DataOnlyCodec)?;
+                write_time(w, *queued_at);
+            }
+        }
+        for v in [
+            self.discoveries_started,
+            self.discovery_retries,
+            self.discoveries_succeeded,
+            self.discoveries_failed,
+        ] {
+            w.put_u64(v);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.table.restore(r)?;
+        self.seqno = r.get_u32()?;
+        self.msg_id = r.get_u32()?;
+        self.seen.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let node = read_node_id(r)?;
+            let id = r.get_u32()?;
+            let expires = read_time(r)?;
+            self.seen.insert((node, id), expires);
+        }
+        self.neighbours.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let node = read_node_id(r)?;
+            let heard = read_time(r)?;
+            self.neighbours.insert(node, heard);
+        }
+        self.pending.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let dst = read_node_id(r)?;
+            let retries = r.get_u32()?;
+            let deadline = read_time(r)?;
+            let qn = r.get_usize()?;
+            let mut queued = VecDeque::with_capacity(qn);
+            for _ in 0..qn {
+                let packet = read_packet(r, &DataOnlyCodec)?;
+                let queued_at = read_time(r)?;
+                queued.push_back((packet, queued_at));
+            }
+            self.pending.insert(
+                dst,
+                PendingDiscovery {
+                    retries,
+                    deadline,
+                    queued,
+                },
+            );
+        }
+        self.discoveries_started = r.get_u64()?;
+        self.discovery_retries = r.get_u64()?;
+        self.discoveries_succeeded = r.get_u64()?;
+        self.discoveries_failed = r.get_u64()?;
+        Ok(())
+    }
+
+    fn control_codec(&self) -> Option<Box<dyn ControlCodec>> {
+        Some(Box::new(DymoCodec))
+    }
 }
 
 #[cfg(test)]
@@ -606,6 +806,82 @@ mod tests {
     #[test]
     fn name() {
         assert_eq!(Dymo::new().name(), "dymo");
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        crate::testutil::assert_snapshot_round_trip(4, |_| Box::new(Dymo::new()), 8.0, 7);
+    }
+
+    #[test]
+    fn codec_round_trips_every_control_message() {
+        let codec = DymoCodec;
+        let blobs: Vec<ControlBlob> = vec![
+            std::sync::Arc::new(RouteMessage {
+                is_reply: false,
+                target: NodeId(3),
+                target_seq: None,
+                msg_id: 5,
+                path: vec![PathNode {
+                    addr: NodeId(0),
+                    seqno: 2,
+                }],
+            }),
+            std::sync::Arc::new(RouteMessage {
+                is_reply: true,
+                target: NodeId(0),
+                target_seq: Some(7),
+                msg_id: 5,
+                path: vec![
+                    PathNode {
+                        addr: NodeId(3),
+                        seqno: 9,
+                    },
+                    PathNode {
+                        addr: NodeId(2),
+                        seqno: 1,
+                    },
+                ],
+            }),
+            std::sync::Arc::new(Rerr {
+                unreachable: vec![(NodeId(5), 11)],
+            }),
+            std::sync::Arc::new(Hello { seq: 42 }),
+        ];
+        for blob in blobs {
+            let mut w = WireWriter::new();
+            codec.encode(&blob, &mut w).expect("encode");
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let decoded = codec.decode(&mut r).expect("decode");
+            r.finish().expect("whole stream consumed");
+            let mut w2 = WireWriter::new();
+            codec.encode(&decoded, &mut w2).expect("re-encode");
+            assert_eq!(bytes, w2.into_bytes(), "codec round trip not stable");
+        }
+    }
+
+    #[test]
+    fn codec_rejects_empty_path() {
+        // RouteMessage::origin() panics on an empty path, so the decoder
+        // must refuse to materialize one from a (corrupt) snapshot.
+        let codec = DymoCodec;
+        let mut w = WireWriter::new();
+        w.put_u8(CTRL_RM);
+        w.put_bool(false);
+        write_node_id(&mut w, NodeId(3));
+        w.put_bool(false); // no target_seq
+        w.put_u32(5);
+        w.put_usize(0); // empty path — must be rejected
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            codec.decode(&mut r),
+            Err(WireError::Malformed {
+                what: "empty DYMO path",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 
 use std::collections::HashSet;
 
-use cavenet_net::{DropReason, NodeApi, NodeId, Packet, RoutingProtocol, RoutingTelemetry};
+use cavenet_net::{
+    DropReason, NodeApi, NodeId, Packet, RoutingProtocol, RoutingTelemetry, WireError,
+    WireReader, WireWriter,
+};
 
 /// The flooding "protocol".
 #[derive(Debug, Default)]
@@ -84,6 +87,29 @@ impl RoutingProtocol for Flooding {
         // The duplicate-suppression set may survive a warm restart safely:
         // suppressing a pre-crash duplicate is still correct.
     }
+
+    fn capture_state(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        w.put_usize(seen.len());
+        for key in seen {
+            w.put_u64(key);
+        }
+        w.put_u8(self.ttl);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.seen.clear();
+        for _ in 0..r.get_usize()? {
+            self.seen.insert(r.get_u64()?);
+        }
+        self.ttl = r.get_u8()?;
+        Ok(())
+    }
+
+    // Flooding sends no control packets, so the default `control_codec`
+    // (None) is correct.
 }
 
 impl Flooding {
@@ -109,6 +135,11 @@ mod tests {
     #[test]
     fn name() {
         assert_eq!(Flooding::new().name(), "flooding");
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        crate::testutil::assert_snapshot_round_trip(4, |_| Box::new(Flooding::new()), 6.0, 7);
     }
 
     #[test]

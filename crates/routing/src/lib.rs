@@ -47,9 +47,9 @@ mod table;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use aodv::{Aodv, AodvConfig};
-pub use dsdv::{Dsdv, DsdvConfig};
-pub use dymo::{Dymo, DymoConfig};
+pub use aodv::{Aodv, AodvCodec, AodvConfig};
+pub use dsdv::{Dsdv, DsdvCodec, DsdvConfig};
+pub use dymo::{Dymo, DymoCodec, DymoConfig};
 pub use flooding::Flooding;
-pub use olsr::{LinkMetric, Olsr, OlsrConfig};
+pub use olsr::{LinkMetric, Olsr, OlsrCodec, OlsrConfig};
 pub use table::{RouteEntry, RouteTable};

@@ -19,8 +19,10 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
+use cavenet_net::snapshot::{read_node_id, read_time, write_node_id, write_time};
 use cavenet_net::{
-    DropReason, NodeApi, NodeId, Packet, RoutingProtocol, RoutingTelemetry, SimTime,
+    ControlBlob, ControlCodec, DropReason, NodeApi, NodeId, Packet, RoutingProtocol,
+    RoutingTelemetry, SimTime, WireError, WireReader, WireWriter,
 };
 
 /// Which link cost the route computation minimizes.
@@ -567,6 +569,84 @@ impl Olsr {
     }
 }
 
+/// Serializer for OLSR's in-flight control payloads (HELLO and TC). The
+/// tag bytes are part of the checkpoint format and fixed forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OlsrCodec;
+
+const CTRL_HELLO: u8 = 1;
+const CTRL_TC: u8 = 2;
+
+impl ControlCodec for OlsrCodec {
+    fn encode(&self, blob: &ControlBlob, w: &mut WireWriter) -> Result<(), WireError> {
+        if let Some(h) = blob.downcast_ref::<Hello>() {
+            w.put_u8(CTRL_HELLO);
+            w.put_usize(h.entries.len());
+            for e in &h.entries {
+                write_node_id(w, e.addr);
+                w.put_bool(e.sym);
+                w.put_bool(e.is_mpr);
+                w.put_f64(e.lq);
+            }
+            return Ok(());
+        }
+        if let Some(tc) = blob.downcast_ref::<Tc>() {
+            w.put_u8(CTRL_TC);
+            write_node_id(w, tc.origin);
+            w.put_u32(tc.seq);
+            w.put_u16(tc.ansn);
+            w.put_usize(tc.selectors.len());
+            for &(sel, lq) in &tc.selectors {
+                write_node_id(w, sel);
+                w.put_f64(lq);
+            }
+            return Ok(());
+        }
+        Err(WireError::Malformed {
+            what: "non-OLSR control payload",
+            value: 0,
+        })
+    }
+
+    fn decode(&self, r: &mut WireReader<'_>) -> Result<ControlBlob, WireError> {
+        match r.get_u8()? {
+            CTRL_HELLO => {
+                let n = r.get_usize()?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(HelloEntry {
+                        addr: read_node_id(r)?,
+                        sym: r.get_bool()?,
+                        is_mpr: r.get_bool()?,
+                        lq: r.get_f64()?,
+                    });
+                }
+                Ok(std::sync::Arc::new(Hello { entries }))
+            }
+            CTRL_TC => {
+                let origin = read_node_id(r)?;
+                let seq = r.get_u32()?;
+                let ansn = r.get_u16()?;
+                let n = r.get_usize()?;
+                let mut selectors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    selectors.push((read_node_id(r)?, r.get_f64()?));
+                }
+                Ok(std::sync::Arc::new(Tc {
+                    origin,
+                    seq,
+                    ansn,
+                    selectors,
+                }))
+            }
+            tag => Err(WireError::Malformed {
+                what: "olsr control tag",
+                value: u64::from(tag),
+            }),
+        }
+    }
+}
+
 impl RoutingProtocol for Olsr {
     fn name(&self) -> &'static str {
         "olsr"
@@ -666,6 +746,176 @@ impl RoutingProtocol for Olsr {
             _ => {}
         }
     }
+
+    fn capture_state(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        // Every map is serialized in sorted key order so the stream is
+        // independent of HashMap iteration order.
+        let mut link_ids: Vec<NodeId> = self.links.keys().copied().collect();
+        link_ids.sort_by_key(|n| n.0);
+        w.put_usize(link_ids.len());
+        for n in link_ids {
+            let l = &self.links[&n];
+            write_node_id(w, n);
+            write_time(w, l.heard_until);
+            write_time(w, l.sym_until);
+            w.put_usize(l.hello_times.len());
+            for &t in &l.hello_times {
+                write_time(w, t);
+            }
+            w.put_f64(l.lqi);
+        }
+
+        let mut two_hop: Vec<(NodeId, NodeId)> = self.two_hop.keys().copied().collect();
+        two_hop.sort_by_key(|&(a, b)| (a.0, b.0));
+        w.put_usize(two_hop.len());
+        for key in two_hop {
+            write_node_id(w, key.0);
+            write_node_id(w, key.1);
+            write_time(w, self.two_hop[&key]);
+        }
+
+        let mut mprs: Vec<NodeId> = self.mprs.iter().copied().collect();
+        mprs.sort_by_key(|n| n.0);
+        w.put_usize(mprs.len());
+        for n in mprs {
+            write_node_id(w, n);
+        }
+
+        let mut selectors: Vec<NodeId> = self.mpr_selectors.keys().copied().collect();
+        selectors.sort_by_key(|n| n.0);
+        w.put_usize(selectors.len());
+        for n in selectors {
+            write_node_id(w, n);
+            write_time(w, self.mpr_selectors[&n]);
+        }
+
+        let mut topo: Vec<(NodeId, NodeId)> = self.topology.keys().copied().collect();
+        topo.sort_by_key(|&(a, b)| (a.0, b.0));
+        w.put_usize(topo.len());
+        for key in topo {
+            let (lq, exp) = self.topology[&key];
+            write_node_id(w, key.0);
+            write_node_id(w, key.1);
+            w.put_f64(lq);
+            write_time(w, exp);
+        }
+
+        let mut ansns: Vec<NodeId> = self.origin_ansn.keys().copied().collect();
+        ansns.sort_by_key(|n| n.0);
+        w.put_usize(ansns.len());
+        for n in ansns {
+            write_node_id(w, n);
+            w.put_u16(self.origin_ansn[&n]);
+        }
+
+        let mut seen: Vec<(NodeId, u32)> = self.seen_tc.keys().copied().collect();
+        seen.sort_by_key(|&(n, s)| (n.0, s));
+        w.put_usize(seen.len());
+        for key in seen {
+            write_node_id(w, key.0);
+            w.put_u32(key.1);
+            write_time(w, self.seen_tc[&key]);
+        }
+
+        let mut routes: Vec<NodeId> = self.routes.keys().copied().collect();
+        routes.sort_by_key(|n| n.0);
+        w.put_usize(routes.len());
+        for n in routes {
+            let (nh, cost) = self.routes[&n];
+            write_node_id(w, n);
+            write_node_id(w, nh);
+            w.put_f64(cost);
+        }
+
+        w.put_u32(self.tc_seq);
+        w.put_u16(self.ansn);
+        w.put_usize(self.last_selector_snapshot.len());
+        for &n in &self.last_selector_snapshot {
+            write_node_id(w, n);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.links.clear();
+        for _ in 0..r.get_usize()? {
+            let n = read_node_id(r)?;
+            let heard_until = read_time(r)?;
+            let sym_until = read_time(r)?;
+            let times = r.get_usize()?;
+            let mut hello_times = VecDeque::with_capacity(times);
+            for _ in 0..times {
+                hello_times.push_back(read_time(r)?);
+            }
+            let lqi = r.get_f64()?;
+            self.links.insert(
+                n,
+                LinkInfo {
+                    heard_until,
+                    sym_until,
+                    hello_times,
+                    lqi,
+                },
+            );
+        }
+
+        self.two_hop.clear();
+        for _ in 0..r.get_usize()? {
+            let key = (read_node_id(r)?, read_node_id(r)?);
+            self.two_hop.insert(key, read_time(r)?);
+        }
+
+        self.mprs.clear();
+        for _ in 0..r.get_usize()? {
+            self.mprs.insert(read_node_id(r)?);
+        }
+
+        self.mpr_selectors.clear();
+        for _ in 0..r.get_usize()? {
+            let n = read_node_id(r)?;
+            self.mpr_selectors.insert(n, read_time(r)?);
+        }
+
+        self.topology.clear();
+        for _ in 0..r.get_usize()? {
+            let key = (read_node_id(r)?, read_node_id(r)?);
+            let lq = r.get_f64()?;
+            let exp = read_time(r)?;
+            self.topology.insert(key, (lq, exp));
+        }
+
+        self.origin_ansn.clear();
+        for _ in 0..r.get_usize()? {
+            let n = read_node_id(r)?;
+            self.origin_ansn.insert(n, r.get_u16()?);
+        }
+
+        self.seen_tc.clear();
+        for _ in 0..r.get_usize()? {
+            let key = (read_node_id(r)?, r.get_u32()?);
+            self.seen_tc.insert(key, read_time(r)?);
+        }
+
+        self.routes.clear();
+        for _ in 0..r.get_usize()? {
+            let n = read_node_id(r)?;
+            let nh = read_node_id(r)?;
+            let cost = r.get_f64()?;
+            self.routes.insert(n, (nh, cost));
+        }
+
+        self.tc_seq = r.get_u32()?;
+        self.ansn = r.get_u16()?;
+        self.last_selector_snapshot.clear();
+        for _ in 0..r.get_usize()? {
+            self.last_selector_snapshot.push(read_node_id(r)?);
+        }
+        Ok(())
+    }
+
+    fn control_codec(&self) -> Option<Box<dyn ControlCodec>> {
+        Some(Box::new(OlsrCodec))
+    }
 }
 
 #[cfg(test)]
@@ -676,6 +926,69 @@ mod tests {
     #[test]
     fn name() {
         assert_eq!(Olsr::new().name(), "olsr");
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        crate::testutil::assert_snapshot_round_trip(4, |_| Box::new(Olsr::new()), 8.0, 7);
+    }
+
+    #[test]
+    fn etx_snapshot_round_trip_is_bit_identical() {
+        crate::testutil::assert_snapshot_round_trip(3, |_| Box::new(Olsr::new_etx()), 8.0, 9);
+    }
+
+    #[test]
+    fn codec_round_trips_every_control_message() {
+        let codec = OlsrCodec;
+        let blobs: Vec<cavenet_net::ControlBlob> = vec![
+            std::sync::Arc::new(Hello {
+                entries: vec![
+                    HelloEntry {
+                        addr: NodeId(1),
+                        sym: true,
+                        is_mpr: false,
+                        lq: 0.875,
+                    },
+                    HelloEntry {
+                        addr: NodeId(2),
+                        sym: false,
+                        is_mpr: true,
+                        lq: 1.0,
+                    },
+                ],
+            }),
+            std::sync::Arc::new(Tc {
+                origin: NodeId(4),
+                seq: 17,
+                ansn: 3,
+                selectors: vec![(NodeId(1), 0.5), (NodeId(9), 1.0)],
+            }),
+        ];
+        for blob in blobs {
+            let mut w = WireWriter::new();
+            codec.encode(&blob, &mut w).expect("encode");
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let decoded = codec.decode(&mut r).expect("decode");
+            r.finish().expect("whole stream consumed");
+            let mut w2 = WireWriter::new();
+            codec.encode(&decoded, &mut w2).expect("re-encode");
+            assert_eq!(bytes, w2.into_bytes(), "codec round trip not stable");
+        }
+        let foreign: cavenet_net::ControlBlob = std::sync::Arc::new(1u8);
+        assert!(matches!(
+            codec.encode(&foreign, &mut WireWriter::new()),
+            Err(WireError::Malformed { .. })
+        ));
+        let mut bad = WireReader::new(&[0x33]);
+        assert!(matches!(
+            codec.decode(&mut bad),
+            Err(WireError::Malformed {
+                what: "olsr control tag",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use std::collections::HashMap;
 
-use cavenet_net::{NodeId, SimTime};
+use cavenet_net::snapshot::{read_node_id, read_time, write_node_id, write_time};
+use cavenet_net::{NodeId, SimTime, WireError, WireReader, WireWriter};
 
 /// One route: where to send packets for a destination, how far it is, how
 /// fresh the information is, and until when it is valid.
@@ -133,6 +134,45 @@ impl RouteTable {
     /// Iterate over all `(destination, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &RouteEntry)> {
         self.routes.iter()
+    }
+
+    /// Serialize every entry in destination order (checkpoint snapshots
+    /// must be independent of `HashMap` iteration order).
+    pub fn capture(&self, w: &mut WireWriter) {
+        let mut dsts: Vec<NodeId> = self.routes.keys().copied().collect();
+        dsts.sort_by_key(|d| d.0);
+        w.put_usize(dsts.len());
+        for dst in dsts {
+            let r = &self.routes[&dst];
+            write_node_id(w, dst);
+            write_node_id(w, r.next_hop);
+            w.put_u32(r.hop_count);
+            w.put_u32(r.seqno);
+            write_time(w, r.expires);
+            w.put_bool(r.valid);
+        }
+    }
+
+    /// Rebuild the table from a [`RouteTable::capture`] stream.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on a truncated or malformed stream.
+    pub fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.routes.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let dst = read_node_id(r)?;
+            let entry = RouteEntry {
+                next_hop: read_node_id(r)?,
+                hop_count: r.get_u32()?,
+                seqno: r.get_u32()?,
+                expires: read_time(r)?,
+                valid: r.get_bool()?,
+            };
+            self.routes.insert(dst, entry);
+        }
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use cavenet_net::{
     Application, FlowId, NodeApi, NodeId, Packet, RoutingProtocol, ScenarioConfig, SimTime,
-    Simulator, StaticMobility,
+    Simulator, StaticMobility, WireReader, WireWriter,
 };
 
 /// Sequence numbers and receive times observed by a sink.
@@ -154,4 +154,37 @@ where
         .build();
     sim.run_until_secs(secs);
     (log, sim)
+}
+
+/// Drive a warmed-up line scenario, then prove that every node's routing
+/// state survives a capture → restore-into-fresh-instance → re-capture
+/// cycle bit-identically.
+pub(crate) fn assert_snapshot_round_trip<F>(n: usize, factory: F, secs: f64, seed: u64)
+where
+    F: Fn(usize) -> Box<dyn RoutingProtocol> + Clone + 'static,
+{
+    let (_, sim) = run_line(n, 200.0, factory.clone(), 0, n - 1, 10, secs, seed);
+    for i in 0..n {
+        let proto = sim.routing(i).expect("routing attached");
+        let mut w = WireWriter::new();
+        proto.capture_state(&mut w).expect("capture");
+        let bytes = w.into_bytes();
+        assert!(
+            !bytes.is_empty(),
+            "node {i}: warmed-up protocol produced an empty snapshot"
+        );
+
+        let mut fresh = factory(i);
+        let mut r = WireReader::new(&bytes);
+        fresh.restore_state(&mut r).expect("restore");
+        r.finish().expect("restore must consume the whole stream");
+
+        let mut w2 = WireWriter::new();
+        fresh.capture_state(&mut w2).expect("re-capture");
+        assert_eq!(
+            bytes,
+            w2.into_bytes(),
+            "node {i}: restore → capture is not bit-identical"
+        );
+    }
 }

@@ -11,15 +11,12 @@ use crate::json::Json;
 /// Version stamped into every manifest as `"manifest_version"`.
 pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
 
-/// 64-bit FNV-1a over a byte string — the same constants the conformance
-/// testkit's golden digests use, so hashes are stable across platforms.
+/// 64-bit FNV-1a over a byte string — the workspace's shared
+/// implementation ([`cavenet_rng::fnv`]), the same constants the
+/// conformance testkit's golden digests and the checkpoint section hashes
+/// use, so hashes are stable across platforms and subsystems.
 pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    cavenet_rng::fnv::fnv64(bytes)
 }
 
 /// Provenance of one benchmark or experiment run.
@@ -38,6 +35,13 @@ pub struct RunManifest {
     pub crate_versions: Vec<(String, String)>,
     /// `(label, seconds)` wall-clock timings for the run's tiers.
     pub timings: Vec<(String, f64)>,
+    /// Container hash of the checkpoint this run resumed from; 0 for a
+    /// cold (non-resumed) run. Rendered only when non-zero.
+    pub parent_snapshot_hash: u64,
+    /// Engine step (event sequence number) the resume started at; only
+    /// meaningful — and only rendered — when `parent_snapshot_hash` is
+    /// non-zero.
+    pub resume_step: u64,
 }
 
 impl RunManifest {
@@ -50,7 +54,16 @@ impl RunManifest {
             seed: 0,
             crate_versions: Vec::new(),
             timings: Vec::new(),
+            parent_snapshot_hash: 0,
+            resume_step: 0,
         }
+    }
+
+    /// Stamp checkpoint lineage: this run resumed at `step` from the
+    /// snapshot whose container hash is `parent_hash`.
+    pub fn set_lineage(&mut self, parent_hash: u64, step: u64) {
+        self.parent_snapshot_hash = parent_hash;
+        self.resume_step = step;
     }
 
     /// Record a tier timing.
@@ -59,9 +72,12 @@ impl RunManifest {
     }
 
     /// Render as JSON. Hashes are 16-digit hex strings (they do not fit a
-    /// JSON number exactly); members appear in a fixed order.
+    /// JSON number exactly); members appear in a fixed order. Checkpoint
+    /// lineage (`parent_snapshot_hash`, `resume_step`) is appended only for
+    /// resumed runs, so cold-run manifests are unchanged from earlier
+    /// schema consumers' expectations.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             (
                 "manifest_version".into(),
                 Json::num_u64(MANIFEST_SCHEMA_VERSION),
@@ -94,7 +110,15 @@ impl RunManifest {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if self.parent_snapshot_hash != 0 {
+            members.push((
+                "parent_snapshot_hash".into(),
+                Json::str(format!("{:016x}", self.parent_snapshot_hash)),
+            ));
+            members.push(("resume_step".into(), Json::num_u64(self.resume_step)));
+        }
+        Json::Obj(members)
     }
 
     /// Validate that `json` is a well-formed manifest of this schema
@@ -146,6 +170,29 @@ impl RunManifest {
             }
             _ => return Err("timings_s missing".into()),
         }
+        // Checkpoint lineage is optional (absent on cold runs) but must be
+        // well-formed and paired when present.
+        let parent = json.get("parent_snapshot_hash");
+        let step = json.get("resume_step");
+        match (parent, step) {
+            (None, None) => {}
+            (Some(hash), Some(step)) => {
+                let hex = hash
+                    .as_str()
+                    .ok_or("parent_snapshot_hash is not a string")?;
+                if hex.len() != 16 || u64::from_str_radix(hex, 16).is_err() {
+                    return Err(format!(
+                        "parent_snapshot_hash is not a 16-digit hex hash: {hex:?}"
+                    ));
+                }
+                step.as_u64().ok_or("resume_step is not an integer")?;
+            }
+            _ => {
+                return Err(
+                    "parent_snapshot_hash and resume_step must appear together".into(),
+                )
+            }
+        }
         Ok(())
     }
 }
@@ -180,6 +227,49 @@ mod tests {
         let parsed = parse(&rendered).unwrap();
         RunManifest::validate(&parsed).unwrap();
         assert_eq!(parsed.get("seed").and_then(Json::as_u64), Some(42));
+    }
+
+    #[test]
+    fn lineage_rendered_only_for_resumed_runs() {
+        let cold = RunManifest::new("t");
+        let cold_json = cold.to_json();
+        assert!(cold_json.get("parent_snapshot_hash").is_none());
+        assert!(cold_json.get("resume_step").is_none());
+        RunManifest::validate(&parse(&cold_json.render_pretty()).unwrap()).unwrap();
+
+        let mut resumed = RunManifest::new("t");
+        resumed.set_lineage(fnv64(b"snapshot"), 12345);
+        let json = parse(&resumed.to_json().render_pretty()).unwrap();
+        RunManifest::validate(&json).unwrap();
+        assert_eq!(
+            json.get("parent_snapshot_hash").and_then(Json::as_str),
+            Some(format!("{:016x}", fnv64(b"snapshot")).as_str())
+        );
+        assert_eq!(json.get("resume_step").and_then(Json::as_u64), Some(12345));
+    }
+
+    #[test]
+    fn validation_rejects_unpaired_or_malformed_lineage() {
+        let mut m = RunManifest::new("t");
+        m.set_lineage(7, 1);
+        let Json::Obj(mut members) = m.to_json() else {
+            unreachable!()
+        };
+        // Drop resume_step: lineage must be paired.
+        members.retain(|(k, _)| k != "resume_step");
+        assert!(RunManifest::validate(&Json::Obj(members.clone())).is_err());
+        // Malformed hash string.
+        let mut m2 = RunManifest::new("t");
+        m2.set_lineage(7, 1);
+        let Json::Obj(mut members2) = m2.to_json() else {
+            unreachable!()
+        };
+        for (k, v) in &mut members2 {
+            if k == "parent_snapshot_hash" {
+                *v = Json::str("xyz");
+            }
+        }
+        assert!(RunManifest::validate(&Json::Obj(members2)).is_err());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Binary search for the first diverging step between two runs.
+//!
+//! When two runs that should be identical produce different digests, the
+//! interesting question is *where* they first part ways. Checkpoints make
+//! the prefix property cheap to query: "do the runs still agree after step
+//! k?" is answered by comparing digests (or snapshot hashes) at step k,
+//! and agreement is monotone — once the trajectories split they never
+//! reconverge to the same stream. [`bisect_divergence`] exploits that
+//! monotonicity to localize the first diverging step with O(log n) probes
+//! instead of replaying every step.
+
+/// Locate the first step in `(lo, hi]` at which two runs diverge.
+///
+/// `differs(k)` must report whether the runs disagree after step `k`, and
+/// must be monotone: once it returns `true` for some `k`, it returns
+/// `true` for every later step. The search assumes the runs agree after
+/// `lo` and requires them to disagree after `hi` (both are checked —
+/// violations return `None` rather than a bogus step).
+///
+/// Returns the smallest `k` with `differs(k)`, i.e. the first step whose
+/// effects differ between the two runs.
+///
+/// The predicate is typically backed by checkpoints: restore both runs
+/// from their last common snapshot, run each to step `k`, and compare
+/// [`GoldenDigest`](crate::GoldenDigest) values.
+pub fn bisect_divergence<F>(lo: u64, hi: u64, mut differs: F) -> Option<u64>
+where
+    F: FnMut(u64) -> bool,
+{
+    if lo >= hi || differs(lo) || !differs(hi) {
+        return None;
+    }
+    // Invariant: !differs(agree) && differs(split).
+    let (mut agree, mut split) = (lo, hi);
+    while split - agree > 1 {
+        let mid = agree + (split - agree) / 2;
+        if differs(mid) {
+            split = mid;
+        } else {
+            agree = mid;
+        }
+    }
+    Some(split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_divergence_step() {
+        for first_bad in 1..=64u64 {
+            let got = bisect_divergence(0, 64, |k| k >= first_bad);
+            assert_eq!(got, Some(first_bad), "first_bad={first_bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_ranges() {
+        assert_eq!(bisect_divergence(5, 5, |_| true), None);
+        assert_eq!(bisect_divergence(9, 5, |_| true), None);
+        // Runs already differ at lo: no common prefix to bisect.
+        assert_eq!(bisect_divergence(0, 10, |_| true), None);
+        // Runs agree everywhere: nothing to find.
+        assert_eq!(bisect_divergence(0, 10, |_| false), None);
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let mut probes = 0u32;
+        let n = 1 << 20;
+        bisect_divergence(0, n, |k| {
+            probes += 1;
+            k >= 777_777
+        })
+        .unwrap();
+        assert!(probes <= 24, "expected ≈log2({n}) probes, got {probes}");
+    }
+}

@@ -4,9 +4,7 @@ use cavenet_net::{
     DropReason, EventKind, FaultKind, Frame, FrameDropReason, GlobalStats, MacState, MacStats,
     NodeId, NodeStats, SimObserver, SimTime,
 };
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+use cavenet_rng::fnv::Fnv64;
 
 /// Per-hook tags folded before the hook's payload, so that streams which
 /// differ only in *which* hook fired cannot collide trivially.
@@ -40,7 +38,7 @@ mod tag {
 /// regenerating the fixtures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GoldenDigest {
-    hash: u64,
+    hash: Fnv64,
     events: u64,
 }
 
@@ -54,14 +52,27 @@ impl GoldenDigest {
     /// An empty digest.
     pub fn new() -> Self {
         GoldenDigest {
-            hash: FNV_OFFSET,
+            hash: Fnv64::new(),
             events: 0,
+        }
+    }
+
+    /// A digest resumed from a checkpointed `(value, events)` pair.
+    ///
+    /// FNV-1a's running state is its output (see
+    /// [`Fnv64::from_state`]), so a digest captured mid-run by a snapshot
+    /// can continue in a fresh process and still equal the digest of an
+    /// uninterrupted run.
+    pub fn from_state(value: u64, events: u64) -> Self {
+        GoldenDigest {
+            hash: Fnv64::from_state(value),
+            events,
         }
     }
 
     /// The current digest value.
     pub fn value(&self) -> u64 {
-        self.hash
+        self.hash.finish()
     }
 
     /// Number of engine events dispatched while this digest observed.
@@ -71,15 +82,12 @@ impl GoldenDigest {
 
     /// Fold a single byte.
     pub fn absorb_u8(&mut self, b: u8) {
-        self.hash ^= u64::from(b);
-        self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        self.hash.write_u8(b);
     }
 
     /// Fold a 64-bit value, little-endian.
     pub fn absorb_u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.absorb_u8(b);
-        }
+        self.hash.write(&v.to_le_bytes());
     }
 
     /// Fold a float by its exact bit pattern.
@@ -218,16 +226,53 @@ impl SimObserver for GoldenDigest {
         self.absorb_u64(u64::from(node.0));
         self.absorb_u8(kind as u8);
     }
+
+    fn capture_state(
+        &self,
+        w: &mut cavenet_rng::wire::WireWriter,
+    ) -> Result<(), cavenet_rng::wire::WireError> {
+        w.put_u64(self.value());
+        w.put_u64(self.events);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut cavenet_rng::wire::WireReader<'_>,
+    ) -> Result<(), cavenet_rng::wire::WireError> {
+        let value = r.get_u64()?;
+        let events = r.get_u64()?;
+        *self = GoldenDigest::from_state(value, events);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cavenet_rng::fnv::FNV_OFFSET;
 
     #[test]
     fn empty_digest_is_fnv_offset() {
         assert_eq!(GoldenDigest::new().value(), FNV_OFFSET);
         assert_eq!(GoldenDigest::new().events(), 0);
+    }
+
+    #[test]
+    fn resumed_digest_continues_the_stream() {
+        // Absorbing A then B straight through equals absorbing A,
+        // checkpointing (value, events), and resuming with B.
+        let mut straight = GoldenDigest::new();
+        straight.on_packet_originated(SimTime::ZERO, NodeId(1), 1);
+        straight.on_event_dispatched(SimTime::from_nanos(9), 4, 0, EventKind::MacTimer);
+
+        let mut first = GoldenDigest::new();
+        first.on_packet_originated(SimTime::ZERO, NodeId(1), 1);
+        let mut resumed = GoldenDigest::from_state(first.value(), first.events());
+        resumed.on_event_dispatched(SimTime::from_nanos(9), 4, 0, EventKind::MacTimer);
+
+        assert_eq!(resumed.value(), straight.value());
+        assert_eq!(resumed.events(), straight.events());
     }
 
     #[test]

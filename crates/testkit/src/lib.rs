@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bisect;
 mod diff;
 mod digest;
 mod golden;
 mod invariants;
 mod tee;
 
+pub use bisect::bisect_divergence;
 pub use diff::{assert_equiv, digest_scenario, RunDigest};
 pub use digest::GoldenDigest;
 pub use golden::{check_golden, golden_path, load_golden, store_golden, Golden};

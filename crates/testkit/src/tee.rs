@@ -68,6 +68,22 @@ impl<A: SimObserver, B: SimObserver> SimObserver for Tee<A, B> {
         self.0.on_route_event(now, node, dst, kind);
         self.1.on_route_event(now, node, dst, kind);
     }
+
+    fn capture_state(
+        &self,
+        w: &mut cavenet_rng::wire::WireWriter,
+    ) -> Result<(), cavenet_rng::wire::WireError> {
+        self.0.capture_state(w)?;
+        self.1.capture_state(w)
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut cavenet_rng::wire::WireReader<'_>,
+    ) -> Result<(), cavenet_rng::wire::WireError> {
+        self.0.restore_state(r)?;
+        self.1.restore_state(r)
+    }
 }
 
 #[cfg(test)]

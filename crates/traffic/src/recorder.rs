@@ -5,14 +5,14 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
-use cavenet_net::{FlowId, SimTime};
+use cavenet_net::snapshot::{read_node_id, read_time, write_node_id, write_time};
+use cavenet_net::{FlowId, SimTime, WireError, WireReader, WireWriter};
 
 /// A single-threaded shared handle to a [`TrafficRecorder`].
 pub type SharedRecorder = Rc<RefCell<TrafficRecorder>>;
 
 #[derive(Debug, Clone, Copy)]
 struct SentRecord {
-    #[allow(dead_code)]
     seq: u32,
     at: SimTime,
     bytes: u32,
@@ -142,6 +142,89 @@ impl TrafficRecorder {
             *v /= bin.as_secs_f64();
         }
         out
+    }
+
+    /// Serialize both ledgers, flows in sorted order and records in
+    /// arrival order, so checkpoints are independent of `HashMap` iteration
+    /// order and resume with counters and delay samples intact.
+    pub fn capture(&self, w: &mut WireWriter) {
+        fn write_flow(w: &mut WireWriter, f: FlowId) {
+            write_node_id(w, f.src);
+            write_node_id(w, f.dst);
+            w.put_u16(f.port);
+        }
+        let mut sent_flows: Vec<FlowId> = self.sent.keys().copied().collect();
+        sent_flows.sort();
+        w.put_usize(sent_flows.len());
+        for f in sent_flows {
+            write_flow(w, f);
+            let records = &self.sent[&f];
+            w.put_usize(records.len());
+            for s in records {
+                w.put_u32(s.seq);
+                write_time(w, s.at);
+                w.put_u32(s.bytes);
+            }
+        }
+        let mut recv_flows: Vec<FlowId> = self.received.keys().copied().collect();
+        recv_flows.sort();
+        w.put_usize(recv_flows.len());
+        for f in recv_flows {
+            write_flow(w, f);
+            let records = &self.received[&f];
+            w.put_usize(records.len());
+            for r in records {
+                w.put_u32(r.seq);
+                write_time(w, r.at);
+                write_time(w, r.sent_at);
+                w.put_u32(r.bytes);
+            }
+        }
+    }
+
+    /// Rebuild both ledgers from a [`TrafficRecorder::capture`] stream.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on a truncated or malformed stream.
+    pub fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        fn read_flow(r: &mut WireReader<'_>) -> Result<FlowId, WireError> {
+            Ok(FlowId::new(
+                read_node_id(r)?,
+                read_node_id(r)?,
+                r.get_u16()?,
+            ))
+        }
+        self.sent.clear();
+        for _ in 0..r.get_usize()? {
+            let flow = read_flow(r)?;
+            let n = r.get_usize()?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(SentRecord {
+                    seq: r.get_u32()?,
+                    at: read_time(r)?,
+                    bytes: r.get_u32()?,
+                });
+            }
+            self.sent.insert(flow, records);
+        }
+        self.received.clear();
+        for _ in 0..r.get_usize()? {
+            let flow = read_flow(r)?;
+            let n = r.get_usize()?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(RecvRecord {
+                    seq: r.get_u32()?,
+                    at: read_time(r)?,
+                    sent_at: read_time(r)?,
+                    bytes: r.get_u32()?,
+                });
+            }
+            self.received.insert(flow, records);
+        }
+        Ok(())
     }
 
     /// Aggregate packet delivery ratio over all flows (unique receptions /
@@ -304,6 +387,55 @@ mod tests {
         let m = r.metrics(flow());
         // 512 B over 1 s = 4096 b/s.
         assert!((m.goodput_bps() - 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut r = TrafficRecorder::default();
+        let f1 = FlowId::new(NodeId(0), NodeId(3), 0);
+        let f2 = FlowId::new(NodeId(2), NodeId(3), 7);
+        for seq in 0..5 {
+            r.record_sent(f1, seq, SimTime::from_millis(200 * u64::from(seq)), 512);
+        }
+        r.record_sent(f2, 0, SimTime::from_secs(1), 100);
+        for seq in 0..3 {
+            r.record_received(
+                f1,
+                seq,
+                SimTime::from_millis(200 * u64::from(seq) + 40),
+                SimTime::from_millis(200 * u64::from(seq)),
+                512,
+            );
+        }
+        let mut w = WireWriter::new();
+        r.capture(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = TrafficRecorder::default();
+        let mut reader = WireReader::new(&bytes);
+        restored.restore(&mut reader).expect("restore");
+        reader.finish().expect("whole stream consumed");
+        assert_eq!(r.metrics(f1), restored.metrics(f1));
+        assert_eq!(r.metrics(f2), restored.metrics(f2));
+
+        let mut w2 = WireWriter::new();
+        restored.capture(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "round trip not bit-identical");
+    }
+
+    #[test]
+    fn restore_rejects_truncated_stream() {
+        let mut r = TrafficRecorder::default();
+        r.record_sent(FlowId::new(NodeId(0), NodeId(1), 0), 0, SimTime::ZERO, 512);
+        let mut w = WireWriter::new();
+        r.capture(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = TrafficRecorder::default();
+        let mut reader = WireReader::new(&bytes[..bytes.len() - 3]);
+        assert!(matches!(
+            restored.restore(&mut reader),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Checkpoint/restore conformance: the bit-identical-resume contract.
+//!
+//! The hard guarantee under test: a run driven `0 → T` produces the same
+//! golden event-stream digest as a run driven `0 → k`, snapshotted to
+//! bytes, restored into a **fresh** simulator (only the serialized bytes
+//! survive the "process boundary") and driven `k → T`. Proven here for
+//! all five routing protocols, for a churn-faulted scenario, and for
+//! randomized (protocol, seed, capture point, fault) combinations; plus
+//! typed-error behaviour on every malformed section, divergence
+//! localization via [`bisect_divergence`], and a committed golden
+//! snapshot fixture guarding the on-disk format against regressions.
+//!
+//! Regenerate fixtures with `UPDATE_GOLDEN=1 cargo test -p cavenet-testkit`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cavenet_core::checkpoint::{section, Snapshot, SnapshotError};
+use cavenet_core::net::{SimTime, Simulator};
+use cavenet_core::{churn_plan, CheckpointError, Experiment, Protocol, Scenario};
+use cavenet_testkit::{bisect_divergence, check_golden, digest_scenario, GoldenDigest};
+
+use proptest::prelude::*;
+
+const PROTOCOLS: [Protocol; 5] = [
+    Protocol::Aodv,
+    Protocol::Dymo,
+    Protocol::Olsr,
+    Protocol::Dsdv,
+    Protocol::Flooding,
+];
+
+fn short_scenario(protocol: Protocol, seed: u64) -> Scenario {
+    let mut s = Scenario::paper_table1(protocol);
+    s.sim_time = Duration::from_secs(16);
+    s.traffic.cbr.start = Duration::from_secs(2);
+    s.traffic.cbr.stop = Duration::from_secs(14);
+    s.traffic.senders = vec![1, 2, 3];
+    s.seed = seed;
+    s
+}
+
+/// Fold final statistics into the observer, exactly as
+/// [`digest_scenario`] does, and return `(digest, events)`.
+fn finish(sim: Simulator<GoldenDigest>, nodes: usize) -> (u64, u64) {
+    let global = sim.global_stats();
+    let per_node: Vec<_> = (0..nodes)
+        .map(|i| (sim.node_stats(i), sim.mac_stats(i)))
+        .collect();
+    let mut digest = sim.into_observer();
+    digest.absorb_stats(&global);
+    for (i, (ns, ms)) in per_node.iter().enumerate() {
+        digest.absorb_node(i, ns, ms);
+    }
+    (digest.value(), digest.events())
+}
+
+/// Run `0 → at`, snapshot, keep only the bytes, restore into a fresh
+/// simulator and run `at → T`. Returns the finalized `(digest, events)`.
+fn resumed_digest(s: &Scenario, at: Duration) -> (u64, u64) {
+    let exp = Experiment::new(s.clone());
+    let (mut sim, recorder) = exp.build_sim(GoldenDigest::new()).unwrap();
+    sim.run_until(SimTime::from_secs_f64(at.as_secs_f64()));
+    let bytes = exp.snapshot_now(&sim, &recorder).unwrap().to_bytes();
+    drop((sim, recorder)); // nothing but `bytes` crosses the "process boundary"
+
+    let snap = Snapshot::from_bytes(&bytes).unwrap();
+    let (mut sim, _recorder, meta) = exp
+        .resume_from_snapshot(GoldenDigest::new(), &snap)
+        .unwrap();
+    assert_eq!(meta.time_ns, SimTime::from_secs_f64(at.as_secs_f64()).as_nanos());
+    sim.run_until(SimTime::from_secs_f64(s.sim_time.as_secs_f64()));
+    finish(sim, s.nodes)
+}
+
+#[test]
+fn resume_is_bit_identical_for_every_protocol() {
+    for protocol in PROTOCOLS {
+        let s = short_scenario(protocol, 11);
+        let straight = digest_scenario(&s);
+        let (digest, events) = resumed_digest(&s, Duration::from_secs(7));
+        assert_eq!(
+            (digest, events),
+            (straight.digest, straight.events),
+            "{protocol:?}: resumed run diverged from straight run"
+        );
+        assert!(straight.events > 0, "{protocol:?}: vacuous scenario");
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_mid_churn() {
+    // Capture lands at 7 s, between the plan's first crash (~4.8 s) and
+    // its recovery (~8.8 s): a node is down, routes are broken, and the
+    // fault RNG stream is mid-flight.
+    let mut s = short_scenario(Protocol::Aodv, 23);
+    s.fault_plan = churn_plan(&s);
+    let straight = digest_scenario(&s);
+    let (digest, events) = resumed_digest(&s, Duration::from_secs(7));
+    assert_eq!((digest, events), (straight.digest, straight.events));
+}
+
+#[test]
+fn double_resume_is_still_bit_identical() {
+    // Checkpoint chains must compose: 0→5 snapshot, 5→10 snapshot, 10→T.
+    let s = short_scenario(Protocol::Dymo, 31);
+    let straight = digest_scenario(&s);
+    let exp = Experiment::new(s.clone());
+    let end = SimTime::from_secs_f64(s.sim_time.as_secs_f64());
+
+    let (mut sim, rec) = exp.build_sim(GoldenDigest::new()).unwrap();
+    sim.run_until(SimTime::from_secs(5));
+    let bytes1 = exp.snapshot_now(&sim, &rec).unwrap().to_bytes();
+    drop((sim, rec));
+
+    let snap1 = Snapshot::from_bytes(&bytes1).unwrap();
+    let (mut sim, rec, _) = exp.resume_from_snapshot(GoldenDigest::new(), &snap1).unwrap();
+    sim.run_until(SimTime::from_secs(10));
+    let bytes2 = exp.snapshot_now(&sim, &rec).unwrap().to_bytes();
+    drop((sim, rec));
+
+    let snap2 = Snapshot::from_bytes(&bytes2).unwrap();
+    let (mut sim, _rec, meta) = exp.resume_from_snapshot(GoldenDigest::new(), &snap2).unwrap();
+    assert_eq!(meta.time_ns, SimTime::from_secs(10).as_nanos());
+    sim.run_until(end);
+    assert_eq!(finish(sim, s.nodes), (straight.digest, straight.events));
+}
+
+#[test]
+fn every_truncated_section_fails_with_a_typed_error() {
+    let s = short_scenario(Protocol::Aodv, 11);
+    let exp = Experiment::new(s.clone());
+    let (mut sim, rec) = exp.build_sim(GoldenDigest::new()).unwrap();
+    sim.run_until(SimTime::from_secs(7));
+    let snap = exp.snapshot_now(&sim, &rec).unwrap();
+
+    for (victim, len) in snap.section_sizes() {
+        for keep in [0, len / 2] {
+            if keep >= len {
+                continue; // empty/degenerate cut: nothing to malform
+            }
+            let mut mutilated = Snapshot::new();
+            for (id, _) in snap.section_sizes() {
+                let mut body = snap.get(id).unwrap().to_vec();
+                if id == victim {
+                    body.truncate(keep);
+                }
+                mutilated.insert(id, body).unwrap();
+            }
+            // The container itself re-hashes cleanly; the damage must be
+            // caught at restore time, as a typed error naming the section.
+            let reparsed = Snapshot::from_bytes(&mutilated.to_bytes()).unwrap();
+            let err = exp
+                .resume_from_snapshot(GoldenDigest::new(), &reparsed)
+                .unwrap_err();
+            match err {
+                CheckpointError::Snapshot(SnapshotError::Wire { id, .. }) => assert_eq!(
+                    id, victim,
+                    "truncation of {} blamed on wrong section",
+                    cavenet_core::checkpoint::section_name(victim)
+                ),
+                CheckpointError::Snapshot(SnapshotError::MetaMismatch { .. })
+                    if victim == section::META || victim == section::MOBILITY => {}
+                other => panic!(
+                    "truncating section {} to {keep} bytes: expected a typed \
+                     snapshot error, got {other:?}",
+                    cavenet_core::checkpoint::section_name(victim)
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn bisect_localizes_an_injected_divergence_exactly() {
+    // Two runs identical until one stops its CBR sources earlier: the
+    // prefix digests agree tick by tick, then split. Linear scan gives the
+    // ground-truth first diverging tick; bisection must find the same
+    // tick in O(log n) probes.
+    let tick = Duration::from_millis(250);
+    let ticks = 56u64; // 14 s horizon
+    let a = short_scenario(Protocol::Aodv, 13);
+    let mut b = a.clone();
+    b.traffic.cbr.stop = Duration::from_secs(9); // a stops at 14 s
+
+    let prefix = |s: &Scenario| -> Vec<u64> {
+        let (mut sim, _rec) = Experiment::new(s.clone())
+            .build_sim(GoldenDigest::new())
+            .unwrap();
+        (1..=ticks)
+            .map(|k| {
+                sim.run_until(SimTime::from_nanos(tick.as_nanos() as u64 * k));
+                sim.observer().value()
+            })
+            .collect()
+    };
+    let da = prefix(&a);
+    let db = prefix(&b);
+
+    let truth = (0..ticks as usize)
+        .position(|i| da[i] != db[i])
+        .map(|i| i as u64 + 1)
+        .expect("scenarios must diverge");
+    assert!(truth > 1, "divergence must not be at the very first tick");
+
+    let mut probes = 0u64;
+    let found = bisect_divergence(0, ticks, |k| {
+        probes += 1;
+        k > 0 && da[k as usize - 1] != db[k as usize - 1]
+    });
+    assert_eq!(found, Some(truth), "bisection missed the first diverging tick");
+    assert!(probes <= 9, "expected ≈log2({ticks})+2 probes, got {probes}");
+    // The injected cause: tick `truth` is the first after the early CBR
+    // stop could bite — it cannot precede the 9 s stop time.
+    assert!(truth as u128 * tick.as_nanos() >= Duration::from_secs(9).as_nanos());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized resume conformance: any protocol, seed, capture point
+    /// and fault plan — restore-then-run equals the uninterrupted run.
+    #[test]
+    fn random_resume_is_bit_identical(
+        proto in 0usize..5,
+        seed in any::<u64>(),
+        tenths in 1u64..9,
+        faulted in any::<bool>(),
+    ) {
+        let mut s = short_scenario(PROTOCOLS[proto], seed);
+        s.sim_time = Duration::from_secs(12);
+        s.traffic.cbr.stop = Duration::from_secs(10);
+        if faulted {
+            s.fault_plan = churn_plan(&s);
+        }
+        let at = Duration::from_millis(1200 * tenths);
+        let straight = digest_scenario(&s);
+        let (digest, events) = resumed_digest(&s, at);
+        prop_assert_eq!(digest, straight.digest);
+        prop_assert_eq!(events, straight.events);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backward compatibility: a committed binary fixture of the v1 format must
+// keep restoring (and resuming bit-identically) on current code.
+// ---------------------------------------------------------------------------
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/checkpoint_v1.snapshot")
+}
+
+fn fixture_scenario() -> Scenario {
+    short_scenario(Protocol::Dsdv, 2024)
+}
+
+#[test]
+fn golden_snapshot_fixture_still_restores() {
+    let s = fixture_scenario();
+    let exp = Experiment::new(s.clone());
+    let path = fixture_path();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let (mut sim, rec) = exp.build_sim(GoldenDigest::new()).unwrap();
+        sim.run_until(SimTime::from_secs(6));
+        let snap = exp.snapshot_now(&sim, &rec).unwrap();
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, snap.to_bytes()).unwrap();
+        eprintln!("golden snapshot fixture rewritten: {}", path.display());
+    }
+
+    let bytes = fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot fixture {} ({e});\n  regenerate with: \
+             UPDATE_GOLDEN=1 cargo test -p cavenet-testkit",
+            path.display()
+        )
+    });
+    let snap = Snapshot::from_bytes(&bytes).expect("v1 fixture must still parse");
+    let meta = snap.meta().unwrap();
+    assert_eq!(meta.time_ns, SimTime::from_secs(6).as_nanos());
+
+    let (mut sim, _rec, _) = exp
+        .resume_from_snapshot(GoldenDigest::new(), &snap)
+        .expect("v1 fixture must still restore");
+    sim.run_until(SimTime::from_secs_f64(s.sim_time.as_secs_f64()));
+    let (digest, events) = finish(sim, s.nodes);
+
+    // The resumed tail must equal today's straight run *and* the digest
+    // committed alongside the fixture.
+    let straight = digest_scenario(&s);
+    assert_eq!((digest, events), (straight.digest, straight.events));
+    check_golden("checkpoint_v1_resume", digest, events);
+}
