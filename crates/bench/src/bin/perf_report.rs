@@ -1,26 +1,96 @@
 //! Performance report: measures the hot paths this repo optimizes and emits
-//! `BENCH_perf.json` so the bench trajectory is machine-trackable.
+//! `benchmarks/BENCH_perf.json` so the bench trajectory is machine-trackable.
 //!
-//! Three measurements:
+//! Four measurements:
 //!
-//! 1. **Broadcast kernel** — events/sec of the discrete-event engine on the
-//!    Table-1 scenario and on a scaled ring (8× the nodes at the paper's
-//!    density), comparing the brute-force all-pairs receiver scan against
-//!    the spatial neighbor grid with step-quantized mobility.
-//! 2. **CA stepper** — NaS lane steps/sec (the BA block's unit of work).
-//! 3. **Ensemble engine** — wall-clock of a 20-trial Monte-Carlo ensemble,
-//!    serial vs parallel, with a bit-identity check on the outputs.
+//! 1. **Flat-memory engine** — events/sec, allocations-per-event (via a
+//!    counting global allocator) and peak RSS on five fixed paper
+//!    workloads: the Table-1 scenario, the Fig-11 eight-sender load, and
+//!    flooding rings at 4×/16×/32× the paper's node count where broadcast
+//!    delivery dominates. These workloads are identical in `--quick` and
+//!    full mode so `--check` always compares like-for-like.
+//! 2. **Broadcast kernel** — events/sec of the engine on a scaled ring,
+//!    brute-force receiver scan vs the spatial neighbor grid.
+//! 3. **CA stepper** — NaS lane steps/sec (the BA block's unit of work).
+//! 4. **Ensemble engine** — wall-clock of a Monte-Carlo ensemble, serial vs
+//!    parallel, with a bit-identity check on the outputs.
 //!
-//! Usage: `perf_report [--quick]` (`--quick` shrinks the scaled scenario for
-//! smoke runs).
+//! Usage: `perf_report [--quick] [--check]`
+//!
+//! * `--quick` shrinks the scaled-ring/CA/ensemble measurements for smoke
+//!   runs (the flat-memory section is always the fixed workloads).
+//! * `--check` compares the flat-memory section against the committed
+//!   `benchmarks/BENCH_perf.json` and exits non-zero if events/sec regressed
+//!   by more than 20 % or allocations-per-event grew by more than 20 % on
+//!   any workload.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use cavenet_bench::report::{self, num, obj};
 use cavenet_ca::{Boundary, Lane, NasParams};
 use cavenet_core::{Experiment, Protocol, Scenario};
 use cavenet_stats::Ensemble;
-use cavenet_telemetry::{fnv64, Json, RunManifest};
+use cavenet_telemetry::{fnv64, json, Json, RunManifest};
+
+/// Counts every heap allocation made by the process, so the report can
+/// state allocations-per-event — a machine-independent density metric that
+/// complements wall-clock events/sec.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the only addition is a relaxed
+// counter increment on the allocation paths.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`); 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
 
 /// One timed simulation run: engine events processed and wall-clock seconds.
 struct EngineRun {
@@ -51,6 +121,153 @@ fn time_scenario(s: &Scenario) -> EngineRun {
     }
 }
 
+/// One memory-instrumented run of the flat-memory section.
+struct MemRun {
+    name: &'static str,
+    events: u64,
+    wall_s: f64,
+    allocations: u64,
+    peak_rss_kb: u64,
+}
+
+impl MemRun {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn allocs_per_event(&self) -> f64 {
+        self.allocations as f64 / self.events.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("events", Json::num_u64(self.events)),
+            ("wall_s", num(self.wall_s)),
+            ("events_per_sec", num(self.events_per_sec())),
+            ("allocations", Json::num_u64(self.allocations)),
+            ("allocs_per_event", num(self.allocs_per_event())),
+            ("peak_rss_kb", Json::num_u64(self.peak_rss_kb)),
+        ])
+    }
+}
+
+fn measure_scenario(name: &'static str, s: &Scenario) -> MemRun {
+    let sim = Experiment::new(s.clone());
+    let a0 = ALLOCATIONS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let r = sim.run().expect("scenario runs");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - a0;
+    MemRun {
+        name,
+        events: r.global.events_processed,
+        wall_s,
+        allocations,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// The Table-1 scenario trimmed to 40 s with three senders — same shape as
+/// the conformance suite's golden scenario.
+fn table1_40s(protocol: Protocol) -> Scenario {
+    let mut s = Scenario::paper_table1(protocol);
+    s.sim_time = Duration::from_secs(40);
+    s.traffic.cbr.start = Duration::from_secs(5);
+    s.traffic.cbr.stop = Duration::from_secs(25);
+    s.traffic.senders = vec![1, 2, 3];
+    s.seed = 1;
+    s
+}
+
+/// The fixed workloads of the flat-memory section.
+fn flat_memory_workloads() -> Vec<(&'static str, Scenario)> {
+    // Fig. 11: the full eight-sender load on the paper ring.
+    let mut fig11 = table1_40s(Protocol::Aodv);
+    fig11.traffic.senders = (1..=8).collect();
+    // Broadcast-dominated flooding rings at 4× and 16× the paper's node
+    // count: every data packet is rebroadcast by every station, so
+    // per-receiver delivery work (and, pre-refactor, the O(nodes) position
+    // resample at every distinct transmission timestamp) is the whole run.
+    vec![
+        ("table1_aodv", table1_40s(Protocol::Aodv)),
+        ("fig11_aodv_8senders", fig11),
+        ("flood_ring_120", scaled_ring(4, 6)),
+        ("flood_ring_480", scaled_ring(16, 6)),
+        ("flood_ring_960", scaled_ring(32, 6)),
+    ]
+}
+
+/// Pre-refactor baseline of the flat-memory section, measured on the same
+/// machine immediately before the flat-memory engine landed (allocation
+/// counts are machine-independent; events/sec is machine-dependent and only
+/// meaningful relative to the "after" numbers measured alongside).
+mod pre_refactor {
+    /// `(workload, events, events_per_sec, allocs_per_event, peak_rss_kb)`
+    pub const BASELINE: &[(&str, u64, f64, f64, u64)] = &[
+        ("table1_aodv", 56648, 4_698_300.0, 0.6442, 3384),
+        ("fig11_aodv_8senders", 163053, 3_858_763.0, 0.6188, 3508),
+        ("flood_ring_120", 276699, 2_266_721.0, 1.7260, 3748),
+        ("flood_ring_480", 311785, 944_500.0, 5.8210, 4140),
+        ("flood_ring_960", 290633, 463_761.0, 11.5580, 4644),
+    ];
+}
+
+/// `--check`: compare `runs` against the committed baseline report. Returns
+/// the failures (empty = pass).
+fn check_against_committed(path: &str, runs: &[MemRun]) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("cannot read committed baseline {path}: {e}")],
+    };
+    let parsed = match json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => return vec![format!("cannot parse {path}: {e}")],
+    };
+    let Some(section) = parsed.get("flat_memory") else {
+        return vec![format!("{path} has no flat_memory section")];
+    };
+    let mut failures = Vec::new();
+    for run in runs {
+        let Some(base) = section.get(run.name) else {
+            failures.push(format!("baseline lacks workload {}", run.name));
+            continue;
+        };
+        let base_eps = base.get("events_per_sec").and_then(Json::as_f64);
+        let base_ape = base.get("allocs_per_event").and_then(Json::as_f64);
+        match base_eps {
+            Some(eps) if eps > 0.0 => {
+                let ratio = run.events_per_sec() / eps;
+                if ratio < 0.8 {
+                    failures.push(format!(
+                        "{}: events/sec regressed to {:.0} ({:.0}% of baseline {:.0})",
+                        run.name,
+                        run.events_per_sec(),
+                        ratio * 100.0,
+                        eps
+                    ));
+                }
+            }
+            _ => failures.push(format!("baseline {} lacks events_per_sec", run.name)),
+        }
+        match base_ape {
+            Some(ape) if ape > 0.0 => {
+                let ratio = run.allocs_per_event() / ape;
+                if ratio > 1.2 {
+                    failures.push(format!(
+                        "{}: allocs/event grew to {:.3} ({:.0}% of baseline {:.3})",
+                        run.name,
+                        run.allocs_per_event(),
+                        ratio * 100.0,
+                        ape
+                    ));
+                }
+            }
+            _ => failures.push(format!("baseline {} lacks allocs_per_event", run.name)),
+        }
+    }
+    failures
+}
+
 /// The paper's ring scaled by `factor` at constant vehicle density, with
 /// TTL-flooded CBR traffic: every node rebroadcasts every data packet, so
 /// the per-transmission receiver scan dominates the run.
@@ -67,21 +284,55 @@ fn scaled_ring(factor: usize, sim_secs: u64) -> Scenario {
     s
 }
 
+const REPORT_PATH: &str = "benchmarks/BENCH_perf.json";
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let check = std::env::args().any(|a| a == "--check");
     let (factor, sim_secs, ca_steps, trials) = if quick {
         (4, 6u64, 20_000u64, 6usize)
     } else {
         (8, 10u64, 200_000u64, 20usize)
     };
 
-    println!("# perf_report — broadcast kernel, CA stepper, ensemble engine\n");
+    println!("# perf_report — flat-memory engine, broadcast kernel, CA stepper, ensemble\n");
+
+    // 0. Flat-memory section: fixed workloads, instrumented for allocation
+    //    density and peak RSS. Run first so earlier sections' allocations
+    //    cannot blur the per-workload counts (the counter is process-wide).
+    let mut flat_runs = Vec::new();
+    println!("flat-memory engine (fixed workloads):");
+    // One unmeasured warm-up run so the first measured workload does not pay
+    // the process cold-start (page faults, lazy relocations) alone.
+    let _ = time_scenario(&table1_40s(Protocol::Aodv));
+    for (name, scenario) in flat_memory_workloads() {
+        let run = measure_scenario(name, &scenario);
+        println!(
+            "  {:<22} {:>9} events in {:>6.2} s = {:>9.0} events/s, \
+             {:.3} allocs/event, peak RSS {} KiB",
+            run.name,
+            run.events,
+            run.wall_s,
+            run.events_per_sec(),
+            run.allocs_per_event(),
+            run.peak_rss_kb
+        );
+        flat_runs.push(run);
+    }
+
+    // `--check` verdict is computed against the committed report before we
+    // overwrite it below.
+    let check_failures = if check {
+        Some(check_against_committed(REPORT_PATH, &flat_runs))
+    } else {
+        None
+    };
 
     // 1a. Table-1 scenario, default configuration (grid on, exact mobility).
     let table1 = Scenario::paper_table1(Protocol::Aodv);
     let t1 = time_scenario(&table1);
     println!(
-        "table1 (AODV, 30 nodes, 100 s): {} events in {:.2} s wall = {:.0} events/s",
+        "\ntable1 (AODV, 30 nodes, 100 s): {} events in {:.2} s wall = {:.0} events/s",
         t1.events,
         t1.wall_s,
         t1.events_per_sec()
@@ -167,6 +418,9 @@ fn main() {
     manifest
         .crate_versions
         .push(("cavenet-bench".into(), env!("CARGO_PKG_VERSION").into()));
+    for run in &flat_runs {
+        manifest.add_timing(run.name, run.wall_s);
+    }
     manifest.add_timing("table1", t1.wall_s);
     manifest.add_timing("scaled_ring_brute", rb.wall_s);
     manifest.add_timing("scaled_ring_grid", rg.wall_s);
@@ -174,10 +428,44 @@ fn main() {
     manifest.add_timing("ensemble_serial", serial_wall);
     manifest.add_timing("ensemble_parallel", parallel_wall);
 
+    // Flat-memory section: per-workload numbers plus, when a pre-refactor
+    // baseline is recorded, the before/after delta.
+    let mut flat_members: Vec<(&str, Json)> =
+        flat_runs.iter().map(|r| (r.name, r.to_json())).collect();
+    let mut delta_members: Vec<(&str, Json)> = Vec::new();
+    for &(name, events, eps, ape, rss) in pre_refactor::BASELINE {
+        if let Some(run) = flat_runs.iter().find(|r| r.name == name) {
+            delta_members.push((
+                name,
+                obj(vec![
+                    ("before_events", Json::num_u64(events)),
+                    ("before_events_per_sec", num(eps)),
+                    ("before_allocs_per_event", num(ape)),
+                    ("before_peak_rss_kb", Json::num_u64(rss)),
+                    (
+                        "events_per_sec_speedup",
+                        num(run.events_per_sec() / eps.max(1e-9)),
+                    ),
+                    (
+                        "allocs_per_event_ratio",
+                        num(run.allocs_per_event() / ape.max(1e-12)),
+                    ),
+                ]),
+            ));
+        }
+    }
+    if !delta_members.is_empty() {
+        flat_members.push(("before_after", obj(delta_members)));
+    }
+
+    if let Some(dir) = std::path::Path::new(REPORT_PATH).parent() {
+        std::fs::create_dir_all(dir).expect("create benchmarks dir");
+    }
     report::write_report(
-        "BENCH_perf.json",
+        REPORT_PATH,
         &manifest,
         vec![
+            ("flat_memory".into(), obj(flat_members)),
             (
                 "table1".into(),
                 obj(vec![
@@ -219,4 +507,16 @@ fn main() {
             ),
         ],
     );
+
+    if let Some(failures) = check_failures {
+        if failures.is_empty() {
+            println!("\n--check: flat-memory section within 20% of committed baseline");
+        } else {
+            eprintln!("\n--check FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

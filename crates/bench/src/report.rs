@@ -99,7 +99,10 @@ mod tests {
             manifest.get("parent_snapshot_hash").and_then(Json::as_str),
             Some("deadbeefcafef00d")
         );
-        assert_eq!(manifest.get("resume_step").and_then(Json::as_u64), Some(4096));
+        assert_eq!(
+            manifest.get("resume_step").and_then(Json::as_u64),
+            Some(4096)
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "snapshot truncated: need {need} bytes, have {have}")
             }
             SnapshotError::BadSectionTable { id } => {
-                write!(f, "section table entry for {} is inconsistent", section_name(*id))
+                write!(
+                    f,
+                    "section table entry for {} is inconsistent",
+                    section_name(*id)
+                )
             }
             SnapshotError::DuplicateSection { id } => {
                 write!(f, "duplicate section {}", section_name(*id))
@@ -100,7 +104,11 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "missing section {}", section_name(*id))
             }
             SnapshotError::SectionHash { id } => {
-                write!(f, "section {} is corrupted (hash mismatch)", section_name(*id))
+                write!(
+                    f,
+                    "section {} is corrupted (hash mismatch)",
+                    section_name(*id)
+                )
             }
             SnapshotError::Wire { id, error } => {
                 write!(f, "section {}: {error}", section_name(*id))
@@ -142,6 +150,9 @@ mod tests {
             expected: 2,
         };
         let s = e.to_string();
-        assert!(s.contains("seed") && s.contains("0x1") && s.contains("0x2"), "{s}");
+        assert!(
+            s.contains("seed") && s.contains("0x1") && s.contains("0x2"),
+            "{s}"
+        );
     }
 }

@@ -141,7 +141,11 @@ impl SnapshotMeta {
     pub fn check_same_run(&self, expected: &SnapshotMeta) -> Result<(), SnapshotError> {
         let fields = [
             ("scenario_hash", self.scenario_hash, expected.scenario_hash),
-            ("fault_plan_hash", self.fault_plan_hash, expected.fault_plan_hash),
+            (
+                "fault_plan_hash",
+                self.fault_plan_hash,
+                expected.fault_plan_hash,
+            ),
             ("seed", self.seed, expected.seed),
             ("nodes", self.nodes, expected.nodes),
         ];
@@ -216,8 +220,9 @@ impl Snapshot {
     /// Serialize the container (header, table, payloads).
     pub fn to_bytes(&self) -> Vec<u8> {
         let payload_len: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
-        let mut out =
-            Vec::with_capacity(HEADER_BYTES + TABLE_ENTRY_BYTES * self.sections.len() + payload_len);
+        let mut out = Vec::with_capacity(
+            HEADER_BYTES + TABLE_ENTRY_BYTES * self.sections.len() + payload_len,
+        );
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
@@ -414,7 +419,9 @@ mod tests {
         s.insert(section::ENGINE, vec![1]).unwrap();
         assert_eq!(
             s.insert(section::ENGINE, vec![2]).unwrap_err(),
-            SnapshotError::DuplicateSection { id: section::ENGINE }
+            SnapshotError::DuplicateSection {
+                id: section::ENGINE
+            }
         );
     }
 
@@ -437,6 +444,9 @@ mod tests {
         a.check_same_run(&b).unwrap();
         b.seed = 8;
         let err = a.check_same_run(&b).unwrap_err();
-        assert!(matches!(err, SnapshotError::MetaMismatch { what: "seed", .. }));
+        assert!(matches!(
+            err,
+            SnapshotError::MetaMismatch { what: "seed", .. }
+        ));
     }
 }

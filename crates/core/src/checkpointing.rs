@@ -174,7 +174,7 @@ fn checkpoints_newest_first(dir: &Path) -> Result<Vec<PathBuf>, std::io::Error> 
             found.push((t, path));
         }
     }
-    found.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    found.sort_unstable_by_key(|&(t, _)| std::cmp::Reverse(t));
     Ok(found.into_iter().map(|(_, p)| p).collect())
 }
 
@@ -403,10 +403,7 @@ mod tests {
     use crate::Protocol;
 
     fn scratch_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "cavenet_ckpt_{}_{tag}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("cavenet_ckpt_{}_{tag}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

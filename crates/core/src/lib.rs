@@ -36,9 +36,7 @@ mod protocol;
 mod resilience;
 mod scenario;
 
-pub use checkpointing::{
-    scenario_identity, Campaign, CheckpointError, CheckpointPlan, Lineage,
-};
+pub use checkpointing::{scenario_identity, Campaign, CheckpointError, CheckpointPlan, Lineage};
 pub use experiment::{Experiment, ExperimentResult, SenderReport};
 pub use mobility_adapter::TraceMobility;
 pub use protocol::Protocol;

@@ -21,14 +21,20 @@ use cavenet_net::{MobilityModel, PositionEpoch, SimTime};
 pub struct TraceMobility {
     trace: MobilityTrace,
     quantum: Option<Duration>,
+    /// Displacement-rate bound over the whole trace, computed once at
+    /// construction ([`MobilityTrace::max_speed`]); `None` when a teleport
+    /// makes the rate unbounded.
+    max_speed: Option<f64>,
 }
 
 impl TraceMobility {
     /// Wrap a trace with exact (continuous) position resolution.
     pub fn new(trace: MobilityTrace) -> Self {
+        let max_speed = trace.max_speed();
         TraceMobility {
             trace,
             quantum: None,
+            max_speed,
         }
     }
 
@@ -36,9 +42,11 @@ impl TraceMobility {
     /// `quantum` (see the type-level docs). A zero quantum behaves like
     /// [`TraceMobility::new`].
     pub fn quantized(trace: MobilityTrace, quantum: Duration) -> Self {
+        let max_speed = trace.max_speed();
         TraceMobility {
             trace,
             quantum: (!quantum.is_zero()).then_some(quantum),
+            max_speed,
         }
     }
 
@@ -114,6 +122,10 @@ impl MobilityModel for TraceMobility {
                 }
             }
         }
+    }
+
+    fn max_speed(&self) -> Option<f64> {
+        self.max_speed
     }
 }
 
@@ -196,6 +208,20 @@ mod tests {
         // A zero quantum degrades to continuous sampling.
         let z = TraceMobility::quantized(trace(), Duration::ZERO);
         assert_eq!(z.epoch(SimTime::from_secs(1)), PositionEpoch::Continuous);
+    }
+
+    #[test]
+    fn trace_mobility_reports_finite_speed_bound() {
+        let m = TraceMobility::new(trace());
+        let v = m.max_speed().expect("closed-ring trace has no teleports");
+        // NaS vehicles top out at vmax cells per step; the embedded bound
+        // must be positive (they move) and physically sane.
+        assert!(v > 0.0 && v < 60.0, "CA ring speed bound {v} m/s");
+        // The bound really does cap observed displacement over an interval.
+        let a = m.position(5, SimTime::from_millis(10_000));
+        let b = m.position(5, SimTime::from_millis(10_500));
+        let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        assert!(d <= v * 0.5 + 1e-9, "moved {d} m in 0.5 s, bound {v} m/s");
     }
 
     /// A trace whose node 1 has no samples (e.g. a malformed hand-off).

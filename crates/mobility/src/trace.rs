@@ -112,6 +112,27 @@ impl NodeTrajectory {
         }
         self.samples.iter().map(|s| s.speed).sum::<f64>() / self.samples.len() as f64
     }
+
+    /// Upper bound on the node's displacement rate in metres per second:
+    /// over any interval `[t, t+Δ]` the interpolated position moves at most
+    /// `max_speed · Δ`. Derived from the piecewise-linear segments (the node
+    /// is stationary before the first and after the last sample).
+    ///
+    /// Returns `None` when the trajectory contains a teleport: the jump is
+    /// instantaneous, so no finite rate bounds it.
+    pub fn max_speed(&self) -> Option<f64> {
+        let mut vmax = 0.0f64;
+        for w in self.samples.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if b.teleport {
+                return None;
+            }
+            let d = ((b.position.x - a.position.x).powi(2) + (b.position.y - a.position.y).powi(2))
+                .sqrt();
+            vmax = vmax.max(d / (b.time - a.time));
+        }
+        Some(vmax)
+    }
 }
 
 /// A full mobility trace: one trajectory per node, identified by a dense
@@ -167,6 +188,15 @@ impl MobilityTrace {
             .filter_map(|n| n.samples().last())
             .map(|s| s.time)
             .fold(0.0, f64::max)
+    }
+
+    /// Upper bound on any node's displacement rate in metres per second
+    /// (see [`NodeTrajectory::max_speed`]); `None` if any trajectory
+    /// teleports. An empty trace is vacuously stationary (`Some(0.0)`).
+    pub fn max_speed(&self) -> Option<f64> {
+        self.nodes
+            .iter()
+            .try_fold(0.0f64, |acc, n| n.max_speed().map(|v| acc.max(v)))
     }
 
     /// All node positions at time `t` (nodes with no samples are skipped).
@@ -367,6 +397,48 @@ mod tests {
         assert!((p.x - 0.0).abs() < 1e-9);
         // At/after the jump it is at the new one.
         assert_eq!(tr.position_at(2.0).unwrap(), Point2::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn max_speed_bounds_segment_rates() {
+        let tr = NodeTrajectory::new(vec![
+            sample(0.0, 0.0, 0.0),
+            sample(1.0, 3.0, 4.0),  // 5 m in 1 s
+            sample(3.0, 3.0, 24.0), // 20 m in 2 s
+        ])
+        .unwrap();
+        assert!((tr.max_speed().unwrap() - 10.0).abs() < 1e-12);
+        // Single-sample and empty trajectories are stationary.
+        assert_eq!(
+            NodeTrajectory::new(vec![sample(0.0, 1.0, 1.0)])
+                .unwrap()
+                .max_speed(),
+            Some(0.0)
+        );
+        assert_eq!(NodeTrajectory::default().max_speed(), Some(0.0));
+    }
+
+    #[test]
+    fn max_speed_is_unbounded_across_teleports() {
+        let mut jump = sample(2.0, 100.0, 0.0);
+        jump.teleport = true;
+        let tr = NodeTrajectory::new(vec![sample(0.0, 0.0, 0.0), jump]).unwrap();
+        assert_eq!(tr.max_speed(), None);
+        let trace = MobilityTrace::from_trajectories(vec![
+            NodeTrajectory::new(vec![sample(0.0, 0.0, 0.0), sample(1.0, 1.0, 0.0)]).unwrap(),
+            tr,
+        ]);
+        assert_eq!(trace.max_speed(), None);
+    }
+
+    #[test]
+    fn trace_max_speed_is_max_over_nodes() {
+        let trace = MobilityTrace::from_trajectories(vec![
+            NodeTrajectory::new(vec![sample(0.0, 0.0, 0.0), sample(1.0, 2.0, 0.0)]).unwrap(),
+            NodeTrajectory::new(vec![sample(0.0, 0.0, 0.0), sample(1.0, 0.0, 7.0)]).unwrap(),
+        ]);
+        assert!((trace.max_speed().unwrap() - 7.0).abs() < 1e-12);
+        assert_eq!(MobilityTrace::default().max_speed(), Some(0.0));
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! Slab-arena calendar queue: the engine's event scheduler.
+//!
+//! A discrete-event simulator spends a large share of its time inserting and
+//! popping timestamped events. A binary heap does both in `O(log n)` with
+//! every sift moving whole entries around; a *calendar queue* (Brown 1988)
+//! exploits the fact that event times are dense and near-monotonic to make
+//! both operations amortized `O(1)`:
+//!
+//! * Time is partitioned into fixed-width **days** (`1 << DAY_SHIFT` ns,
+//!   ≈1.05 ms). The queue keeps a window of `nb` consecutive days (`nb` a
+//!   power of two), one unsorted bucket per day.
+//! * Events in the **current day** live in a small binary heap (`active`),
+//!   ordered by the full `(time, seq)` key — this is where exact tie-break
+//!   order is enforced, on a heap that holds only one day's worth of events.
+//! * Events in a **future in-window day** sit unsorted in that day's bucket;
+//!   sorting is deferred until the cursor reaches the day and the bucket is
+//!   drained into `active`.
+//! * Events **beyond the window** go to an overflow heap ordered by day,
+//!   promoted into buckets as the window advances.
+//!
+//! Event payloads are stored once in a **slab arena** (`Vec<Slot<T>>` with a
+//! free list); buckets and heaps shuffle 4-byte slot ids instead of whole
+//! entries. Slot ids also give O(1) cancellation: [`CalendarQueue::cancel`]
+//! takes the payload out and leaves a tombstone that is reclaimed when its
+//! container reference surfaces.
+//!
+//! # Ordering invariant
+//!
+//! The queue dequeues in exactly ascending `(time, seq)` order — the same
+//! total order a `BinaryHeap<Reverse<(time, seq)>>` would produce. This is
+//! the foundation of the repository's bit-identity guarantee: replacing the
+//! binary heap with this structure must not reorder any two events, and the
+//! property tests in this module verify that against a reference heap under
+//! random insert/cancel/pop interleavings.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Width of one calendar day in nanoseconds, as a shift: ≈1.05 ms. Chosen so
+/// day extraction is a shift (not a division) and a typical contention window
+/// of MAC timers and in-flight frames spans a handful of days.
+const DAY_SHIFT: u32 = 20;
+
+/// Buckets never grow beyond this (2^20 days ≈ 18 min of window).
+const MAX_BUCKETS: usize = 1 << 20;
+
+#[inline]
+fn day_of(time: SimTime) -> u64 {
+    time.as_nanos() >> DAY_SHIFT
+}
+
+/// One arena slot. `value: None` marks a tombstone (cancelled or popped);
+/// the slot returns to the free list when the container holding its id
+/// encounters it.
+#[derive(Debug)]
+struct Slot<T> {
+    time: SimTime,
+    seq: u64,
+    value: Option<T>,
+}
+
+/// Reference to a slot, carrying its key so heap ordering never touches the
+/// arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EntryRef {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl EntryRef {
+    /// The single source of truth for event ordering.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl Ord for EntryRef {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest key on top.
+        other.key().cmp(&self.key())
+    }
+}
+
+impl PartialOrd for EntryRef {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Calendar-queue priority queue over a slab arena, keyed by `(SimTime, seq)`.
+///
+/// See the module docs for the design; the API surface is what the engine
+/// kernel needs: [`insert`](Self::insert), [`pop`](Self::pop),
+/// [`min_key`](Self::min_key) (a normalizing peek),
+/// [`cancel`](Self::cancel), and [`sorted_entries`](Self::sorted_entries)
+/// for checkpoint capture.
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    slab: Vec<Slot<T>>,
+    free: Vec<u32>,
+    /// Entries whose day ≤ `cursor`, ordered by full key.
+    active: BinaryHeap<EntryRef>,
+    /// One unsorted bucket per in-window day; index = `day & mask`.
+    buckets: Vec<Vec<u32>>,
+    /// Number of slot ids currently sitting in `buckets`.
+    in_buckets: usize,
+    /// Entries whose day ≥ `cursor + buckets.len()`, ordered by day.
+    overflow: BinaryHeap<Reverse<(u64, u32)>>,
+    /// The day `active` is currently collecting.
+    cursor: u64,
+    mask: u64,
+    /// Live (not cancelled, not popped) entries.
+    len: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// An empty queue with the minimum bucket window.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue pre-sized for about `n` concurrently pending events:
+    /// the arena, the active heap and the bucket window are allocated up
+    /// front so the steady state does not grow them.
+    pub fn with_capacity(n: usize) -> Self {
+        let nb = (n / 2).next_power_of_two().clamp(16, MAX_BUCKETS);
+        CalendarQueue {
+            slab: Vec::with_capacity(n),
+            free: Vec::new(),
+            active: BinaryHeap::with_capacity(64.min(n.max(16))),
+            buckets: (0..nb).map(|_| Vec::new()).collect(),
+            in_buckets: 0,
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            mask: (nb - 1) as u64,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `value` at key `(time, seq)` and return its slot id (usable
+    /// with [`cancel`](Self::cancel) until the entry is popped).
+    ///
+    /// Keys must be unique: `seq` is the caller's monotone event counter.
+    pub fn insert(&mut self, time: SimTime, seq: u64, value: T) -> u32 {
+        let slot = self.alloc(time, seq, value);
+        let day = day_of(time);
+        self.len += 1;
+        if day <= self.cursor {
+            self.active.push(EntryRef { time, seq, slot });
+        } else if day < self.cursor + self.buckets.len() as u64 {
+            self.buckets[(day & self.mask) as usize].push(slot);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(Reverse((day, slot)));
+        }
+        self.maybe_grow();
+        slot
+    }
+
+    /// Cancel the entry in `slot`, returning its payload if it was still
+    /// pending. O(1): the slot becomes a tombstone reclaimed lazily.
+    pub fn cancel(&mut self, slot: u32) -> Option<T> {
+        let value = self.slab.get_mut(slot as usize)?.value.take()?;
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// The smallest pending `(time, seq)` key, or `None` when empty.
+    ///
+    /// Takes `&mut self` because peeking normalizes: the cursor advances
+    /// over empty days and tombstones are reclaimed until the true minimum
+    /// sits on top of the active heap.
+    pub fn min_key(&mut self) -> Option<(SimTime, u64)> {
+        self.normalize();
+        self.active.peek().map(EntryRef::key)
+    }
+
+    /// Remove and return the entry with the smallest `(time, seq)` key.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        self.normalize();
+        let top = self.active.pop()?;
+        let cell = &mut self.slab[top.slot as usize];
+        let value = cell
+            .value
+            .take()
+            .expect("normalize leaves a live entry on top");
+        self.release(top.slot);
+        self.len -= 1;
+        Some((top.time, top.seq, value))
+    }
+
+    /// All live entries in ascending `(time, seq)` order. Used by checkpoint
+    /// capture, which needs a deterministic serialization order; O(n log n)
+    /// and allocation-heavy, so not for the hot path.
+    pub fn sorted_entries(&self) -> Vec<(SimTime, u64, &T)> {
+        let mut out: Vec<(SimTime, u64, &T)> = self
+            .slab
+            .iter()
+            .filter_map(|s| s.value.as_ref().map(|v| (s.time, s.seq, v)))
+            .collect();
+        out.sort_unstable_by_key(|&(t, q, _)| (t, q));
+        out
+    }
+
+    fn alloc(&mut self, time: SimTime, seq: u64, value: T) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slab[slot as usize] = Slot {
+                time,
+                seq,
+                value: Some(value),
+            };
+            slot
+        } else {
+            assert!(self.slab.len() < u32::MAX as usize, "event arena overflow");
+            self.slab.push(Slot {
+                time,
+                seq,
+                value: Some(value),
+            });
+            (self.slab.len() - 1) as u32
+        }
+    }
+
+    /// Return a slot whose container reference has been consumed to the
+    /// free list.
+    #[inline]
+    fn release(&mut self, slot: u32) {
+        self.free.push(slot);
+    }
+
+    /// Advance the cursor until the top of `active` is the live global
+    /// minimum (or the queue is exhausted), reclaiming tombstones on the way.
+    fn normalize(&mut self) {
+        loop {
+            // Discard cancelled entries surfacing on the active heap.
+            while let Some(top) = self.active.peek() {
+                if self.slab[top.slot as usize].value.is_some() {
+                    return;
+                }
+                let slot = top.slot;
+                self.active.pop();
+                self.release(slot);
+            }
+            if self.in_buckets > 0 {
+                // Scan forward one day; `in_buckets > 0` bounds this loop to
+                // at most one full window sweep before an entry surfaces.
+                self.cursor += 1;
+                let idx = (self.cursor & self.mask) as usize;
+                while let Some(slot) = self.buckets[idx].pop() {
+                    self.in_buckets -= 1;
+                    let cell = &self.slab[slot as usize];
+                    if cell.value.is_some() {
+                        self.active.push(EntryRef {
+                            time: cell.time,
+                            seq: cell.seq,
+                            slot,
+                        });
+                    } else {
+                        self.release(slot);
+                    }
+                }
+                self.promote();
+            } else if let Some(&Reverse((day, _))) = self.overflow.peek() {
+                // Window is empty: jump straight to the overflow's first day.
+                self.cursor = day;
+                self.promote();
+            } else {
+                return; // queue exhausted
+            }
+        }
+    }
+
+    /// Move overflow entries whose day entered the window into buckets (or
+    /// straight into `active` for the cursor day).
+    fn promote(&mut self) {
+        let window_end = self.cursor + self.buckets.len() as u64;
+        while let Some(&Reverse((day, slot))) = self.overflow.peek() {
+            if day >= window_end {
+                break;
+            }
+            self.overflow.pop();
+            let cell = &self.slab[slot as usize];
+            if cell.value.is_none() {
+                self.release(slot);
+            } else if day <= self.cursor {
+                self.active.push(EntryRef {
+                    time: cell.time,
+                    seq: cell.seq,
+                    slot,
+                });
+            } else {
+                self.buckets[(day & self.mask) as usize].push(slot);
+                self.in_buckets += 1;
+            }
+        }
+    }
+
+    /// Double the bucket window when occupancy exceeds 4 entries per bucket,
+    /// redistributing in-window and overflow ids by day. Rare (amortized by
+    /// the doubling), and order-neutral: placement is derived from keys only.
+    fn maybe_grow(&mut self) {
+        if self.len <= self.buckets.len() * 4 || self.buckets.len() >= MAX_BUCKETS {
+            return;
+        }
+        let nb = self.buckets.len() * 2;
+        let mut ids: Vec<u32> = self.buckets.iter_mut().flat_map(|b| b.drain(..)).collect();
+        ids.extend(self.overflow.drain().map(|Reverse((_, slot))| slot));
+        self.buckets = (0..nb).map(|_| Vec::new()).collect();
+        self.mask = (nb - 1) as u64;
+        self.in_buckets = 0;
+        let window_end = self.cursor + nb as u64;
+        for slot in ids {
+            let cell = &self.slab[slot as usize];
+            if cell.value.is_none() {
+                self.release(slot);
+                continue;
+            }
+            let day = day_of(cell.time);
+            if day <= self.cursor {
+                self.active.push(EntryRef {
+                    time: cell.time,
+                    seq: cell.seq,
+                    slot,
+                });
+            } else if day < window_end {
+                self.buckets[(day & self.mask) as usize].push(slot);
+                self.in_buckets += 1;
+            } else {
+                self.overflow.push(Reverse((day, slot)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.insert(t(50), 3, "c");
+        q.insert(t(10), 1, "a");
+        q.insert(t(50), 2, "b");
+        q.insert(t(5_000_000_000), 4, "far");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.min_key(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(10), 1, "a")));
+        assert_eq!(q.pop(), Some((t(50), 2, "b")));
+        assert_eq!(q.pop(), Some((t(50), 3, "c")));
+        assert_eq!(q.pop(), Some((t(5_000_000_000), 4, "far")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_entry_and_reclaims_slot() {
+        let mut q = CalendarQueue::new();
+        let a = q.insert(t(100), 1, 10u32);
+        let b = q.insert(t(200), 2, 20u32);
+        assert_eq!(q.cancel(a), Some(10));
+        assert_eq!(q.cancel(a), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(200), 2, 20)));
+        assert_eq!(q.cancel(b), None, "popped entries cannot be cancelled");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_inserts_during_pops_stay_ordered() {
+        let mut q = CalendarQueue::new();
+        q.insert(t(1 << 21), 1, 1u64);
+        assert_eq!(q.pop(), Some((t(1 << 21), 1, 1)));
+        // Cursor has advanced past day 0; inserting "in the past" must still
+        // dequeue before later keys.
+        q.insert(t(10), 2, 2u64);
+        q.insert(t(1 << 22), 3, 3u64);
+        assert_eq!(q.pop(), Some((t(10), 2, 2)));
+        assert_eq!(q.pop(), Some((t(1 << 22), 3, 3)));
+    }
+
+    #[test]
+    fn sorted_entries_lists_live_entries_ascending() {
+        let mut q = CalendarQueue::new();
+        q.insert(t(30), 3, "z");
+        let dead = q.insert(t(10), 1, "dead");
+        q.insert(t(20), 2, "y");
+        q.cancel(dead);
+        let entries: Vec<(u64, u64, &&str)> = q
+            .sorted_entries()
+            .into_iter()
+            .map(|(time, seq, v)| (time.as_nanos(), seq, v))
+            .collect();
+        assert_eq!(entries, vec![(20, 2, &"y"), (30, 3, &"z")]);
+    }
+
+    #[test]
+    fn grows_past_initial_window_without_losing_entries() {
+        let mut q = CalendarQueue::with_capacity(0);
+        // 4 entries per day across 512 days: forces several doublings and
+        // exercises overflow promotion.
+        let mut seq = 0u64;
+        for day in 0..512u64 {
+            for k in 0..4u64 {
+                seq += 1;
+                q.insert(t((day << DAY_SHIFT) + k), seq, seq);
+            }
+        }
+        assert_eq!(q.len(), 2048);
+        let mut prev = None;
+        let mut n = 0;
+        while let Some((time, s, v)) = q.pop() {
+            assert_eq!(s, v);
+            if let Some(p) = prev {
+                assert!((time, s) > p, "keys must strictly ascend");
+            }
+            prev = Some((time, s));
+            n += 1;
+        }
+        assert_eq!(n, 2048);
+    }
+
+    /// The heart of the bit-identity argument: against a reference binary
+    /// heap, random interleavings of insert/cancel/pop dequeue in exactly
+    /// the same `(time, seq)` order.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        /// Insert at `now + dt` ns (dt spans in-window and overflow days).
+        Insert(u64),
+        /// Cancel the k-th oldest still-pending insert, if any.
+        Cancel(usize),
+        /// Pop the minimum from both and compare.
+        Pop,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..(1u64 << 24)).prop_map(Op::Insert),
+            (0usize..32).prop_map(Op::Cancel),
+            Just(Op::Pop),
+            Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_heap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+            let mut calq = CalendarQueue::new();
+            let mut reference: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+            let mut values: std::collections::HashMap<(u64, u64), u64> =
+                std::collections::HashMap::new();
+            // (key, slot) of still-pending inserts, oldest first.
+            let mut pending: Vec<((SimTime, u64), u32)> = Vec::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for op in ops {
+                match op {
+                    Op::Insert(dt) => {
+                        seq += 1;
+                        let time = t(now + dt);
+                        let slot = calq.insert(time, seq, seq * 7);
+                        reference.push(Reverse((time, seq)));
+                        values.insert((time.as_nanos(), seq), seq * 7);
+                        pending.push(((time, seq), slot));
+                    }
+                    Op::Cancel(k) => {
+                        if pending.is_empty() {
+                            continue;
+                        }
+                        let (key, slot) = pending.remove(k % pending.len());
+                        let cancelled = calq.cancel(slot);
+                        prop_assert_eq!(
+                            cancelled,
+                            values.remove(&(key.0.as_nanos(), key.1))
+                        );
+                        // The reference heap has no cancel; drop the key from
+                        // `values` and skip it when it surfaces.
+                    }
+                    Op::Pop => {
+                        // Drain cancelled keys off the reference top.
+                        let live = loop {
+                            match reference.peek() {
+                                Some(&Reverse((rt, rs)))
+                                    if !values.contains_key(&(rt.as_nanos(), rs)) =>
+                                {
+                                    reference.pop();
+                                }
+                                other => break other.map(|&Reverse(k)| k),
+                            }
+                        };
+                        prop_assert_eq!(calq.min_key(), live);
+                        let got = calq.pop();
+                        match live {
+                            None => prop_assert!(got.is_none()),
+                            Some((rt, rs)) => {
+                                reference.pop();
+                                let expected = values.remove(&(rt.as_nanos(), rs));
+                                prop_assert_eq!(got.map(|(gt, gs, gv)| {
+                                    prop_assert_eq!((gt, gs), (rt, rs));
+                                    Ok(gv)
+                                }).transpose()?, expected);
+                                pending.retain(|&(key, _)| key != (rt, rs));
+                                now = rt.as_nanos();
+                            }
+                        }
+                    }
+                }
+            }
+            // Drain both to empty; remaining orders must agree too.
+            while let Some((gt, gs, _)) = calq.pop() {
+                let live = loop {
+                    let Some(&Reverse((rt, rs))) = reference.peek() else { break None };
+                    reference.pop();
+                    if values.remove(&(rt.as_nanos(), rs)).is_some() {
+                        break Some((rt, rs));
+                    }
+                };
+                prop_assert_eq!(Some((gt, gs)), live);
+            }
+            prop_assert!(values.is_empty());
+        }
+    }
+}

@@ -1,7 +1,6 @@
 //! The shared radio channel: transmissions currently in flight.
 
-use std::collections::HashMap;
-
+use crate::hash::FastMap;
 use crate::packet::Frame;
 use crate::snapshot::{
     read_frame, read_node_id, read_time, write_frame, write_node_id, write_time, ControlCodec,
@@ -28,10 +27,13 @@ pub struct Transmission {
 ///
 /// Each transmission is reference-counted by the number of scheduled
 /// end-events (the sender's `TxEnd` plus one `RxEnd` per reachable
-/// receiver); it is dropped when the last one fires.
+/// receiver); it is dropped when the last one fires. The map is keyed with
+/// the engine's deterministic fast hasher: it is probed on every
+/// `RxStart`/`RxEnd`/`TxEnd` event, and the ids are engine-generated so
+/// SipHash's untrusted-key robustness buys nothing here.
 #[derive(Debug, Default)]
 pub struct Channel {
-    active: HashMap<u64, (Transmission, u32)>,
+    active: FastMap<u64, (Transmission, u32)>,
     next_id: u64,
     total: u64,
 }

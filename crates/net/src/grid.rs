@@ -10,7 +10,8 @@
 //! unchanged; the grid only removes stations that provably cannot sense the
 //! frame).
 
-use std::collections::HashMap;
+use crate::hash::FastMap;
+use crate::pool::VecPool;
 
 /// A uniform spatial-hash grid over node positions.
 ///
@@ -18,11 +19,31 @@ use std::collections::HashMap;
 /// [`PositionEpoch`](crate::PositionEpoch)) and queried once per
 /// transmission. Candidate lists are returned in ascending node order so
 /// that event scheduling is bit-identical to a full `0..N` scan.
-#[derive(Debug, Clone, Default)]
+///
+/// Under continuous mobility the grid is rebuilt at every distinct
+/// transmission timestamp, so rebuilds recycle per-cell vectors through a
+/// [`VecPool`] instead of dropping them: steady-state rebuilds are
+/// allocation-free. The pool holds only empty spare buffers and never
+/// affects query results (see DESIGN.md §13).
+#[derive(Debug, Default)]
 pub struct SpatialGrid {
     cell: f64,
-    cells: HashMap<(i64, i64), Vec<u32>>,
+    cells: FastMap<(i64, i64), Vec<u32>>,
+    spares: VecPool<u32>,
     nodes: usize,
+}
+
+impl Clone for SpatialGrid {
+    /// Clones the index itself; the recycling pool starts empty in the
+    /// clone (spare buffers are a cache, not state).
+    fn clone(&self) -> Self {
+        SpatialGrid {
+            cell: self.cell,
+            cells: self.cells.clone(),
+            spares: VecPool::new(),
+            nodes: self.nodes,
+        }
+    }
 }
 
 impl SpatialGrid {
@@ -38,7 +59,8 @@ impl SpatialGrid {
         );
         SpatialGrid {
             cell: cell_size,
-            cells: HashMap::new(),
+            cells: FastMap::default(),
+            spares: VecPool::new(),
             nodes: 0,
         }
     }
@@ -58,23 +80,22 @@ impl SpatialGrid {
         self.nodes == 0
     }
 
-    fn cell_of(&self, x: f64, y: f64) -> (i64, i64) {
-        (
-            (x / self.cell).floor() as i64,
-            (y / self.cell).floor() as i64,
-        )
-    }
-
     /// Re-index the grid from a position snapshot (`positions[i]` is node
     /// `i`). Per-cell node lists stay sorted because nodes are inserted in
-    /// index order.
+    /// index order. Retired cell vectors are recycled through the spare
+    /// pool, so rebuilding an already-warm grid performs no allocations.
     pub fn rebuild(&mut self, positions: &[(f64, f64)]) {
-        self.cells.clear();
+        let cell = self.cell;
+        let cell_of = |x: f64, y: f64| ((x / cell).floor() as i64, (y / cell).floor() as i64);
+        let spares = &mut self.spares;
+        for (_, v) in self.cells.drain() {
+            spares.put(v);
+        }
         self.nodes = positions.len();
         for (i, &(x, y)) in positions.iter().enumerate() {
             self.cells
-                .entry(self.cell_of(x, y))
-                .or_default()
+                .entry(cell_of(x, y))
+                .or_insert_with(|| spares.take(0))
                 .push(i as u32);
         }
     }
@@ -194,5 +215,21 @@ mod tests {
     #[should_panic(expected = "cell size")]
     fn zero_cell_size_rejected() {
         let _ = SpatialGrid::new(0.0);
+    }
+
+    #[test]
+    fn rebuild_recycles_cell_vectors() {
+        let positions: Vec<(f64, f64)> = (0..16).map(|i| (i as f64 * 30.0, 0.0)).collect();
+        let mut grid = SpatialGrid::new(25.0);
+        grid.rebuild(&positions);
+        // A warm rebuild must produce identical results whether its cell
+        // vectors came from the pool or the allocator.
+        let before = candidates(&grid, (0.0, 0.0), 1e6);
+        grid.rebuild(&positions);
+        assert_eq!(candidates(&grid, (0.0, 0.0), 1e6), before);
+        // Shrinking the population parks the surplus vectors in the pool.
+        grid.rebuild(&positions[..1]);
+        assert_eq!(grid.len(), 1);
+        assert!(grid.spares.held() > 0, "retired cells should be pooled");
     }
 }

@@ -1,0 +1,113 @@
+//! Deterministic multiplicative hasher for engine-internal maps.
+//!
+//! The engine's hot maps (in-flight transmissions keyed by `u64`, grid
+//! cells keyed by `(i64, i64)`) are looked up on every `RxStart`/`RxEnd`
+//! event and on every grid rebuild. `std`'s default SipHash is designed to
+//! resist adversarial keys from untrusted input; engine keys are generated
+//! by the engine itself, so that robustness is pure overhead. This hasher
+//! (the well-known `rustc`/Firefox "Fx" construction: rotate, xor, multiply
+//! by a 64-bit constant) is several times cheaper per lookup.
+//!
+//! It is also *deterministic across processes* — no per-process random
+//! state — which keeps engine behavior independent of the environment. Note
+//! that no engine output may depend on map iteration order anyway (capture
+//! paths sort before serializing); determinism here is belt-and-braces, not
+//! license to iterate.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative constant: `2^64 / φ`, as used by rustc's `FxHasher`.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Word-at-a-time multiplicative hasher. Not DoS-resistant — engine-internal
+/// keys only.
+#[derive(Debug, Default, Clone)]
+pub struct DetHasher {
+    hash: u64,
+}
+
+impl DetHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Engine keys hash via the fixed-width methods below; this path only
+        // runs for composite keys' padding/length framing, if ever.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` with the deterministic fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<DetHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work_with_engine_key_shapes() {
+        let mut by_id: FastMap<u64, &str> = FastMap::default();
+        by_id.insert(7, "seven");
+        by_id.insert(u64::MAX, "max");
+        assert_eq!(by_id.get(&7), Some(&"seven"));
+        assert_eq!(by_id.remove(&u64::MAX), Some("max"));
+
+        let mut by_cell: FastMap<(i64, i64), u32> = FastMap::default();
+        by_cell.insert((-1, 3), 1);
+        by_cell.insert((1, -3), 2);
+        assert_eq!(by_cell.get(&(-1, 3)), Some(&1));
+        assert_ne!(by_cell.get(&(1, -3)), Some(&1));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut a = DetHasher::default();
+        let mut b = DetHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = DetHasher::default();
+        c.write_u64(0xdead_bef0);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -38,10 +38,12 @@
 #![warn(missing_docs)]
 
 mod api;
+pub mod calq;
 mod channel;
 mod error;
 mod fault;
 mod grid;
+pub mod hash;
 mod ids;
 mod mac;
 mod mobility;
@@ -49,6 +51,7 @@ mod node;
 mod observer;
 mod packet;
 mod phy;
+pub mod pool;
 mod sim;
 pub mod snapshot;
 mod stats;
@@ -56,10 +59,12 @@ mod time;
 mod traits;
 
 pub use api::NodeApi;
+pub use calq::CalendarQueue;
 pub use channel::{Channel, Transmission};
 pub use error::NetError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LossBurst, RecoveryMode};
 pub use grid::SpatialGrid;
+pub use hash::FastMap;
 pub use ids::{FlowId, NodeId};
 pub use mac::{MacParams, MacState, MacStats};
 pub use mobility::{MobilityModel, PositionEpoch, StaticMobility};
@@ -69,6 +74,7 @@ pub use observer::{
 };
 pub use packet::{ControlBlob, DataPayload, Frame, FrameKind, Packet, PacketBody};
 pub use phy::{PhyParams, Propagation};
+pub use pool::VecPool;
 pub use sim::{ScenarioConfig, Simulator, SimulatorBuilder};
 pub use snapshot::{ControlCodec, DataOnlyCodec, WireError, WireReader, WireWriter};
 pub use stats::{DropCounts, GlobalStats};

@@ -12,6 +12,7 @@
 //! makes the whole state machine unit-testable without a simulator.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cavenet_rng::SimRng;
@@ -287,7 +288,7 @@ impl Mac {
         let flushed: Vec<Packet> = self
             .queue
             .drain(..)
-            .filter_map(|frame| frame.packet)
+            .filter_map(|frame| frame.packet.map(Arc::unwrap_or_clone))
             .collect();
         self.set_state(hooks, MacState::Idle);
         self.cw = self.params.cw_min;
@@ -488,7 +489,7 @@ impl Mac {
             mac_dst: next_hop,
             kind: FrameKind::Data,
             size_bytes: size,
-            packet: Some(packet),
+            packet: Some(Arc::new(packet)),
             ack_uid: 0,
             nav: std::time::Duration::ZERO,
         });
@@ -651,7 +652,7 @@ impl Mac {
                 if self.retries >= self.params.retry_limit {
                     let frame = self.queue.pop_front().expect("frame in service");
                     self.stats.retry_drops += 1;
-                    if let Some(packet) = frame.packet {
+                    if let Some(packet) = frame.packet.map(Arc::unwrap_or_clone) {
                         hooks.upcalls.push(MacUpcall::TxFailed {
                             packet,
                             next_hop: frame.mac_dst,
@@ -769,7 +770,7 @@ impl Mac {
         if frame.mac_dst.is_broadcast() {
             // Broadcast: fire and forget.
             let frame = self.queue.pop_front().expect("frame in service");
-            if let Some(packet) = frame.packet {
+            if let Some(packet) = frame.packet.map(Arc::unwrap_or_clone) {
                 hooks.upcalls.push(MacUpcall::TxOk {
                     packet,
                     next_hop: NodeId::BROADCAST,
@@ -820,7 +821,7 @@ impl Mac {
                     self.pending_acks.push((seq, ack));
                     hooks.timers.push((self.params.sifs, seq));
                 }
-                if let Some(packet) = frame.packet {
+                if let Some(packet) = frame.packet.map(Arc::unwrap_or_clone) {
                     hooks.upcalls.push(MacUpcall::Deliver {
                         packet,
                         from: frame.mac_src,
@@ -889,7 +890,7 @@ impl Mac {
                 self.stats.ack_rx += 1;
                 self.dcf_timer = self.alloc_timer(); // cancel the ACK timeout
                 let done = self.queue.pop_front().expect("frame in service");
-                if let Some(packet) = done.packet {
+                if let Some(packet) = done.packet.map(Arc::unwrap_or_clone) {
                     hooks.upcalls.push(MacUpcall::TxOk {
                         packet,
                         next_hop: done.mac_dst,
@@ -1121,7 +1122,7 @@ mod tests {
             mac_dst: NodeId(0),
             kind: FrameKind::Data,
             size_bytes: 560,
-            packet: Some(p),
+            packet: Some(Arc::new(p)),
             ack_uid: 0,
             nav: std::time::Duration::ZERO,
         };
@@ -1146,7 +1147,7 @@ mod tests {
             mac_dst: NodeId::BROADCAST,
             kind: FrameKind::Data,
             size_bytes: 100,
-            packet: Some(data_packet(NodeId::BROADCAST)),
+            packet: Some(Arc::new(data_packet(NodeId::BROADCAST))),
             ack_uid: 0,
             nav: std::time::Duration::ZERO,
         };
@@ -1163,7 +1164,7 @@ mod tests {
             mac_dst: NodeId(9),
             kind: FrameKind::Data,
             size_bytes: 100,
-            packet: Some(data_packet(NodeId(9))),
+            packet: Some(Arc::new(data_packet(NodeId(9)))),
             ack_uid: 0,
             nav: std::time::Duration::ZERO,
         };

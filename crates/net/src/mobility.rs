@@ -50,6 +50,20 @@ pub trait MobilityModel {
     fn epoch(&self, _t: SimTime) -> PositionEpoch {
         PositionEpoch::Continuous
     }
+
+    /// Upper bound on any node's displacement rate in metres per second:
+    /// over any interval `[t, t+Δ]`, no node's position moves more than
+    /// `max_speed · Δ`. The default, `None`, promises nothing.
+    ///
+    /// A finite bound lets the simulator serve [`PositionEpoch::Continuous`]
+    /// models from a *stale-tolerant* neighbor grid: cells are rebuilt only
+    /// after the accumulated drift bound exceeds a slack, and every query
+    /// radius is inflated by the same bound, so the candidate set stays a
+    /// superset of the true carrier-sense range set and the event schedule
+    /// is bit-identical to per-timestamp rebuilding (see DESIGN.md §13).
+    fn max_speed(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Fixed node positions.
@@ -106,6 +120,10 @@ impl MobilityModel for StaticMobility {
 
     fn epoch(&self, _t: SimTime) -> PositionEpoch {
         PositionEpoch::Static
+    }
+
+    fn max_speed(&self) -> Option<f64> {
+        Some(0.0)
     }
 }
 

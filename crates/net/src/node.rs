@@ -1,10 +1,6 @@
-//! Per-node assembly: radio state, MAC, routing, application, statistics.
+//! Per-node radio state and network-layer statistics.
 
-use crate::mac::Mac;
-use crate::packet::Frame;
 use crate::snapshot::{WireError, WireReader, WireWriter};
-use crate::traits::{Application, RoutingProtocol};
-use crate::NodeId;
 
 /// Network-layer counters for one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,10 +23,14 @@ pub struct NodeStats {
 }
 
 /// Outcome of a completed reception.
-#[derive(Debug)]
+///
+/// The radio reports only the *disposition*; it never holds frame payloads.
+/// The simulator fetches the frame from the channel exactly once, and only
+/// on [`RxOutcome::Decoded`] — collided and unheard signals cost no copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum RxOutcome {
-    /// The frame decoded cleanly.
-    Decoded(Frame),
+    /// The locked signal finished cleanly; the frame would decode.
+    Decoded,
     /// The frame was corrupted by a collision.
     Collided,
     /// The signal was never locked onto (noise, or we were busy).
@@ -112,7 +112,7 @@ impl Radio {
 
     /// A signal finished arriving. Returns what happened if it was the
     /// locked frame.
-    pub(crate) fn on_rx_end(&mut self, tx_id: u64, frame: Option<Frame>) -> RxOutcome {
+    pub(crate) fn on_rx_end(&mut self, tx_id: u64) -> RxOutcome {
         self.arrivals.retain(|a| a.tx_id != tx_id);
         match self.lock {
             Some(lock) if lock.tx_id == tx_id => {
@@ -121,10 +121,7 @@ impl Radio {
                 if corrupted || self.transmitting {
                     RxOutcome::Collided
                 } else {
-                    match frame {
-                        Some(f) => RxOutcome::Decoded(f),
-                        None => RxOutcome::NotReceived,
-                    }
+                    RxOutcome::Decoded
                 }
             }
             _ => RxOutcome::NotReceived,
@@ -198,41 +195,14 @@ impl Radio {
     }
 }
 
-/// A simulated station: radio + MAC + routing + application + counters.
-pub(crate) struct Node {
-    pub(crate) id: NodeId,
-    pub(crate) mac: Mac,
-    pub(crate) radio: Radio,
-    pub(crate) routing: Option<Box<dyn RoutingProtocol>>,
-    pub(crate) app: Option<Box<dyn Application>>,
-    pub(crate) stats: NodeStats,
-}
-
-impl std::fmt::Debug for Node {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Node")
-            .field("id", &self.id)
-            .field("stats", &self.stats)
-            .finish_non_exhaustive()
-    }
-}
+// Per-node state lives in struct-of-arrays form on the simulator (`macs`,
+// `radios`, `node_stats`, `routings`, `apps`): there is no aggregate Node
+// struct. The hot paths (dispatch, broadcast) walk only the arrays they
+// touch, and a node's id is its index.
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::FrameKind;
-
-    fn frame() -> Frame {
-        Frame {
-            mac_src: NodeId(1),
-            mac_dst: NodeId(0),
-            kind: FrameKind::Data,
-            size_bytes: 100,
-            packet: None,
-            ack_uid: 0,
-            nav: std::time::Duration::ZERO,
-        }
-    }
 
     const RX: f64 = 1e-10;
     const CAP: f64 = 10.0;
@@ -243,10 +213,7 @@ mod tests {
         assert!(!r.medium_busy());
         r.on_rx_start(1, 1e-9, RX, CAP);
         assert!(r.medium_busy());
-        match r.on_rx_end(1, Some(frame())) {
-            RxOutcome::Decoded(_) => {}
-            other => panic!("expected decode, got {other:?}"),
-        }
+        assert_eq!(r.on_rx_end(1), RxOutcome::Decoded);
         assert!(!r.medium_busy());
     }
 
@@ -255,10 +222,7 @@ mod tests {
         let mut r = Radio::default();
         r.on_rx_start(1, 1e-12, RX, CAP); // above CS floor, below RX threshold
         assert!(r.medium_busy());
-        assert!(matches!(
-            r.on_rx_end(1, Some(frame())),
-            RxOutcome::NotReceived
-        ));
+        assert_eq!(r.on_rx_end(1), RxOutcome::NotReceived);
     }
 
     #[test]
@@ -266,11 +230,8 @@ mod tests {
         let mut r = Radio::default();
         r.on_rx_start(1, 1e-9, RX, CAP);
         r.on_rx_start(2, 0.5e-9, RX, CAP); // within 10× of the locked frame
-        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::Collided));
-        assert!(matches!(
-            r.on_rx_end(2, Some(frame())),
-            RxOutcome::NotReceived
-        ));
+        assert_eq!(r.on_rx_end(1), RxOutcome::Collided);
+        assert_eq!(r.on_rx_end(2), RxOutcome::NotReceived);
     }
 
     #[test]
@@ -278,10 +239,7 @@ mod tests {
         let mut r = Radio::default();
         r.on_rx_start(1, 1e-8, RX, CAP);
         r.on_rx_start(2, 1e-10, RX, CAP); // 100× weaker: captured over
-        assert!(matches!(
-            r.on_rx_end(1, Some(frame())),
-            RxOutcome::Decoded(_)
-        ));
+        assert_eq!(r.on_rx_end(1), RxOutcome::Decoded);
     }
 
     #[test]
@@ -294,13 +252,10 @@ mod tests {
         let mut r2 = Radio::default();
         r2.on_rx_start(1, 1e-10, RX, CAP);
         // tx 1 locks. End it; now test new lock with lingering interference.
-        let _ = r2.on_rx_end(1, Some(frame()));
+        let _ = r2.on_rx_end(1);
         r2.on_rx_start(2, 2e-10, RX, CAP); // interferer arrives first
         r2.on_rx_start(3, 4e-10, RX, CAP); // wait: 2 locks (≥ RX), 3 corrupts 2
-        assert!(matches!(
-            r2.on_rx_end(2, Some(frame())),
-            RxOutcome::Collided
-        ));
+        assert_eq!(r2.on_rx_end(2), RxOutcome::Collided);
     }
 
     #[test]
@@ -309,10 +264,7 @@ mod tests {
         r.on_tx_start();
         assert!(r.is_transmitting());
         r.on_rx_start(1, 1e-8, RX, CAP);
-        assert!(matches!(
-            r.on_rx_end(1, Some(frame())),
-            RxOutcome::NotReceived
-        ));
+        assert_eq!(r.on_rx_end(1), RxOutcome::NotReceived);
         r.on_tx_end();
         assert!(!r.is_transmitting());
     }
@@ -323,7 +275,7 @@ mod tests {
         r.on_rx_start(1, 1e-8, RX, CAP);
         r.on_tx_start();
         r.on_tx_end();
-        assert!(matches!(r.on_rx_end(1, Some(frame())), RxOutcome::Collided));
+        assert_eq!(r.on_rx_end(1), RxOutcome::Collided);
     }
 
     #[test]
@@ -335,10 +287,7 @@ mod tests {
         assert!(!r.medium_busy());
         assert!(!r.is_transmitting());
         // The stale RxEnd for the pre-crash arrival is a non-reception.
-        assert!(matches!(
-            r.on_rx_end(1, Some(frame())),
-            RxOutcome::NotReceived
-        ));
+        assert_eq!(r.on_rx_end(1), RxOutcome::NotReceived);
     }
 
     #[test]
@@ -346,9 +295,9 @@ mod tests {
         let mut r = Radio::default();
         r.on_rx_start(1, 1e-12, RX, CAP);
         r.on_rx_start(2, 1e-12, RX, CAP);
-        let _ = r.on_rx_end(1, None);
+        let _ = r.on_rx_end(1);
         assert!(r.medium_busy(), "second signal still arriving");
-        let _ = r.on_rx_end(2, None);
+        let _ = r.on_rx_end(2);
         assert!(!r.medium_busy());
     }
 }

@@ -144,6 +144,12 @@ impl FrameKind {
 }
 
 /// A link-layer frame in flight.
+///
+/// The encapsulated packet is held behind an [`Arc`]: a broadcast heard by
+/// `k` stations clones the *handle* `k` times, not the packet. Ownership is
+/// claimed (`Arc::unwrap_or_clone`) only at the points where the packet
+/// leaves the link layer — delivery, ACK completion, retry exhaustion and
+/// crash flush.
 #[derive(Debug, Clone)]
 pub struct Frame {
     /// Transmitting station.
@@ -156,7 +162,7 @@ pub struct Frame {
     /// control-frame size).
     pub size_bytes: u32,
     /// The encapsulated packet (`None` for control frames).
-    pub packet: Option<Packet>,
+    pub packet: Option<Arc<Packet>>,
     /// For ACKs: the uid of the data frame being acknowledged.
     pub ack_uid: u64,
     /// 802.11 duration field: how long the medium stays reserved *after*

@@ -1,0 +1,134 @@
+//! Size-classed recycling pool for `Vec` allocations.
+//!
+//! Hot engine structures (grid cells, scratch candidate lists) are built,
+//! consumed and rebuilt many times per simulated second. Dropping the
+//! backing allocation each cycle and re-growing it from zero is the single
+//! biggest allocator cost on mobility-heavy workloads. [`VecPool`] keeps
+//! retired vectors, bucketed by capacity into power-of-two size classes, and
+//! hands them back on request — so steady-state rebuilds touch the allocator
+//! only while the working set is still growing.
+//!
+//! Pooling is invisible to simulation semantics: a recycled vector is always
+//! returned empty (`clear()`ed, never shrunk), and no engine decision ever
+//! reads a vector's *capacity*. Reusing memory therefore cannot change event
+//! order, digests, or checkpoints — see DESIGN.md §13 for the invariant.
+
+/// Number of power-of-two size classes tracked: capacities up to `2^31`.
+const CLASSES: usize = 32;
+
+/// Retired vectors kept per size class; beyond this, returns are dropped so
+/// a one-off spike cannot pin memory forever.
+const PER_CLASS_CAP: usize = 64;
+
+/// Size class for a capacity: index of the highest set bit (capacity 0 → 0).
+#[inline]
+fn class_of(capacity: usize) -> usize {
+    (usize::BITS - capacity.leading_zeros()).saturating_sub(1) as usize
+}
+
+/// A recycling pool of `Vec<T>` allocations, bucketed by capacity class.
+#[derive(Debug)]
+pub struct VecPool<T> {
+    classes: Vec<Vec<Vec<T>>>,
+}
+
+impl<T> Default for VecPool<T> {
+    fn default() -> Self {
+        Self {
+            classes: (0..CLASSES).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+impl<T> VecPool<T> {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take an empty vector with at least `min_capacity` slots, recycling a
+    /// pooled allocation when one of a sufficient class is available.
+    pub fn take(&mut self, min_capacity: usize) -> Vec<T> {
+        let start = if min_capacity == 0 {
+            0
+        } else {
+            // First class guaranteed to hold only vecs with capacity
+            // >= min_capacity.
+            class_of(min_capacity.next_power_of_two())
+        };
+        for class in &mut self.classes[start.min(CLASSES - 1)..] {
+            if let Some(v) = class.pop() {
+                debug_assert!(v.is_empty() && v.capacity() >= min_capacity);
+                return v;
+            }
+        }
+        Vec::with_capacity(min_capacity)
+    }
+
+    /// Return a vector to the pool. It is cleared (elements dropped) and
+    /// filed under its capacity class; zero-capacity vectors and overfull
+    /// classes are simply dropped.
+    pub fn put(&mut self, mut v: Vec<T>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        v.clear();
+        let class = &mut self.classes[class_of(v.capacity())];
+        if class.len() < PER_CLASS_CAP {
+            class.push(v);
+        }
+    }
+
+    /// Total number of vectors currently held.
+    pub fn held(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_allocation() {
+        let mut pool: VecPool<u32> = VecPool::new();
+        let mut v = pool.take(8);
+        v.extend(0..8);
+        let ptr = v.as_ptr();
+        pool.put(v);
+        assert_eq!(pool.held(), 1);
+        let v2 = pool.take(4);
+        assert!(v2.is_empty());
+        assert_eq!(v2.as_ptr(), ptr, "should reuse the same allocation");
+        assert_eq!(pool.held(), 0);
+    }
+
+    #[test]
+    fn respects_min_capacity() {
+        let mut pool: VecPool<u8> = VecPool::new();
+        pool.put(Vec::with_capacity(4));
+        // A request for more than 4 must not hand back the 4-slot vec.
+        let v = pool.take(100);
+        assert!(v.capacity() >= 100);
+        assert_eq!(pool.held(), 1, "small vec stays pooled");
+    }
+
+    #[test]
+    fn clears_contents_on_put() {
+        let mut pool: VecPool<String> = VecPool::new();
+        pool.put(vec![String::from("x")]);
+        let v = pool.take(0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn drops_zero_capacity_and_caps_classes() {
+        let mut pool: VecPool<u32> = VecPool::new();
+        pool.put(Vec::new());
+        assert_eq!(pool.held(), 0);
+        for _ in 0..(PER_CLASS_CAP + 10) {
+            pool.put(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.held(), PER_CLASS_CAP);
+    }
+}

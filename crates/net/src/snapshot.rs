@@ -186,14 +186,14 @@ pub fn read_packet(r: &mut WireReader<'_>, codec: &dyn ControlCodec) -> Result<P
     })
 }
 
-/// Write an `Option<Packet>` (presence flag + packet).
+/// Write an optional packet (presence flag + packet).
 ///
 /// # Errors
 ///
 /// See [`write_packet`].
 pub fn write_opt_packet(
     w: &mut WireWriter,
-    p: &Option<Packet>,
+    p: Option<&Packet>,
     codec: &dyn ControlCodec,
 ) -> Result<(), WireError> {
     match p {
@@ -258,7 +258,7 @@ pub fn write_frame(
     write_node_id(w, f.mac_dst);
     w.put_u8(frame_kind_tag(f.kind));
     w.put_u32(f.size_bytes);
-    write_opt_packet(w, &f.packet, codec)?;
+    write_opt_packet(w, f.packet.as_deref(), codec)?;
     w.put_u64(f.ack_uid);
     write_duration(w, f.nav);
     Ok(())
@@ -275,7 +275,7 @@ pub fn read_frame(r: &mut WireReader<'_>, codec: &dyn ControlCodec) -> Result<Fr
         mac_dst: read_node_id(r)?,
         kind: frame_kind_from_tag(r.get_u8()?)?,
         size_bytes: r.get_u32()?,
-        packet: read_opt_packet(r, codec)?,
+        packet: read_opt_packet(r, codec)?.map(std::sync::Arc::new),
         ack_uid: r.get_u64()?,
         nav: read_duration(r)?,
     })
@@ -331,7 +331,7 @@ mod tests {
             mac_dst: NodeId(1),
             kind: FrameKind::Data,
             size_bytes: 304,
-            packet: Some(p),
+            packet: Some(std::sync::Arc::new(p)),
             ack_uid: 0,
             nav: Duration::from_micros(66),
         };

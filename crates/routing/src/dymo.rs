@@ -12,7 +12,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-use cavenet_net::snapshot::{read_node_id, read_packet, read_time, write_node_id, write_packet, write_time};
+use cavenet_net::snapshot::{
+    read_node_id, read_packet, read_time, write_node_id, write_packet, write_time,
+};
 use cavenet_net::{
     ControlBlob, ControlCodec, DataOnlyCodec, DropReason, NodeApi, NodeId, Packet, RouteEventKind,
     RoutingProtocol, RoutingTelemetry, SimTime, WireError, WireReader, WireWriter,

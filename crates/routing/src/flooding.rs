@@ -8,8 +8,8 @@
 use std::collections::HashSet;
 
 use cavenet_net::{
-    DropReason, NodeApi, NodeId, Packet, RoutingProtocol, RoutingTelemetry, WireError,
-    WireReader, WireWriter,
+    DropReason, NodeApi, NodeId, Packet, RoutingProtocol, RoutingTelemetry, WireError, WireReader,
+    WireWriter,
 };
 
 /// The flooding "protocol".

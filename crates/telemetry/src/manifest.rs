@@ -187,11 +187,7 @@ impl RunManifest {
                 }
                 step.as_u64().ok_or("resume_step is not an integer")?;
             }
-            _ => {
-                return Err(
-                    "parent_snapshot_hash and resume_step must appear together".into(),
-                )
-            }
+            _ => return Err("parent_snapshot_hash and resume_step must appear together".into()),
         }
         Ok(())
     }

@@ -69,7 +69,10 @@ fn resumed_digest(s: &Scenario, at: Duration) -> (u64, u64) {
     let (mut sim, _recorder, meta) = exp
         .resume_from_snapshot(GoldenDigest::new(), &snap)
         .unwrap();
-    assert_eq!(meta.time_ns, SimTime::from_secs_f64(at.as_secs_f64()).as_nanos());
+    assert_eq!(
+        meta.time_ns,
+        SimTime::from_secs_f64(at.as_secs_f64()).as_nanos()
+    );
     sim.run_until(SimTime::from_secs_f64(s.sim_time.as_secs_f64()));
     finish(sim, s.nodes)
 }
@@ -102,6 +105,32 @@ fn resume_is_bit_identical_mid_churn() {
 }
 
 #[test]
+fn resume_through_flat_memory_layout_is_bit_identical() {
+    // Exercises the flat-memory engine's checkpoint path specifically:
+    //
+    // * The capture lands at 2.5 s, mid-CBR-burst on a broadcast-heavy
+    //   protocol, so MAC interface queues hold frames whose `Arc<Packet>`
+    //   handles are shared with in-flight channel transmissions, and the
+    //   grid/scratch buffer pools are warm.
+    // * Routing and application timers sit seconds in the future — far
+    //   beyond the calendar queue's ~17 ms active window — so the snapshot
+    //   serializes events straight out of the overflow heap.
+    //
+    // Restore rebuilds plain owned state (fresh arenas, unshared packets,
+    // cold pools); bit-identity proves none of that layout is observable.
+    for protocol in [Protocol::Flooding, Protocol::Aodv] {
+        let s = short_scenario(protocol, 47);
+        let straight = digest_scenario(&s);
+        let (digest, events) = resumed_digest(&s, Duration::from_millis(2500));
+        assert_eq!(
+            (digest, events),
+            (straight.digest, straight.events),
+            "{protocol:?}: flat-memory resume diverged"
+        );
+    }
+}
+
+#[test]
 fn double_resume_is_still_bit_identical() {
     // Checkpoint chains must compose: 0→5 snapshot, 5→10 snapshot, 10→T.
     let s = short_scenario(Protocol::Dymo, 31);
@@ -115,13 +144,17 @@ fn double_resume_is_still_bit_identical() {
     drop((sim, rec));
 
     let snap1 = Snapshot::from_bytes(&bytes1).unwrap();
-    let (mut sim, rec, _) = exp.resume_from_snapshot(GoldenDigest::new(), &snap1).unwrap();
+    let (mut sim, rec, _) = exp
+        .resume_from_snapshot(GoldenDigest::new(), &snap1)
+        .unwrap();
     sim.run_until(SimTime::from_secs(10));
     let bytes2 = exp.snapshot_now(&sim, &rec).unwrap().to_bytes();
     drop((sim, rec));
 
     let snap2 = Snapshot::from_bytes(&bytes2).unwrap();
-    let (mut sim, _rec, meta) = exp.resume_from_snapshot(GoldenDigest::new(), &snap2).unwrap();
+    let (mut sim, _rec, meta) = exp
+        .resume_from_snapshot(GoldenDigest::new(), &snap2)
+        .unwrap();
     assert_eq!(meta.time_ns, SimTime::from_secs(10).as_nanos());
     sim.run_until(end);
     assert_eq!(finish(sim, s.nodes), (straight.digest, straight.events));
@@ -156,7 +189,8 @@ fn every_truncated_section_fails_with_a_typed_error() {
                 .unwrap_err();
             match err {
                 CheckpointError::Snapshot(SnapshotError::Wire { id, .. }) => assert_eq!(
-                    id, victim,
+                    id,
+                    victim,
                     "truncation of {} blamed on wrong section",
                     cavenet_core::checkpoint::section_name(victim)
                 ),
@@ -209,8 +243,15 @@ fn bisect_localizes_an_injected_divergence_exactly() {
         probes += 1;
         k > 0 && da[k as usize - 1] != db[k as usize - 1]
     });
-    assert_eq!(found, Some(truth), "bisection missed the first diverging tick");
-    assert!(probes <= 9, "expected ≈log2({ticks})+2 probes, got {probes}");
+    assert_eq!(
+        found,
+        Some(truth),
+        "bisection missed the first diverging tick"
+    );
+    assert!(
+        probes <= 9,
+        "expected ≈log2({ticks})+2 probes, got {probes}"
+    );
     // The injected cause: tick `truth` is the first after the early CBR
     // stop could bite — it cannot precede the 9 s stop time.
     assert!(truth as u128 * tick.as_nanos() >= Duration::from_secs(9).as_nanos());

@@ -58,6 +58,19 @@ fn golden_table1_dymo() {
     check_scenario_golden("table1_dymo", &conformance_scenario(Protocol::Dymo, 1));
 }
 
+#[test]
+fn golden_table1_dsdv() {
+    check_scenario_golden("table1_dsdv", &conformance_scenario(Protocol::Dsdv, 1));
+}
+
+#[test]
+fn golden_table1_flooding() {
+    check_scenario_golden(
+        "table1_flooding",
+        &conformance_scenario(Protocol::Flooding, 1),
+    );
+}
+
 // --- Golden digest: Fig. 11 (PDR under the full 8-sender load) -----------
 
 #[test]
