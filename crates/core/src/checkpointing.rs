@@ -121,14 +121,22 @@ pub struct CheckpointPlan {
 /// `Debug` rendering, the same idiom run manifests use), fault-plan hash
 /// (over [`FaultPlan::render`](cavenet_net::FaultPlan::render), 0 when
 /// unfaulted), seed and node count.
+///
+/// Execution-layout knobs that provably do not affect results are
+/// normalized to their defaults before hashing — today that is
+/// `Scenario::shards` (any shard count is bit-identical, DESIGN.md §14).
+/// This is what lets a snapshot taken under N shards resume under M: the
+/// two scenarios share one identity.
 pub fn scenario_identity(s: &Scenario) -> SnapshotMeta {
     let fault_plan_hash = if s.fault_plan.is_empty() {
         0
     } else {
         fnv64(s.fault_plan.render().as_bytes())
     };
+    let mut canonical = s.clone();
+    canonical.shards = 1;
     SnapshotMeta {
-        scenario_hash: fnv64(format!("{s:?}").as_bytes()),
+        scenario_hash: fnv64(format!("{canonical:?}").as_bytes()),
         fault_plan_hash,
         seed: s.seed,
         nodes: s.nodes as u64,

@@ -209,6 +209,7 @@ impl Experiment {
             .seed(s.seed)
             .mobility(Box::new(mobility))
             .neighbor_grid(s.neighbor_grid)
+            .shards(s.shards)
             .fault_plan(s.fault_plan.clone())
             .routing_with(move |_| protocol.instantiate());
         for &sender in &s.traffic.senders {

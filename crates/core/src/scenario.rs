@@ -111,6 +111,14 @@ pub struct Scenario {
     /// default empty plan leaves the simulation untouched — results are
     /// bit-identical to a scenario without the field.
     pub fault_plan: FaultPlan,
+    /// Spatial shards for intra-trial parallelism (default: 1, serial).
+    ///
+    /// An *execution* knob, not a behaviour knob: any value produces
+    /// bit-identical results (see
+    /// [`SimulatorBuilder::shards`](cavenet_net::SimulatorBuilder::shards)),
+    /// which is why it is excluded from checkpoint/run identity — a
+    /// snapshot taken under N shards resumes under M.
+    pub shards: usize,
     /// Master random seed.
     pub seed: u64,
 }
@@ -138,6 +146,7 @@ impl Scenario {
             neighbor_grid: true,
             mobility_quantum: None,
             fault_plan: FaultPlan::default(),
+            shards: 1,
             seed: 1,
         }
     }
@@ -240,6 +249,9 @@ impl Scenario {
     /// unknown node, recovers a node that is not down, or has overlapping
     /// or inverted loss windows.
     pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.shards == 0 {
+            return Err(ScenarioError::BadShards);
+        }
         let n = self.nodes as u32;
         if self.traffic.receiver >= n {
             return Err(ScenarioError::BadTraffic {
@@ -271,6 +283,8 @@ pub enum ScenarioError {
         /// The offending node id.
         node: u32,
     },
+    /// `shards` is zero (the serial engine is `shards = 1`).
+    BadShards,
     /// The fault-injection plan is invalid for this scenario (unknown
     /// node, recover-before-crash, overlapping or inverted windows, bad
     /// probability), or the engine rejected the configuration at build
@@ -290,6 +304,9 @@ impl fmt::Display for ScenarioError {
                 )
             }
             ScenarioError::Fault(e) => write!(f, "fault plan error: {e}"),
+            ScenarioError::BadShards => {
+                write!(f, "shards must be at least 1 (1 = serial engine)")
+            }
         }
     }
 }
@@ -300,6 +317,7 @@ impl Error for ScenarioError {
             ScenarioError::Mobility(e) => Some(e),
             ScenarioError::Trace(e) => Some(e),
             ScenarioError::BadTraffic { .. } => None,
+            ScenarioError::BadShards => None,
             ScenarioError::Fault(e) => Some(e),
         }
     }
@@ -387,6 +405,16 @@ mod tests {
                 ..
             }))
         ));
+    }
+
+    #[test]
+    fn validation_rejects_zero_shards() {
+        let mut s = Scenario::paper_table1(Protocol::Aodv);
+        assert_eq!(s.shards, 1, "serial by default");
+        s.shards = 0;
+        assert!(matches!(s.validate(), Err(ScenarioError::BadShards)));
+        s.shards = 4;
+        assert!(s.validate().is_ok());
     }
 
     #[test]

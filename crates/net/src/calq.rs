@@ -445,6 +445,55 @@ mod tests {
         assert_eq!(n, 2048);
     }
 
+    #[test]
+    fn cancelled_overflow_entries_vanish_across_day_rollover() {
+        // Regression for the overflow tombstone path: entries cancelled
+        // while sitting in the overflow heap must be reclaimed — not
+        // surfaced — when a pop crosses the day boundary and the cursor
+        // jumps to their day. Day 100 below becomes *all* tombstones, so
+        // normalization has to roll straight through it.
+        let day = |d: u64, k: u64| t((d << DAY_SHIFT) + k);
+        let mut q = CalendarQueue::new(); // 16-day window
+        q.insert(day(0, 5), 1, 1u32);
+        let dead_head = q.insert(day(100, 0), 2, 2u32);
+        let dead_mid = q.insert(day(100, 7), 3, 3u32);
+        q.insert(day(101, 3), 4, 4u32);
+        let dead_tail = q.insert(day(120, 0), 5, 5u32);
+        q.insert(day(120, 9), 6, 6u32);
+        assert_eq!(q.cancel(dead_head), Some(2));
+        assert_eq!(q.cancel(dead_mid), Some(3));
+        assert_eq!(q.cancel(dead_tail), Some(5));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((day(0, 5), 1, 1)));
+        // Crosses day 0 → 100 (tombstones only) → 101 in one normalize.
+        assert_eq!(q.pop(), Some((day(101, 3), 4, 4)));
+        // Day 120's head is a tombstone promoted on the second jump.
+        assert_eq!(q.pop(), Some((day(120, 9), 6, 6)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancellation_after_promotion_is_reclaimed_in_the_drain() {
+        // The complementary rollover case: an overflow entry is promoted
+        // (still live) by a cursor jump, and only *then* cancelled — the
+        // tombstone now sits in the active heap / a bucket and must be
+        // reclaimed by the drain instead of the overflow path.
+        let day = |d: u64, k: u64| t((d << DAY_SHIFT) + k);
+        let mut q = CalendarQueue::new();
+        q.insert(day(0, 1), 1, 1u32);
+        let far = q.insert(day(30, 0), 2, 2u32);
+        q.insert(day(31, 0), 3, 3u32);
+        assert_eq!(q.pop(), Some((day(0, 1), 1, 1)));
+        // Normalizing peek jumps the cursor to day 30, promoting `far`
+        // into the active heap and day 31 into a bucket.
+        assert_eq!(q.min_key(), Some((day(30, 0), 2)));
+        assert_eq!(q.cancel(far), Some(2));
+        assert_eq!(q.pop(), Some((day(31, 0), 3, 3)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
     /// The heart of the bit-identity argument: against a reference binary
     /// heap, random interleavings of insert/cancel/pop dequeue in exactly
     /// the same `(time, seq)` order.
@@ -461,6 +510,12 @@ mod tests {
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
             (0u64..(1u64 << 24)).prop_map(Op::Insert),
+            // Far inserts: 16 .. 4096 days out — beyond the bucket window
+            // even after growth, so they live in the overflow heap. Their
+            // cancellations leave tombstones that must be reclaimed as day
+            // rollovers promote them (the gap the pure in-window strategy
+            // left: overflow cancels crossing a day boundary).
+            ((1u64 << 24)..(1u64 << 32)).prop_map(Op::Insert),
             (0usize..32).prop_map(Op::Cancel),
             Just(Op::Pop),
             Just(Op::Pop),

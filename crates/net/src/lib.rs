@@ -17,9 +17,12 @@
 //!   hook points ([`RoutingProtocol`], [`Application`], [`MobilityModel`])
 //!   that the routing, traffic and core crates implement.
 //!
-//! The simulator is single-threaded and seeded: the same scenario and seed
-//! reproduce byte-identical results, which is what makes the paper's figures
-//! regenerable.
+//! The simulator is seeded and fully deterministic: the same scenario and
+//! seed reproduce byte-identical results, which is what makes the paper's
+//! figures regenerable. The event loop is single-threaded; optionally the
+//! pure receiver-candidate kernel is fanned out over spatial shard workers
+//! ([`SimulatorBuilder::shards`]) with bit-identical output (see `shard`
+//! module docs and DESIGN.md §14).
 //!
 //! ```
 //! use cavenet_net::{Simulator, ScenarioConfig, StaticMobility};
@@ -52,6 +55,7 @@ mod observer;
 mod packet;
 mod phy;
 pub mod pool;
+mod shard;
 mod sim;
 pub mod snapshot;
 mod stats;

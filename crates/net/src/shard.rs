@@ -1,0 +1,440 @@
+//! Intra-trial spatial sharding: parallel receiver-candidate evaluation.
+//!
+//! The 1-D ring is partitioned into contiguous arcs of node ids, one
+//! worker thread per arc. Vehicle order on a single-lane Nagel–Schreckenberg
+//! ring is preserved forever, so a contiguous id range *is* a contiguous
+//! spatial arc — the partition never has to be rebalanced.
+//!
+//! # What is parallel, what stays serial
+//!
+//! The engine's event loop, RNG draws and event scheduling are inherently
+//! serial: the reproducibility contract fixes a single global `(time, seq)`
+//! order and a single main RNG stream drawn in dispatch order. What *can*
+//! run in parallel bit-identically is everything provably pure:
+//!
+//! * **position resampling + grid rebuilds** — each worker samples its
+//!   arc's positions from the shared [`MobilityModel`] (a pure function of
+//!   `(index, t)`) and maintains a private [`SpatialGrid`] over them;
+//! * **the per-transmission receiver-candidate kernel** — distance and
+//!   received power per candidate. Sharding is only engaged when the
+//!   neighbor grid is active, i.e. under a *deterministic* propagation
+//!   model ([`PhyParams::carrier_sense_cutoff`] returned `Some`), where
+//!   `rx_power` draws no randomness and a below-threshold candidate is
+//!   unobservable: it draws no RNG and schedules nothing.
+//!
+//! Workers return, per transmission, the ascending-id list of stations
+//! whose received power clears the carrier-sense floor. The main thread
+//! concatenates the per-arc lists in arc order — which *is* global
+//! ascending node order, no k-way merge needed — and then applies the
+//! order-sensitive serial steps exactly as the serial engine does:
+//! liveness filtering, impairment draws from the fault RNG, and
+//! `RxStart`/`RxEnd` scheduling under the `(time, seq)` tie-break. The
+//! merged stream is element-for-element the serial engine's post-filter
+//! stream, so digests are bit-identical (see DESIGN.md §14).
+//!
+//! # Conservative lookahead at shard boundaries
+//!
+//! In the stale-grid regime (bounded-speed continuous mobility, PR 6) a
+//! worker's cells lag the clock by up to `grid_slack / vmax` seconds of
+//! motion. Queries are inflated by the accumulated drift bound
+//! `vmax · age` centrally — the same inflation the serial engine applies —
+//! and each worker additionally keeps the bounding box of its arc at build
+//! time: a transmission disk that cannot reach the box cannot reach any of
+//! the arc's built positions, and therefore (distance monotonicity, cutoff
+//! rounded conservatively upward) no station of the arc can clear the
+//! carrier-sense floor at its exact position either. That box test is the
+//! shard-boundary synchronization window: a shard is consulted only when
+//! the sender is within `cutoff + vmax · age` of its arc, i.e. within the
+//! safe window `carrier-sense range ÷ max speed` of simulated motion.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::grid::SpatialGrid;
+use crate::mobility::MobilityModel;
+use crate::phy::{PhyParams, Propagation};
+use crate::time::SimTime;
+
+/// One above-threshold receiver candidate, as computed by a shard worker.
+///
+/// `power` and `dist` are bitwise what the serial engine would have
+/// computed for the same `(sender, receiver, instant)`: the same pure
+/// float expressions evaluated on the same operands.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    /// Global node id.
+    pub node: u32,
+    /// Received power in watts (≥ the carrier-sense threshold).
+    pub power: f64,
+    /// Sender–receiver distance in metres.
+    pub dist: f64,
+}
+
+/// One transmission's kernel parameters, as shipped to every worker.
+struct QueryTask {
+    now: SimTime,
+    sender: u32,
+    sx: f64,
+    sy: f64,
+    /// Query radius, already inflated by the central drift bound.
+    radius: f64,
+    /// Resample candidates exactly at `now` (stale-grid regime) instead
+    /// of reading the epoch snapshot.
+    exact: bool,
+    /// Recycled output buffer, returned through the reply channel.
+    buf: Vec<Candidate>,
+}
+
+enum Task {
+    /// Resample the arc's positions at `at` and rebuild the arc grid.
+    Resample {
+        at: SimTime,
+    },
+    /// Evaluate the candidate kernel for one transmission.
+    Query(QueryTask),
+    Shutdown,
+}
+
+struct Reply {
+    shard: usize,
+    buf: Vec<Candidate>,
+}
+
+/// Per-arc worker state. Everything here is derived (recomputable from the
+/// mobility model and the clock), which is what makes checkpoint interop
+/// across different shard counts work by construction: snapshots contain
+/// no shard state, and a restore marks positions stale so the first
+/// transmission rebuilds whatever partition the resuming process uses.
+struct Worker {
+    /// Global id range `[lo, hi)` of this arc.
+    lo: usize,
+    hi: usize,
+    mobility: Arc<dyn MobilityModel>,
+    phy: PhyParams,
+    propagation: Propagation,
+    /// Arc-local position snapshot (`positions[j - lo]`).
+    positions: Vec<(f64, f64)>,
+    /// Per-entry sample instant, for exact on-demand resampling.
+    stamp: Vec<SimTime>,
+    grid: SpatialGrid,
+    /// Bounding box of the arc's built positions: `(min_x, min_y, max_x,
+    /// max_y)`. Degenerate (`+inf/-inf`) until the first resample.
+    bbox: (f64, f64, f64, f64),
+    /// Scratch buffer for grid candidate indices.
+    scratch: Vec<usize>,
+}
+
+impl Worker {
+    fn resample(&mut self, at: SimTime) {
+        self.positions.clear();
+        let mut bbox = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for i in self.lo..self.hi {
+            let p = self.mobility.position(i, at);
+            bbox.0 = bbox.0.min(p.0);
+            bbox.1 = bbox.1.min(p.1);
+            bbox.2 = bbox.2.max(p.0);
+            bbox.3 = bbox.3.max(p.1);
+            self.positions.push(p);
+        }
+        self.stamp.clear();
+        self.stamp.resize(self.hi - self.lo, at);
+        self.bbox = bbox;
+        self.grid.rebuild(&self.positions);
+    }
+
+    /// `true` when the disk of `radius` around `(sx, sy)` touches the
+    /// bounding box of this arc's built positions. A miss proves every
+    /// station of the arc is below the carrier-sense floor (see module
+    /// docs), so the whole arc can be skipped without consulting the grid.
+    fn disk_touches_bbox(&self, sx: f64, sy: f64, radius: f64) -> bool {
+        let dx = (self.bbox.0 - sx).max(0.0).max(sx - self.bbox.2);
+        let dy = (self.bbox.1 - sy).max(0.0).max(sy - self.bbox.3);
+        dx * dx + dy * dy <= radius * radius
+    }
+
+    fn query(&mut self, q: &QueryTask, out: &mut Vec<Candidate>) {
+        let QueryTask {
+            now,
+            sender,
+            sx,
+            sy,
+            radius,
+            exact,
+            ..
+        } = *q;
+        out.clear();
+        if !self.disk_touches_bbox(sx, sy, radius) {
+            return;
+        }
+        let mut cand = std::mem::take(&mut self.scratch);
+        cand.clear();
+        // Arc grids share the serial grid's absolute cell alignment (cells
+        // are floor(x / cell) in world coordinates), so the union of the
+        // per-arc candidate sets equals the serial grid's candidate set.
+        self.grid.candidates_within((sx, sy), radius, &mut cand);
+        for &local in cand.iter() {
+            let node = (self.lo + local) as u32;
+            if node == sender {
+                continue;
+            }
+            // Mirrors `Simulator::position_of`: exact per-candidate
+            // resample in the stale-grid regime, epoch snapshot otherwise.
+            let (x, y) = if exact && self.stamp[local] != now {
+                let p = self.mobility.position(self.lo + local, now);
+                self.positions[local] = p;
+                self.stamp[local] = now;
+                p
+            } else {
+                self.positions[local]
+            };
+            // Bitwise the serial engine's expressions: same distance
+            // formula, and `mean_rx_power` is exactly `rx_power` for the
+            // deterministic models sharding is gated on (no RNG branch).
+            let d = ((x - sx).powi(2) + (y - sy).powi(2)).sqrt();
+            let power = self.phy.mean_rx_power(self.propagation, d);
+            if power >= self.phy.cs_threshold_w {
+                out.push(Candidate {
+                    node,
+                    power,
+                    dist: d,
+                });
+            }
+        }
+        self.scratch = cand;
+    }
+
+    fn run(mut self, shard: usize, tasks: Receiver<Task>, replies: Sender<Reply>) {
+        while let Ok(task) = tasks.recv() {
+            match task {
+                Task::Resample { at } => self.resample(at),
+                Task::Query(mut q) => {
+                    let mut buf = std::mem::take(&mut q.buf);
+                    self.query(&q, &mut buf);
+                    if replies.send(Reply { shard, buf }).is_err() {
+                        return; // pool dropped mid-query
+                    }
+                }
+                Task::Shutdown => return,
+            }
+        }
+    }
+}
+
+/// A fixed pool of per-arc workers owned by a sharded [`Simulator`]
+/// (`crate::Simulator`). All state is derived; nothing here is serialized
+/// into checkpoints.
+pub(crate) struct ShardPool {
+    tasks: Vec<Sender<Task>>,
+    replies: Receiver<Reply>,
+    joins: Vec<JoinHandle<()>>,
+    /// Per-arc reply buffers, indexed by shard = arc order = ascending
+    /// global node order. Doubles as the recycled buffer store between
+    /// queries.
+    slots: Vec<Vec<Candidate>>,
+}
+
+impl ShardPool {
+    /// Partition `nodes` into `shards` contiguous arcs (as equal as
+    /// possible, first arcs one longer) and spawn one worker per arc.
+    ///
+    /// Callers gate on `shards >= 2`, `nodes >= shards` and an active
+    /// neighbor grid (`cell` is the grid cell size = carrier-sense cutoff).
+    pub(crate) fn new(
+        shards: usize,
+        nodes: usize,
+        mobility: Arc<dyn MobilityModel>,
+        phy: PhyParams,
+        propagation: Propagation,
+        cell: f64,
+    ) -> Self {
+        debug_assert!(shards >= 2 && nodes >= shards);
+        let (reply_tx, replies) = channel();
+        let mut tasks = Vec::with_capacity(shards);
+        let mut joins = Vec::with_capacity(shards);
+        let base = nodes / shards;
+        let rem = nodes % shards;
+        let mut lo = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < rem);
+            let hi = lo + len;
+            let worker = Worker {
+                lo,
+                hi,
+                mobility: Arc::clone(&mobility),
+                phy,
+                propagation,
+                positions: Vec::with_capacity(len),
+                stamp: Vec::with_capacity(len),
+                grid: SpatialGrid::new(cell),
+                bbox: (
+                    f64::INFINITY,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NEG_INFINITY,
+                ),
+                scratch: Vec::new(),
+            };
+            let (task_tx, task_rx) = channel();
+            let reply_tx = reply_tx.clone();
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("cavenet-shard-{s}"))
+                    .spawn(move || worker.run(s, task_rx, reply_tx))
+                    .expect("spawn shard worker"),
+            );
+            tasks.push(task_tx);
+            lo = hi;
+        }
+        debug_assert_eq!(lo, nodes);
+        ShardPool {
+            tasks,
+            replies,
+            joins,
+            slots: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of arcs / workers.
+    pub(crate) fn shards(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Ask every worker to resample its arc at `at` and rebuild its grid.
+    ///
+    /// Fire-and-forget: each worker's task channel is ordered, so a
+    /// subsequent [`query`](Self::query) is served from the new snapshot.
+    /// Rebuilds of different arcs overlap each other and the main thread.
+    pub(crate) fn resample(&mut self, at: SimTime) {
+        for tx in &self.tasks {
+            tx.send(Task::Resample { at }).expect("shard worker died");
+        }
+    }
+
+    /// Evaluate the candidate kernel on all workers and gather the per-arc
+    /// results into [`slots`](Self::slots). Blocks until every worker has
+    /// replied (the per-transmission barrier).
+    pub(crate) fn query(
+        &mut self,
+        now: SimTime,
+        sender: u32,
+        (sx, sy): (f64, f64),
+        radius: f64,
+        exact: bool,
+    ) {
+        for (s, tx) in self.tasks.iter().enumerate() {
+            let buf = std::mem::take(&mut self.slots[s]);
+            tx.send(Task::Query(QueryTask {
+                now,
+                sender,
+                sx,
+                sy,
+                radius,
+                exact,
+                buf,
+            }))
+            .expect("shard worker died");
+        }
+        for _ in 0..self.tasks.len() {
+            let Reply { shard, buf } = self.replies.recv().expect("shard worker died");
+            self.slots[shard] = buf;
+        }
+    }
+
+    /// The gathered per-arc candidate lists from the last
+    /// [`query`](Self::query), in arc order — concatenation yields global
+    /// ascending node order.
+    pub(crate) fn slots(&self) -> &[Vec<Candidate>] {
+        &self.slots
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        for tx in &self.tasks {
+            // A worker that already exited (send error) is fine to skip.
+            let _ = tx.send(Task::Shutdown);
+        }
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::StaticMobility;
+
+    fn pool_over_line(shards: usize, nodes: usize, spacing: f64) -> (ShardPool, PhyParams, f64) {
+        let phy = PhyParams::default();
+        let propagation = Propagation::TwoRayGround;
+        let cutoff = phy
+            .carrier_sense_cutoff(propagation)
+            .expect("deterministic model");
+        let mobility: Arc<dyn MobilityModel> =
+            Arc::from(Box::new(StaticMobility::line(nodes, spacing)) as Box<dyn MobilityModel>);
+        let pool = ShardPool::new(shards, nodes, mobility, phy, propagation, cutoff);
+        (pool, phy, cutoff)
+    }
+
+    /// The merged shard output equals the serial kernel: same nodes, same
+    /// bitwise powers/distances, ascending order.
+    #[test]
+    fn merged_candidates_match_serial_kernel() {
+        let nodes = 40;
+        let spacing = 90.0;
+        for shards in [2, 3, 7] {
+            let (mut pool, phy, cutoff) = pool_over_line(shards, nodes, spacing);
+            pool.resample(SimTime::ZERO);
+            let mobility = StaticMobility::line(nodes, spacing);
+            for sender in [0usize, 17, 39] {
+                let (sx, sy) = mobility.position(sender, SimTime::ZERO);
+                pool.query(SimTime::ZERO, sender as u32, (sx, sy), cutoff, false);
+                let merged: Vec<Candidate> = pool
+                    .slots()
+                    .iter()
+                    .flat_map(|s| s.iter().copied())
+                    .collect();
+
+                // Serial reference: full scan + exact filter.
+                let mut expect = Vec::new();
+                for j in 0..nodes {
+                    if j == sender {
+                        continue;
+                    }
+                    let (x, y) = mobility.position(j, SimTime::ZERO);
+                    let d = ((x - sx).powi(2) + (y - sy).powi(2)).sqrt();
+                    let power = phy.mean_rx_power(Propagation::TwoRayGround, d);
+                    if power >= phy.cs_threshold_w {
+                        expect.push((j as u32, power, d));
+                    }
+                }
+                let got: Vec<(u32, f64, f64)> =
+                    merged.iter().map(|c| (c.node, c.power, c.dist)).collect();
+                assert_eq!(got, expect, "shards={shards} sender={sender}");
+                assert!(
+                    merged.windows(2).all(|w| w[0].node < w[1].node),
+                    "merged list must be globally ascending"
+                );
+            }
+        }
+    }
+
+    /// Arcs entirely out of range are skipped by the bbox test and report
+    /// nothing — and that loses no above-threshold station.
+    #[test]
+    fn out_of_range_arcs_are_empty() {
+        // 1 km spacing: only immediate neighbours could ever be in CS range
+        // (cutoff ≈ 550 m ⇒ in fact nobody is).
+        let (mut pool, _phy, cutoff) = pool_over_line(4, 16, 1000.0);
+        pool.resample(SimTime::ZERO);
+        pool.query(SimTime::ZERO, 0, (0.0, 0.0), cutoff, false);
+        assert!(pool.slots().iter().all(|s| s.is_empty()));
+    }
+}

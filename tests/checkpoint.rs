@@ -161,6 +161,41 @@ fn double_resume_is_still_bit_identical() {
 }
 
 #[test]
+fn snapshot_under_n_shards_resumes_under_m() {
+    // `shards` is an execution knob, not a behaviour knob, and is
+    // normalized out of the snapshot's scenario identity: a checkpoint
+    // captured by a 3-shard run must restore into 2-shard, 5-shard and
+    // serial simulators — and every resumed tail must equal the straight
+    // serial run bitwise.
+    let s = short_scenario(Protocol::Aodv, 11);
+    let straight = digest_scenario(&s);
+
+    let mut capture = s.clone();
+    capture.shards = 3;
+    let exp = Experiment::new(capture);
+    let (mut sim, rec) = exp.build_sim(GoldenDigest::new()).unwrap();
+    sim.run_until(SimTime::from_secs(7));
+    let bytes = exp.snapshot_now(&sim, &rec).unwrap().to_bytes();
+    drop((sim, rec));
+
+    for resume_shards in [1usize, 2, 5] {
+        let mut r = s.clone();
+        r.shards = resume_shards;
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        let (mut sim, _rec, meta) = Experiment::new(r)
+            .resume_from_snapshot(GoldenDigest::new(), &snap)
+            .unwrap_or_else(|e| panic!("3-shard snapshot must restore under {resume_shards}: {e}"));
+        assert_eq!(meta.time_ns, SimTime::from_secs(7).as_nanos());
+        sim.run_until(SimTime::from_secs_f64(s.sim_time.as_secs_f64()));
+        assert_eq!(
+            finish(sim, s.nodes),
+            (straight.digest, straight.events),
+            "resume under {resume_shards} shards diverged from the serial run"
+        );
+    }
+}
+
+#[test]
 fn every_truncated_section_fails_with_a_typed_error() {
     let s = short_scenario(Protocol::Aodv, 11);
     let exp = Experiment::new(s.clone());

@@ -1,0 +1,248 @@
+//! Sharding equivalence suite: the spatially sharded engine must be
+//! **bit-identical** to the serial one on every fixture, for every shard
+//! count.
+//!
+//! The serial reference of each differential check is additionally pinned
+//! against the golden digests committed by `tests/conformance.rs` — the
+//! sharding work must not move them, so `shards = 1` is a provable no-op
+//! and `shards ∈ {2, 3, 7}` reproduce the exact committed event streams.
+
+use std::time::Duration;
+
+use cavenet_core::{Experiment, MobilitySource, Protocol, Scenario};
+use cavenet_net::{FaultPlan, SimTime};
+use cavenet_stats::Ensemble;
+use cavenet_testkit::{assert_shard_equiv, check_golden, digest_scenario};
+use proptest::prelude::*;
+
+/// The shard counts every fixture is checked under: an even split, an
+/// uneven split (30 nodes / 3), and a count that leaves one-node-wide
+/// remainder arcs (30 / 7 = 4 rem 2).
+const SHARD_COUNTS: &[usize] = &[2, 3, 7];
+
+/// Same trimmed Table 1 setup as `tests/conformance.rs` — it must be,
+/// because the serial reference digest is pinned against the golden
+/// fixtures that suite committed.
+fn conformance_scenario(protocol: Protocol, seed: u64) -> Scenario {
+    let mut s = Scenario::paper_table1(protocol);
+    s.sim_time = Duration::from_secs(40);
+    s.traffic.cbr.start = Duration::from_secs(5);
+    s.traffic.cbr.stop = Duration::from_secs(25);
+    s.traffic.senders = vec![1, 2, 3];
+    s.seed = seed;
+    s
+}
+
+/// The fixed churn plan of `tests/golden/table1_aodv_churn.golden`,
+/// mirrored from `tests/conformance.rs`.
+fn fixed_churn_plan() -> FaultPlan {
+    FaultPlan::new()
+        .crash(SimTime::from_secs(10), 12)
+        .recover(SimTime::from_secs(20), 12)
+        .crash(SimTime::from_secs(15), 20)
+        .recover(SimTime::from_secs(24), 20)
+}
+
+/// Run the differential check and pin its serial reference against the
+/// committed golden fixture `name`.
+fn check_shard_equiv_golden(name: &str, scenario: &Scenario) {
+    let reference = assert_shard_equiv(scenario, SHARD_COUNTS);
+    check_golden(name, reference.digest, reference.events);
+}
+
+// --- Table 1 × all five protocols -----------------------------------------
+
+#[test]
+fn shard_equiv_table1_aodv() {
+    // The one fixture that also runs shards = 1 explicitly: a second run
+    // of the serial configuration must reproduce the reference bitwise.
+    let s = conformance_scenario(Protocol::Aodv, 1);
+    let reference = assert_shard_equiv(&s, &[1, 2, 3, 7]);
+    check_golden("table1_aodv", reference.digest, reference.events);
+}
+
+#[test]
+fn shard_equiv_table1_olsr() {
+    check_shard_equiv_golden("table1_olsr", &conformance_scenario(Protocol::Olsr, 1));
+}
+
+#[test]
+fn shard_equiv_table1_dymo() {
+    check_shard_equiv_golden("table1_dymo", &conformance_scenario(Protocol::Dymo, 1));
+}
+
+#[test]
+fn shard_equiv_table1_dsdv() {
+    check_shard_equiv_golden("table1_dsdv", &conformance_scenario(Protocol::Dsdv, 1));
+}
+
+#[test]
+fn shard_equiv_table1_flooding() {
+    check_shard_equiv_golden(
+        "table1_flooding",
+        &conformance_scenario(Protocol::Flooding, 1),
+    );
+}
+
+// --- Fig. 11 (full 8-sender load) and the churn fixture --------------------
+
+#[test]
+fn shard_equiv_fig11_eight_senders() {
+    let mut s = conformance_scenario(Protocol::Aodv, 1);
+    s.traffic.senders = (1..=8).collect();
+    check_shard_equiv_golden("fig11_aodv_8senders", &s);
+}
+
+#[test]
+fn shard_equiv_table1_aodv_churn() {
+    // Churn exercises the merge path's node_up filter and the fault-RNG
+    // draw order: crashed receivers must be skipped *after* the shard
+    // merge, in ascending node order, exactly as the serial loop does.
+    let mut s = conformance_scenario(Protocol::Aodv, 1);
+    s.fault_plan = fixed_churn_plan();
+    check_shard_equiv_golden("table1_aodv_churn", &s);
+}
+
+// --- Fig. 4-style density sweep --------------------------------------------
+
+#[test]
+fn shard_equiv_density_sweep() {
+    // The CA fundamental-diagram sweep itself (Fig. 4) never enters the
+    // event engine, so the sharded analogue varies the *network* density:
+    // the same ring at low / Table-1 / jammed vehicle counts. Density
+    // changes where jam clusters (and hence arc populations) form, which
+    // stresses uneven shard loads.
+    for nodes in [12, 30, 48] {
+        let mut s = conformance_scenario(Protocol::Aodv, 4);
+        s.nodes = nodes;
+        s.sim_time = Duration::from_secs(30);
+        s.traffic.cbr.stop = Duration::from_secs(18);
+        assert_shard_equiv(&s, SHARD_COUNTS);
+    }
+}
+
+// --- Ensemble composition ---------------------------------------------------
+
+#[test]
+fn sharded_trials_inside_a_parallel_ensemble_are_bit_identical() {
+    // The two parallelism layers must compose: trial-level fan-out
+    // (cavenet-stats workers) around intra-trial sharding (engine shard
+    // pools), with the worker budget divided by the per-trial shard count.
+    // The summary must equal the fully serial ensemble of serial trials,
+    // bit for bit.
+    let pdr_at = |shards: usize| {
+        move |seed: u64| {
+            let mut s = conformance_scenario(Protocol::Aodv, seed);
+            s.sim_time = Duration::from_secs(20);
+            s.traffic.cbr.stop = Duration::from_secs(14);
+            s.shards = shards;
+            Experiment::new(s)
+                .run()
+                .expect("scenario must run")
+                .mean_pdr()
+        }
+    };
+    let serial = Ensemble::new(3, 9)
+        .workers(1)
+        .run_scalar(pdr_at(1))
+        .expect("summary");
+    for shards in [2, 3] {
+        let composed = Ensemble::new(3, 9)
+            .workers_for_shards(shards)
+            .run_scalar_par(pdr_at(shards))
+            .expect("summary");
+        assert_eq!(
+            serial, composed,
+            "ensemble × {shards}-shard trials diverged from the serial ensemble"
+        );
+    }
+}
+
+// --- Property tests ---------------------------------------------------------
+
+/// A short CA-mobility scenario for the random equivalence property.
+fn random_scenario(nodes: usize, circuit_m: f64, vmax: u32, slowdown: f64, seed: u64) -> Scenario {
+    let mut s = Scenario::paper_table1(Protocol::Aodv);
+    s.nodes = nodes;
+    s.circuit_m = circuit_m;
+    s.mobility = MobilitySource::NasCa {
+        slowdown_probability: slowdown,
+        vmax,
+    };
+    s.sim_time = Duration::from_secs(12);
+    s.traffic.senders = vec![1, 2];
+    s.traffic.cbr.start = Duration::from_secs(2);
+    s.traffic.cbr.stop = Duration::from_secs(8);
+    s.seed = seed;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any random (node count, ring length, speed bound, shard count)
+    /// combination must produce the serial digest when sharded. The speed
+    /// bound matters because the conservative query window is derived from
+    /// `MobilityModel::max_speed`.
+    #[test]
+    fn random_scenarios_shard_bit_identically(
+        nodes in 6usize..32,
+        circuit in 1200u32..4000,
+        vmax in 2u32..=5,
+        slowdown in 0.0f64..0.6,
+        shards in 1usize..=8,
+        seed in 1u64..1_000,
+    ) {
+        let s = random_scenario(nodes, f64::from(circuit), vmax, slowdown, seed);
+        prop_assume!(s.validate().is_ok());
+        let mut serial = s.clone();
+        serial.shards = 1;
+        let mut sharded = s;
+        sharded.shards = shards;
+        let a = digest_scenario(&serial);
+        let b = digest_scenario(&sharded);
+        prop_assert_eq!(
+            a.digest, b.digest,
+            "sharded ({}) diverged from serial on nodes={} circuit={} vmax={}",
+            shards, nodes, circuit, vmax
+        );
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// Boundary stress: every sender sits directly at an arc seam (the
+    /// first node of a shard) or just inside the previous arc, so each
+    /// transmission's carrier-sense disk straddles at least one shard
+    /// boundary. Halo handling errors show up here first.
+    #[test]
+    fn seam_clustered_senders_shard_bit_identically(
+        shards in 2usize..=6,
+        arcs_of in 4usize..8,
+        seed in 1u64..1_000,
+    ) {
+        let nodes = shards * arcs_of; // every arc seam at a multiple of arcs_of
+        let mut senders = Vec::new();
+        for k in 0..shards {
+            let seam = (k * arcs_of) as u32;
+            let before = ((k * arcs_of + nodes - 1) % nodes) as u32;
+            for node in [seam, before] {
+                if node != 0 && !senders.contains(&node) {
+                    senders.push(node);
+                }
+            }
+        }
+        senders.sort_unstable();
+        let mut s = random_scenario(nodes, 2400.0, 5, 0.3, seed);
+        s.traffic.senders = senders;
+        prop_assume!(s.validate().is_ok());
+        let mut sharded = s.clone();
+        sharded.shards = shards;
+        let a = digest_scenario(&s);
+        let b = digest_scenario(&sharded);
+        prop_assert_eq!(
+            a.digest, b.digest,
+            "seam-clustered senders diverged at shards={} nodes={}",
+            shards, nodes
+        );
+        prop_assert_eq!(a.events, b.events);
+    }
+}
