@@ -1,6 +1,6 @@
 //! Checkpoint economics: snapshot size, save/restore latency and
 //! resume-vs-straight wall-clock for the Table 1 scenario, emitted as
-//! `BENCH_checkpoint.json`.
+//! `benchmarks/BENCH_checkpoint.json`.
 //!
 //! The run drives the paper's AODV setup to its midpoint, snapshots it,
 //! throws everything except the serialized bytes away (the simulated
@@ -135,7 +135,7 @@ fn main() {
         ("digest_match", Json::Bool(true)),
     ]);
     report::write_report(
-        "BENCH_checkpoint.json",
+        "benchmarks/BENCH_checkpoint.json",
         &manifest,
         vec![("checkpoint".into(), payload)],
     );

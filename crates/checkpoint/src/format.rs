@@ -251,6 +251,11 @@ impl Snapshot {
 
     /// Parse and fully verify a serialized container.
     ///
+    /// This path consumes untrusted input (checkpoint files picked up off
+    /// disk) and is written panic-free: every read goes through the
+    /// bounds-checked helpers below, never through slice indexing that
+    /// could abort the process.
+    ///
     /// # Errors
     ///
     /// Every malformation maps to a typed [`SnapshotError`]: wrong magic,
@@ -273,11 +278,11 @@ impl Snapshot {
             found.copy_from_slice(&bytes[..8]);
             return Err(SnapshotError::BadMagic { found });
         }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let version = read_u32_le(bytes, 8)?;
         if version != SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion { found: version });
         }
-        let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let count = read_u32_le(bytes, 12)? as usize;
         let table_end = HEADER_BYTES + TABLE_ENTRY_BYTES * count;
         if bytes.len() < table_end {
             return Err(SnapshotError::Truncated {
@@ -286,14 +291,17 @@ impl Snapshot {
             });
         }
         let payload = &bytes[table_end..];
+        // Pre-sizing from the (already length-validated) table only: the
+        // untrusted `count` cannot drive an allocation past the table the
+        // container actually contains.
         let mut sections = Vec::with_capacity(count);
         let mut expected_offset = 0u64;
         for entry in 0..count {
             let at = HEADER_BYTES + TABLE_ENTRY_BYTES * entry;
-            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
-            let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
-            let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().expect("8 bytes"));
-            let hash = u64::from_le_bytes(bytes[at + 20..at + 28].try_into().expect("8 bytes"));
+            let id = read_u32_le(bytes, at)?;
+            let offset = read_u64_le(bytes, at + 4)?;
+            let len = read_u64_le(bytes, at + 12)?;
+            let hash = read_u64_le(bytes, at + 20)?;
             if sections.iter().any(|(i, _): &(u32, Vec<u8>)| *i == id) {
                 return Err(SnapshotError::DuplicateSection { id });
             }
@@ -326,6 +334,34 @@ impl Snapshot {
     /// [`SnapshotError::MissingSection`] or a META parse failure.
     pub fn meta(&self) -> Result<SnapshotMeta, SnapshotError> {
         SnapshotMeta::decode(&mut self.reader(section::META)?)
+    }
+}
+
+/// Bounds-checked little-endian `u32` read (no panicking index/`expect`).
+fn read_u32_le(bytes: &[u8], at: usize) -> Result<u32, SnapshotError> {
+    match bytes
+        .get(at..at + 4)
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+    {
+        Some(a) => Ok(u32::from_le_bytes(a)),
+        None => Err(SnapshotError::Truncated {
+            need: at + 4,
+            have: bytes.len(),
+        }),
+    }
+}
+
+/// Bounds-checked little-endian `u64` read (no panicking index/`expect`).
+fn read_u64_le(bytes: &[u8], at: usize) -> Result<u64, SnapshotError> {
+    match bytes
+        .get(at..at + 8)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+    {
+        Some(a) => Ok(u64::from_le_bytes(a)),
+        None => Err(SnapshotError::Truncated {
+            need: at + 8,
+            have: bytes.len(),
+        }),
     }
 }
 

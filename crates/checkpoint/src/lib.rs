@@ -32,6 +32,7 @@
 mod error;
 mod format;
 mod sim;
+pub mod store;
 
 pub use error::SnapshotError;
 pub use format::{section, section_name, Snapshot, SnapshotMeta, MAGIC, SNAPSHOT_VERSION};

@@ -1,0 +1,163 @@
+//! The on-disk checkpoint store: one directory per run, one file per
+//! snapshot, resume from the newest readable one.
+//!
+//! Every layer that periodically checkpoints (core's `run_with_checkpoints`,
+//! the campaign server's supervised trials) uses the same naming scheme —
+//! `ckpt_<time_ns:020>.bin` — so their stores are interchangeable: a trial
+//! checkpointed by a batch sweep resumes under the server and vice versa.
+//! This module owns that scheme and the "latest readable" scan, so the
+//! fallback-past-corruption policy lives in exactly one place.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::format::Snapshot;
+
+/// File name of the checkpoint captured at virtual time `time_ns`
+/// (zero-padded so lexicographic order equals capture order).
+pub fn file_name(time_ns: u64) -> String {
+    format!("ckpt_{time_ns:020}.bin")
+}
+
+/// Full path of the checkpoint captured at `time_ns` inside `dir`.
+pub fn file_path(dir: &Path, time_ns: u64) -> PathBuf {
+    dir.join(file_name(time_ns))
+}
+
+/// The capture time encoded in a checkpoint file name, if it is one.
+pub fn capture_time(path: &Path) -> Option<u64> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("ckpt_")?
+        .strip_suffix(".bin")?
+        .parse::<u64>()
+        .ok()
+}
+
+/// Checkpoint files in `dir`, newest (largest capture time) first. A
+/// missing directory is an empty store, not an error; files that do not
+/// match the naming scheme are ignored.
+///
+/// # Errors
+///
+/// Any I/O error other than the directory being absent.
+pub fn list_newest_first(dir: &Path) -> Result<Vec<PathBuf>, std::io::Error> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if let Some(t) = capture_time(&path) {
+            found.push((t, path));
+        }
+    }
+    found.sort_unstable_by_key(|&(t, _)| std::cmp::Reverse(t));
+    Ok(found.into_iter().map(|(_, p)| p).collect())
+}
+
+/// The newest checkpoint in `dir` that reads and parses — unreadable
+/// files and files failing container verification (truncation, section
+/// hash mismatch, foreign magic) are silently skipped, older checkpoints
+/// are tried next. `Ok(None)` when no file survives.
+///
+/// Parsing proves container integrity, not scenario identity: the caller
+/// still validates [`SnapshotMeta`](crate::SnapshotMeta) when restoring,
+/// and should fall back to [`list_newest_first`] for snapshot-by-snapshot
+/// restore attempts if a parsed snapshot later fails to apply.
+///
+/// # Errors
+///
+/// Any I/O error other than the directory being absent.
+pub fn latest_snapshot(dir: &Path) -> Result<Option<(PathBuf, Snapshot)>, std::io::Error> {
+    for path in list_newest_first(dir)? {
+        let Ok(bytes) = fs::read(&path) else { continue };
+        if let Ok(snap) = Snapshot::from_bytes(&bytes) {
+            return Ok(Some((path, snap)));
+        }
+    }
+    Ok(None)
+}
+
+/// Serialize `snap` into `dir` (created if needed) under the standard
+/// name for capture time `time_ns`, returning the path written.
+///
+/// # Errors
+///
+/// Any failure creating the directory or writing the file.
+pub fn write_snapshot(
+    dir: &Path,
+    time_ns: u64,
+    snap: &Snapshot,
+) -> Result<PathBuf, std::io::Error> {
+    fs::create_dir_all(dir)?;
+    let path = file_path(dir, time_ns);
+    fs::write(&path, snap.to_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::section;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cavenet_store_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_snapshot(marker: u8) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.insert(section::ENGINE, vec![marker; 4]).unwrap();
+        s
+    }
+
+    #[test]
+    fn names_round_trip_and_sort() {
+        let p = file_path(Path::new("/x"), 42);
+        assert_eq!(capture_time(&p), Some(42));
+        assert!(file_name(9) < file_name(10), "zero-padding keeps order");
+        assert_eq!(capture_time(Path::new("other.bin")), None);
+    }
+
+    #[test]
+    fn missing_dir_is_an_empty_store() {
+        let dir = scratch("missing");
+        assert!(list_newest_first(&dir).unwrap().is_empty());
+        assert!(latest_snapshot(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn latest_skips_corrupt_files() {
+        let dir = scratch("skip");
+        write_snapshot(&dir, 100, &tiny_snapshot(1)).unwrap();
+        write_snapshot(&dir, 200, &tiny_snapshot(2)).unwrap();
+        // Vandalize the newest.
+        let newest = file_path(&dir, 200);
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (path, snap) = latest_snapshot(&dir).unwrap().expect("older file survives");
+        assert_eq!(capture_time(&path), Some(100));
+        assert_eq!(snap.get(section::ENGINE), Some(&[1u8; 4][..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newest_first_ordering() {
+        let dir = scratch("order");
+        for t in [5u64, 500, 50] {
+            write_snapshot(&dir, t, &tiny_snapshot(t as u8)).unwrap();
+        }
+        let times: Vec<u64> = list_newest_first(&dir)
+            .unwrap()
+            .iter()
+            .filter_map(|p| capture_time(p))
+            .collect();
+        assert_eq!(times, vec![500, 50, 5]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -32,7 +32,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use cavenet_checkpoint::{
-    capture_simulator, restore_simulator, section, Snapshot, SnapshotError, SnapshotMeta,
+    capture_simulator, restore_simulator, section, store, Snapshot, SnapshotError, SnapshotMeta,
 };
 use cavenet_net::{SimObserver, SimTime, Simulator, WireWriter};
 use cavenet_rng::fnv::fnv64;
@@ -50,6 +50,9 @@ pub enum CheckpointError {
     Snapshot(SnapshotError),
     /// A checkpoint file or directory could not be read or written.
     Io(std::io::Error),
+    /// The checkpoint plan's interval is zero — it would snapshot forever
+    /// without advancing virtual time.
+    ZeroInterval,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -58,6 +61,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Scenario(e) => write!(f, "scenario error: {e}"),
             CheckpointError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::ZeroInterval => {
+                write!(f, "checkpoint interval must be non-zero")
+            }
         }
     }
 }
@@ -68,6 +74,7 @@ impl std::error::Error for CheckpointError {
             CheckpointError::Scenario(e) => Some(e),
             CheckpointError::Snapshot(e) => Some(e),
             CheckpointError::Io(e) => Some(e),
+            CheckpointError::ZeroInterval => None,
         }
     }
 }
@@ -157,35 +164,6 @@ fn mobility_fingerprint(s: &Scenario) -> u64 {
     )
 }
 
-fn checkpoint_file(dir: &Path, time_ns: u64) -> PathBuf {
-    dir.join(format!("ckpt_{time_ns:020}.bin"))
-}
-
-/// Checkpoint files in `dir`, newest (largest capture time) first.
-fn checkpoints_newest_first(dir: &Path) -> Result<Vec<PathBuf>, std::io::Error> {
-    let mut found: Vec<(u64, PathBuf)> = Vec::new();
-    let entries = match fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
-    };
-    for entry in entries {
-        let path = entry?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-            continue;
-        };
-        if let Some(t) = name
-            .strip_prefix("ckpt_")
-            .and_then(|r| r.strip_suffix(".bin"))
-            .and_then(|d| d.parse::<u64>().ok())
-        {
-            found.push((t, path));
-        }
-    }
-    found.sort_unstable_by_key(|&(t, _)| std::cmp::Reverse(t));
-    Ok(found.into_iter().map(|(_, p)| p).collect())
-}
-
 impl Experiment {
     /// Snapshot a mid-flight run: the simulator's six sections plus the
     /// traffic ledger and the mobility fingerprint.
@@ -267,7 +245,9 @@ impl Experiment {
         plan: &CheckpointPlan,
     ) -> Result<(), CheckpointError> {
         let every = plan.every.as_nanos().min(u128::from(u64::MAX)) as u64;
-        assert!(every > 0, "checkpoint interval must be non-zero");
+        if every == 0 {
+            return Err(CheckpointError::ZeroInterval);
+        }
         let end = SimTime::from_secs_f64(self.scenario().sim_time.as_secs_f64()).as_nanos();
         let mut now = sim.now().as_nanos();
         while now < end {
@@ -275,7 +255,7 @@ impl Experiment {
             sim.run_until(SimTime::from_nanos(target));
             now = sim.now().as_nanos();
             let snap = self.snapshot_now(sim, recorder)?;
-            fs::write(checkpoint_file(&plan.dir, now), snap.to_bytes())?;
+            store::write_snapshot(&plan.dir, now, &snap)?;
         }
         Ok(())
     }
@@ -286,11 +266,8 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// [`CheckpointError`] on scenario, snapshot or filesystem failure.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `plan.every` is zero.
+    /// [`CheckpointError`] on scenario, snapshot or filesystem failure,
+    /// or [`CheckpointError::ZeroInterval`] when `plan.every` is zero.
     pub fn run_with_checkpoints<O: SimObserver>(
         &self,
         observer: O,
@@ -317,11 +294,8 @@ impl Experiment {
     /// # Errors
     ///
     /// [`CheckpointError`] on scenario, snapshot or filesystem failure
-    /// (a corrupt checkpoint *file* is not an error — it is skipped).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `plan.every` is zero.
+    /// (a corrupt checkpoint *file* is not an error — it is skipped), or
+    /// [`CheckpointError::ZeroInterval`] when `plan.every` is zero.
     pub fn resume_with_checkpoints<O: SimObserver + Clone>(
         &self,
         observer: O,
@@ -330,7 +304,7 @@ impl Experiment {
         fs::create_dir_all(&plan.dir)?;
         let mut lineage = Lineage::default();
         let mut restored: Option<(Simulator<O>, SharedRecorder)> = None;
-        for path in checkpoints_newest_first(&plan.dir)? {
+        for path in store::list_newest_first(&plan.dir)? {
             let Ok(bytes) = fs::read(&path) else { continue };
             let Ok(snap) = Snapshot::from_bytes(&bytes) else {
                 continue;
@@ -441,7 +415,7 @@ mod tests {
         assert_eq!(plain.global, ckpt.global);
         assert_eq!(plain.total_received(), ckpt.total_received());
         // Snapshots at 4 s, 8 s, 12 s.
-        assert_eq!(checkpoints_newest_first(&dir).unwrap().len(), 3);
+        assert_eq!(store::list_newest_first(&dir).unwrap().len(), 3);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -458,7 +432,7 @@ mod tests {
             .unwrap();
         // Vandalize the two newest checkpoints differently: one truncated,
         // one bit-flipped.
-        let files = checkpoints_newest_first(&dir).unwrap();
+        let files = store::list_newest_first(&dir).unwrap();
         let newest = fs::read(&files[0]).unwrap();
         fs::write(&files[0], &newest[..newest.len() / 2]).unwrap();
         let mut second = fs::read(&files[1]).unwrap();

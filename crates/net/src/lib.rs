@@ -55,6 +55,7 @@ mod observer;
 mod packet;
 mod phy;
 pub mod pool;
+mod progress;
 mod shard;
 mod sim;
 pub mod snapshot;
@@ -79,6 +80,7 @@ pub use observer::{
 pub use packet::{ControlBlob, DataPayload, Frame, FrameKind, Packet, PacketBody};
 pub use phy::{PhyParams, Propagation};
 pub use pool::VecPool;
+pub use progress::{CancelSignal, ProgressHandle, ProgressProbe, TrialCancelled};
 pub use sim::{ScenarioConfig, Simulator, SimulatorBuilder};
 pub use snapshot::{ControlCodec, DataOnlyCodec, WireError, WireReader, WireWriter};
 pub use stats::{DropCounts, GlobalStats};

@@ -1,0 +1,133 @@
+//! Deterministic jittered exponential backoff.
+//!
+//! Retry delays must be reproducible — a campaign replayed with the same
+//! master seed schedules the same retries — so jitter is not drawn from a
+//! global RNG. Each delay is a pure function of `(campaign seed, trial
+//! key, attempt)`: the tuple is folded through FNV-1a into a [`SimRng`]
+//! seed, and that stream's first draw scales the exponential envelope.
+//! Different trials de-synchronize (no thundering herd after a correlated
+//! failure), yet every delay is stable across processes and platforms.
+
+use std::time::Duration;
+
+use cavenet_rng::fnv::Fnv64;
+use cavenet_rng::SimRng;
+
+use crate::ledger::TrialKey;
+
+/// Retry delay policy: exponential envelope with deterministic jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackoffPolicy {
+    /// Envelope of the first retry (attempt 1 → 2).
+    pub base: Duration,
+    /// Upper bound the envelope saturates at.
+    pub cap: Duration,
+    /// Jitter fraction in `[0, 1]`: the delay is the envelope scaled by a
+    /// factor drawn uniformly from `[1 - jitter, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The undithered exponential envelope after `attempt` failures
+    /// (1-based): `base * 2^(attempt-1)`, saturating at `cap`. Monotone
+    /// non-decreasing in `attempt`.
+    pub fn envelope(&self, attempt: u64) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(32) as u32;
+        let grown = self
+            .base
+            .checked_mul(1u32 << doublings.min(31))
+            .unwrap_or(self.cap);
+        grown.min(self.cap)
+    }
+
+    /// The delay before re-queuing `key` after its `attempt`-th failure
+    /// (1-based), under campaign seed `campaign_seed`.
+    ///
+    /// Deterministic: equal inputs give equal delays, in any process.
+    /// Bounded: the result never exceeds [`envelope`](Self::envelope) (and
+    /// so never exceeds `cap`), and never falls below
+    /// `envelope * (1 - jitter)`.
+    pub fn delay(&self, campaign_seed: u64, key: TrialKey, attempt: u64) -> Duration {
+        let envelope = self.envelope(attempt);
+        let mut mix = Fnv64::new();
+        mix.write(&campaign_seed.to_le_bytes());
+        mix.write(&key.scenario_hash.to_le_bytes());
+        mix.write(&key.seed.to_le_bytes());
+        mix.write(&attempt.to_le_bytes());
+        let mut rng = SimRng::seed_from_u64(mix.finish());
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let factor = 1.0 - jitter * rng.gen::<f64>();
+        envelope.mul_f64(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(h: u64, s: u64) -> TrialKey {
+        TrialKey {
+            scenario_hash: h,
+            seed: s,
+        }
+    }
+
+    #[test]
+    fn envelope_doubles_then_saturates() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(70),
+            jitter: 0.0,
+        };
+        assert_eq!(p.envelope(1), Duration::from_millis(10));
+        assert_eq!(p.envelope(2), Duration::from_millis(20));
+        assert_eq!(p.envelope(3), Duration::from_millis(40));
+        assert_eq!(p.envelope(4), Duration::from_millis(70));
+        assert_eq!(p.envelope(64), Duration::from_millis(70));
+    }
+
+    #[test]
+    fn delay_is_deterministic_and_input_sensitive() {
+        let p = BackoffPolicy::default();
+        let a = p.delay(7, key(1, 2), 3);
+        assert_eq!(a, p.delay(7, key(1, 2), 3), "same inputs, same delay");
+        assert_ne!(a, p.delay(8, key(1, 2), 3), "campaign seed matters");
+        assert_ne!(a, p.delay(7, key(9, 2), 3), "scenario hash matters");
+        assert_ne!(a, p.delay(7, key(1, 2), 4), "attempt matters");
+    }
+
+    #[test]
+    fn delay_respects_jitter_band() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(40),
+            cap: Duration::from_secs(1),
+            jitter: 0.25,
+        };
+        for seed in 0..50 {
+            let d = p.delay(seed, key(seed * 3, seed * 5), 2);
+            let envelope = p.envelope(2);
+            assert!(d <= envelope, "{d:?} above envelope {envelope:?}");
+            assert!(d >= envelope.mul_f64(0.75), "{d:?} below jitter floor");
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_the_bare_envelope() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(5),
+            cap: Duration::from_secs(1),
+            jitter: 0.0,
+        };
+        assert_eq!(p.delay(1, key(2, 3), 4), p.envelope(4));
+    }
+}

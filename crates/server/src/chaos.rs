@@ -1,0 +1,232 @@
+//! Fault injection for exercising the supervisor itself.
+//!
+//! The engine's `FaultPlan` injects faults *into the simulated network*
+//! (crashing nodes, packet loss); this module injects faults into the
+//! *execution* of a trial — a panic mid-run, a wall-clock wedge — so the
+//! supervision stack (catch-unwind isolation, watchdogs, retry, poison
+//! quarantine) can be driven through its failure paths deterministically.
+//!
+//! A [`ChaosPlan`] maps trial seeds to an injection point and a budget of
+//! attempts to sabotage. The per-attempt [`ChaosObserver`] is a
+//! [`SimObserver`] that fires once when virtual time reaches the trigger:
+//! a `Panic` unwinds with a plain `String` payload (indistinguishable
+//! from a real engine bug, which is the point), a `Stall` spins on wall
+//! time without dispatching events until the watchdog cancels it. An
+//! attempt past its entry's budget runs clean — which is exactly how a
+//! transient failure looks to the supervisor — while an unlimited budget
+//! models a poison trial that can never succeed.
+//!
+//! Chaos fires *between* engine events and perturbs no engine state, so a
+//! trial that survives (or retries past) its injection still produces the
+//! bit-identical golden digest of an uninjected run.
+
+use std::time::{Duration, Instant};
+
+use cavenet_net::{CancelSignal, EventKind, ProgressHandle, SimObserver, SimTime, TrialCancelled};
+
+/// What an injection does to the attempt it fires in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Unwind with an untyped panic, as an engine bug would.
+    Panic,
+    /// Stop dispatching events and burn wall time, as a wedged protocol
+    /// loop would, until the watchdog cancels the trial — or `max_wall`
+    /// elapses, a safety valve so an unwatched trial cannot hang forever.
+    Stall {
+        /// Upper bound on the wall time spent wedged.
+        max_wall: Duration,
+    },
+}
+
+/// One sabotage rule: which trial, when, what, and for how many attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEntry {
+    /// Seed of the trial to sabotage (trial seeds are unique within a
+    /// campaign, so the seed is the trial's name here).
+    pub seed: u64,
+    /// Virtual time at which the injection fires.
+    pub at: SimTime,
+    /// The injected fault.
+    pub kind: ChaosKind,
+    /// Number of attempts to sabotage, counted from the first. Attempts
+    /// beyond this run clean; `u64::MAX` is a poison trial.
+    pub attempts: u64,
+}
+
+/// A campaign's set of sabotage rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The rules; at most the first matching entry per trial applies.
+    pub entries: Vec<ChaosEntry>,
+}
+
+impl ChaosPlan {
+    /// A plan with no sabotage.
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// The injection armed for attempt `attempt` (1-based) of the trial
+    /// seeded `seed`, or `None` when this attempt runs clean.
+    pub fn arm(&self, seed: u64, attempt: u64) -> Option<(SimTime, ChaosKind)> {
+        self.entries
+            .iter()
+            .find(|e| e.seed == seed && attempt <= e.attempts)
+            .map(|e| (e.at, e.kind))
+    }
+}
+
+/// The per-attempt observer that performs an armed injection.
+///
+/// Built via [`ChaosObserver::armed`] (or [`ChaosObserver::clean`] for an
+/// unsabotaged attempt) and composed into the trial's observer stack.
+#[derive(Debug, Clone)]
+pub struct ChaosObserver {
+    trigger: Option<(SimTime, ChaosKind)>,
+    fired: bool,
+    handle: ProgressHandle,
+}
+
+impl ChaosObserver {
+    /// An observer that injects `trigger` (if any) once; `handle` is the
+    /// trial's progress handle, polled during a stall so the watchdog's
+    /// cancellation can reach the wedged attempt.
+    pub fn armed(trigger: Option<(SimTime, ChaosKind)>, handle: ProgressHandle) -> Self {
+        ChaosObserver {
+            trigger,
+            fired: false,
+            handle,
+        }
+    }
+
+    /// An observer that never fires.
+    pub fn clean() -> Self {
+        ChaosObserver::armed(None, ProgressHandle::new())
+    }
+}
+
+impl SimObserver for ChaosObserver {
+    fn on_event_dispatched(&mut self, now: SimTime, _seq: u64, _node: usize, _kind: EventKind) {
+        let Some((at, kind)) = self.trigger else {
+            return;
+        };
+        if self.fired || now < at {
+            return;
+        }
+        self.fired = true;
+        match kind {
+            ChaosKind::Panic => {
+                std::panic::panic_any(format!("chaos: injected panic at {} ns", now.as_nanos()))
+            }
+            ChaosKind::Stall { max_wall } => {
+                let wedged_at = Instant::now();
+                while wedged_at.elapsed() < max_wall {
+                    match self.handle.signal() {
+                        CancelSignal::Stall => std::panic::panic_any(TrialCancelled),
+                        // Release the wedge on shutdown so the driver can
+                        // checkpoint out at the next slice boundary.
+                        CancelSignal::Shutdown => break,
+                        CancelSignal::Run => {}
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ChaosPlan {
+        ChaosPlan {
+            entries: vec![
+                ChaosEntry {
+                    seed: 7,
+                    at: SimTime::from_secs(3),
+                    kind: ChaosKind::Panic,
+                    attempts: 2,
+                },
+                ChaosEntry {
+                    seed: 9,
+                    at: SimTime::from_secs(1),
+                    kind: ChaosKind::Panic,
+                    attempts: u64::MAX,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn arming_respects_seed_and_attempt_budget() {
+        let p = plan();
+        assert!(p.arm(7, 1).is_some());
+        assert!(p.arm(7, 2).is_some());
+        assert!(p.arm(7, 3).is_none(), "past the budget: clean attempt");
+        assert!(p.arm(9, 1_000_000).is_some(), "poison never recovers");
+        assert!(p.arm(8, 1).is_none(), "unlisted trial untouched");
+    }
+
+    #[test]
+    fn panic_fires_once_at_the_trigger_time() {
+        let mut obs = ChaosObserver::armed(
+            Some((SimTime::from_secs(2), ChaosKind::Panic)),
+            ProgressHandle::new(),
+        );
+        // Before the trigger: nothing.
+        obs.on_event_dispatched(SimTime::from_secs(1), 0, 0, EventKind::MacTimer);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            obs.on_event_dispatched(SimTime::from_secs(2), 1, 0, EventKind::MacTimer);
+        }));
+        let payload = caught.expect_err("must fire at the trigger");
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.starts_with("chaos: injected panic"), "{message}");
+        // Fired flag holds even if the attempt somehow continues.
+        obs.on_event_dispatched(SimTime::from_secs(3), 2, 0, EventKind::MacTimer);
+    }
+
+    #[test]
+    fn stall_unwinds_typed_when_cancelled() {
+        let handle = ProgressHandle::new();
+        handle.cancel(CancelSignal::Stall);
+        let mut obs = ChaosObserver::armed(
+            Some((
+                SimTime::ZERO,
+                ChaosKind::Stall {
+                    max_wall: Duration::from_secs(5),
+                },
+            )),
+            handle,
+        );
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            obs.on_event_dispatched(SimTime::ZERO, 0, 0, EventKind::MacTimer);
+        }));
+        assert!(caught
+            .expect_err("stall must unwind")
+            .is::<TrialCancelled>());
+    }
+
+    #[test]
+    fn stall_safety_valve_releases_unwatched_trials() {
+        let mut obs = ChaosObserver::armed(
+            Some((
+                SimTime::ZERO,
+                ChaosKind::Stall {
+                    max_wall: Duration::from_millis(5),
+                },
+            )),
+            ProgressHandle::new(),
+        );
+        // No watchdog ever cancels: the valve must return control.
+        obs.on_event_dispatched(SimTime::ZERO, 0, 0, EventKind::MacTimer);
+    }
+
+    #[test]
+    fn clean_observer_is_inert() {
+        let mut obs = ChaosObserver::clean();
+        for s in 0..5 {
+            obs.on_event_dispatched(SimTime::from_secs(s), s, 0, EventKind::MacTimer);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Typed failure taxonomy for supervised trials.
+//!
+//! Every way a trial attempt can die maps to exactly one [`TrialFailure`]
+//! variant, so retry policy, quarantine decisions and the campaign ledger
+//! all reason about *kinds* of failure rather than panic strings. The
+//! supervisor builds these from caught unwind payloads (a panicking
+//! protocol stack, a watchdog cancellation) and from typed errors the
+//! trial driver returns itself (scenario validation, checkpoint I/O).
+
+/// Why one attempt of a supervised trial did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialFailure {
+    /// The trial's thread unwound with a non-cancellation panic — an
+    /// engine or protocol bug, or an injected chaos panic. The payload's
+    /// textual form is preserved for the failure history.
+    Panicked {
+        /// The panic payload rendered to text (`"<opaque panic payload>"`
+        /// when the payload was neither a `String` nor a `&str`).
+        message: String,
+    },
+    /// The watchdog declared the trial stalled (its heartbeat stopped
+    /// advancing past the stall timeout) and cancelled it.
+    Stalled {
+        /// The last heartbeat observed before cancellation: events
+        /// dispatched by the wedged attempt.
+        beats: u64,
+    },
+    /// The scenario failed validation or could not build its mobility.
+    /// Deterministic — retrying cannot help, but the supervisor retries
+    /// anyway and lets the attempt budget quarantine it.
+    Scenario {
+        /// The builder's error rendered to text.
+        message: String,
+    },
+    /// A checkpoint failed to serialize or to reach disk mid-run.
+    Checkpoint {
+        /// The snapshot or I/O error rendered to text.
+        message: String,
+    },
+    /// The trial was cancelled but never unwound within the lost grace
+    /// period — its worker is wedged beyond recovery and was abandoned.
+    Lost,
+}
+
+impl TrialFailure {
+    /// Stable one-word category name ("panicked", "stalled", ...), used
+    /// by ledgers and bench reports to bucket failures.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TrialFailure::Panicked { .. } => "panicked",
+            TrialFailure::Stalled { .. } => "stalled",
+            TrialFailure::Scenario { .. } => "scenario",
+            TrialFailure::Checkpoint { .. } => "checkpoint",
+            TrialFailure::Lost => "lost",
+        }
+    }
+}
+
+impl std::fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrialFailure::Panicked { message } => write!(f, "panicked: {message}"),
+            TrialFailure::Stalled { beats } => {
+                write!(f, "stalled: heartbeat stuck at {beats} events")
+            }
+            TrialFailure::Scenario { message } => write!(f, "scenario: {message}"),
+            TrialFailure::Checkpoint { message } => write!(f, "checkpoint: {message}"),
+            TrialFailure::Lost => write!(f, "lost: worker abandoned past grace period"),
+        }
+    }
+}
+
+/// One failed attempt in a trial's history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialAttempt {
+    /// 1-based attempt number.
+    pub attempt: u64,
+    /// How the attempt died.
+    pub failure: TrialFailure,
+}
+
+impl std::fmt::Display for TrialAttempt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "attempt {}: {}", self.attempt, self.failure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line_and_kind_is_stable() {
+        let cases = [
+            (
+                TrialFailure::Panicked {
+                    message: "boom".into(),
+                },
+                "panicked",
+            ),
+            (TrialFailure::Stalled { beats: 512 }, "stalled"),
+            (
+                TrialFailure::Scenario {
+                    message: "no senders".into(),
+                },
+                "scenario",
+            ),
+            (
+                TrialFailure::Checkpoint {
+                    message: "disk full".into(),
+                },
+                "checkpoint",
+            ),
+            (TrialFailure::Lost, "lost"),
+        ];
+        for (failure, kind) in cases {
+            assert_eq!(failure.kind(), kind);
+            let line = TrialAttempt {
+                attempt: 2,
+                failure,
+            }
+            .to_string();
+            assert!(line.starts_with("attempt 2: "), "{line}");
+            assert!(!line.contains('\n'), "{line}");
+        }
+    }
+}

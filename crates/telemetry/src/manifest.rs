@@ -42,6 +42,16 @@ pub struct RunManifest {
     /// meaningful — and only rendered — when `parent_snapshot_hash` is
     /// non-zero.
     pub resume_step: u64,
+    /// Number of execution attempts this run took under a supervisor; 1
+    /// for an unsupervised (or first-try) run. Rendered only when the run
+    /// was supervised and either retried, failed, or was quarantined.
+    pub attempts: u64,
+    /// One line per failed attempt, oldest first ("attempt 1: panicked:
+    /// ..."). Empty for clean runs.
+    pub failure_history: Vec<String>,
+    /// True when the supervisor gave up on this trial after exhausting its
+    /// attempt budget.
+    pub quarantined: bool,
 }
 
 impl RunManifest {
@@ -56,6 +66,9 @@ impl RunManifest {
             timings: Vec::new(),
             parent_snapshot_hash: 0,
             resume_step: 0,
+            attempts: 1,
+            failure_history: Vec::new(),
+            quarantined: false,
         }
     }
 
@@ -69,6 +82,21 @@ impl RunManifest {
     /// Record a tier timing.
     pub fn add_timing(&mut self, label: impl Into<String>, seconds: f64) {
         self.timings.push((label.into(), seconds));
+    }
+
+    /// Stamp supervised-execution provenance: the run took `attempts`
+    /// tries, the earlier ones failing with the given one-line reasons,
+    /// and was quarantined if the supervisor finally gave up.
+    pub fn set_retries(&mut self, attempts: u64, failure_history: Vec<String>, quarantined: bool) {
+        self.attempts = attempts;
+        self.failure_history = failure_history;
+        self.quarantined = quarantined;
+    }
+
+    /// Whether this manifest carries a non-trivial retry record (and so
+    /// renders the retry block).
+    fn has_retry_record(&self) -> bool {
+        self.attempts > 1 || !self.failure_history.is_empty() || self.quarantined
     }
 
     /// Render as JSON. Hashes are 16-digit hex strings (they do not fit a
@@ -117,6 +145,19 @@ impl RunManifest {
                 Json::str(format!("{:016x}", self.parent_snapshot_hash)),
             ));
             members.push(("resume_step".into(), Json::num_u64(self.resume_step)));
+        }
+        if self.has_retry_record() {
+            members.push(("attempts".into(), Json::num_u64(self.attempts)));
+            members.push((
+                "failure_history".into(),
+                Json::Arr(
+                    self.failure_history
+                        .iter()
+                        .map(|line| Json::str(line.clone()))
+                        .collect(),
+                ),
+            ));
+            members.push(("quarantined".into(), Json::Bool(self.quarantined)));
         }
         Json::Obj(members)
     }
@@ -188,6 +229,35 @@ impl RunManifest {
                 step.as_u64().ok_or("resume_step is not an integer")?;
             }
             _ => return Err("parent_snapshot_hash and resume_step must appear together".into()),
+        }
+        // Retry provenance is optional (absent for unsupervised clean runs)
+        // but must be well-formed and complete when present.
+        let attempts = json.get("attempts");
+        let history = json.get("failure_history");
+        let quarantined = json.get("quarantined");
+        match (attempts, history, quarantined) {
+            (None, None, None) => {}
+            (Some(attempts), Some(history), Some(quarantined)) => {
+                if attempts.as_u64().is_none() {
+                    return Err("attempts is not an integer".into());
+                }
+                match history {
+                    Json::Arr(lines) => {
+                        for line in lines {
+                            if line.as_str().is_none() {
+                                return Err("failure_history entry is not a string".into());
+                            }
+                        }
+                    }
+                    _ => return Err("failure_history is not an array".into()),
+                }
+                if !matches!(quarantined, Json::Bool(_)) {
+                    return Err("quarantined is not a boolean".into());
+                }
+            }
+            _ => {
+                return Err("attempts, failure_history and quarantined must appear together".into())
+            }
         }
         Ok(())
     }
@@ -266,6 +336,38 @@ mod tests {
             }
         }
         assert!(RunManifest::validate(&Json::Obj(members2)).is_err());
+    }
+
+    #[test]
+    fn retry_record_rendered_only_when_nontrivial() {
+        let clean = RunManifest::new("t");
+        let clean_json = clean.to_json();
+        assert!(clean_json.get("attempts").is_none());
+        assert!(clean_json.get("failure_history").is_none());
+        assert!(clean_json.get("quarantined").is_none());
+        RunManifest::validate(&parse(&clean_json.render_pretty()).unwrap()).unwrap();
+
+        let mut retried = RunManifest::new("t");
+        retried.set_retries(3, vec!["attempt 1: panicked: boom".into()], false);
+        let json = parse(&retried.to_json().render_pretty()).unwrap();
+        RunManifest::validate(&json).unwrap();
+        assert_eq!(json.get("attempts").and_then(Json::as_u64), Some(3));
+        match json.get("failure_history") {
+            Some(Json::Arr(lines)) => assert_eq!(lines.len(), 1),
+            other => panic!("failure_history missing or not an array: {other:?}"),
+        }
+        assert_eq!(json.get("quarantined"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn validation_rejects_unpaired_retry_record() {
+        let mut m = RunManifest::new("t");
+        m.set_retries(2, vec!["attempt 1: stalled".into()], true);
+        let Json::Obj(mut members) = m.to_json() else {
+            unreachable!()
+        };
+        members.retain(|(k, _)| k != "quarantined");
+        assert!(RunManifest::validate(&Json::Obj(members)).is_err());
     }
 
     #[test]

@@ -369,3 +369,67 @@ fn golden_snapshot_fixture_still_restores() {
     assert_eq!((digest, events), (straight.digest, straight.events));
     check_golden("checkpoint_v1_resume", digest, events);
 }
+
+// ---------------------------------------------------------------------------
+// Hostile-input hardening: no byte-level corruption of a snapshot may ever
+// panic the restore path — every failure must surface as a typed error.
+// ---------------------------------------------------------------------------
+
+/// Fuzz-style corruption sweep over the committed v1 fixture: flip,
+/// truncate and extend random bytes under a seeded RNG and feed every
+/// mutant through parse *and* restore. The accepted outcomes are a clean
+/// parse (the corruption landed somewhere harmless), a typed
+/// [`SnapshotError`]/[`CheckpointError`] — never an unwind.
+#[test]
+fn corrupted_snapshot_bytes_never_panic() {
+    use cavenet_rng::SimRng;
+
+    let pristine = fs::read(fixture_path()).expect("golden snapshot fixture present");
+    let exp = Experiment::new(fixture_scenario());
+    let mut rng = SimRng::seed_from_u64(0xC0FFEE);
+
+    for round in 0..400u32 {
+        let mut bytes = pristine.clone();
+        match round % 4 {
+            // Flip 1..=8 bytes anywhere (header, section table, payload).
+            0 | 1 => {
+                let flips = 1 + (rng.next_u64() % 8) as usize;
+                for _ in 0..flips {
+                    let at = (rng.next_u64() % bytes.len() as u64) as usize;
+                    bytes[at] ^= (rng.next_u64() % 255 + 1) as u8;
+                }
+            }
+            // Truncate to a random prefix (including the empty one).
+            2 => {
+                let keep = (rng.next_u64() % (bytes.len() as u64 + 1)) as usize;
+                bytes.truncate(keep);
+            }
+            // Append random trailing garbage.
+            _ => {
+                let extra = 1 + (rng.next_u64() % 64) as usize;
+                for _ in 0..extra {
+                    bytes.push(rng.next_u64() as u8);
+                }
+            }
+        }
+
+        let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match Snapshot::from_bytes(&bytes) {
+                Err(_) => {} // typed SnapshotError: exactly what we want
+                Ok(snap) => {
+                    // Container survived (hash collision is effectively
+                    // impossible, so this is usually the harmless-byte
+                    // case) — the restore path must stay panic-free too.
+                    match exp.resume_from_snapshot(GoldenDigest::new(), &snap) {
+                        Ok(_) | Err(CheckpointError::Snapshot(_)) => {}
+                        Err(other) => panic!("unexpected error class: {other}"),
+                    }
+                }
+            }
+        }));
+        assert!(
+            verdict.is_ok(),
+            "corruption round {round} panicked instead of returning a typed error"
+        );
+    }
+}
