@@ -9,8 +9,11 @@
 //! quarantined. Every surviving trial's golden digest is checked against
 //! an unsupervised straight run of the same scenario — supervision must
 //! be bit-invisible. The report records recovery counts, attempt totals,
-//! warm (checkpoint) resumes and the wall-clock overhead of supervision
-//! against the straight-run baseline.
+//! warm (checkpoint) resumes, the wall-clock overhead of supervision
+//! against the straight-run baseline, and the supervisor's live
+//! [`ServerMetrics`](cavenet_server::ServerMetrics) counters — which the
+//! health gate cross-checks against the ledger-derived view (retries,
+//! stalls, quarantines and backoff waits must agree).
 //!
 //! Usage: `server_report [--quick] [--check]` (`--quick` shrinks the
 //! scenario for a CI smoke; `--check` exits non-zero unless the campaign
@@ -25,7 +28,7 @@ use cavenet_core::{Protocol, Scenario};
 use cavenet_server::{
     BackoffPolicy, CampaignServer, ChaosEntry, ChaosKind, ChaosPlan, ServerConfig, TrialOutcome,
 };
-use cavenet_telemetry::Json;
+use cavenet_telemetry::{Counter, HistogramId, Json};
 use cavenet_testkit::digest_scenario;
 
 const CAMPAIGN_SEED: u64 = 0xCA7_5E12;
@@ -164,15 +167,41 @@ fn main() {
             }
         }
     }
+    // The supervisor's own counters must agree with the ledger-derived
+    // view: every submission, completion, quarantine and retry it counted
+    // live is re-derivable from the trial reports after the fact.
+    let m = &campaign.metrics;
+    let stalls = m.counter(Counter::WatchdogStalls);
+    let lost = m.counter(Counter::TrialsLost);
+    let metrics_consistent = m.counter(Counter::TrialsSubmitted) == trials
+        && m.counter(Counter::TrialsCompleted) == campaign.completed() as u64
+        && m.counter(Counter::TrialsQuarantined) == campaign.quarantined() as u64
+        && m.counter(Counter::TrialRetries) == total_attempts - trials
+        && m.counter(Counter::AdmissionSheds) == 0
+        && m.histogram(HistogramId::BackoffDelayNs).count() == m.counter(Counter::TrialRetries)
+        && stalls + lost >= 1;
+
     let healthy = mismatches.is_empty()
         && campaign.quarantined() == 1
         && digest_matches == trials - 1
-        && warm_resumes >= 1;
+        && warm_resumes >= 1
+        && metrics_consistent;
     println!(
         "audit             : {digest_matches}/{} digests bit-identical, {retried} retried, \
          {warm_resumes} warm resumes, {} quarantined",
         trials - 1,
         campaign.quarantined()
+    );
+    println!(
+        "supervision       : {} retries, {stalls} stalls, {lost} lost, {} quarantined, \
+         counters {}",
+        m.counter(Counter::TrialRetries),
+        m.counter(Counter::TrialsQuarantined),
+        if metrics_consistent {
+            "match ledger"
+        } else {
+            "DISAGREE with ledger"
+        }
     );
 
     let per_trial = Json::Arr(
@@ -212,6 +241,38 @@ fn main() {
             num(supervised_wall.as_secs_f64() / straight_wall.as_secs_f64().max(1e-9)),
         ),
         ("per_trial", per_trial),
+        (
+            "supervision",
+            obj(vec![
+                (
+                    "trials_submitted",
+                    Json::num_u64(m.counter(Counter::TrialsSubmitted)),
+                ),
+                (
+                    "trials_completed",
+                    Json::num_u64(m.counter(Counter::TrialsCompleted)),
+                ),
+                (
+                    "trial_retries",
+                    Json::num_u64(m.counter(Counter::TrialRetries)),
+                ),
+                ("watchdog_stalls", Json::num_u64(stalls)),
+                ("trials_lost", Json::num_u64(lost)),
+                (
+                    "trials_quarantined",
+                    Json::num_u64(m.counter(Counter::TrialsQuarantined)),
+                ),
+                (
+                    "admission_sheds",
+                    Json::num_u64(m.counter(Counter::AdmissionSheds)),
+                ),
+                (
+                    "backoff_waits",
+                    Json::num_u64(m.histogram(HistogramId::BackoffDelayNs).count()),
+                ),
+                ("metrics_consistent", Json::Bool(metrics_consistent)),
+            ]),
+        ),
         ("healthy", Json::Bool(healthy)),
     ]);
 

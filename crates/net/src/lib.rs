@@ -81,6 +81,7 @@ pub use packet::{ControlBlob, DataPayload, Frame, FrameKind, Packet, PacketBody}
 pub use phy::{PhyParams, Propagation};
 pub use pool::VecPool;
 pub use progress::{CancelSignal, ProgressHandle, ProgressProbe, TrialCancelled};
+pub use shard::{ArcStats, ShardStats};
 pub use sim::{ScenarioConfig, Simulator, SimulatorBuilder};
 pub use snapshot::{ControlCodec, DataOnlyCodec, WireError, WireReader, WireWriter};
 pub use stats::{DropCounts, GlobalStats};

@@ -84,6 +84,11 @@ impl std::fmt::Display for TrialCancelled {
 struct ProgressShared {
     /// Events dispatched by the probed run, published every `stride`.
     beats: AtomicU64,
+    /// Virtual time of the last dispatched event at the last heartbeat,
+    /// in nanoseconds. Published together with `beats`, so a live view
+    /// can report simulated-seconds progress rather than raw event
+    /// counts.
+    sim_time_ns: AtomicU64,
     /// Raised [`CancelSignal`] (as its `u8` repr).
     signal: AtomicU8,
 }
@@ -113,6 +118,7 @@ impl ProgressHandle {
             shared: Arc::clone(&self.shared),
             stride: stride.max(1),
             local: 0,
+            now_ns: 0,
         }
     }
 
@@ -120,6 +126,12 @@ impl ProgressHandle {
     /// rounded down to the probe's stride.
     pub fn beats(&self) -> u64 {
         self.shared.beats.load(Ordering::Relaxed)
+    }
+
+    /// Virtual time reached by the probed run as of the last heartbeat.
+    /// Zero until the first heartbeat lands.
+    pub fn sim_time(&self) -> SimTime {
+        SimTime::from_nanos(self.shared.sim_time_ns.load(Ordering::Relaxed))
     }
 
     /// Raise a cancellation signal. [`CancelSignal::Run`] clears a
@@ -145,6 +157,7 @@ pub struct ProgressProbe {
     shared: Arc<ProgressShared>,
     stride: u64,
     local: u64,
+    now_ns: u64,
 }
 
 impl ProgressProbe {
@@ -153,10 +166,16 @@ impl ProgressProbe {
         self.local
     }
 
-    /// Publish the current count and unwind if a stall cancel is raised.
-    /// Called automatically every `stride` events; callers driving long
-    /// non-event work (e.g. a chaos stall loop) may call it directly to
-    /// create extra cancellation points.
+    /// Virtual time of the last event this probe saw dispatched (exact,
+    /// not heartbeat-deferred like the handle's view).
+    pub fn sim_time_seen(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns)
+    }
+
+    /// Publish the current count and sim-time, and unwind if a stall
+    /// cancel is raised. Called automatically every `stride` events;
+    /// callers driving long non-event work (e.g. a chaos stall loop) may
+    /// call it directly to create extra cancellation points.
     ///
     /// # Panics
     ///
@@ -164,6 +183,9 @@ impl ProgressProbe {
     /// been raised on the handle.
     pub fn beat(&mut self) {
         self.shared.beats.store(self.local, Ordering::Relaxed);
+        self.shared
+            .sim_time_ns
+            .store(self.now_ns, Ordering::Relaxed);
         if self.shared.signal.load(Ordering::Relaxed) == CancelSignal::Stall as u8 {
             std::panic::panic_any(TrialCancelled);
         }
@@ -171,8 +193,9 @@ impl ProgressProbe {
 }
 
 impl SimObserver for ProgressProbe {
-    fn on_event_dispatched(&mut self, _now: SimTime, _seq: u64, _node: usize, _kind: EventKind) {
+    fn on_event_dispatched(&mut self, now: SimTime, _seq: u64, _node: usize, _kind: EventKind) {
         self.local += 1;
+        self.now_ns = now.as_nanos();
         if self.local.is_multiple_of(self.stride) {
             self.beat();
         }
@@ -200,6 +223,32 @@ mod tests {
         dispatch(&mut probe, 20);
         assert_eq!(handle.beats(), 24, "stride-rounded");
         assert_eq!(probe.events_seen(), 28);
+    }
+
+    #[test]
+    fn heartbeat_carries_sim_time() {
+        let handle = ProgressHandle::new();
+        let mut probe = handle.probe(4);
+        for t in [10u64, 20, 30] {
+            probe.on_event_dispatched(SimTime::from_nanos(t), t, 0, EventKind::MacTimer);
+        }
+        assert_eq!(
+            handle.sim_time(),
+            SimTime::from_nanos(0),
+            "below stride: nothing published"
+        );
+        assert_eq!(
+            probe.sim_time_seen(),
+            SimTime::from_nanos(30),
+            "probe view is exact"
+        );
+        probe.on_event_dispatched(SimTime::from_nanos(40), 3, 0, EventKind::MacTimer);
+        assert_eq!(
+            handle.sim_time(),
+            SimTime::from_nanos(40),
+            "published with the beat"
+        );
+        assert_eq!(handle.beats(), 4);
     }
 
     #[test]

@@ -47,14 +47,76 @@
 //! the sender is within `cutoff + vmax · age` of its arc, i.e. within the
 //! safe window `carrier-sense range ÷ max speed` of simulated motion.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::grid::SpatialGrid;
 use crate::mobility::MobilityModel;
 use crate::phy::{PhyParams, Propagation};
 use crate::time::SimTime;
+
+/// One arc's work counters, written by its worker thread only (so the
+/// relaxed atomics never contend) and read by anyone holding the pool.
+/// Wall-clock aggregation here is observability, not simulation state:
+/// nothing the engine computes reads these values, so they cannot perturb
+/// the event stream (the sharding equivalence suite keeps proving digests
+/// bit-identical with them in place).
+#[derive(Debug, Default)]
+struct ArcCounters {
+    /// Candidate-kernel queries served (bbox skips included).
+    queries: AtomicU64,
+    /// Queries answered empty straight from the bbox-lookahead test,
+    /// without consulting the arc grid.
+    bbox_skips: AtomicU64,
+    /// Wall-clock spent in the candidate kernel, in nanoseconds.
+    kernel_ns: AtomicU64,
+    /// Arc resamples (position snapshot + grid rebuild).
+    resamples: AtomicU64,
+    /// Wall-clock spent resampling, in nanoseconds.
+    resample_ns: AtomicU64,
+}
+
+/// Snapshot of one arc's counters (see [`ShardStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArcStats {
+    /// Candidate-kernel queries served (bbox skips included).
+    pub queries: u64,
+    /// Queries answered empty straight from the bbox-lookahead test.
+    pub bbox_skips: u64,
+    /// Wall-clock spent in the candidate kernel, in nanoseconds.
+    pub kernel_ns: u64,
+    /// Arc resamples (position snapshot + grid rebuild).
+    pub resamples: u64,
+    /// Wall-clock spent resampling, in nanoseconds.
+    pub resample_ns: u64,
+}
+
+/// Per-arc work statistics of a sharded run, snapshotted from the pool via
+/// `Simulator::shard_stats`. Feeds the telemetry registry's shard counters
+/// and the profiler's shard phases.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// One entry per arc, in arc (= ascending node-range) order.
+    pub arcs: Vec<ArcStats>,
+}
+
+impl ShardStats {
+    /// Sum over every arc.
+    pub fn total(&self) -> ArcStats {
+        let mut total = ArcStats::default();
+        for arc in &self.arcs {
+            total.queries += arc.queries;
+            total.bbox_skips += arc.bbox_skips;
+            total.kernel_ns += arc.kernel_ns;
+            total.resamples += arc.resamples;
+            total.resample_ns += arc.resample_ns;
+        }
+        total
+    }
+}
 
 /// One above-threshold receiver candidate, as computed by a shard worker.
 ///
@@ -123,10 +185,13 @@ struct Worker {
     bbox: (f64, f64, f64, f64),
     /// Scratch buffer for grid candidate indices.
     scratch: Vec<usize>,
+    /// This arc's observability counters (shared with the pool).
+    counters: Arc<ArcCounters>,
 }
 
 impl Worker {
     fn resample(&mut self, at: SimTime) {
+        let started = Instant::now();
         self.positions.clear();
         let mut bbox = (
             f64::INFINITY,
@@ -146,6 +211,10 @@ impl Worker {
         self.stamp.resize(self.hi - self.lo, at);
         self.bbox = bbox;
         self.grid.rebuild(&self.positions);
+        self.counters.resamples.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .resample_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// `true` when the disk of `radius` around `(sx, sy)` touches the
@@ -168,8 +237,14 @@ impl Worker {
             exact,
             ..
         } = *q;
+        let started = Instant::now();
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
         out.clear();
         if !self.disk_touches_bbox(sx, sy, radius) {
+            self.counters.bbox_skips.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .kernel_ns
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
             return;
         }
         let mut cand = std::mem::take(&mut self.scratch);
@@ -207,6 +282,9 @@ impl Worker {
             }
         }
         self.scratch = cand;
+        self.counters
+            .kernel_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     fn run(mut self, shard: usize, tasks: Receiver<Task>, replies: Sender<Reply>) {
@@ -237,6 +315,8 @@ pub(crate) struct ShardPool {
     /// global node order. Doubles as the recycled buffer store between
     /// queries.
     slots: Vec<Vec<Candidate>>,
+    /// Per-arc observability counters, shared with the workers.
+    counters: Vec<Arc<ArcCounters>>,
 }
 
 impl ShardPool {
@@ -257,12 +337,15 @@ impl ShardPool {
         let (reply_tx, replies) = channel();
         let mut tasks = Vec::with_capacity(shards);
         let mut joins = Vec::with_capacity(shards);
+        let mut counters = Vec::with_capacity(shards);
         let base = nodes / shards;
         let rem = nodes % shards;
         let mut lo = 0usize;
         for s in 0..shards {
             let len = base + usize::from(s < rem);
             let hi = lo + len;
+            let arc_counters = Arc::new(ArcCounters::default());
+            counters.push(Arc::clone(&arc_counters));
             let worker = Worker {
                 lo,
                 hi,
@@ -279,6 +362,7 @@ impl ShardPool {
                     f64::NEG_INFINITY,
                 ),
                 scratch: Vec::new(),
+                counters: arc_counters,
             };
             let (task_tx, task_rx) = channel();
             let reply_tx = reply_tx.clone();
@@ -297,6 +381,7 @@ impl ShardPool {
             replies,
             joins,
             slots: (0..shards).map(|_| Vec::new()).collect(),
+            counters,
         }
     }
 
@@ -351,6 +436,25 @@ impl ShardPool {
     /// ascending node order.
     pub(crate) fn slots(&self) -> &[Vec<Candidate>] {
         &self.slots
+    }
+
+    /// Snapshot the per-arc work counters. Workers update their own slot
+    /// between queries, so a snapshot taken after the last
+    /// [`query`](Self::query) barrier reflects every task served so far.
+    pub(crate) fn stats(&self) -> ShardStats {
+        ShardStats {
+            arcs: self
+                .counters
+                .iter()
+                .map(|c| ArcStats {
+                    queries: c.queries.load(Ordering::Relaxed),
+                    bbox_skips: c.bbox_skips.load(Ordering::Relaxed),
+                    kernel_ns: c.kernel_ns.load(Ordering::Relaxed),
+                    resamples: c.resamples.load(Ordering::Relaxed),
+                    resample_ns: c.resample_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -436,5 +540,34 @@ mod tests {
         pool.resample(SimTime::ZERO);
         pool.query(SimTime::ZERO, 0, (0.0, 0.0), cutoff, false);
         assert!(pool.slots().iter().all(|s| s.is_empty()));
+    }
+
+    /// The per-arc counters attribute queries, bbox skips and resamples
+    /// to the right arcs.
+    #[test]
+    fn stats_count_queries_skips_and_resamples() {
+        // Sender at node 0: with 1 km spacing only arc 0's bbox is within
+        // the ~550 m cutoff disk; arcs 1–3 must skip on the bbox test.
+        let (mut pool, _phy, cutoff) = pool_over_line(4, 16, 1000.0);
+        pool.resample(SimTime::ZERO);
+        pool.query(SimTime::ZERO, 0, (0.0, 0.0), cutoff, false);
+        pool.query(SimTime::ZERO, 0, (0.0, 0.0), cutoff, false);
+        let stats = pool.stats();
+        assert_eq!(stats.arcs.len(), 4);
+        for (arc, s) in stats.arcs.iter().enumerate() {
+            assert_eq!(s.queries, 2, "arc {arc}");
+            assert_eq!(s.resamples, 1, "arc {arc}");
+            if arc > 0 {
+                assert_eq!(s.bbox_skips, 2, "arc {arc} is out of the disk");
+            }
+        }
+        assert_eq!(
+            stats.arcs[0].bbox_skips, 0,
+            "the sender's own arc is consulted"
+        );
+        let total = stats.total();
+        assert_eq!(total.queries, 8);
+        assert_eq!(total.bbox_skips, 6);
+        assert_eq!(total.resamples, 4);
     }
 }

@@ -27,6 +27,15 @@
 //! Supervision never compromises determinism: surviving trials produce
 //! event-stream digests bit-identical to unsupervised straight runs, and
 //! every recovery decision (backoff, chaos injection) derives from seeds.
+//!
+//! * **Live observability** — the supervisor records its own health
+//!   (queue depth, sheds, retries, stalls, write-offs, quarantines,
+//!   worker state) into typed [`ServerMetrics`] slots; configure a
+//!   [`SnapshotBus`](cavenet_telemetry::SnapshotBus) on
+//!   [`ServerConfig::bus`] and in-flight trials stream registry
+//!   snapshots onto it while the watchdog publishes the supervisor's —
+//!   all digest-invisible, and pollable mid-campaign via
+//!   [`CampaignServer::status`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +45,7 @@ mod backoff;
 mod chaos;
 mod failure;
 mod ledger;
+mod metrics;
 mod supervisor;
 
 pub use admission::AdmissionError;
@@ -43,6 +53,8 @@ pub use backoff::BackoffPolicy;
 pub use chaos::{ChaosEntry, ChaosKind, ChaosObserver, ChaosPlan};
 pub use failure::{TrialAttempt, TrialFailure};
 pub use ledger::{CampaignLedger, TrialKey, TrialState, LEDGER_SCHEMA_VERSION};
+pub use metrics::ServerMetrics;
 pub use supervisor::{
-    CampaignReport, CampaignServer, ServerConfig, TrialId, TrialOutcome, TrialReport,
+    CampaignReport, CampaignServer, ServerConfig, ServerStatus, TrialId, TrialOutcome,
+    TrialProgress, TrialReport,
 };

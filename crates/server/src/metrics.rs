@@ -1,0 +1,75 @@
+//! First-class supervisor metrics.
+//!
+//! The supervisor's own health — queue depth, admission sheds, retries,
+//! backoff waits, watchdog stalls, write-offs, quarantines, worker state —
+//! was previously observable only by reading the ledger after the fact.
+//! [`ServerMetrics`] records it live, into the same typed
+//! [`MetricsRegistry`] slots the trial telemetry uses
+//! (`Counter::TrialsSubmitted` … `Gauge::QueueDepth` …), so the snapshot
+//! bus, the campaign aggregator, the JSONL feed and the Prometheus
+//! exposition all handle supervisor snapshots with zero new machinery.
+//!
+//! The handle is shared across the submitting thread, every worker and
+//! the watchdog; updates take a private mutex that is never held across
+//! any other lock, I/O, or user code. Supervisor metrics never touch the
+//! engine-side slots (and vice versa), so merging a supervisor snapshot
+//! with trial snapshots in the aggregator stays sound: each family's
+//! counters add against zeros from the other.
+
+use std::sync::{Arc, Mutex};
+
+use cavenet_telemetry::{Counter, Gauge, HistogramId, MetricsRegistry};
+
+/// A thread-safe, clone-cheap handle to the supervisor's live metrics
+/// registry.
+#[derive(Debug, Clone, Default)]
+pub struct ServerMetrics {
+    inner: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl ServerMetrics {
+    /// A fresh, all-zero registry.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    pub(crate) fn inc(&self, counter: Counter) {
+        self.inner.lock().expect("metrics lock").inc(counter);
+    }
+
+    pub(crate) fn set(&self, gauge: Gauge, value: u64) {
+        self.inner.lock().expect("metrics lock").set(gauge, value);
+    }
+
+    pub(crate) fn observe(&self, histogram: HistogramId, value: u64) {
+        self.inner
+            .lock()
+            .expect("metrics lock")
+            .observe(histogram, value);
+    }
+
+    /// A point-in-time copy of the registry (what the supervisor
+    /// publishes on the snapshot bus).
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.inner.lock().expect("metrics lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_clones_share_one_registry() {
+        let metrics = ServerMetrics::new();
+        let other = metrics.clone();
+        metrics.inc(Counter::TrialsSubmitted);
+        other.inc(Counter::TrialsSubmitted);
+        other.set(Gauge::QueueDepth, 3);
+        metrics.observe(HistogramId::BackoffDelayNs, 1_000_000);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(Counter::TrialsSubmitted), 2);
+        assert_eq!(snap.gauge(Gauge::QueueDepth), 3);
+        assert_eq!(snap.histogram(HistogramId::BackoffDelayNs).count(), 1);
+    }
+}

@@ -35,7 +35,10 @@ use std::time::{Duration, Instant};
 use cavenet_checkpoint::{store, Snapshot};
 use cavenet_core::{Experiment, Lineage, Scenario};
 use cavenet_net::{CancelSignal, ProgressHandle, ProgressProbe, SimTime, TrialCancelled};
-use cavenet_telemetry::RunManifest;
+use cavenet_telemetry::{
+    Counter, Gauge, HistogramId, MetricsRegistry, RunManifest, SnapshotBus, SnapshotPublisher,
+    StreamProbe,
+};
 use cavenet_testkit::{GoldenDigest, Tee};
 
 use crate::admission::AdmissionError;
@@ -43,6 +46,7 @@ use crate::backoff::BackoffPolicy;
 use crate::chaos::{ChaosObserver, ChaosPlan};
 use crate::failure::{TrialAttempt, TrialFailure};
 use crate::ledger::{CampaignLedger, TrialKey, TrialState};
+use crate::metrics::ServerMetrics;
 
 /// Handle of one admitted trial, unique within a server instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,6 +88,15 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Execution-fault injection plan (empty in production).
     pub chaos: ChaosPlan,
+    /// Live observability bus: when set, every trial streams registry
+    /// snapshots onto it (via an armed [`StreamProbe`] in the observer
+    /// stack) and the watchdog publishes supervisor metrics each poll.
+    /// `None` (the default) attaches a disarmed probe — the golden
+    /// digests are bit-identical either way.
+    pub bus: Option<SnapshotBus>,
+    /// Events dispatched between trial snapshot publications (clamped to
+    /// ≥ 1). Only meaningful with [`bus`](Self::bus) set.
+    pub snapshot_stride: u64,
 }
 
 impl ServerConfig {
@@ -103,6 +116,8 @@ impl ServerConfig {
             checkpoint_root: checkpoint_root.into(),
             seed: 0,
             chaos: ChaosPlan::none(),
+            bus: None,
+            snapshot_stride: 4096,
         }
     }
 
@@ -196,6 +211,9 @@ pub struct CampaignReport {
     pub ledger: CampaignLedger,
     /// Where the ledger was written.
     pub ledger_path: PathBuf,
+    /// Final snapshot of the supervisor metrics (admissions, sheds,
+    /// retries, stalls, quarantines, backoff delays...).
+    pub metrics: MetricsRegistry,
 }
 
 impl CampaignReport {
@@ -222,6 +240,38 @@ impl CampaignReport {
     pub fn interrupted(&self) -> usize {
         self.count(|o| matches!(o, TrialOutcome::Interrupted))
     }
+}
+
+/// Live heartbeat view of one in-flight trial (see
+/// [`CampaignServer::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialProgress {
+    /// Submission handle.
+    pub id: TrialId,
+    /// The trial's seed.
+    pub seed: u64,
+    /// 1-based attempt currently running.
+    pub attempt: u64,
+    /// Events dispatched as of the last heartbeat (stride-rounded).
+    pub beats: u64,
+    /// Virtual time reached as of the last heartbeat.
+    pub sim_time: SimTime,
+}
+
+/// A point-in-time view of a running campaign (see
+/// [`CampaignServer::status`]).
+#[derive(Debug, Clone)]
+pub struct ServerStatus {
+    /// Trials waiting in the admission queue.
+    pub queued: usize,
+    /// Failed trials parked in backoff.
+    pub delayed: usize,
+    /// Worker threads alive.
+    pub workers_alive: usize,
+    /// Every in-flight trial's heartbeat progress.
+    pub running: Vec<TrialProgress>,
+    /// Supervisor metrics snapshot at the same instant.
+    pub metrics: MetricsRegistry,
 }
 
 /// One unit of queued work: a scenario plus its retry history.
@@ -275,6 +325,28 @@ struct Shared {
     /// Completion waiters (`finish`/`shutdown`) wait here.
     progress: Condvar,
     stop_watchdog: AtomicBool,
+    /// Live supervisor metrics (see [`ServerMetrics`]).
+    metrics: ServerMetrics,
+    /// Publisher for the supervisor's own snapshots, when a bus is
+    /// configured.
+    publisher: Option<SnapshotPublisher>,
+}
+
+/// Refresh the point-in-time supervisor gauges from the locked state.
+/// Called at every mutation site and on each watchdog tick, so a live
+/// reader is never more than one poll behind.
+fn refresh_gauges(st: &State, metrics: &ServerMetrics) {
+    metrics.set(Gauge::QueueDepth, st.queue.len() as u64);
+    metrics.set(Gauge::BackoffParked, st.delayed.len() as u64);
+    metrics.set(Gauge::RunningTrials, st.running.len() as u64);
+    metrics.set(Gauge::WorkersAlive, st.workers_alive as u64);
+    let frontier = st
+        .running
+        .iter()
+        .map(|r| r.handle.sim_time().as_nanos())
+        .max()
+        .unwrap_or(0);
+    metrics.set(Gauge::MaxTrialSimTimeNs, frontier);
 }
 
 /// The supervised campaign executor. See the [module docs](self).
@@ -298,12 +370,15 @@ impl CampaignServer {
         let prior = CampaignLedger::load(&config.ledger_path())?
             .unwrap_or_else(|| CampaignLedger::new(config.seed));
         let workers = config.workers.max(1);
+        let publisher = config.bus.as_ref().map(|bus| bus.publisher("supervisor"));
         let shared = Arc::new(Shared {
             config,
             state: Mutex::new(State::default()),
             work: Condvar::new(),
             progress: Condvar::new(),
             stop_watchdog: AtomicBool::new(false),
+            metrics: ServerMetrics::new(),
+            publisher,
         });
         for _ in 0..workers {
             spawn_worker(Arc::clone(&shared));
@@ -354,14 +429,18 @@ impl CampaignServer {
                     replayed: true,
                 },
             });
+            self.shared.metrics.inc(Counter::TrialsSubmitted);
+            self.shared.metrics.inc(Counter::TrialsCompleted);
             return Ok(id);
         }
         if st.queue.len() + st.delayed.len() >= config.queue_capacity {
+            self.shared.metrics.inc(Counter::AdmissionSheds);
             return Err(AdmissionError::QueueFull {
                 capacity: config.queue_capacity,
             });
         }
         if st.admitted_nodes + nodes > config.node_budget {
+            self.shared.metrics.inc(Counter::AdmissionSheds);
             return Err(AdmissionError::OverBudget {
                 requested: nodes,
                 admitted: st.admitted_nodes,
@@ -377,9 +456,41 @@ impl CampaignServer {
             attempt: 1,
             history: Vec::new(),
         });
+        self.shared.metrics.inc(Counter::TrialsSubmitted);
+        refresh_gauges(&st, &self.shared.metrics);
         drop(st);
         self.shared.work.notify_one();
         Ok(id)
+    }
+
+    /// A clone-cheap handle to the live supervisor metrics, pollable from
+    /// any thread while the campaign runs.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.shared.metrics.clone()
+    }
+
+    /// A point-in-time view of the campaign: queue occupancy, every
+    /// in-flight trial's heartbeat progress (events *and* sim-time, from
+    /// the [`ProgressHandle`]), and the supervisor metrics snapshot.
+    pub fn status(&self) -> ServerStatus {
+        let st = self.shared.state.lock().expect("state lock");
+        ServerStatus {
+            queued: st.queue.len(),
+            delayed: st.delayed.len(),
+            workers_alive: st.workers_alive,
+            running: st
+                .running
+                .iter()
+                .map(|r| TrialProgress {
+                    id: r.job.id,
+                    seed: r.job.key.seed,
+                    attempt: r.job.attempt,
+                    beats: r.handle.beats(),
+                    sim_time: r.handle.sim_time(),
+                })
+                .collect(),
+            metrics: self.shared.metrics.snapshot(),
+        }
     }
 
     /// Wait for every admitted trial to reach a terminal state, then stop
@@ -488,10 +599,16 @@ impl CampaignServer {
         }
         let ledger_path = config.ledger_path();
         ledger.save(&ledger_path)?;
+        // One final supervisor snapshot so a tailer sees the settled
+        // counters even if the last watchdog tick raced conclusion.
+        if let Some(publisher) = &self.shared.publisher {
+            publisher.publish(0, 0, &self.shared.metrics.snapshot());
+        }
         Ok(CampaignReport {
             trials,
             ledger,
             ledger_path,
+            metrics: self.shared.metrics.snapshot(),
         })
     }
 
@@ -589,6 +706,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                         replayed: false,
                     },
                 });
+                shared.metrics.inc(Counter::TrialsCompleted);
             }
             AttemptResult::Interrupted => {
                 st.admitted_nodes = st.admitted_nodes.saturating_sub(job.scenario.nodes as u64);
@@ -600,9 +718,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 });
             }
             AttemptResult::Failed(failure) => {
-                record_failure(&mut st, &shared.config, job, failure);
+                record_failure(&mut st, &shared.config, &shared.metrics, job, failure);
             }
         }
+        refresh_gauges(&st, &shared.metrics);
         drop(st);
         shared.progress.notify_all();
     }
@@ -611,7 +730,13 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// Fold one failed attempt into the state: quarantine past the budget,
 /// park for a deterministic backoff delay otherwise (terminal under
 /// shutdown, where retries would never run).
-fn record_failure(st: &mut State, config: &ServerConfig, job: Job, failure: TrialFailure) {
+fn record_failure(
+    st: &mut State,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
+    job: Job,
+    failure: TrialFailure,
+) {
     let mut history = job.history;
     history.push(TrialAttempt {
         attempt: job.attempt,
@@ -635,9 +760,15 @@ fn record_failure(st: &mut State, config: &ServerConfig, job: Job, failure: Tria
             attempts: history,
             outcome: TrialOutcome::Quarantined,
         });
+        metrics.inc(Counter::TrialsQuarantined);
         return;
     }
     let delay = config.backoff.delay(config.seed, job.key, job.attempt);
+    metrics.inc(Counter::TrialRetries);
+    metrics.observe(
+        HistogramId::BackoffDelayNs,
+        delay.as_nanos().min(u128::from(u64::MAX)) as u64,
+    );
     st.delayed.push(Delayed {
         ready_at: Instant::now() + delay,
         job: Job {
@@ -684,6 +815,7 @@ fn watchdog_loop(shared: &Arc<Shared>) {
                         if now.duration_since(r.last_advance) >= shared.config.stall_timeout {
                             r.handle.cancel(CancelSignal::Stall);
                             r.cancelled_at = Some(now);
+                            shared.metrics.inc(Counter::WatchdogStalls);
                         }
                     }
                     Some(cancelled) => {
@@ -696,13 +828,25 @@ fn watchdog_loop(shared: &Arc<Shared>) {
             for id in lost {
                 if let Some(pos) = st.running.iter().position(|r| r.job.id == id) {
                     let abandoned = st.running.swap_remove(pos);
-                    record_failure(&mut st, &shared.config, abandoned.job, TrialFailure::Lost);
+                    shared.metrics.inc(Counter::TrialsLost);
+                    record_failure(
+                        &mut st,
+                        &shared.config,
+                        &shared.metrics,
+                        abandoned.job,
+                        TrialFailure::Lost,
+                    );
                     replacements += 1;
                 }
             }
             if replacements > 0 {
                 shared.progress.notify_all();
             }
+            refresh_gauges(&st, &shared.metrics);
+        }
+        // Publish the supervisor's own snapshot outside the state lock.
+        if let Some(publisher) = &shared.publisher {
+            publisher.publish(0, 0, &shared.metrics.snapshot());
         }
         // The wedged workers are written off; restore pool capacity.
         for _ in 0..replacements {
@@ -722,10 +866,13 @@ enum AttemptResult {
     Failed(TrialFailure),
 }
 
-/// The trial's observer stack: heartbeat probe, chaos injector, golden
-/// digest. Only the digest carries checkpointable state, so the OBSERVER
-/// snapshot section is exactly the digest's `(value, events)` pair.
-type TrialObserver = Tee<ProgressProbe, Tee<ChaosObserver, GoldenDigest>>;
+/// The trial's observer stack: heartbeat probe, chaos injector, stream
+/// probe (armed only when a bus is configured), golden digest. Only the
+/// digest carries checkpointable state — the stream probe deliberately
+/// keeps the default empty capture/restore — so the OBSERVER snapshot
+/// section is exactly the digest's `(value, events)` pair, unchanged from
+/// the pre-streaming format.
+type TrialObserver = Tee<ProgressProbe, Tee<ChaosObserver, Tee<StreamProbe, GoldenDigest>>>;
 
 thread_local! {
     /// True while this thread is executing a supervised attempt — its
@@ -802,9 +949,18 @@ fn drive_trial(
     let exp = Experiment::new(job.scenario.clone());
     let dir = config.checkpoint_root.join(job.key.dir_name());
     let chaos = ChaosObserver::armed(config.chaos.arm(job.key.seed, job.attempt), handle.clone());
+    // Source name is the trial's identity (not the attempt), so a retry's
+    // fresh snapshots supersede the dead attempt's in the aggregator.
+    let stream = match &config.bus {
+        Some(bus) => StreamProbe::armed(
+            bus.publisher(format!("trial-{}", job.key.dir_name())),
+            config.snapshot_stride,
+        ),
+        None => StreamProbe::disarmed(),
+    };
     let observer: TrialObserver = Tee(
         handle.probe(config.heartbeat_stride),
-        Tee(chaos, GoldenDigest::new()),
+        Tee(chaos, Tee(stream, GoldenDigest::new())),
     );
 
     let mut lineage = Lineage::default();
@@ -864,7 +1020,10 @@ fn drive_trial(
     let per_node: Vec<_> = (0..job.scenario.nodes)
         .map(|i| (sim.node_stats(i), sim.mac_stats(i)))
         .collect();
-    let Tee(_probe, Tee(_chaos, mut digest)) = sim.into_observer();
+    let Tee(_probe, Tee(_chaos, Tee(mut stream, mut digest))) = sim.into_observer();
+    // Flush the final registry so the feed's tail equals the trial's
+    // completed totals.
+    stream.finish_and_publish();
     digest.absorb_stats(&global);
     for (i, (ns, ms)) in per_node.iter().enumerate() {
         digest.absorb_node(i, ns, ms);

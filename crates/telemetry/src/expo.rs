@@ -1,0 +1,130 @@
+//! Prometheus-style plain-text exposition of a [`MetricsRegistry`].
+//!
+//! The renderer targets the text exposition format's subset that needs no
+//! external dependency: `# TYPE` headers, `snake_case` metric names under
+//! a `cavenet_` namespace, optional fixed labels, and log-scale histograms
+//! emitted as cumulative `_bucket{le="..."}` series with `_sum`/`_count`.
+//! Output is deterministic — slots render in declaration order, labels in
+//! the order given — so scrapes can be diffed and goldens committed.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramId, MetricsRegistry};
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(out, "{key}=\"{escaped}\"");
+    }
+    out.push('}');
+}
+
+fn write_series(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    write_labels(out, labels);
+    let _ = writeln!(out, " {value}");
+}
+
+fn write_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let last = h
+        .buckets()
+        .iter()
+        .rposition(|&b| b > 0)
+        .map_or(0, |i| i + 1);
+    let mut cumulative = 0u64;
+    for (bucket, &count) in h.buckets()[..last].iter().enumerate() {
+        cumulative += count;
+        // Log-scale bucket b holds values v with ceil(log2(v+1)) = b, so
+        // its inclusive upper bound is 2^b - 1.
+        let le = if bucket >= 64 {
+            u64::MAX.to_string()
+        } else {
+            ((1u64 << bucket) - 1).to_string()
+        };
+        let mut all: Vec<(&str, &str)> = labels.to_vec();
+        all.push(("le", &le));
+        write_series(out, &format!("{name}_bucket"), &all, cumulative);
+    }
+    let mut all: Vec<(&str, &str)> = labels.to_vec();
+    all.push(("le", "+Inf"));
+    write_series(out, &format!("{name}_bucket"), &all, h.count());
+    out.push_str(&format!("{name}_sum"));
+    write_labels(out, labels);
+    let _ = writeln!(out, " {}", h.sum());
+    write_series(out, &format!("{name}_count"), labels, h.count());
+}
+
+/// Render a registry in the Prometheus plain-text exposition format, with
+/// `labels` attached to every series (pass e.g. `[("campaign", id)]`).
+pub fn render_prometheus(registry: &MetricsRegistry, labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for counter in Counter::ALL {
+        let name = format!("cavenet_{}_total", counter.name());
+        let _ = writeln!(out, "# TYPE {name} counter");
+        write_series(&mut out, &name, labels, registry.counter(counter));
+    }
+    for gauge in Gauge::ALL {
+        let name = format!("cavenet_{}", gauge.name());
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        write_series(&mut out, &name, labels, registry.gauge(gauge));
+    }
+    for id in HistogramId::ALL {
+        let name = format!("cavenet_{}", id.name());
+        write_histogram(&mut out, &name, labels, registry.histogram(id));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_slot_deterministically() {
+        let mut r = MetricsRegistry::new();
+        r.add(Counter::FramesTx, 3);
+        r.set(Gauge::QueueDepth, 5);
+        r.observe(HistogramId::FrameSizeBytes, 512);
+        let text = render_prometheus(&r, &[("campaign", "c1")]);
+        assert_eq!(text, render_prometheus(&r.clone(), &[("campaign", "c1")]));
+        assert!(text.contains("# TYPE cavenet_frames_tx_total counter"));
+        assert!(text.contains("cavenet_frames_tx_total{campaign=\"c1\"} 3"));
+        assert!(text.contains("cavenet_queue_depth{campaign=\"c1\"} 5"));
+        assert!(text.contains("cavenet_frame_size_bytes_sum{campaign=\"c1\"} 512"));
+        assert!(text.contains("cavenet_frame_size_bytes_count{campaign=\"c1\"} 1"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+        // Every declared slot appears even when zero.
+        for c in Counter::ALL {
+            assert!(text.contains(&format!("cavenet_{}_total", c.name())));
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_log2_bounds() {
+        let mut r = MetricsRegistry::new();
+        // 0 → bucket 0 (le 0); 1 → bucket 1 (le 1); 3 → bucket 2 (le 3).
+        for v in [0u64, 1, 3] {
+            r.observe(HistogramId::DeliveryLatencyNs, v);
+        }
+        let text = render_prometheus(&r, &[]);
+        assert!(text.contains("cavenet_delivery_latency_ns_bucket{le=\"0\"} 1"));
+        assert!(text.contains("cavenet_delivery_latency_ns_bucket{le=\"1\"} 2"));
+        assert!(text.contains("cavenet_delivery_latency_ns_bucket{le=\"3\"} 3"));
+        assert!(text.contains("cavenet_delivery_latency_ns_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        let text = render_prometheus(&r, &[("path", "a\"b\\c")]);
+        assert!(text.contains("path=\"a\\\"b\\\\c\""));
+    }
+}

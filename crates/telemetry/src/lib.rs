@@ -19,22 +19,36 @@
 //! observer: attaching it costs hook dispatch only, and the simulation it
 //! watches stays byte-identical — the conformance testkit's golden digests
 //! hold with and without it.
+//!
+//! The **streaming plane** ([`stream`]) makes telemetry live: a
+//! [`StreamProbe`] publishes registry snapshots from inside a running
+//! trial onto a [`SnapshotBus`], a [`CampaignAggregator`] merges them
+//! mid-flight, and two sinks render the result — the schema-versioned
+//! JSONL campaign feed ([`SnapshotEnvelope::render_line`]) and a
+//! Prometheus-style plain-text exposition ([`render_prometheus`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod expo;
 pub mod json;
 mod manifest;
 mod metrics;
 mod observer;
 mod profile;
+pub mod stream;
 mod trace;
 
+pub use expo::render_prometheus;
 pub use json::Json;
 pub use manifest::{base_crate_versions, fnv64, RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use metrics::{Counter, Gauge, Histogram, HistogramId, MetricsRegistry};
-pub use observer::{drop_reason_name, TelemetryObserver};
+pub use observer::{drop_reason_name, fold_shard_stats, TelemetryObserver};
 pub use profile::{Phase, PhaseProfiler};
+pub use stream::{
+    CampaignAggregator, SnapshotBus, SnapshotEnvelope, SnapshotPublisher, StreamProbe,
+    STREAM_SCHEMA_VERSION,
+};
 pub use trace::{
     ParsedRecord, TraceCategory, TraceConfig, TraceRecord, Tracer, TRACE_SCHEMA_VERSION,
 };

@@ -8,6 +8,14 @@
 use crate::json::Json;
 
 /// Monotonic counters, one slot each in [`MetricsRegistry`].
+///
+/// Slots fall into three families sharing the one registry so every sink
+/// (snapshot bus, JSONL feed, Prometheus exposition) works unchanged:
+/// engine counters fed by the
+/// [`TelemetryObserver`](crate::TelemetryObserver), shard-kernel counters
+/// fed from `ShardStats`, and campaign-supervisor counters fed by
+/// `cavenet-server`. A source only ever touches its own family; the merge
+/// semantics (counters add) keep foreign slots at zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Counter {
     /// Engine events dispatched.
@@ -36,11 +44,31 @@ pub enum Counter {
     RouteDiscoveryFailures,
     /// Fault events (crashes and recoveries).
     Faults,
+    /// Shard-kernel candidate queries answered across all arcs.
+    ShardQueries,
+    /// Shard arcs skipped whole by the bbox-lookahead test.
+    ShardBboxSkips,
+    /// Per-arc position resamples (grid rebuilds) across all arcs.
+    ShardResamples,
+    /// Supervisor: trials admitted for execution.
+    TrialsSubmitted,
+    /// Supervisor: trials that reached a completed outcome.
+    TrialsCompleted,
+    /// Supervisor: failed attempts re-queued after a backoff wait.
+    TrialRetries,
+    /// Supervisor: submissions shed by admission control.
+    AdmissionSheds,
+    /// Supervisor: watchdog stall cancellations raised.
+    WatchdogStalls,
+    /// Supervisor: trials written off as lost (wedged past the grace).
+    TrialsLost,
+    /// Supervisor: trials quarantined as poison.
+    TrialsQuarantined,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 23;
 
     /// All counters, in declaration (= snapshot) order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -57,6 +85,16 @@ impl Counter {
         Counter::RouteDiscoverySuccesses,
         Counter::RouteDiscoveryFailures,
         Counter::Faults,
+        Counter::ShardQueries,
+        Counter::ShardBboxSkips,
+        Counter::ShardResamples,
+        Counter::TrialsSubmitted,
+        Counter::TrialsCompleted,
+        Counter::TrialRetries,
+        Counter::AdmissionSheds,
+        Counter::WatchdogStalls,
+        Counter::TrialsLost,
+        Counter::TrialsQuarantined,
     ];
 
     /// Stable snake_case name used in snapshots.
@@ -75,32 +113,83 @@ impl Counter {
             Counter::RouteDiscoverySuccesses => "route_discovery_successes",
             Counter::RouteDiscoveryFailures => "route_discovery_failures",
             Counter::Faults => "faults",
+            Counter::ShardQueries => "shard_queries",
+            Counter::ShardBboxSkips => "shard_bbox_skips",
+            Counter::ShardResamples => "shard_resamples",
+            Counter::TrialsSubmitted => "trials_submitted",
+            Counter::TrialsCompleted => "trials_completed",
+            Counter::TrialRetries => "trial_retries",
+            Counter::AdmissionSheds => "admission_sheds",
+            Counter::WatchdogStalls => "watchdog_stalls",
+            Counter::TrialsLost => "trials_lost",
+            Counter::TrialsQuarantined => "trials_quarantined",
         }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.into_iter().find(|c| c.name() == name)
     }
 }
 
 /// Last-write-wins gauges.
+///
+/// Under [`MetricsRegistry::merge`] gauges combine by maximum, so every
+/// slot here must be a quantity whose campaign-level reading *is* the max
+/// over sources (high-water marks, frontier times). Averages or
+/// instantaneous mixtures do not belong in this enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Gauge {
     /// Virtual time of the most recently dispatched event, in nanoseconds.
     SimTimeNs,
     /// Data packets originated but not yet delivered or dropped.
     PacketsInFlight,
+    /// Supervisor: jobs waiting in the admission queue (high-water mark
+    /// when merged).
+    QueueDepth,
+    /// Supervisor: failed trials parked in backoff (high-water mark when
+    /// merged).
+    BackoffParked,
+    /// Supervisor: trials currently claimed by workers (high-water mark
+    /// when merged).
+    RunningTrials,
+    /// Supervisor: worker threads alive.
+    WorkersAlive,
+    /// Supervisor: most-advanced in-flight trial sim-time, in nanoseconds.
+    MaxTrialSimTimeNs,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 7;
 
     /// All gauges, in declaration (= snapshot) order.
-    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::SimTimeNs, Gauge::PacketsInFlight];
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::SimTimeNs,
+        Gauge::PacketsInFlight,
+        Gauge::QueueDepth,
+        Gauge::BackoffParked,
+        Gauge::RunningTrials,
+        Gauge::WorkersAlive,
+        Gauge::MaxTrialSimTimeNs,
+    ];
 
     /// Stable snake_case name used in snapshots.
     pub fn name(self) -> &'static str {
         match self {
             Gauge::SimTimeNs => "sim_time_ns",
             Gauge::PacketsInFlight => "packets_in_flight",
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::BackoffParked => "backoff_parked",
+            Gauge::RunningTrials => "running_trials",
+            Gauge::WorkersAlive => "workers_alive",
+            Gauge::MaxTrialSimTimeNs => "max_trial_sim_time_ns",
         }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<Gauge> {
+        Gauge::ALL.into_iter().find(|g| g.name() == name)
     }
 }
 
@@ -112,22 +201,43 @@ pub enum HistogramId {
     DeliveryLatencyNs,
     /// Transmitted frame sizes in bytes.
     FrameSizeBytes,
+    /// Supervisor: backoff delays served before retry re-queues, in
+    /// nanoseconds.
+    BackoffDelayNs,
 }
 
 impl HistogramId {
     /// Number of histograms.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
 
     /// All histograms, in declaration (= snapshot) order.
-    pub const ALL: [HistogramId; HistogramId::COUNT] =
-        [HistogramId::DeliveryLatencyNs, HistogramId::FrameSizeBytes];
+    pub const ALL: [HistogramId; HistogramId::COUNT] = [
+        HistogramId::DeliveryLatencyNs,
+        HistogramId::FrameSizeBytes,
+        HistogramId::BackoffDelayNs,
+    ];
 
     /// Stable snake_case name used in snapshots.
     pub fn name(self) -> &'static str {
         match self {
             HistogramId::DeliveryLatencyNs => "delivery_latency_ns",
             HistogramId::FrameSizeBytes => "frame_size_bytes",
+            HistogramId::BackoffDelayNs => "backoff_delay_ns",
         }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<HistogramId> {
+        HistogramId::ALL.into_iter().find(|h| h.name() == name)
+    }
+}
+
+/// Read a `u64` out of either JSON shape [`Json::num_u64`] produces: a
+/// plain number up to 2^53, or a decimal string above it.
+fn scalar_u64(json: &Json) -> Option<u64> {
+    match json {
+        Json::Str(s) => s.parse::<u64>().ok(),
+        _ => json.as_u64(),
     }
 }
 
@@ -207,6 +317,50 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum += other.sum;
+    }
+
+    /// Rebuild a histogram from its [`to_json`](Self::to_json) shape.
+    ///
+    /// `mean` is derived and ignored; `sum` survives exactly up to 2^53
+    /// (the [`Json::Num`] precision limit), which covers every realistic
+    /// campaign. Trailing buckets beyond the serialized prefix are zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed member.
+    pub fn from_json(json: &Json) -> Result<Histogram, String> {
+        let count = json
+            .get("count")
+            .and_then(scalar_u64)
+            .ok_or("histogram: missing or malformed 'count'")?;
+        let sum = json
+            .get("sum")
+            .and_then(|j| match j {
+                Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u128),
+                Json::Str(s) => s.parse::<u128>().ok(),
+                _ => None,
+            })
+            .ok_or("histogram: missing or malformed 'sum'")?;
+        let Some(Json::Arr(items)) = json.get("buckets") else {
+            return Err("histogram: missing or malformed 'buckets'".into());
+        };
+        if items.len() > Histogram::BUCKETS {
+            return Err(format!(
+                "histogram: {} buckets exceed the schema",
+                items.len()
+            ));
+        }
+        let mut h = Histogram::new();
+        for (i, item) in items.iter().enumerate() {
+            h.buckets[i] =
+                scalar_u64(item).ok_or_else(|| format!("histogram: bucket {i} malformed"))?;
+        }
+        h.count = count;
+        h.sum = sum;
+        if h.buckets.iter().sum::<u64>() != count {
+            return Err("histogram: bucket total disagrees with 'count'".into());
+        }
+        Ok(h)
     }
 
     /// Snapshot as JSON: count, sum, mean and the buckets up to the last
@@ -300,6 +454,52 @@ impl MetricsRegistry {
         }
     }
 
+    /// Rebuild a registry from its [`snapshot`](Self::snapshot) shape, the
+    /// read side of the JSONL campaign feed. Unknown member names are an
+    /// error (a schema drift should fail loudly, not drop data); missing
+    /// members default to zero/empty so older feeds stay readable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending section and member.
+    pub fn from_json(json: &Json) -> Result<MetricsRegistry, String> {
+        let mut r = MetricsRegistry::new();
+        if let Some(section) = json.get("counters") {
+            let Json::Obj(members) = section else {
+                return Err("registry: 'counters' is not an object".into());
+            };
+            for (name, value) in members {
+                let c = Counter::from_name(name)
+                    .ok_or_else(|| format!("registry: unknown counter '{name}'"))?;
+                r.counters[c as usize] = scalar_u64(value)
+                    .ok_or_else(|| format!("registry: counter '{name}' malformed"))?;
+            }
+        }
+        if let Some(section) = json.get("gauges") {
+            let Json::Obj(members) = section else {
+                return Err("registry: 'gauges' is not an object".into());
+            };
+            for (name, value) in members {
+                let g = Gauge::from_name(name)
+                    .ok_or_else(|| format!("registry: unknown gauge '{name}'"))?;
+                r.gauges[g as usize] = scalar_u64(value)
+                    .ok_or_else(|| format!("registry: gauge '{name}' malformed"))?;
+            }
+        }
+        if let Some(section) = json.get("histograms") {
+            let Json::Obj(members) = section else {
+                return Err("registry: 'histograms' is not an object".into());
+            };
+            for (name, value) in members {
+                let h = HistogramId::from_name(name)
+                    .ok_or_else(|| format!("registry: unknown histogram '{name}'"))?;
+                r.histograms[h as usize] = Histogram::from_json(value)
+                    .map_err(|e| format!("registry: histogram '{name}': {e}"))?;
+            }
+        }
+        Ok(r)
+    }
+
     /// Snapshot every metric, in declaration order, as a JSON object with
     /// `counters` / `gauges` / `histograms` sections.
     pub fn snapshot(&self) -> Json {
@@ -374,6 +574,41 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter(Counter::FramesRx), 12);
         assert_eq!(a.gauge(Gauge::PacketsInFlight), 9);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_from_json() {
+        let mut r = MetricsRegistry::new();
+        r.add(Counter::FramesTx, 41);
+        r.add(Counter::TrialRetries, 3);
+        r.set(Gauge::QueueDepth, 9);
+        r.set(Gauge::MaxTrialSimTimeNs, 40_000_000_000);
+        r.observe(HistogramId::BackoffDelayNs, 250_000_000);
+        r.observe(HistogramId::DeliveryLatencyNs, 1_234_567);
+        let back = MetricsRegistry::from_json(&r.snapshot()).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_names() {
+        let j = Json::Obj(vec![(
+            "counters".into(),
+            Json::Obj(vec![("no_such_counter".into(), Json::num_u64(1))]),
+        )]);
+        assert!(MetricsRegistry::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn name_maps_are_bijective() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        for g in Gauge::ALL {
+            assert_eq!(Gauge::from_name(g.name()), Some(g));
+        }
+        for h in HistogramId::ALL {
+            assert_eq!(HistogramId::from_name(h.name()), Some(h));
+        }
     }
 
     fn hist_of(samples: &[u64]) -> Histogram {

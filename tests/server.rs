@@ -16,6 +16,7 @@ use cavenet_server::{
     AdmissionError, BackoffPolicy, CampaignServer, ChaosEntry, ChaosKind, ChaosPlan, ServerConfig,
     TrialKey, TrialOutcome, TrialState,
 };
+use cavenet_telemetry::{CampaignAggregator, Counter, Gauge, HistogramId, SnapshotBus};
 use cavenet_testkit::digest_scenario;
 use proptest::prelude::*;
 
@@ -162,6 +163,135 @@ fn chaos_campaign_recovers_everything_but_poison() {
         ledger.get(poison_key),
         Some(TrialState::Quarantined { failures }) if failures.len() == 3
     ));
+
+    // The supervisor's live counters agree with the ledger-derived view:
+    // what it counted as it happened is what the reports say afterwards.
+    let m = &report.metrics;
+    assert_eq!(m.counter(Counter::TrialsSubmitted), seeds.len() as u64);
+    assert_eq!(m.counter(Counter::TrialsCompleted), seeds.len() as u64 - 1);
+    assert_eq!(m.counter(Counter::TrialsQuarantined), 1);
+    assert_eq!(m.counter(Counter::AdmissionSheds), 0);
+    let total_attempts: u64 = report.trials.iter().map(|t| t.attempt_count()).sum();
+    assert_eq!(
+        m.counter(Counter::TrialRetries),
+        total_attempts - seeds.len() as u64,
+        "every attempt past the first came from exactly one retry decision"
+    );
+    assert_eq!(
+        m.histogram(HistogramId::BackoffDelayNs).count(),
+        m.counter(Counter::TrialRetries),
+        "every retry parked through exactly one backoff delay"
+    );
+    assert!(
+        m.counter(Counter::WatchdogStalls) + m.counter(Counter::TrialsLost) >= 1,
+        "the stall trial must have tripped the watchdog"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A campaign with the snapshot bus configured streams registry
+/// snapshots from every in-flight trial plus the supervisor — and stays
+/// digest-invisible: every trial's golden digest equals its unobserved
+/// straight run, while the aggregated feed accounts for every dispatched
+/// event.
+#[test]
+fn streamed_campaign_is_digest_invisible_and_aggregates() {
+    let dir = scratch("stream");
+    let bus = SnapshotBus::new(1 << 14);
+    let mut config = quick_config(dir.clone());
+    config.bus = Some(bus.clone());
+    config.snapshot_stride = 512;
+    let seeds = [51u64, 52, 53];
+
+    let server = CampaignServer::start(config).unwrap();
+    for seed in seeds {
+        server.submit(tiny_scenario(seed)).unwrap();
+    }
+    let report = server.finish().unwrap();
+    assert_eq!(report.completed(), seeds.len());
+
+    let mut total_events = 0u64;
+    for trial in &report.trials {
+        let TrialOutcome::Completed { digest, events, .. } = &trial.outcome else {
+            panic!("clean trial must complete: {trial:?}");
+        };
+        let straight = digest_scenario(&tiny_scenario(trial.key.seed));
+        assert_eq!(
+            (*digest, *events),
+            (straight.digest, straight.events),
+            "streaming perturbed seed {}",
+            trial.key.seed
+        );
+        total_events += events;
+    }
+
+    let mut aggregator = CampaignAggregator::new();
+    aggregator.ingest_all(bus.drain());
+    assert_eq!(bus.shed(), 0, "the bus was sized for the whole campaign");
+    assert_eq!(
+        aggregator.sources(),
+        seeds.len() + 1,
+        "one source per trial plus the supervisor"
+    );
+    assert!(aggregator.latest("supervisor").is_some());
+    let merged = aggregator.merged();
+    assert_eq!(
+        merged.counter(Counter::EventsDispatched),
+        total_events,
+        "each trial's newest snapshot is its final flush"
+    );
+    assert_eq!(merged.counter(Counter::TrialsCompleted), seeds.len() as u64);
+    assert_eq!(
+        report.metrics.counter(Counter::TrialsCompleted),
+        seeds.len() as u64
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The live read side: while a trial is wedged mid-run, `status()` shows
+/// its heartbeat (attempt, beats, virtual time) and the supervisor's
+/// gauges agree.
+#[test]
+fn status_exposes_live_heartbeats_and_gauges() {
+    let dir = scratch("status");
+    let mut config = quick_config(dir.clone());
+    config.workers = 1;
+    config.stall_timeout = Duration::from_secs(60); // watchdog stays out
+    config.chaos = ChaosPlan {
+        entries: vec![ChaosEntry {
+            seed: 61,
+            at: SimTime::from_secs(6),
+            kind: ChaosKind::Stall {
+                max_wall: Duration::from_secs(30),
+            },
+            attempts: u64::MAX,
+        }],
+    };
+    let server = CampaignServer::start(config).unwrap();
+    server.submit(tiny_scenario(61)).unwrap();
+    // Let the worker claim the trial and run it to its 6 s stall point.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let status = server.status();
+    assert_eq!(status.queued, 0);
+    assert_eq!(status.running.len(), 1, "the wedged trial is in flight");
+    let progress = &status.running[0];
+    assert_eq!(progress.seed, 61);
+    assert_eq!(progress.attempt, 1);
+    assert!(
+        progress.beats > 0,
+        "heartbeats accumulated before the stall"
+    );
+    assert!(
+        progress.sim_time > SimTime::ZERO,
+        "the heartbeat carries virtual time"
+    );
+    assert_eq!(status.metrics.gauge(Gauge::RunningTrials), 1);
+    assert!(status.workers_alive >= 1);
+    assert!(status.metrics.gauge(Gauge::MaxTrialSimTimeNs) > 0);
+
+    let report = server.shutdown().unwrap();
+    assert_eq!(report.interrupted(), 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -121,6 +121,57 @@ fn shard_equiv_density_sweep() {
     }
 }
 
+// --- Per-arc attribution ----------------------------------------------------
+
+#[test]
+fn shard_stats_expose_per_arc_attribution_without_perturbing_digests() {
+    // The pool's per-arc counters are observability-only (wall-clock
+    // timing, relaxed atomics owned by each worker): reading them must
+    // coexist with bit-identical digests, and every arc must actually
+    // have been queried.
+    let mut s = conformance_scenario(Protocol::Aodv, 1);
+    s.sim_time = Duration::from_secs(20);
+    s.traffic.cbr.stop = Duration::from_secs(14);
+    let serial = digest_scenario(&s);
+
+    let mut sharded = s;
+    sharded.shards = 3;
+    let nodes = sharded.nodes;
+    let (_, sim) = Experiment::new(sharded)
+        .run_with_observer(cavenet_testkit::GoldenDigest::new())
+        .expect("sharded scenario runs");
+    let stats = sim.shard_stats().expect("shard pool attached");
+    // Fold final statistics exactly as `digest_scenario` does, so the
+    // values are comparable.
+    let global = sim.global_stats();
+    let per_node: Vec<_> = (0..nodes)
+        .map(|i| (sim.node_stats(i), sim.mac_stats(i)))
+        .collect();
+    let mut digest = sim.into_observer();
+    digest.absorb_stats(&global);
+    for (i, (ns, ms)) in per_node.iter().enumerate() {
+        digest.absorb_node(i, ns, ms);
+    }
+    assert_eq!(
+        (digest.value(), digest.events()),
+        (serial.digest, serial.events),
+        "reading shard stats must not move the digest"
+    );
+
+    assert_eq!(stats.arcs.len(), 3);
+    let total = stats.total();
+    assert!(total.queries > 0, "the run must have queried the pool");
+    assert!(total.kernel_ns > 0, "kernel time accumulates per arc");
+    assert!(total.resamples > 0, "trajectory resampling happened");
+    // Every query fans out to every arc worker, so per-arc query counts
+    // are uniform; the bbox lookahead is what differs between arcs.
+    assert!(stats
+        .arcs
+        .iter()
+        .all(|arc| arc.queries == stats.arcs[0].queries));
+    assert!(total.bbox_skips <= total.queries);
+}
+
 // --- Ensemble composition ---------------------------------------------------
 
 #[test]
