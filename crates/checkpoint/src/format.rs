@@ -64,6 +64,9 @@ pub mod section {
     pub const OBSERVER: u32 = 9;
     /// Cellular-automaton lane state (standalone BA checkpoints).
     pub const CA: u32 = 10;
+    /// Fluid-backend engine state (step counter, per-flow accumulators) —
+    /// replaces ENGINE..OBSERVER for runs under the fluid fidelity.
+    pub const FLUID: u32 = 11;
 }
 
 /// Human-readable name of a section id, for error messages.
@@ -79,6 +82,7 @@ pub fn section_name(id: u32) -> &'static str {
         section::MOBILITY => "mobility",
         section::OBSERVER => "observer",
         section::CA => "ca",
+        section::FLUID => "fluid",
         _ => "unknown",
     }
 }

@@ -34,7 +34,8 @@ use std::time::Duration;
 use cavenet_checkpoint::{
     capture_simulator, restore_simulator, section, store, Snapshot, SnapshotError, SnapshotMeta,
 };
-use cavenet_net::{SimObserver, SimTime, Simulator, WireWriter};
+use cavenet_fluid::FluidEngine;
+use cavenet_net::{Fidelity, SimObserver, SimTime, Simulator, WireWriter};
 use cavenet_rng::fnv::fnv64;
 use cavenet_stats::Ensemble;
 use cavenet_traffic::SharedRecorder;
@@ -134,6 +135,11 @@ pub struct CheckpointPlan {
 /// `Scenario::shards` (any shard count is bit-identical, DESIGN.md §14).
 /// This is what lets a snapshot taken under N shards resume under M: the
 /// two scenarios share one identity.
+///
+/// `Scenario::fidelity` is **not** normalized: the exact and fluid
+/// backends produce different results, so the two fidelities of one
+/// scenario have distinct identities and a snapshot taken under one
+/// refuses to resume under the other.
 pub fn scenario_identity(s: &Scenario) -> SnapshotMeta {
     let fault_plan_hash = if s.fault_plan.is_empty() {
         0
@@ -326,6 +332,151 @@ impl Experiment {
         self.checkpoint_loop(&mut sim, &recorder, plan)?;
         Ok((self.collect(&sim, &recorder), sim, lineage))
     }
+
+    /// Snapshot a mid-flight fluid run: META (scenario identity, which
+    /// includes the fidelity), the engine's FLUID section and the mobility
+    /// fingerprint — the fluid counterpart of
+    /// [`snapshot_now`](Self::snapshot_now).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when a section fails to serialize.
+    pub fn snapshot_fluid(&self, engine: &FluidEngine) -> Result<Snapshot, SnapshotError> {
+        let mut identity = scenario_identity(self.scenario());
+        identity.time_ns = engine.now_ns();
+        identity.step = engine.steps_done();
+        let mut snap = Snapshot::new();
+        let mut w = WireWriter::new();
+        identity.encode(&mut w);
+        snap.insert(section::META, w.into_bytes())?;
+        let mut w = WireWriter::new();
+        engine.capture(&mut w);
+        snap.insert(section::FLUID, w.into_bytes())?;
+        let mut w = WireWriter::new();
+        w.put_u64(mobility_fingerprint(self.scenario()));
+        snap.insert(section::MOBILITY, w.into_bytes())?;
+        Ok(snap)
+    }
+
+    /// Build a fresh fluid engine for this scenario and restore `snap`
+    /// into it. A snapshot taken under the exact fidelity is refused —
+    /// its META hash differs (fidelity is identity-relevant) and it has no
+    /// FLUID section.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Scenario`] when the scenario cannot build (or is
+    /// not a fluid scenario); [`CheckpointError::Snapshot`] when the
+    /// snapshot is malformed or belongs to a different run.
+    pub fn resume_fluid_from_snapshot(
+        &self,
+        snap: &Snapshot,
+    ) -> Result<(FluidEngine, SnapshotMeta), CheckpointError> {
+        let mut engine = self.build_fluid()?;
+        let mut r = snap.reader(section::MOBILITY)?;
+        let found = r
+            .get_u64()
+            .and_then(|v| r.finish().map(|()| v))
+            .map_err(SnapshotError::wire(section::MOBILITY))?;
+        let expected = mobility_fingerprint(self.scenario());
+        if found != expected {
+            return Err(SnapshotError::MetaMismatch {
+                what: "mobility_fingerprint",
+                found,
+                expected,
+            }
+            .into());
+        }
+        let meta = snap.meta()?;
+        meta.check_same_run(&scenario_identity(self.scenario()))?;
+        let mut r = snap.reader(section::FLUID)?;
+        engine
+            .restore(&mut r)
+            .and_then(|()| r.finish())
+            .map_err(SnapshotError::wire(section::FLUID))?;
+        Ok((engine, meta))
+    }
+
+    /// Drive `engine` to the scenario end, snapshotting every `plan.every`
+    /// of virtual time. Fluid time moves in whole model steps, so when
+    /// `every` is not a multiple of the step a snapshot lands on the first
+    /// boundary past each target.
+    fn fluid_checkpoint_loop(
+        &self,
+        engine: &mut FluidEngine,
+        plan: &CheckpointPlan,
+    ) -> Result<(), CheckpointError> {
+        let every = plan.every.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if every == 0 {
+            return Err(CheckpointError::ZeroInterval);
+        }
+        let end = self.scenario().sim_time.as_nanos() as u64;
+        let mut now = engine.now_ns();
+        while now < end {
+            let target = now.saturating_add(every - now % every).min(end);
+            engine.run_until_ns(target);
+            now = engine.now_ns();
+            let snap = self.snapshot_fluid(engine)?;
+            store::write_snapshot(&plan.dir, now, &snap)?;
+        }
+        Ok(())
+    }
+
+    /// [`run_with_checkpoints`](Self::run_with_checkpoints) for the fluid
+    /// fidelity: run to completion, snapshotting periodically into
+    /// `plan.dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on scenario, snapshot or filesystem failure, or
+    /// [`CheckpointError::ZeroInterval`] when `plan.every` is zero.
+    pub fn run_with_checkpoints_fluid(
+        &self,
+        plan: &CheckpointPlan,
+    ) -> Result<(ExperimentResult, FluidEngine), CheckpointError> {
+        fs::create_dir_all(&plan.dir)?;
+        let mut engine = self.build_fluid()?;
+        self.fluid_checkpoint_loop(&mut engine, plan)?;
+        Ok((self.collect_fluid(&engine), engine))
+    }
+
+    /// [`resume_with_checkpoints`](Self::resume_with_checkpoints) for the
+    /// fluid fidelity: resume from the newest readable checkpoint
+    /// (falling back past corrupt or foreign files), then continue to
+    /// completion, still checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on scenario, snapshot or filesystem failure, or
+    /// [`CheckpointError::ZeroInterval`] when `plan.every` is zero.
+    pub fn resume_with_checkpoints_fluid(
+        &self,
+        plan: &CheckpointPlan,
+    ) -> Result<(ExperimentResult, FluidEngine, Lineage), CheckpointError> {
+        fs::create_dir_all(&plan.dir)?;
+        let mut lineage = Lineage::default();
+        let mut restored: Option<FluidEngine> = None;
+        for path in store::list_newest_first(&plan.dir)? {
+            let Ok(bytes) = fs::read(&path) else { continue };
+            let Ok(snap) = Snapshot::from_bytes(&bytes) else {
+                continue;
+            };
+            if let Ok((engine, meta)) = self.resume_fluid_from_snapshot(&snap) {
+                lineage = Lineage {
+                    parent_snapshot_hash: snap.container_hash(),
+                    resume_step: meta.step,
+                };
+                restored = Some(engine);
+                break;
+            }
+        }
+        let mut engine = match restored {
+            Some(e) => e,
+            None => self.build_fluid()?,
+        };
+        self.fluid_checkpoint_loop(&mut engine, plan)?;
+        Ok((self.collect_fluid(&engine), engine, lineage))
+    }
 }
 
 /// A resumable multi-seed sweep: `trials` repetitions of `base` with
@@ -372,8 +523,13 @@ impl Campaign {
                     dir: dir.join(format!("trial_{i:04}")),
                 };
                 let exp = Experiment::new(self.trial_scenario(i));
-                exp.resume_with_checkpoints(cavenet_net::NoopObserver, &plan)
-                    .map(|(result, _sim, lineage)| (result, lineage))
+                if exp.scenario().fidelity == Fidelity::Fluid {
+                    exp.resume_with_checkpoints_fluid(&plan)
+                        .map(|(result, _engine, lineage)| (result, lineage))
+                } else {
+                    exp.resume_with_checkpoints(cavenet_net::NoopObserver, &plan)
+                        .map(|(result, _sim, lineage)| (result, lineage))
+                }
             })
             .collect()
     }
@@ -482,6 +638,92 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn fluid_checkpointed_run_matches_plain_run() {
+        let dir = scratch_dir("fluid_plain");
+        let mut s = tiny_scenario(3);
+        s.fidelity = Fidelity::Fluid;
+        let exp = Experiment::new(s);
+        let (_, plain_engine) = exp.run_fluid().unwrap();
+        let plan = CheckpointPlan {
+            every: Duration::from_secs(4),
+            dir: dir.clone(),
+        };
+        let (ckpt, engine) = exp.run_with_checkpoints_fluid(&plan).unwrap();
+        assert_eq!(engine.digest(), plain_engine.digest());
+        assert_eq!(ckpt.total_received(), exp.run().unwrap().total_received());
+        assert_eq!(store::list_newest_first(&dir).unwrap().len(), 3);
+
+        // And a resume from those checkpoints reproduces the same digest.
+        let (resumed, engine2, lineage) = exp.resume_with_checkpoints_fluid(&plan).unwrap();
+        assert!(!lineage.is_cold());
+        assert_eq!(engine2.digest(), plain_engine.digest());
+        assert_eq!(resumed.total_received(), ckpt.total_received());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fluid_snapshot_refuses_the_exact_fidelity_and_vice_versa() {
+        let mut fluid_s = tiny_scenario(9);
+        fluid_s.fidelity = Fidelity::Fluid;
+        let fluid_exp = Experiment::new(fluid_s.clone());
+        let engine = fluid_exp.build_fluid().unwrap();
+        let fluid_snap = fluid_exp.snapshot_fluid(&engine).unwrap();
+
+        // The same scenario under the exact fidelity must reject it.
+        let mut exact_s = fluid_s;
+        exact_s.fidelity = Fidelity::Exact;
+        let exact_exp = Experiment::new(exact_s);
+        let err = exact_exp
+            .resume_from_snapshot(cavenet_net::NoopObserver, &fluid_snap)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Snapshot(SnapshotError::MetaMismatch { .. })
+            ),
+            "{err:?}"
+        );
+
+        // And an exact snapshot must not restore into a fluid engine.
+        let (sim, rec) = exact_exp.build_sim(cavenet_net::NoopObserver).unwrap();
+        let exact_snap = exact_exp.snapshot_now(&sim, &rec).unwrap();
+        let err = fluid_exp
+            .resume_fluid_from_snapshot(&exact_snap)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Snapshot(SnapshotError::MetaMismatch { .. })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn fluid_campaign_resumes() {
+        let dir = scratch_dir("fluid_campaign");
+        let mut base = tiny_scenario(0);
+        base.fidelity = Fidelity::Fluid;
+        let campaign = Campaign {
+            base,
+            trials: 2,
+            master_seed: 42,
+        };
+        let first = campaign
+            .run_resumable(&dir, Duration::from_secs(4))
+            .unwrap();
+        assert!(first.iter().all(|(_, l)| l.is_cold()));
+        let second = campaign
+            .run_resumable(&dir, Duration::from_secs(4))
+            .unwrap();
+        for ((a, _), (b, lineage)) in first.iter().zip(&second) {
+            assert!(!lineage.is_cold(), "second pass must resume");
+            assert_eq!(a.total_received(), b.total_received());
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

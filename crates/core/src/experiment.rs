@@ -3,12 +3,31 @@
 use std::rc::Rc;
 use std::time::Duration;
 
+use cavenet_fluid::{FluidConfig, FluidEngine, FluidFlow, RouteDiscipline};
 use cavenet_net::{
-    DropCounts, FlowId, GlobalStats, NodeId, NoopObserver, ScenarioConfig, SimObserver, Simulator,
+    DropCounts, ExactBackend, Fidelity, FlowId, GlobalStats, NodeId, NoopObserver, ScenarioConfig,
+    SimObserver, SimTime, Simulator,
 };
 use cavenet_traffic::{CbrSink, CbrSource, FlowMetrics, TrafficRecorder};
 
 use crate::{Protocol, Scenario, ScenarioError, TraceMobility};
+
+/// The fluid backend's abstraction of each routing protocol: forwarding
+/// discipline, periodic control load per node (packets/s) and control
+/// payload size. Reactive protocols contribute their HELLO beacons;
+/// proactive ones add their periodic topology/table traffic; flooding has
+/// no control plane at all.
+fn fluid_routing_model(p: Protocol) -> (RouteDiscipline, f64, u32) {
+    match p {
+        Protocol::Flooding => (RouteDiscipline::Flood, 0.0, 0),
+        // 1 Hz HELLO (Table 1).
+        Protocol::Aodv | Protocol::Dymo => (RouteDiscipline::Unicast, 1.0, 48),
+        // 1 Hz HELLO + TC every 2 s, MPR-forwarded.
+        Protocol::Olsr | Protocol::OlsrEtx => (RouteDiscipline::Unicast, 1.5, 60),
+        // Periodic full-table updates.
+        Protocol::Dsdv => (RouteDiscipline::Unicast, 1.0, 64),
+    }
+}
 
 /// Per-sender outcome of an experiment.
 #[derive(Debug, Clone)]
@@ -140,14 +159,20 @@ impl Experiment {
         &self.scenario
     }
 
-    /// Generate mobility, build the simulator, run it and collect metrics.
+    /// Generate mobility, run the scenario under its configured
+    /// [`Fidelity`] and collect metrics: the exact per-frame engine for
+    /// [`Fidelity::Exact`], the flow-level fluid backend for
+    /// [`Fidelity::Fluid`].
     ///
     /// # Errors
     ///
     /// Returns [`ScenarioError`] when the scenario is inconsistent or its
     /// mobility model cannot be built.
     pub fn run(&self) -> Result<ExperimentResult, ScenarioError> {
-        self.run_with_observer(NoopObserver).map(|(r, _)| r)
+        match self.scenario.fidelity {
+            Fidelity::Fluid => self.run_fluid().map(|(r, _)| r),
+            _ => self.run_with_observer(NoopObserver).map(|(r, _)| r),
+        }
     }
 
     /// Like [`run`](Self::run), but attaches a [`SimObserver`] to the engine
@@ -187,6 +212,11 @@ impl Experiment {
         observer: O,
     ) -> Result<(Simulator<O>, cavenet_traffic::SharedRecorder), ScenarioError> {
         let s = &self.scenario;
+        if s.fidelity != Fidelity::Exact {
+            return Err(ScenarioError::WrongFidelity {
+                expected: Fidelity::Exact,
+            });
+        }
         s.validate()?;
         let trace = s.build_trace()?;
         let mobility = match s.mobility_quantum {
@@ -277,6 +307,133 @@ impl Experiment {
             data_forwarded,
             global: sim.global_stats(),
             drops: sim.drop_counts(),
+        }
+    }
+
+    /// Build the scenario's fluid engine (mobility trace, flow table,
+    /// analytic backend) without running it — the fluid counterpart of
+    /// [`build_sim`](Self::build_sim), exposed for checkpointing and the
+    /// fidelity benches.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::WrongFidelity`] unless the scenario selects
+    /// [`Fidelity::Fluid`]; otherwise any scenario validation or fluid
+    /// construction error.
+    pub fn build_fluid(&self) -> Result<FluidEngine, ScenarioError> {
+        let s = &self.scenario;
+        if s.fidelity != Fidelity::Fluid {
+            return Err(ScenarioError::WrongFidelity {
+                expected: Fidelity::Fluid,
+            });
+        }
+        s.validate()?;
+        let trace = s.build_trace()?;
+        // The very parameterization the exact engine would run.
+        let mut config = ScenarioConfig {
+            propagation: s.propagation,
+            ..ScenarioConfig::default()
+        };
+        if s.rts_cts {
+            config.mac.rts_threshold = Some(0);
+        }
+        let (discipline, control_pps_per_node, control_payload_bytes) =
+            fluid_routing_model(s.protocol);
+        let flows = s
+            .traffic
+            .senders
+            .iter()
+            .map(|&sender| FluidFlow {
+                src: sender,
+                dst: s.traffic.receiver,
+                cbr: s.traffic.cbr,
+            })
+            .collect();
+        let cfg = FluidConfig {
+            nodes: s.nodes as u32,
+            sim_time: s.sim_time,
+            step: Duration::from_secs(1),
+            backend: ExactBackend::from(&config),
+            discipline,
+            control_pps_per_node,
+            control_payload_bytes,
+            flows,
+            shards: s.shards as u32,
+        };
+        FluidEngine::new(cfg, trace).map_err(ScenarioError::Fluid)
+    }
+
+    /// Run the scenario under the fluid backend and collect metrics; also
+    /// returns the finished engine (for its digest and report).
+    ///
+    /// # Errors
+    ///
+    /// See [`build_fluid`](Self::build_fluid).
+    pub fn run_fluid(&self) -> Result<(ExperimentResult, FluidEngine), ScenarioError> {
+        let mut engine = self.build_fluid()?;
+        engine.run_to_end();
+        let result = self.collect_fluid(&engine);
+        Ok((result, engine))
+    }
+
+    /// Assemble experiment metrics from a (finished or mid-flight) fluid
+    /// engine — the fluid counterpart of [`collect`](Self::collect). Flow
+    /// metrics are exact in shape; engine-level counters (`global`,
+    /// control totals) are the model's analytic estimates, and `drops`
+    /// stays empty (the fluid model has no per-packet drop ledger).
+    pub fn collect_fluid(&self, engine: &FluidEngine) -> ExperimentResult {
+        let s = &self.scenario;
+        let report = engine.report();
+        let senders = s
+            .traffic
+            .senders
+            .iter()
+            .zip(&report.flows)
+            .map(|(&sender, f)| {
+                debug_assert_eq!(f.src, sender);
+                SenderReport {
+                    sender,
+                    metrics: FlowMetrics {
+                        flow: FlowId::new(NodeId(f.src), NodeId(f.dst), f.port),
+                        sent: f.sent,
+                        received: f.received,
+                        duplicates: 0,
+                        bytes_sent: f.bytes_sent,
+                        bytes_received: f.bytes_received,
+                        mean_delay: f.mean_delay,
+                        max_delay: f.max_delay,
+                        first_sent: f
+                            .first_sent
+                            .map(|d| SimTime::from_nanos(d.as_nanos() as u64)),
+                        last_received: f
+                            .last_received
+                            .map(|d| SimTime::from_nanos(d.as_nanos() as u64)),
+                    },
+                    goodput_series: f.goodput_bps.clone(),
+                }
+            })
+            .collect();
+        let (_, control_pps, control_payload) = fluid_routing_model(s.protocol);
+        let control_packets =
+            (s.nodes as f64 * control_pps * s.sim_time.as_secs_f64()).round() as u64;
+        let total_sent: u64 = report.flows.iter().map(|f| f.sent).sum();
+        ExperimentResult {
+            protocol: s.protocol,
+            duration: s.sim_time,
+            senders,
+            control_packets,
+            control_bytes: control_packets * u64::from(control_payload),
+            data_forwarded: report
+                .est_transmissions
+                .saturating_sub(control_packets + total_sent),
+            global: GlobalStats {
+                transmissions: report.est_transmissions,
+                decoded: report.est_decoded,
+                collisions: 0,
+                rx_while_tx: 0,
+                events_processed: report.steps,
+            },
+            drops: DropCounts::default(),
         }
     }
 }
@@ -418,6 +575,65 @@ mod tests {
         let b = Experiment::new(s).run().unwrap();
         assert!(a.total_received() > 100, "got {}", a.total_received());
         assert_eq!(a.global, b.global, "quantized run must stay deterministic");
+    }
+
+    #[test]
+    fn fluid_fidelity_runs_and_delivers() {
+        let mut s = quick_scenario(Protocol::Aodv, 1);
+        s.fidelity = Fidelity::Fluid;
+        let r = Experiment::new(s).run().unwrap();
+        assert_eq!(r.senders.len(), 3);
+        assert_eq!(r.total_sent(), 300, "3 senders x 100 exact emissions");
+        assert!(r.total_received() > 0, "connected ring must deliver");
+        assert!(r.control_packets > 0);
+        assert!(r.global.transmissions > 0);
+        // The goodput series has the exact recorder's shape.
+        assert_eq!(r.senders[0].goodput_series.len(), 30);
+    }
+
+    #[test]
+    fn fluid_runs_are_deterministic_and_seed_sensitive() {
+        let fluid = |seed| {
+            let mut s = quick_scenario(Protocol::Aodv, seed);
+            s.fidelity = Fidelity::Fluid;
+            Experiment::new(s).run_fluid().unwrap()
+        };
+        let (ra, ea) = fluid(7);
+        let (rb, eb) = fluid(7);
+        assert_eq!(ea.digest(), eb.digest(), "same seed, same digest");
+        assert_eq!(ra.total_received(), rb.total_received());
+        // A different seed shifts the CA jam pattern, which the fluid
+        // model sees through the trace.
+        let (_, ec) = fluid(8);
+        assert_ne!(ea.digest(), ec.digest(), "seed must reach the fluid model");
+    }
+
+    #[test]
+    fn fluid_flooding_scenario_runs() {
+        let mut s = quick_scenario(Protocol::Flooding, 1);
+        s.fidelity = Fidelity::Fluid;
+        let r = Experiment::new(s).run().unwrap();
+        assert!(r.mean_pdr() > 0.0);
+        assert_eq!(r.control_packets, 0, "flooding has no control plane");
+    }
+
+    #[test]
+    fn entry_points_enforce_fidelity() {
+        let mut s = quick_scenario(Protocol::Aodv, 1);
+        s.fidelity = Fidelity::Fluid;
+        assert!(matches!(
+            Experiment::new(s.clone()).build_sim(NoopObserver).err(),
+            Some(ScenarioError::WrongFidelity {
+                expected: Fidelity::Exact
+            })
+        ));
+        s.fidelity = Fidelity::Exact;
+        assert!(matches!(
+            Experiment::new(s).build_fluid().err(),
+            Some(ScenarioError::WrongFidelity {
+                expected: Fidelity::Fluid
+            })
+        ));
     }
 
     #[test]

@@ -45,9 +45,14 @@ pub use resilience::{
 };
 pub use scenario::{MobilitySource, Scenario, ScenarioError, TrafficPattern};
 
+// The fidelity knob and its backends live in `cavenet-net`; surface them
+// here so scenario authors select a backend without extra dependencies.
+pub use cavenet_net::Fidelity;
+
 // Re-export the sub-crates so downstream users need a single dependency.
 pub use cavenet_ca as ca;
 pub use cavenet_checkpoint as checkpoint;
+pub use cavenet_fluid as fluid;
 pub use cavenet_mobility as mobility;
 pub use cavenet_net as net;
 pub use cavenet_routing as routing;

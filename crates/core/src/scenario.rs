@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use cavenet_ca::{Boundary, CaError, Lane, NasParams, DEFAULT_VMAX};
 use cavenet_mobility::{LaneGeometry, MobilityError, MobilityTrace, TraceGenerator};
-use cavenet_net::{FaultPlan, NetError, Propagation};
+use cavenet_net::{FaultPlan, Fidelity, NetError, Propagation};
 use cavenet_traffic::CbrConfig;
 
 use crate::Protocol;
@@ -119,6 +119,15 @@ pub struct Scenario {
     /// which is why it is excluded from checkpoint/run identity — a
     /// snapshot taken under N shards resumes under M.
     pub shards: usize,
+    /// Model backend fidelity (default: [`Fidelity::Exact`], the per-frame
+    /// DCF engine). [`Fidelity::Fluid`] selects the flow-level analytic
+    /// backend (`cavenet-fluid`): 100–1000x faster, approximate, still
+    /// deterministic.
+    ///
+    /// A *behaviour* knob, unlike `shards`: results differ between
+    /// fidelities, so it participates in checkpoint/run identity — a
+    /// snapshot taken under one fidelity refuses to resume under the other.
+    pub fidelity: Fidelity,
     /// Master random seed.
     pub seed: u64,
 }
@@ -147,6 +156,7 @@ impl Scenario {
             mobility_quantum: None,
             fault_plan: FaultPlan::default(),
             shards: 1,
+            fidelity: Fidelity::Exact,
             seed: 1,
         }
     }
@@ -285,6 +295,14 @@ pub enum ScenarioError {
     },
     /// `shards` is zero (the serial engine is `shards = 1`).
     BadShards,
+    /// The fluid backend rejected the scenario (empty, bad flow endpoint).
+    Fluid(cavenet_fluid::FluidError),
+    /// An entry point restricted to one fidelity was called under the
+    /// other (e.g. the exact engine's observer path on a fluid scenario).
+    WrongFidelity {
+        /// The fidelity the entry point requires.
+        expected: Fidelity,
+    },
     /// The fault-injection plan is invalid for this scenario (unknown
     /// node, recover-before-crash, overlapping or inverted windows, bad
     /// probability), or the engine rejected the configuration at build
@@ -307,6 +325,10 @@ impl fmt::Display for ScenarioError {
             ScenarioError::BadShards => {
                 write!(f, "shards must be at least 1 (1 = serial engine)")
             }
+            ScenarioError::Fluid(e) => write!(f, "fluid backend error: {e}"),
+            ScenarioError::WrongFidelity { expected } => {
+                write!(f, "entry point requires the {} fidelity", expected.name())
+            }
         }
     }
 }
@@ -319,6 +341,8 @@ impl Error for ScenarioError {
             ScenarioError::BadTraffic { .. } => None,
             ScenarioError::BadShards => None,
             ScenarioError::Fault(e) => Some(e),
+            ScenarioError::Fluid(e) => Some(e),
+            ScenarioError::WrongFidelity { .. } => None,
         }
     }
 }

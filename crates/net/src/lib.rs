@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod api;
+pub mod backend;
 pub mod calq;
 mod channel;
 mod error;
@@ -64,6 +65,7 @@ mod time;
 mod traits;
 
 pub use api::NodeApi;
+pub use backend::{ChannelBackend, ExactBackend, Fidelity, MacBackend};
 pub use calq::CalendarQueue;
 pub use channel::{Channel, Transmission};
 pub use error::NetError;

@@ -33,8 +33,10 @@ use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use cavenet_checkpoint::{store, Snapshot};
-use cavenet_core::{Experiment, Lineage, Scenario};
-use cavenet_net::{CancelSignal, ProgressHandle, ProgressProbe, SimTime, TrialCancelled};
+use cavenet_core::{Experiment, Fidelity, Lineage, Scenario};
+use cavenet_net::{
+    CancelSignal, EventKind, ProgressHandle, ProgressProbe, SimObserver, SimTime, TrialCancelled,
+};
 use cavenet_telemetry::{
     Counter, Gauge, HistogramId, MetricsRegistry, RunManifest, SnapshotBus, SnapshotPublisher,
     StreamProbe,
@@ -165,6 +167,10 @@ pub struct TrialReport {
     pub attempts: Vec<TrialAttempt>,
     /// How the trial ended.
     pub outcome: TrialOutcome,
+    /// Simulation backend the trial's scenario selected
+    /// ([`Fidelity::name`](cavenet_core::Fidelity::name): "exact",
+    /// "fluid").
+    pub backend: &'static str,
 }
 
 impl TrialReport {
@@ -180,10 +186,11 @@ impl TrialReport {
         (self.attempts.len() as u64 + u64::from(succeeded)).max(1)
     }
 
-    /// A [`RunManifest`] for this trial: identity, checkpoint lineage of
-    /// the surviving attempt, and the retry/quarantine record. Clean
-    /// first-try trials produce a manifest byte-identical to an
-    /// unsupervised run's.
+    /// A [`RunManifest`] for this trial: identity, the simulation
+    /// backend, checkpoint lineage of the surviving attempt, and the
+    /// retry/quarantine record. Clean first-try trials produce a manifest
+    /// byte-identical to an unsupervised run's that stamps the same
+    /// backend.
     pub fn manifest(&self, tool: &str) -> RunManifest {
         let mut m = RunManifest::new(tool);
         m.scenario_hash = self.key.scenario_hash;
@@ -198,6 +205,7 @@ impl TrialReport {
             self.attempts.iter().map(ToString::to_string).collect(),
             matches!(self.outcome, TrialOutcome::Quarantined),
         );
+        m.set_backend(self.backend);
         m
     }
 }
@@ -428,6 +436,7 @@ impl CampaignServer {
                     lineage: Lineage::default(),
                     replayed: true,
                 },
+                backend: scenario.fidelity.name(),
             });
             self.shared.metrics.inc(Counter::TrialsSubmitted);
             self.shared.metrics.inc(Counter::TrialsCompleted);
@@ -539,6 +548,7 @@ impl CampaignServer {
                 st.reports.push(TrialReport {
                     id: job.id,
                     key: job.key,
+                    backend: job.scenario.fidelity.name(),
                     attempts: job.history,
                     outcome: TrialOutcome::Pending,
                 });
@@ -698,6 +708,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 st.reports.push(TrialReport {
                     id: job.id,
                     key: job.key,
+                    backend: job.scenario.fidelity.name(),
                     attempts: job.history,
                     outcome: TrialOutcome::Completed {
                         digest,
@@ -713,6 +724,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 st.reports.push(TrialReport {
                     id: job.id,
                     key: job.key,
+                    backend: job.scenario.fidelity.name(),
                     attempts: job.history,
                     outcome: TrialOutcome::Interrupted,
                 });
@@ -747,6 +759,7 @@ fn record_failure(
         st.reports.push(TrialReport {
             id: job.id,
             key: job.key,
+            backend: job.scenario.fidelity.name(),
             attempts: history,
             outcome: TrialOutcome::Interrupted,
         });
@@ -757,6 +770,7 @@ fn record_failure(
         st.reports.push(TrialReport {
             id: job.id,
             key: job.key,
+            backend: job.scenario.fidelity.name(),
             attempts: history,
             outcome: TrialOutcome::Quarantined,
         });
@@ -945,6 +959,9 @@ fn drive_trial(
     job: &Job,
     handle: &ProgressHandle,
 ) -> Result<AttemptResult, TrialFailure> {
+    if job.scenario.fidelity == Fidelity::Fluid {
+        return drive_fluid_trial(config, job, handle);
+    }
     let checkpoint = |message: String| TrialFailure::Checkpoint { message };
     let exp = Experiment::new(job.scenario.clone());
     let dir = config.checkpoint_root.join(job.key.dir_name());
@@ -1035,6 +1052,84 @@ fn drive_trial(
     })
 }
 
+/// Fluid-fidelity analog of the exact drive loop: the same
+/// checkpoint-interval slicing, shutdown handling, corrupt-checkpoint
+/// fallback and lineage, but the golden digest is the fluid engine's
+/// deterministic step digest, `events` counts model steps, and heartbeats
+/// are published once per slice (there is no event stream to probe, and
+/// chaos/stream observers do not apply).
+fn drive_fluid_trial(
+    config: &ServerConfig,
+    job: &Job,
+    handle: &ProgressHandle,
+) -> Result<AttemptResult, TrialFailure> {
+    let checkpoint = |message: String| TrialFailure::Checkpoint { message };
+    let exp = Experiment::new(job.scenario.clone());
+    let dir = config.checkpoint_root.join(job.key.dir_name());
+    let mut probe = handle.probe(1);
+
+    let mut lineage = Lineage::default();
+    let mut restored = None;
+    let listing = store::list_newest_first(&dir).map_err(|e| checkpoint(e.to_string()))?;
+    for path in listing {
+        let Ok(bytes) = std::fs::read(&path) else {
+            continue;
+        };
+        let Ok(snap) = Snapshot::from_bytes(&bytes) else {
+            continue;
+        };
+        if let Ok((engine, meta)) = exp.resume_fluid_from_snapshot(&snap) {
+            lineage = Lineage {
+                parent_snapshot_hash: snap.container_hash(),
+                resume_step: meta.step,
+            };
+            restored = Some(engine);
+            break;
+        }
+    }
+    let mut engine = match restored {
+        Some(engine) => engine,
+        None => exp.build_fluid().map_err(|e| TrialFailure::Scenario {
+            message: e.to_string(),
+        })?,
+    };
+
+    let every = (config.checkpoint_every.as_nanos().min(u128::from(u64::MAX)) as u64).max(1);
+    while !engine.finished() {
+        if handle.signal() == CancelSignal::Shutdown {
+            let snap = exp
+                .snapshot_fluid(&engine)
+                .map_err(|e| checkpoint(e.to_string()))?;
+            store::write_snapshot(&dir, engine.now_ns(), &snap)
+                .map_err(|e| checkpoint(e.to_string()))?;
+            return Ok(AttemptResult::Interrupted);
+        }
+        let now = engine.now_ns();
+        let target = now.saturating_add(every - now % every);
+        engine.run_until_ns(target);
+        // One heartbeat per slice, doubling as the stall-cancellation
+        // point (mirrors the probe's in-stream beats on the exact path).
+        probe.on_event_dispatched(
+            SimTime::from_nanos(engine.now_ns()),
+            engine.steps_done(),
+            0,
+            EventKind::MacTimer,
+        );
+        probe.beat();
+        let snap = exp
+            .snapshot_fluid(&engine)
+            .map_err(|e| checkpoint(e.to_string()))?;
+        store::write_snapshot(&dir, engine.now_ns(), &snap)
+            .map_err(|e| checkpoint(e.to_string()))?;
+    }
+
+    Ok(AttemptResult::Completed {
+        digest: engine.digest(),
+        events: engine.steps_done(),
+        lineage,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1116,6 +1211,44 @@ mod tests {
         let server = CampaignServer::start(quick_config(dir.clone())).unwrap();
         let report = server.shutdown().unwrap();
         assert!(report.trials.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fluid_trials_run_under_supervision_and_stamp_their_backend() {
+        let dir = scratch("fluid");
+        let mut scenario = tiny_scenario(9);
+        scenario.fidelity = Fidelity::Fluid;
+        // Reference digest from an unsupervised straight run.
+        let exp = Experiment::new(scenario.clone());
+        let (_result, engine) = exp.run_fluid().unwrap();
+        let expected = engine.digest();
+
+        let server = CampaignServer::start(quick_config(dir.clone())).unwrap();
+        server.submit(scenario).unwrap();
+        let report = server.finish().unwrap();
+        assert_eq!(report.completed(), 1);
+        let trial = &report.trials[0];
+        assert_eq!(trial.backend, "fluid");
+        match &trial.outcome {
+            TrialOutcome::Completed { digest, events, .. } => {
+                assert_eq!(*digest, expected, "supervised fluid digest diverged");
+                assert_eq!(*events, engine.steps_done());
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        let manifest = trial.manifest("fluid_test").to_json();
+        assert_eq!(
+            manifest
+                .get("backend")
+                .and_then(cavenet_telemetry::Json::as_str),
+            Some("fluid")
+        );
+        // Exact trials stamp "exact".
+        let server = CampaignServer::start(quick_config(dir.clone())).unwrap();
+        server.submit(tiny_scenario(9)).unwrap();
+        let report = server.finish().unwrap();
+        assert_eq!(report.trials[0].backend, "exact");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -41,7 +41,9 @@ mod trace;
 
 pub use expo::render_prometheus;
 pub use json::Json;
-pub use manifest::{base_crate_versions, fnv64, RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use manifest::{
+    base_crate_versions, fnv64, ErrorEnvelope, RunManifest, MANIFEST_SCHEMA_VERSION,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramId, MetricsRegistry};
 pub use observer::{drop_reason_name, fold_shard_stats, TelemetryObserver};
 pub use profile::{Phase, PhaseProfiler};

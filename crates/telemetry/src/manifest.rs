@@ -19,6 +19,22 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     cavenet_rng::fnv::fnv64(bytes)
 }
 
+/// Calibrated accuracy bounds of a reduced-fidelity backend, measured
+/// against the exact engine on the fidelity-report fixture classes.
+///
+/// Stamped next to [`RunManifest::backend`] so a consumer reading a
+/// fluid-backend report knows how far its numbers may sit from an exact
+/// run of the same scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorEnvelope {
+    /// Largest absolute packet-delivery-ratio error (in PDR units, 0..=1)
+    /// observed across the calibration classes.
+    pub max_abs_pdr_error: f64,
+    /// Largest relative goodput error (fraction of the exact goodput)
+    /// observed across the calibration classes.
+    pub max_rel_goodput_error: f64,
+}
+
 /// Provenance of one benchmark or experiment run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -52,6 +68,13 @@ pub struct RunManifest {
     /// True when the supervisor gave up on this trial after exhausting its
     /// attempt budget.
     pub quarantined: bool,
+    /// Simulation backend that produced the run ("exact", "fluid", ...);
+    /// empty for producers that predate backend stamping. Rendered only
+    /// when non-empty.
+    pub backend: String,
+    /// Calibrated accuracy bounds of a reduced-fidelity backend; only
+    /// meaningful — and only rendered — when `backend` is set.
+    pub error_envelope: Option<ErrorEnvelope>,
 }
 
 impl RunManifest {
@@ -69,7 +92,22 @@ impl RunManifest {
             attempts: 1,
             failure_history: Vec::new(),
             quarantined: false,
+            backend: String::new(),
+            error_envelope: None,
         }
+    }
+
+    /// Stamp the simulation backend that produced the run
+    /// (`Fidelity::name()`: "exact", "fluid", ...).
+    pub fn set_backend(&mut self, backend: impl Into<String>) {
+        self.backend = backend.into();
+    }
+
+    /// Stamp the backend's calibrated error envelope. Callers must also
+    /// [`set_backend`](Self::set_backend); an envelope without a backend
+    /// fails validation.
+    pub fn set_error_envelope(&mut self, envelope: ErrorEnvelope) {
+        self.error_envelope = Some(envelope);
     }
 
     /// Stamp checkpoint lineage: this run resumed at `step` from the
@@ -158,6 +196,21 @@ impl RunManifest {
                 ),
             ));
             members.push(("quarantined".into(), Json::Bool(self.quarantined)));
+        }
+        if !self.backend.is_empty() {
+            members.push(("backend".into(), Json::str(self.backend.clone())));
+            if let Some(env) = &self.error_envelope {
+                members.push((
+                    "error_envelope".into(),
+                    Json::Obj(vec![
+                        ("max_abs_pdr_error".into(), Json::Num(env.max_abs_pdr_error)),
+                        (
+                            "max_rel_goodput_error".into(),
+                            Json::Num(env.max_rel_goodput_error),
+                        ),
+                    ]),
+                ));
+            }
         }
         Json::Obj(members)
     }
@@ -257,6 +310,32 @@ impl RunManifest {
             }
             _ => {
                 return Err("attempts, failure_history and quarantined must appear together".into())
+            }
+        }
+        // Backend provenance is optional (absent from pre-fidelity
+        // producers); the error envelope qualifies the backend and may not
+        // appear without it.
+        let backend = json.get("backend");
+        if let Some(backend) = backend {
+            let name = backend.as_str().ok_or("backend is not a string")?;
+            if name.is_empty() {
+                return Err("backend is empty".into());
+            }
+        }
+        if let Some(env) = json.get("error_envelope") {
+            if backend.is_none() {
+                return Err("error_envelope must not appear without backend".into());
+            }
+            for key in ["max_abs_pdr_error", "max_rel_goodput_error"] {
+                let v = env
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("error_envelope.{key} missing or not a number"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "error_envelope.{key} is not a finite non-negative number"
+                    ));
+                }
             }
         }
         Ok(())
@@ -368,6 +447,71 @@ mod tests {
         };
         members.retain(|(k, _)| k != "quarantined");
         assert!(RunManifest::validate(&Json::Obj(members)).is_err());
+    }
+
+    #[test]
+    fn backend_block_rendered_only_when_stamped() {
+        let unstamped = RunManifest::new("t");
+        let json = unstamped.to_json();
+        assert!(json.get("backend").is_none());
+        assert!(json.get("error_envelope").is_none());
+        RunManifest::validate(&parse(&json.render_pretty()).unwrap()).unwrap();
+
+        let mut stamped = RunManifest::new("t");
+        stamped.set_backend("fluid");
+        stamped.set_error_envelope(ErrorEnvelope {
+            max_abs_pdr_error: 0.08,
+            max_rel_goodput_error: 0.12,
+        });
+        let json = parse(&stamped.to_json().render_pretty()).unwrap();
+        RunManifest::validate(&json).unwrap();
+        assert_eq!(json.get("backend").and_then(Json::as_str), Some("fluid"));
+        let env = json.get("error_envelope").expect("envelope present");
+        assert_eq!(
+            env.get("max_abs_pdr_error").and_then(Json::as_f64),
+            Some(0.08)
+        );
+        assert_eq!(
+            env.get("max_rel_goodput_error").and_then(Json::as_f64),
+            Some(0.12)
+        );
+
+        // A backend alone (exact runs have no envelope) still validates.
+        let mut exact = RunManifest::new("t");
+        exact.set_backend("exact");
+        RunManifest::validate(&parse(&exact.to_json().render_pretty()).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_envelope_without_backend_and_bad_bounds() {
+        let mut m = RunManifest::new("t");
+        m.set_backend("fluid");
+        m.set_error_envelope(ErrorEnvelope {
+            max_abs_pdr_error: 0.05,
+            max_rel_goodput_error: 0.1,
+        });
+        let Json::Obj(mut members) = m.to_json() else {
+            unreachable!()
+        };
+        // An envelope whose backend member was stripped must be rejected.
+        members.retain(|(k, _)| k != "backend");
+        assert!(RunManifest::validate(&Json::Obj(members)).is_err());
+
+        // Negative or non-finite bounds must be rejected (validated on the
+        // in-memory tree: non-finite numbers never survive a JSON round
+        // trip anyway).
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            let mut m = RunManifest::new("t");
+            m.set_backend("fluid");
+            m.set_error_envelope(ErrorEnvelope {
+                max_abs_pdr_error: bad,
+                max_rel_goodput_error: 0.1,
+            });
+            assert!(
+                RunManifest::validate(&m.to_json()).is_err(),
+                "bound {bad} should not validate"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Differential equivalence: two configurations, one behaviour.
 
-use cavenet_core::{Experiment, ExperimentResult, Scenario};
+use cavenet_core::{scenario_identity, Experiment, ExperimentResult, Fidelity, Scenario};
 
 use crate::GoldenDigest;
 
@@ -76,6 +76,45 @@ pub fn assert_equiv(
         b.digest,
         b.events,
     );
+}
+
+/// Assert the identity semantics of [`scenario_identity`]: the `fidelity`
+/// backend knob is digest-relevant (the exact and fluid engines produce
+/// different results, so their snapshots must never cross-resume), while
+/// the `shards` execution knob is normalized away (any shard count is
+/// bit-identical, so a snapshot taken under N shards resumes under M).
+///
+/// # Panics
+///
+/// Panics if exact and fluid variants of `base` share a scenario hash, or
+/// if any shard count in `shard_counts` shifts the hash under either
+/// fidelity.
+pub fn assert_identity_semantics(base: &Scenario, shard_counts: &[usize]) {
+    let identity_of = |fidelity: Fidelity, shards: usize| {
+        let mut s = base.clone();
+        s.fidelity = fidelity;
+        s.shards = shards;
+        scenario_identity(&s).scenario_hash
+    };
+    let exact = identity_of(Fidelity::Exact, base.shards);
+    let fluid = identity_of(Fidelity::Fluid, base.shards);
+    assert_ne!(
+        exact, fluid,
+        "fidelity must be digest-relevant: exact and fluid variants of one \
+         scenario share identity 0x{exact:016x}"
+    );
+    for (fidelity, reference) in [(Fidelity::Exact, exact), (Fidelity::Fluid, fluid)] {
+        for &shards in shard_counts {
+            let got = identity_of(fidelity, shards);
+            assert_eq!(
+                got,
+                reference,
+                "shards must be identity-neutral: {shards} shards shifted the \
+                 {} identity 0x{reference:016x} to 0x{got:016x}",
+                fidelity.name(),
+            );
+        }
+    }
 }
 
 /// Assert that the sharded engine is **bit-identical** to the serial one

@@ -18,8 +18,10 @@ use std::time::Duration;
 
 use cavenet_core::checkpoint::{section, Snapshot, SnapshotError};
 use cavenet_core::net::{SimTime, Simulator};
-use cavenet_core::{churn_plan, CheckpointError, Experiment, Protocol, Scenario};
-use cavenet_testkit::{bisect_divergence, check_golden, digest_scenario, GoldenDigest};
+use cavenet_core::{churn_plan, CheckpointError, Experiment, Fidelity, Protocol, Scenario};
+use cavenet_testkit::{
+    assert_identity_semantics, bisect_divergence, check_golden, digest_scenario, GoldenDigest,
+};
 
 use proptest::prelude::*;
 
@@ -193,6 +195,129 @@ fn snapshot_under_n_shards_resumes_under_m() {
             "resume under {resume_shards} shards diverged from the serial run"
         );
     }
+}
+
+#[test]
+fn identity_keeps_fidelity_but_normalizes_shards() {
+    // The two knob classes of DESIGN.md §17: `fidelity` selects a backend
+    // with different results (identity-relevant — exact and fluid
+    // snapshots must never cross-resume), while `shards` is pure execution
+    // layout (identity-neutral — N-shard snapshots resume under M).
+    assert_identity_semantics(&short_scenario(Protocol::Aodv, 11), &[1, 2, 4, 7]);
+}
+
+fn fluid_scenario(protocol: Protocol, seed: u64) -> Scenario {
+    let mut s = short_scenario(protocol, seed);
+    s.fidelity = Fidelity::Fluid;
+    s
+}
+
+/// Run the fluid engine `0 → at`, snapshot, keep only the bytes, restore
+/// into a fresh engine and run `at → end`. Returns `(digest, steps)`.
+fn fluid_resumed_digest(s: &Scenario, at: Duration) -> (u64, u64) {
+    let exp = Experiment::new(s.clone());
+    let mut engine = exp.build_fluid().unwrap();
+    engine.run_until_ns(at.as_nanos() as u64);
+    let bytes = exp.snapshot_fluid(&engine).unwrap().to_bytes();
+    drop(engine); // nothing but `bytes` crosses the "process boundary"
+
+    let snap = Snapshot::from_bytes(&bytes).unwrap();
+    let (mut engine, meta) = exp.resume_fluid_from_snapshot(&snap).unwrap();
+    assert_eq!(meta.time_ns, at.as_nanos() as u64);
+    engine.run_to_end();
+    (engine.digest(), engine.steps_done())
+}
+
+#[test]
+fn fluid_resume_is_bit_identical_for_every_protocol() {
+    // The resume contract holds per backend: a fluid run snapshotted at
+    // 7 s and restored from bytes finishes with the same engine digest as
+    // the uninterrupted fluid run.
+    for protocol in PROTOCOLS {
+        let s = fluid_scenario(protocol, 11);
+        let (_, straight) = Experiment::new(s.clone()).run_fluid().unwrap();
+        let (digest, steps) = fluid_resumed_digest(&s, Duration::from_secs(7));
+        assert_eq!(
+            (digest, steps),
+            (straight.digest(), straight.steps_done()),
+            "{protocol:?}: resumed fluid run diverged from straight run"
+        );
+        assert!(straight.steps_done() > 0, "{protocol:?}: vacuous scenario");
+    }
+}
+
+#[test]
+fn fluid_snapshot_under_n_shards_resumes_under_m() {
+    // The shard axis of `snapshot_under_n_shards_resumes_under_m`, under
+    // the fluid backend: `integrate(shards)` is bit-invariant in shard
+    // count and shards are normalized out of the snapshot identity, so a
+    // 3-shard fluid checkpoint restores into 2-shard, 5-shard and serial
+    // engines with identical final digests.
+    let s = fluid_scenario(Protocol::Aodv, 11);
+    let (_, straight) = Experiment::new(s.clone()).run_fluid().unwrap();
+
+    let mut capture = s.clone();
+    capture.shards = 3;
+    let exp = Experiment::new(capture);
+    let mut engine = exp.build_fluid().unwrap();
+    engine.run_until_ns(Duration::from_secs(7).as_nanos() as u64);
+    let bytes = exp.snapshot_fluid(&engine).unwrap().to_bytes();
+    drop(engine);
+
+    for resume_shards in [1usize, 2, 5] {
+        let mut r = s.clone();
+        r.shards = resume_shards;
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        let (mut engine, meta) = Experiment::new(r)
+            .resume_fluid_from_snapshot(&snap)
+            .unwrap_or_else(|e| {
+                panic!("3-shard fluid snapshot must restore under {resume_shards}: {e}")
+            });
+        assert_eq!(meta.time_ns, Duration::from_secs(7).as_nanos() as u64);
+        engine.run_to_end();
+        assert_eq!(
+            (engine.digest(), engine.steps_done()),
+            (straight.digest(), straight.steps_done()),
+            "fluid resume under {resume_shards} shards diverged from the serial run"
+        );
+    }
+}
+
+#[test]
+fn snapshots_refuse_to_cross_the_fidelity_boundary() {
+    // Fidelity is identity-relevant, so a snapshot captured under one
+    // backend must be refused by the other — in both directions, as a
+    // typed error, never as a silent wrong-backend resume.
+    let exact = short_scenario(Protocol::Aodv, 11);
+    let fluid = fluid_scenario(Protocol::Aodv, 11);
+
+    let exp = Experiment::new(exact.clone());
+    let (mut sim, rec) = exp.build_sim(GoldenDigest::new()).unwrap();
+    sim.run_until(SimTime::from_secs(7));
+    let exact_bytes = exp.snapshot_now(&sim, &rec).unwrap().to_bytes();
+    drop((sim, rec));
+
+    let fexp = Experiment::new(fluid.clone());
+    let mut engine = fexp.build_fluid().unwrap();
+    engine.run_until_ns(Duration::from_secs(7).as_nanos() as u64);
+    let fluid_bytes = fexp.snapshot_fluid(&engine).unwrap().to_bytes();
+    drop(engine);
+
+    let exact_snap = Snapshot::from_bytes(&exact_bytes).unwrap();
+    let err = fexp.resume_fluid_from_snapshot(&exact_snap).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::Snapshot(_)),
+        "fluid engine accepted an exact snapshot: {err:?}"
+    );
+
+    let fluid_snap = Snapshot::from_bytes(&fluid_bytes).unwrap();
+    let err = exp
+        .resume_from_snapshot(GoldenDigest::new(), &fluid_snap)
+        .unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::Snapshot(_)),
+        "exact engine accepted a fluid snapshot: {err:?}"
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use cavenet_ca::FundamentalDiagram;
-use cavenet_core::{Experiment, MobilitySource, Protocol, Scenario};
+use cavenet_core::{Experiment, Fidelity, MobilitySource, Protocol, Scenario};
 use cavenet_net::{FaultPlan, RecoveryMode, SimTime};
 use cavenet_stats::Ensemble;
 use cavenet_testkit::{
@@ -347,6 +347,121 @@ proptest! {
         prop_assert_eq!(checker.violations(), &[] as &[String]);
         prop_assert!(checker.ledger().balanced());
     }
+}
+
+// --- Fluid backend fidelity -----------------------------------------------
+
+/// Per-scenario-class error tolerances for the fluid backend, calibrated
+/// against the measured differentials committed in
+/// `benchmarks/BENCH_fluid.json` (regenerated by `fidelity_report`) with
+/// headroom for platform jitter. Columns: `(class, scenario, max |PDR
+/// error|, max relative goodput error)`.
+///
+/// * The unicast Table 1 classes and the churn variant measure ≈ 0 error
+///   (all flows saturate to PDR 1 under both backends).
+/// * Flooding measures 0.007 PDR error — the fluid flood closure slightly
+///   overshoots the exact broadcast storm's residual losses.
+/// * Fig. 11's eight-sender load measures 0.069 PDR / 7.5 % goodput
+///   error: the fluid model has no per-packet route-discovery latency, so
+///   it over-delivers on the most contended class.
+fn fluid_tolerance_table() -> Vec<(&'static str, Scenario, f64, f64)> {
+    let mut churn = conformance_scenario(Protocol::Aodv, 1);
+    churn.fault_plan = fixed_churn_plan();
+    let mut fig11 = conformance_scenario(Protocol::Aodv, 1);
+    fig11.traffic.senders = (1..=8).collect();
+    vec![
+        (
+            "table1_aodv",
+            conformance_scenario(Protocol::Aodv, 1),
+            0.02,
+            0.05,
+        ),
+        (
+            "table1_olsr",
+            conformance_scenario(Protocol::Olsr, 1),
+            0.02,
+            0.05,
+        ),
+        (
+            "table1_dymo",
+            conformance_scenario(Protocol::Dymo, 1),
+            0.02,
+            0.05,
+        ),
+        (
+            "table1_dsdv",
+            conformance_scenario(Protocol::Dsdv, 1),
+            0.02,
+            0.05,
+        ),
+        (
+            "table1_flooding",
+            conformance_scenario(Protocol::Flooding, 1),
+            0.05,
+            0.08,
+        ),
+        ("fig11_aodv_8senders", fig11, 0.10, 0.12),
+        ("table1_aodv_churn", churn, 0.02, 0.05),
+    ]
+}
+
+/// `(mean PDR, delivered goodput bits)` of `scenario` under `fidelity` —
+/// the same two observables `fidelity_report` records per class.
+fn backend_observables(scenario: &Scenario, fidelity: Fidelity) -> (f64, f64) {
+    let mut s = scenario.clone();
+    s.fidelity = fidelity;
+    let r = Experiment::new(s).run().expect("scenario must run");
+    let goodput_bits: f64 = r
+        .senders
+        .iter()
+        .map(|s| s.metrics.bytes_received as f64 * 8.0)
+        .sum();
+    (r.mean_pdr(), goodput_bits)
+}
+
+#[test]
+fn fluid_errors_stay_within_the_class_tolerance_table() {
+    for (name, scenario, pdr_tol, goodput_tol) in fluid_tolerance_table() {
+        let (exact_pdr, exact_bits) = backend_observables(&scenario, Fidelity::Exact);
+        let (fluid_pdr, fluid_bits) = backend_observables(&scenario, Fidelity::Fluid);
+        let pdr_err = (fluid_pdr - exact_pdr).abs();
+        let goodput_err = if exact_bits > 0.0 {
+            (fluid_bits - exact_bits).abs() / exact_bits
+        } else {
+            fluid_bits
+        };
+        assert!(exact_bits > 0.0, "{name}: exact run delivered nothing");
+        assert!(
+            pdr_err <= pdr_tol,
+            "{name}: |PDR error| {pdr_err:.4} exceeds tolerance {pdr_tol} \
+             (exact {exact_pdr:.4}, fluid {fluid_pdr:.4})"
+        );
+        assert!(
+            goodput_err <= goodput_tol,
+            "{name}: relative goodput error {goodput_err:.4} exceeds tolerance \
+             {goodput_tol} (exact {exact_bits:.0} bits, fluid {fluid_bits:.0} bits)"
+        );
+    }
+}
+
+#[test]
+fn fluid_runs_are_deterministic_and_seed_sensitive() {
+    // Same scenario twice: bit-identical engine digest. Different mobility
+    // seed: the node field shifts, so the digest must move — the fluid
+    // backend is deterministic but not seed-blind.
+    let mut s = conformance_scenario(Protocol::Aodv, 7);
+    s.fidelity = Fidelity::Fluid;
+    let digest_of = |s: &Scenario| {
+        let (_, engine) = Experiment::new(s.clone()).run_fluid().expect("fluid run");
+        (engine.digest(), engine.steps_done())
+    };
+    let a = digest_of(&s);
+    let b = digest_of(&s);
+    assert_eq!(a, b, "fluid backend is not replayable");
+    let mut reseeded = s.clone();
+    reseeded.seed = 8;
+    let c = digest_of(&reseeded);
+    assert_ne!(a.0, c.0, "fluid digest ignored the scenario seed");
 }
 
 #[test]
